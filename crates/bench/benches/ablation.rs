@@ -1,0 +1,87 @@
+//! Ablation benches for DESIGN.md's design decisions: what each modelling
+//! choice costs in wall time. (The *quality* side of the same ablations —
+//! what each choice does to the reproduced results — is the
+//! `ablation_quality` binary.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+use eyeorg_browser::{load_page, BrowserConfig};
+use eyeorg_http::{FetchEngine, HttpConfig, OriginId, Priority, Protocol, Request};
+use eyeorg_net::{NetworkProfile, SimDuration, SimTime};
+use eyeorg_stats::Seed;
+use eyeorg_workload::{generate_site, SiteClass};
+
+/// Design decision 1 (DESIGN.md): segment-level TCP vs a hypothetical
+/// fluid model. We can't bench the fluid model we didn't build, but we
+/// can quantify what the segment-level fidelity costs per load — the
+/// number that justified keeping it.
+fn bench_segment_fidelity(c: &mut Criterion) {
+    let site = generate_site(Seed(1), 0, SiteClass::News);
+    let mut g = c.benchmark_group("ablation/network_profile_cost");
+    for profile in [NetworkProfile::fiber(), NetworkProfile::cable(), NetworkProfile::mobile_3g()]
+    {
+        g.bench_function(profile.name, |b| {
+            let cfg = BrowserConfig::new().with_network(profile.clone());
+            b.iter(|| load_page(&site, &cfg, Seed(2)))
+        });
+    }
+    g.finish();
+}
+
+/// Design decision 4: the H1 pool size knob (Chrome's 6). Runtime cost of
+/// simulating wider pools.
+fn bench_pool_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/h1_pool_size");
+    for pool in [2usize, 6, 12] {
+        g.bench_function(format!("{pool}_conns"), |b| {
+            b.iter(|| {
+                let cfg = HttpConfig { h1_pool_size: pool, ..HttpConfig::new(Protocol::Http1) };
+                let mut eng = FetchEngine::new(cfg, NetworkProfile::cable(), Seed(3));
+                for _ in 0..30 {
+                    eng.submit(
+                        SimTime::ZERO,
+                        Request {
+                            origin: OriginId(0),
+                            request_header_bytes: 400,
+                            response_header_bytes: 300,
+                            body_bytes: 15_000,
+                            priority: Priority::Low,
+                            server_think: SimDuration::from_millis(10),
+                        },
+                    );
+                }
+                while eng.next_event().is_some() {}
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Design decision 2: lazy frame rendering. Cost of materialising frames
+/// versus rendering a single probe frame.
+fn bench_frame_strategies(c: &mut Criterion) {
+    let site = generate_site(Seed(4), 0, SiteClass::Blog);
+    let trace = load_page(&site, &BrowserConfig::new(), Seed(4));
+    let video = eyeorg_video::Video::capture(trace, 10, SimDuration::from_secs(4));
+    let mut g = c.benchmark_group("ablation/frames");
+    g.bench_function("single_lazy_frame", |b| {
+        b.iter(|| video.frame(video.frame_count() / 2))
+    });
+    g.bench_function("materialise_all", |b| b.iter(|| eyeorg_video::FrameTimeline::of(&video)));
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = bench_segment_fidelity, bench_pool_sizes, bench_frame_strategies
+);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Performance of the reproduction pipeline itself: how fast the
+//! simulated substrates run. Useful for keeping campaign regeneration
+//! interactive (the full paper-scale `run_all` takes seconds, and these
+//! benches are the early-warning system for regressions).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+use eyeorg_browser::{load_page, BrowserConfig};
+use eyeorg_core::prelude::*;
+use eyeorg_crowd::{timeline_response_cached, CrowdFlower, PopulationProfile};
+use eyeorg_metrics::compute_metrics;
+use eyeorg_net::{sim::single_transfer, NetworkProfile, SimDuration, TlsMode};
+use eyeorg_stats::Seed;
+use eyeorg_video::{encode, CaptureConfig, FrameTimeline, Video};
+use eyeorg_workload::{alexa_like, generate_site, SiteClass};
+
+fn bench_transport(c: &mut Criterion) {
+    c.bench_function("net/1MB_transfer_cable", |b| {
+        b.iter(|| single_transfer(NetworkProfile::cable(), Seed(1), TlsMode::Tls13, 300, 1_000_000))
+    });
+}
+
+fn bench_page_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("browser/page_load");
+    for class in [SiteClass::Landing, SiteClass::Blog, SiteClass::News] {
+        let site = generate_site(Seed(2), 0, class);
+        g.bench_function(format!("{class:?}"), |b| {
+            b.iter(|| load_page(&site, &BrowserConfig::new(), Seed(3)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_capture_and_metrics(c: &mut Criterion) {
+    let site = generate_site(Seed(4), 0, SiteClass::Blog);
+    let trace = load_page(&site, &BrowserConfig::new(), Seed(4));
+    c.bench_function("video/capture_and_encode", |b| {
+        b.iter_batched(
+            || trace.clone(),
+            |t| {
+                let v = Video::capture(t, 10, SimDuration::from_secs(4));
+                encode(&v).byte_size()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let video = Video::capture(trace, 10, SimDuration::from_secs(4));
+    c.bench_function("metrics/compute_all", |b| b.iter(|| compute_metrics(&video)));
+    c.bench_function("video/frame_timeline", |b| b.iter(|| FrameTimeline::of(&video)));
+}
+
+fn bench_responses(c: &mut Criterion) {
+    let site = generate_site(Seed(5), 0, SiteClass::Blog);
+    let trace = load_page(&site, &BrowserConfig::new(), Seed(5));
+    let video = Video::capture(trace, 10, SimDuration::from_secs(4));
+    let participants = PopulationProfile::paid().generate(Seed(6), 64);
+    c.bench_function("crowd/64_timeline_responses", |b| {
+        b.iter_batched(
+            || FrameTimeline::of(&video),
+            |mut frames| {
+                participants
+                    .iter()
+                    .map(|p| timeline_response_cached(&video, &mut frames, p, "v").submitted)
+                    .collect::<Vec<_>>()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let sites = alexa_like(Seed(7), 4);
+    let stimuli = timeline_stimuli(
+        &sites,
+        &BrowserConfig::new().with_network(NetworkProfile::fttc()),
+        &CaptureConfig { repeats: 2, ..CaptureConfig::default() },
+        Seed(7),
+    );
+    c.bench_function("core/40_participant_campaign", |b| {
+        b.iter_batched(
+            || stimuli.clone(),
+            |s| {
+                let campaign = run_timeline_campaign(
+                    s,
+                    &CrowdFlower,
+                    40,
+                    &ExperimentConfig::default(),
+                    Seed(8),
+                );
+                filter_timeline(&campaign, &paper_pipeline()).kept.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets =
+    bench_transport,
+    bench_page_load,
+    bench_capture_and_metrics,
+    bench_responses,
+    bench_campaign
+);
+criterion_main!(benches);

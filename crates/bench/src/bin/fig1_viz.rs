@@ -1,0 +1,9 @@
+//! Regenerate Figure 1 (the response-exploration view).
+fn main() {
+    let scale = eyeorg_bench::Scale::from_env();
+    let fin = eyeorg_bench::campaigns::build_final_timeline(&scale);
+    let report = eyeorg_bench::fig1_viz::run(&fin);
+    println!("{report}");
+    let path = eyeorg_bench::write_result("fig1.txt", &report);
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,10 @@
+//! Regenerate Figure 4 (participant behaviour, paid vs trusted).
+fn main() {
+    let scale = eyeorg_bench::Scale::from_env();
+    let v = eyeorg_bench::campaigns::build_validation(&scale);
+    let report = eyeorg_bench::fig4_behavior::run(&v);
+    println!("{report}");
+    eyeorg_bench::write_result("fig4.txt", &report);
+    let path = eyeorg_bench::write_result("fig4.csv", &eyeorg_bench::fig4_behavior::csv(&v));
+    eprintln!("wrote {}", path.display());
+}

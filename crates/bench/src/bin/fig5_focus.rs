@@ -1,0 +1,10 @@
+//! Regenerate Figure 5 (out-of-focus time vs video load time).
+fn main() {
+    let scale = eyeorg_bench::Scale::from_env();
+    let v = eyeorg_bench::campaigns::build_validation(&scale);
+    let report = eyeorg_bench::fig5_focus::run(&v);
+    println!("{report}");
+    eyeorg_bench::write_result("fig5.txt", &report);
+    let path = eyeorg_bench::write_result("fig5.csv", &eyeorg_bench::fig5_focus::csv(&v));
+    eprintln!("wrote {}", path.display());
+}

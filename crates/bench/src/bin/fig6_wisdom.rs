@@ -1,0 +1,10 @@
+//! Regenerate Figure 6 (wisdom of the crowd).
+fn main() {
+    let scale = eyeorg_bench::Scale::from_env();
+    let v = eyeorg_bench::campaigns::build_validation(&scale);
+    let report = eyeorg_bench::fig6_wisdom::run(&v);
+    println!("{report}");
+    eyeorg_bench::write_result("fig6.txt", &report);
+    let path = eyeorg_bench::write_result("fig6.csv", &eyeorg_bench::fig6_wisdom::csv(&v));
+    eprintln!("wrote {}", path.display());
+}

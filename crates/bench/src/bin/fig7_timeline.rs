@@ -1,0 +1,10 @@
+//! Regenerate Figure 7 (UserPerceivedPLT vs PLT metrics).
+fn main() {
+    let scale = eyeorg_bench::Scale::from_env();
+    let fin = eyeorg_bench::campaigns::build_final_timeline(&scale);
+    let report = eyeorg_bench::fig7_timeline::run(&fin);
+    println!("{report}");
+    eyeorg_bench::write_result("fig7.txt", &report);
+    let path = eyeorg_bench::write_result("fig7.csv", &eyeorg_bench::fig7_timeline::csv(&fin));
+    eprintln!("wrote {}", path.display());
+}

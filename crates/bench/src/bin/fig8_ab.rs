@@ -1,0 +1,13 @@
+//! Regenerate Figure 8 (A/B results: protocols and ad blockers).
+fn main() {
+    let scale = eyeorg_bench::Scale::from_env();
+    let h1h2 = eyeorg_bench::campaigns::build_final_h1h2(&scale);
+    let ads = eyeorg_bench::campaigns::build_final_ads(&scale);
+    let mut report = eyeorg_bench::fig8_ab::run_h1h2(&h1h2);
+    report.push('\n');
+    report.push_str(&eyeorg_bench::fig8_ab::run_ads(&ads));
+    println!("{report}");
+    eyeorg_bench::write_result("fig8.txt", &report);
+    let path = eyeorg_bench::write_result("fig8.csv", &eyeorg_bench::fig8_ab::csv(&h1h2, &ads));
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,9 @@
+//! Regenerate Figure 9 (UPLT distribution shapes).
+fn main() {
+    let scale = eyeorg_bench::Scale::from_env();
+    let fin = eyeorg_bench::campaigns::build_final_timeline(&scale);
+    let report = eyeorg_bench::fig9_modes::run(&fin);
+    println!("{report}");
+    let path = eyeorg_bench::write_result("fig9.txt", &report);
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,59 @@
+//! Regenerate every table and figure in one pass, sharing campaigns.
+fn main() {
+    let scale = eyeorg_bench::Scale::from_env();
+    eprintln!(
+        "scale: {} sites, {} participants/campaign, {} repeats",
+        scale.sites, scale.participants, scale.repeats
+    );
+
+    eprintln!("building validation campaigns...");
+    let validation = eyeorg_bench::campaigns::build_validation(&scale);
+    eprintln!("building final timeline campaign...");
+    let final_tl = eyeorg_bench::campaigns::build_final_timeline(&scale);
+    eprintln!("building final H1-vs-H2 campaign...");
+    let final_h1h2 = eyeorg_bench::campaigns::build_final_h1h2(&scale);
+    eprintln!("building final ad-blocker campaigns...");
+    let final_ads = eyeorg_bench::campaigns::build_final_ads(&scale);
+
+    let sections: Vec<(&str, String)> = vec![
+        ("table1.txt", eyeorg_bench::table1::run(&scale, &validation, &final_tl, &final_h1h2, &final_ads)),
+        ("fig1.txt", eyeorg_bench::fig1_viz::run(&final_tl)),
+        ("fig4.txt", eyeorg_bench::fig4_behavior::run(&validation)),
+        ("fig5.txt", eyeorg_bench::fig5_focus::run(&validation)),
+        ("fig6.txt", eyeorg_bench::fig6_wisdom::run(&validation)),
+        ("fig7.txt", eyeorg_bench::fig7_timeline::run(&final_tl)),
+        ("fig8.txt", {
+            let mut r = eyeorg_bench::fig8_ab::run_h1h2(&final_h1h2);
+            r.push('\n');
+            r.push_str(&eyeorg_bench::fig8_ab::run_ads(&final_ads));
+            r
+        }),
+        ("fig9.txt", eyeorg_bench::fig9_modes::run(&final_tl)),
+        ("demographics.txt", {
+            use eyeorg_core::prelude::*;
+            let mut r = String::from("=== Demographic sensitivity (H1-vs-H2 campaign) ===\n");
+            r.push_str("slice      participants  votes  decided  majority-agreement\n");
+            for s in ab_demographics(&final_h1h2.campaign, &final_h1h2.report) {
+                r.push_str(&format!(
+                    "{:<10} {:>12} {:>6} {:>7.0}% {:>18.0}%\n",
+                    s.label,
+                    s.participants,
+                    s.votes,
+                    s.decided_rate * 100.0,
+                    s.majority_agreement * 100.0,
+                ));
+            }
+            r
+        }),
+    ];
+    for (name, report) in &sections {
+        println!("{report}\n");
+        eyeorg_bench::write_result(name, report);
+    }
+    eyeorg_bench::write_result("fig4.csv", &eyeorg_bench::fig4_behavior::csv(&validation));
+    eyeorg_bench::write_result("fig5.csv", &eyeorg_bench::fig5_focus::csv(&validation));
+    eyeorg_bench::write_result("fig6.csv", &eyeorg_bench::fig6_wisdom::csv(&validation));
+    eyeorg_bench::write_result("fig7.csv", &eyeorg_bench::fig7_timeline::csv(&final_tl));
+    eyeorg_bench::write_result("fig8.csv", &eyeorg_bench::fig8_ab::csv(&final_h1h2, &final_ads));
+    eprintln!("all results under results/");
+}

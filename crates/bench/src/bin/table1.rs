@@ -1,0 +1,8 @@
+//! Regenerate Table 1 (summary of data collected).
+fn main() {
+    let scale = eyeorg_bench::Scale::from_env();
+    let report = eyeorg_bench::table1::run_standalone(&scale);
+    println!("{report}");
+    let path = eyeorg_bench::write_result("table1.txt", &report);
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,142 @@
+//! webpeg — the capture tool, as a CLI.
+//!
+//! Loads one synthetic site under a chosen configuration, prints the PLT
+//! metrics and a frame-strip preview, and optionally dumps the HAR.
+//!
+//! ```sh
+//! cargo run --release -p eyeorg-bench --bin webpeg -- \
+//!     --class news --index 3 --network cable --protocol h1 \
+//!     --adblocker ghostery --har
+//! ```
+
+use eyeorg_browser::{load_page, to_har_json, AdBlocker, BrowserConfig};
+use eyeorg_http::Protocol;
+use eyeorg_metrics::compute_metrics;
+use eyeorg_net::{NetworkProfile, SimDuration};
+use eyeorg_stats::Seed;
+use eyeorg_video::Video;
+use eyeorg_workload::{generate_site, SiteClass};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: webpeg [--class news|ecommerce|blog|landing|media] [--index N] \
+         [--seed N] [--network fiber|fttc|cable|dsl|lte|3g] [--protocol h1|h2] \
+         [--adblocker adblock|ghostery|ublock] [--push] [--har]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut class = SiteClass::News;
+    let mut index = 0u64;
+    let mut seed = 1u64;
+    let mut network = NetworkProfile::fttc();
+    let mut protocol = Protocol::Http2;
+    let mut adblocker = None;
+    let mut push = false;
+    let mut har = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        let mut next = || {
+            i += 1;
+            args.get(i).cloned().unwrap_or_else(|| usage())
+        };
+        match flag.as_str() {
+            "--class" => {
+                class = match next().as_str() {
+                    "news" => SiteClass::News,
+                    "ecommerce" => SiteClass::Ecommerce,
+                    "blog" => SiteClass::Blog,
+                    "landing" => SiteClass::Landing,
+                    "media" => SiteClass::MediaHeavy,
+                    _ => usage(),
+                }
+            }
+            "--index" => index = next().parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = next().parse().unwrap_or_else(|_| usage()),
+            "--network" => {
+                network = match next().as_str() {
+                    "fiber" => NetworkProfile::fiber(),
+                    "fttc" => NetworkProfile::fttc(),
+                    "cable" => NetworkProfile::cable(),
+                    "dsl" => NetworkProfile::dsl(),
+                    "lte" => NetworkProfile::lte(),
+                    "3g" => NetworkProfile::mobile_3g(),
+                    _ => usage(),
+                }
+            }
+            "--protocol" => {
+                protocol = match next().as_str() {
+                    "h1" => Protocol::Http1,
+                    "h2" => Protocol::Http2,
+                    _ => usage(),
+                }
+            }
+            "--adblocker" => {
+                adblocker = Some(match next().as_str() {
+                    "adblock" => AdBlocker::AdBlock,
+                    "ghostery" => AdBlocker::Ghostery,
+                    "ublock" => AdBlocker::UBlock,
+                    _ => usage(),
+                })
+            }
+            "--push" => push = true,
+            "--har" => har = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let site = generate_site(Seed(seed), index, class);
+    let mut cfg = BrowserConfig::new().with_network(network).with_protocol(protocol);
+    if let Some(b) = adblocker {
+        cfg = cfg.with_adblocker(b);
+    }
+    if push {
+        cfg = cfg.with_server_push();
+    }
+    let trace = load_page(&site, &cfg, Seed(seed));
+    let video = Video::capture(trace.clone(), 10, SimDuration::from_secs(5));
+    let m = compute_metrics(&video);
+
+    eprintln!(
+        "site {} ({:?}, {} objects, {:.2} MB) over {} / {:?}{}{}",
+        site.name,
+        class,
+        site.resources.len(),
+        site.total_bytes() as f64 / 1e6,
+        cfg.network.name,
+        protocol,
+        adblocker.map(|b| format!(" + {}", b.name())).unwrap_or_default(),
+        if push { " + push" } else { "" },
+    );
+    eprintln!(
+        "onload {:.2}s  speedindex {:.2}s  firstvisual {:.2}s  lastvisual {:.2}s",
+        m.onload.map(|t| t.as_secs_f64()).unwrap_or(f64::NAN),
+        m.speed_index.map(|d| d.as_secs_f64()).unwrap_or(f64::NAN),
+        m.first_visual_change.map(|t| t.as_secs_f64()).unwrap_or(f64::NAN),
+        m.last_visual_change.map(|t| t.as_secs_f64()).unwrap_or(f64::NAN),
+    );
+    let fetched = trace.resources.iter().filter(|r| r.fetched()).count();
+    let skipped = trace.resources.iter().filter(|r| r.skipped.is_some()).count();
+    eprintln!("resources: {fetched} fetched, {skipped} blocked/skipped");
+
+    // Frame-strip preview: viewport completeness over time.
+    let n = video.frame_count();
+    let cols = 60usize;
+    let mut strip = String::new();
+    const LEVELS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    for c in 0..cols {
+        let i = c * (n - 1) / (cols - 1);
+        let painted = video.frame(i).painted_fraction();
+        strip.push(LEVELS[((painted * 8.0).round() as usize).min(8)]);
+    }
+    eprintln!("viewport fill |{strip}| 0..{:.1}s", video.duration().as_secs_f64());
+
+    if har {
+        println!("{}", to_har_json(&trace, &site));
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 1: the response-exploration view.
+//!
+//! Eyeorg's visualisation tool shows a video's `UserPerceivedPLT`
+//! responses on a timeline next to the video; Fig. 1(b)'s example is a
+//! site where one response mode precedes the ads and one follows them.
+//! The harness reproduces both panels: a typical site and (when the
+//! classifier finds one) a multimodal ad-driven site with the onload and
+//! LastVisualChange markers for orientation.
+
+use eyeorg_core::analysis::uplt_samples;
+use eyeorg_core::campaign::TimelineCampaign;
+use eyeorg_core::viz::response_timeline;
+use eyeorg_metrics::compute_metrics;
+use eyeorg_stats::{classify_shape, DistributionShape, ShapeParams};
+
+use crate::campaigns::Filtered;
+
+/// Build the Fig. 1 report.
+pub fn run(fin: &Filtered<TimelineCampaign>) -> String {
+    let samples = uplt_samples(&fin.campaign, &fin.report, None);
+    let shapes: Vec<Option<DistributionShape>> = samples
+        .iter()
+        .map(|s| classify_shape(s, &ShapeParams::default()))
+        .collect();
+
+    let render = |vi: usize| -> String {
+        let video = &fin.campaign.videos[vi];
+        let m = compute_metrics(video);
+        let max = video.duration().as_secs_f64();
+        let mut markers: Vec<(char, f64, &str)> = Vec::new();
+        let onload = m.onload.map(|t| t.as_secs_f64());
+        let lvc = m.last_visual_change.map(|t| t.as_secs_f64());
+        if let Some(o) = onload {
+            markers.push(('O', o, "onload"));
+        }
+        if let Some(l) = lvc {
+            markers.push(('L', l, "last visual change"));
+        }
+        let mut s = format!("site: {}\n", fin.campaign.stimuli_names[vi]);
+        s.push_str(&response_timeline(&samples[vi], max, 64, &markers));
+        s
+    };
+
+    let mut out = String::new();
+    out.push_str("=== Figure 1(a): a typical response timeline ===\n");
+    // The first video with a healthy response count.
+    if let Some(vi) = (0..samples.len()).find(|&i| samples[i].len() >= 10) {
+        out.push_str(&render(vi));
+    }
+    out.push_str("\n=== Figure 1(b): multiple modes (ads load late) ===\n");
+    match shapes.iter().position(|s| *s == Some(DistributionShape::Multimodal)) {
+        Some(vi) => out.push_str(&render(vi)),
+        None => out.push_str("(no multimodal video at this scale)\n"),
+    }
+    out
+}

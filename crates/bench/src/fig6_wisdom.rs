@@ -1,0 +1,135 @@
+//! Figure 6: wisdom of the crowd.
+//!
+//! (a) per-video `UserPerceivedPLT` CDFs showing crowd consensus (with
+//! heads/tails from careless participants), (b) CDFs of per-video UPLT
+//! standard deviation under progressively tighter percentile bands —
+//! paid responses restricted to 25–75 land on the trusted curve — and
+//! (c) CDFs of A/B agreement for paid vs trusted pools (high agreement,
+//! never a full split).
+
+use eyeorg_core::analysis::{ab_tallies, uplt_samples, uplt_stdev};
+use eyeorg_core::viz::ascii_cdfs;
+use eyeorg_stats::{Ecdf, Summary};
+
+use crate::campaigns::ValidationSet;
+use crate::series_csv;
+
+/// Build the Fig. 6 report.
+pub fn run(v: &ValidationSet) -> String {
+    let mut out = String::new();
+
+    // ---- (a): representative per-video CDFs ---------------------------
+    out.push_str("=== Figure 6(a): sample per-video UPLT CDFs (paid) ===\n");
+    let samples = uplt_samples(&v.tl_paid.campaign, &v.tl_paid.report, None);
+    // Pick four videos spread across the mean-UPLT range.
+    let mut order: Vec<usize> = (0..samples.len()).filter(|&i| samples[i].len() >= 5).collect();
+    order.sort_by(|&a, &b| {
+        let ma = Summary::of(&samples[a]).map(|s| s.mean).unwrap_or(0.0);
+        let mb = Summary::of(&samples[b]).map(|s| s.mean).unwrap_or(0.0);
+        ma.partial_cmp(&mb).expect("finite means")
+    });
+    let picks: Vec<usize> = [0.1, 0.4, 0.7, 0.95]
+        .iter()
+        .map(|f| order[(f * (order.len() - 1) as f64) as usize])
+        .collect();
+    for (k, &vi) in picks.iter().enumerate() {
+        let s = Summary::of(&samples[vi]).expect("picked non-empty");
+        out.push_str(&format!(
+            "video-{} ({}): n={}, mean {:.1}s, stdev {:.1}s, range {:.1}-{:.1}s\n",
+            k + 1,
+            v.tl_paid.campaign.stimuli_names[vi],
+            s.n,
+            s.mean,
+            s.stdev,
+            s.min,
+            s.max
+        ));
+    }
+
+    // ---- (b): stdev CDFs under bands ----------------------------------
+    out.push_str("\n=== Figure 6(b): per-video UPLT stdev CDFs ===\n");
+    let series = stdev_series(v);
+    for (label, stdevs) in &series {
+        let s = Summary::of(stdevs).expect("non-empty");
+        out.push_str(&format!("{label:<18} median stdev {:.2}s\n", s.median));
+    }
+    let ecdfs: Vec<(&str, Ecdf)> = series
+        .iter()
+        .map(|(l, s)| (*l, Ecdf::new(s).expect("non-empty")))
+        .collect();
+    let refs: Vec<(&str, &Ecdf)> = ecdfs.iter().map(|(l, e)| (*l, e)).collect();
+    out.push_str(&ascii_cdfs(&refs, 10, 48));
+    // The §4.2 alignment claim.
+    let paid_band = &series.iter().find(|(l, _)| *l == "paid 25-75").expect("present").1;
+    let trusted_all = &series.iter().find(|(l, _)| *l == "trusted all").expect("present").1;
+    let mp = Summary::of(paid_band).expect("non-empty").median;
+    let mt = Summary::of(trusted_all).expect("non-empty").median;
+    out.push_str(&format!(
+        "\npaid(25-75) median stdev {mp:.2}s vs trusted(all) {mt:.2}s — in line: {}\n",
+        (mp - mt).abs() < mt.max(0.2)
+    ));
+
+    // ---- (c): A/B agreement -------------------------------------------
+    out.push_str("\n=== Figure 6(c): A/B agreement CDFs ===\n");
+    let ag = |f: &crate::campaigns::Filtered<eyeorg_core::campaign::AbCampaign>| -> Vec<f64> {
+        ab_tallies(&f.campaign, &f.report)
+            .iter()
+            .filter_map(|t| t.agreement().map(|a| a * 100.0))
+            .collect()
+    };
+    let ap = ag(&v.ab_paid);
+    let at = ag(&v.ab_trusted);
+    for (label, a) in [("paid", &ap), ("trusted", &at)] {
+        let s = Summary::of(a).expect("non-empty");
+        out.push_str(&format!(
+            "{label:<8} min agreement {:.0}%, median {:.0}%, >=85% on {:.0}% of videos\n",
+            s.min,
+            s.median,
+            100.0 * a.iter().filter(|&&x| x >= 85.0).count() as f64 / a.len() as f64
+        ));
+    }
+    let min_agree = ap.iter().chain(&at).cloned().fold(f64::INFINITY, f64::min);
+    out.push_str(&format!(
+        "never a full split: minimum agreement {min_agree:.0}% (paper: 45%, floor 33%)\n"
+    ));
+    out
+}
+
+/// The five stdev series of Fig. 6(b).
+pub fn stdev_series(v: &ValidationSet) -> Vec<(&'static str, Vec<f64>)> {
+    let collect = |f: &crate::campaigns::Filtered<eyeorg_core::campaign::TimelineCampaign>,
+                   band: Option<(f64, f64)>|
+     -> Vec<f64> {
+        uplt_stdev(&f.campaign, &f.report, band).into_iter().flatten().collect()
+    };
+    vec![
+        ("paid all", collect(&v.tl_paid, None)),
+        ("paid 10-90", collect(&v.tl_paid, Some((10.0, 90.0)))),
+        ("paid 25-75", collect(&v.tl_paid, Some((25.0, 75.0)))),
+        ("trusted all", collect(&v.tl_trusted, None)),
+        ("trusted 25-75", collect(&v.tl_trusted, Some((25.0, 75.0)))),
+    ]
+}
+
+/// CSV artefacts: the five stdev CDFs and the two agreement CDFs.
+pub fn csv(v: &ValidationSet) -> String {
+    let mut out = String::new();
+    for (label, stdevs) in stdev_series(v) {
+        if let Some(e) = Ecdf::new(&stdevs) {
+            out.push_str(&series_csv(
+                &format!("stdev_{},cdf", label.replace([' ', '-'], "_")),
+                &e.points(),
+            ));
+        }
+    }
+    for (label, f) in [("paid", &v.ab_paid), ("trusted", &v.ab_trusted)] {
+        let agreements: Vec<f64> = ab_tallies(&f.campaign, &f.report)
+            .iter()
+            .filter_map(|t| t.agreement())
+            .collect();
+        if let Some(e) = Ecdf::new(&agreements) {
+            out.push_str(&series_csv(&format!("agreement_{label},cdf"), &e.points()));
+        }
+    }
+    out
+}

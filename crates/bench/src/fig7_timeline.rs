@@ -1,0 +1,137 @@
+//! Figure 7: `UserPerceivedPLT` vs the automatic PLT metrics.
+//!
+//! (a) submitted vs slider vs frame-helper choices; (b) correlation of
+//! crowd UPLT with OnLoad / SpeedIndex / Last- / FirstVisualChange
+//! (paper: 0.85 / 0.68 / 0.47 / 0.84); (c) CDF of `UPLT − metric`
+//! (paper: OnLoad within 100 ms for 30 % of sites, SpeedIndex 7 %;
+//! 60 % of UPLT below OnLoad).
+
+use eyeorg_core::analysis::{mean_uplt, uplt_components};
+use eyeorg_metrics::{compute_metrics, PltMetrics, METRIC_NAMES};
+use eyeorg_stats::{bootstrap_pearson_ci, pearson, spearman, Ecdf, Seed, Summary};
+
+use crate::campaigns::Filtered;
+use crate::series_csv;
+use eyeorg_core::campaign::TimelineCampaign;
+
+/// Metrics for every stimulus of a timeline campaign.
+pub fn stimulus_metrics(campaign: &TimelineCampaign) -> Vec<PltMetrics> {
+    campaign.videos.iter().map(compute_metrics).collect()
+}
+
+/// Paired `(uplt, metric)` series for one metric name, skipping videos
+/// where either side is missing.
+pub fn paired(
+    uplt: &[Option<f64>],
+    metrics: &[PltMetrics],
+    name: &str,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (u, m) in uplt.iter().zip(metrics) {
+        if let (Some(u), Some(v)) = (u, m.by_name(name)) {
+            xs.push(v);
+            ys.push(*u);
+        }
+    }
+    (xs, ys)
+}
+
+/// Build the Fig. 7 report.
+pub fn run(fin: &Filtered<TimelineCampaign>) -> String {
+    let campaign = &fin.campaign;
+    let report = &fin.report;
+    let metrics = stimulus_metrics(campaign);
+    let uplt = mean_uplt(campaign, report, Some((25.0, 75.0)));
+
+    let mut out = String::new();
+
+    // ---- (a) helper impact ---------------------------------------------
+    out.push_str("=== Figure 7(a): submitted vs slider vs frame-helper ===\n");
+    let comps = uplt_components(campaign, report);
+    let n_show = comps.len().min(20);
+    let mut slider_diffs = Vec::new();
+    for (vi, (submitted, slider, helper)) in comps.iter().take(n_show).enumerate() {
+        let ms = Summary::of(submitted).map(|s| s.mean);
+        let sl = Summary::of(slider).map(|s| s.mean);
+        let he = Summary::of(helper).map(|s| s.mean);
+        if let (Some(ms), Some(sl), Some(he)) = (ms, sl, he) {
+            out.push_str(&format!(
+                "video {:>2}: submitted {ms:>5.2}s  slider {sl:>5.2}s  helper {he:>5.2}s\n",
+                vi + 1
+            ));
+            slider_diffs.push((sl - ms).abs());
+        }
+    }
+    if let Some(s) = Summary::of(&slider_diffs) {
+        out.push_str(&format!(
+            "mean |slider - submitted| = {:.0} ms, max = {:.2} s (paper: 300 ms avg, 1.6 s max)\n",
+            s.mean * 1000.0,
+            s.max
+        ));
+    }
+
+    // ---- (b) correlations ------------------------------------------------
+    out.push_str("\n=== Figure 7(b): correlation of mean UPLT with PLT metrics ===\n");
+    out.push_str("metric              pearson [95% CI]      spearman   (paper pearson)\n");
+    let paper_ref = [("onload", 0.85), ("speedindex", 0.68), ("lastvisualchange", 0.47), ("firstvisualchange", 0.84)];
+    for (name, paper) in paper_ref {
+        let (xs, ys) = paired(&uplt, &metrics, name);
+        let p = pearson(&xs, &ys).unwrap_or(f64::NAN);
+        let ci = bootstrap_pearson_ci(&xs, &ys, 0.95, 1000, Seed(7));
+        let (lo, hi) = ci.map(|c| (c.lo, c.hi)).unwrap_or((f64::NAN, f64::NAN));
+        let s = spearman(&xs, &ys).unwrap_or(f64::NAN);
+        out.push_str(&format!(
+            "{name:<18} {p:>7.2} [{lo:>5.2},{hi:>5.2}] {s:>8.2}   ({paper:.2})\n"
+        ));
+    }
+
+    // Scatter panel for the headline metric (onload), like the paper's
+    // first Fig. 7b panel.
+    let (xs, ys) = paired(&uplt, &metrics, "onload");
+    let pts: Vec<(f64, f64)> = xs.iter().copied().zip(ys.iter().copied()).collect();
+    out.push_str("\nonload (x) vs mean UPLT (y), '=' marks y = x:\n");
+    out.push_str(&eyeorg_core::viz::ascii_scatter(&pts, 12, 56, true));
+
+    // ---- (c) error CDFs ---------------------------------------------------
+    out.push_str("\n=== Figure 7(c): CDF of UPLT - metric (seconds) ===\n");
+    for name in METRIC_NAMES {
+        let (xs, ys) = paired(&uplt, &metrics, name);
+        let diffs: Vec<f64> = ys.iter().zip(&xs).map(|(u, m)| u - m).collect();
+        if diffs.is_empty() {
+            continue;
+        }
+        let within_100ms =
+            diffs.iter().filter(|d| d.abs() <= 0.1).count() as f64 / diffs.len() as f64;
+        let below = diffs.iter().filter(|&&d| d < 0.0).count() as f64 / diffs.len() as f64;
+        let s = Summary::of(&diffs).expect("non-empty");
+        out.push_str(&format!(
+            "{name:<18} median {:+.2}s  |d|<=100ms: {:>4.0}%  UPLT<metric: {:>4.0}%\n",
+            s.median,
+            within_100ms * 100.0,
+            below * 100.0
+        ));
+    }
+    out.push_str(
+        "(paper: OnLoad within 100ms for 30% of sites vs 7% for SpeedIndex; 60% of UPLT below OnLoad)\n",
+    );
+    out
+}
+
+/// CSV artefacts: the per-site scatter and the error CDFs.
+pub fn csv(fin: &Filtered<TimelineCampaign>) -> String {
+    let metrics = stimulus_metrics(&fin.campaign);
+    let uplt = mean_uplt(&fin.campaign, &fin.report, Some((25.0, 75.0)));
+    let mut out = String::new();
+    for name in METRIC_NAMES {
+        let (xs, ys) = paired(&uplt, &metrics, name);
+        let pts: Vec<(f64, f64)> = xs.into_iter().zip(ys).collect();
+        out.push_str(&series_csv(&format!("{name},uplt"), &pts));
+        let diffs: Vec<f64> =
+            pts.iter().map(|(m, u)| u - m).collect();
+        if let Some(e) = Ecdf::new(&diffs) {
+            out.push_str(&series_csv(&format!("diff_{name},cdf"), &e.points()));
+        }
+    }
+    out
+}

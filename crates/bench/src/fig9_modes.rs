@@ -1,0 +1,65 @@
+//! Figure 9: the three shapes of `UserPerceivedPLT` distributions.
+//!
+//! §6 classifies per-site response distributions into tight-unimodal
+//! (fast, unambiguous loads), spread-unimodal (long FirstVisualChange →
+//! LastVisualChange gap), and multimodal (main-content vs wait-for-ads
+//! readiness). The harness classifies every video programmatically and
+//! prints a 3-column gallery like the paper's 3×3 grid.
+
+use eyeorg_core::analysis::uplt_samples;
+use eyeorg_core::campaign::TimelineCampaign;
+use eyeorg_core::viz::response_timeline;
+use eyeorg_stats::{classify_shape, DistributionShape, ShapeParams};
+
+use crate::campaigns::Filtered;
+
+pub use eyeorg_stats::modes::ShapeParams as Fig9Params;
+
+/// Classify every video's response distribution.
+pub fn classify_all(fin: &Filtered<TimelineCampaign>) -> Vec<Option<DistributionShape>> {
+    let samples = uplt_samples(&fin.campaign, &fin.report, None);
+    samples
+        .iter()
+        .map(|s| classify_shape(s, &ShapeParams::default()))
+        .collect()
+}
+
+/// Build the Fig. 9 report.
+pub fn run(fin: &Filtered<TimelineCampaign>) -> String {
+    let samples = uplt_samples(&fin.campaign, &fin.report, None);
+    let shapes = classify_all(fin);
+    let mut out = String::new();
+    out.push_str("=== Figure 9: UPLT distribution shapes ===\n");
+    let count = |want: DistributionShape| shapes.iter().flatten().filter(|&&s| s == want).count();
+    let tight = count(DistributionShape::UnimodalTight);
+    let spread = count(DistributionShape::UnimodalSpread);
+    let multi = count(DistributionShape::Multimodal);
+    out.push_str(&format!(
+        "tight unimodal: {tight}   spread unimodal: {spread}   multimodal: {multi}   (of {})\n\n",
+        shapes.len()
+    ));
+
+    // Gallery: up to three examples per column, as response timelines.
+    for (title, want) in [
+        ("-- tight unimodal --", DistributionShape::UnimodalTight),
+        ("-- spread unimodal --", DistributionShape::UnimodalSpread),
+        ("-- multimodal --", DistributionShape::Multimodal),
+    ] {
+        out.push_str(title);
+        out.push('\n');
+        let mut shown = 0;
+        for (vi, shape) in shapes.iter().enumerate() {
+            if *shape == Some(want) && shown < 3 {
+                shown += 1;
+                let max = fin.campaign.videos[vi].duration().as_secs_f64();
+                out.push_str(&format!("n = {}\n", samples[vi].len()));
+                out.push_str(&response_timeline(&samples[vi], max, 48, &[]));
+            }
+        }
+        if shown == 0 {
+            out.push_str("(no example at this scale)\n");
+        }
+        out.push('\n');
+    }
+    out
+}

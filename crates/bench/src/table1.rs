@@ -1,0 +1,143 @@
+//! Table 1: summary of data collected.
+//!
+//! Four validation campaigns (PLT timeline and H1-H2 A/B, paid and
+//! trusted pools) plus three final campaigns (PLT timeline, H1-H2 A/B,
+//! ADS A/B), with gender splits, recruitment duration and cost, and the
+//! participants removed by each §4.3 filter.
+
+use eyeorg_browser::AdBlocker;
+use eyeorg_core::prelude::*;
+
+use crate::campaigns::{
+    build_final_ads, build_final_h1h2, build_final_timeline, build_validation, validation_sites,
+    Filtered, ValidationSet,
+};
+use crate::Scale;
+
+/// Build the Table 1 report. Returns the rendered table plus the paper's
+/// reference rows for side-by-side comparison. The final-campaign data
+/// (`h1h2`, `ads`, `tl`) is passed in so `run_all` can share campaigns
+/// with the figures.
+pub fn run(
+    scale: &Scale,
+    validation: &ValidationSet,
+    final_tl: &Filtered<TimelineCampaign>,
+    final_h1h2: &Filtered<AbCampaign>,
+    final_ads: &[(AdBlocker, Filtered<AbCampaign>)],
+) -> String {
+    let v_sites = validation_sites(scale);
+    let mut rows = vec![
+        table1_row(
+            "PLT timeline (val)",
+            "Paid",
+            &validation.tl_paid.campaign.participants,
+            validation.tl_paid.campaign.recruitment_cost_usd,
+            validation.tl_paid.campaign.recruitment_duration_secs,
+            v_sites,
+            &validation.tl_paid.report,
+        ),
+        table1_row(
+            "PLT timeline (val)",
+            "Trusted",
+            &validation.tl_trusted.campaign.participants,
+            validation.tl_trusted.campaign.recruitment_cost_usd,
+            validation.tl_trusted.campaign.recruitment_duration_secs,
+            v_sites,
+            &validation.tl_trusted.report,
+        ),
+        table1_row(
+            "H1-H2 A/B (val)",
+            "Paid",
+            &validation.ab_paid.campaign.participants,
+            validation.ab_paid.campaign.recruitment_cost_usd,
+            validation.ab_paid.campaign.recruitment_duration_secs,
+            v_sites,
+            &validation.ab_paid.report,
+        ),
+        table1_row(
+            "H1-H2 A/B (val)",
+            "Trusted",
+            &validation.ab_trusted.campaign.participants,
+            validation.ab_trusted.campaign.recruitment_cost_usd,
+            validation.ab_trusted.campaign.recruitment_duration_secs,
+            v_sites,
+            &validation.ab_trusted.report,
+        ),
+        table1_row(
+            "PLT timeline (final)",
+            "Paid",
+            &final_tl.campaign.participants,
+            final_tl.campaign.recruitment_cost_usd,
+            final_tl.campaign.recruitment_duration_secs,
+            scale.sites,
+            &final_tl.report,
+        ),
+        table1_row(
+            "H1-H2 A/B (final)",
+            "Paid",
+            &final_h1h2.campaign.participants,
+            final_h1h2.campaign.recruitment_cost_usd,
+            final_h1h2.campaign.recruitment_duration_secs,
+            scale.sites,
+            &final_h1h2.report,
+        ),
+    ];
+    // The ADS campaign is one logical campaign over three blockers.
+    let ads_participants: Vec<eyeorg_crowd::Participant> = final_ads
+        .iter()
+        .flat_map(|(_, f)| f.campaign.participants.clone())
+        .collect();
+    let ads_cost: f64 = final_ads.iter().map(|(_, f)| f.campaign.recruitment_cost_usd).sum();
+    let ads_secs = final_ads
+        .iter()
+        .map(|(_, f)| f.campaign.recruitment_duration_secs)
+        .fold(0.0, f64::max);
+    let ads_report = FilterReport {
+        engagement: final_ads.iter().map(|(_, f)| f.report.engagement).sum(),
+        soft: final_ads.iter().map(|(_, f)| f.report.soft).sum(),
+        control: final_ads.iter().map(|(_, f)| f.report.control).sum(),
+        kept: std::collections::BTreeSet::new(), // aggregate counts only
+    };
+    rows.push(table1_row(
+        "ADS A/B (final)",
+        "Paid",
+        &ads_participants,
+        ads_cost,
+        ads_secs,
+        scale.sites,
+        &ads_report,
+    ));
+
+    let mut out = String::new();
+    out.push_str("=== Table 1: summary of data collected ===\n");
+    out.push_str(&render_table1(&rows));
+    out.push_str("\npaper reference (validation): paid 1 hour/$12, trusted 10 days/free;\n");
+    out.push_str("filters: Engagement 16/10/9/1, Soft 2/-/5/2, Control 7/1/2/1\n");
+    out.push_str("paper reference (final, 1000 paid, 1.5 days, $120/campaign):\n");
+    out.push_str("filters: Engagement 151/98/128, Soft 45/56/34, Control 54/82/57\n");
+    // Aggregate low-performer rate (paper: ~20% of paid participants).
+    let paid_total = validation.tl_paid.campaign.participants.len()
+        + validation.ab_paid.campaign.participants.len()
+        + final_tl.campaign.participants.len()
+        + final_h1h2.campaign.participants.len()
+        + ads_participants.len();
+    let paid_dropped = validation.tl_paid.report.dropped()
+        + validation.ab_paid.report.dropped()
+        + final_tl.report.dropped()
+        + final_h1h2.report.dropped()
+        + ads_report.dropped();
+    out.push_str(&format!(
+        "\npaid low-performer rate: {:.0}% (paper: ~20%)\n",
+        100.0 * paid_dropped as f64 / paid_total.max(1) as f64
+    ));
+    out
+}
+
+/// Convenience: build everything this table needs at the given scale.
+pub fn run_standalone(scale: &Scale) -> String {
+    let validation = build_validation(scale);
+    let final_tl = build_final_timeline(scale);
+    let final_h1h2 = build_final_h1h2(scale);
+    let final_ads = build_final_ads(scale);
+    run(scale, &validation, &final_tl, &final_h1h2, &final_ads)
+}

@@ -1,0 +1,194 @@
+//! Browser/load configuration.
+//!
+//! webpeg (§3.1 of the paper) controls the capture environment through
+//! Chrome command-line options and the remote-debugging protocol:
+//! protocol selection (HTTP/1.1 vs HTTP/2), device and network emulation,
+//! extension installation (the ad blockers of §5.4), disabled caches, and
+//! a primer load to warm the ISP resolver. [`BrowserConfig`] is the
+//! equivalent knob set for the simulated browser.
+
+use eyeorg_http::Protocol;
+use eyeorg_net::{NetworkProfile, SimDuration, TlsMode};
+
+use crate::extensions::AdBlocker;
+
+/// CPU speed class of the emulated device. Costs in [`CpuCosts`] are
+/// multiplied by the device factor, mirroring Chrome's CPU-throttling
+/// device emulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceProfile {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Multiplier on all main-thread costs (1.0 = desktop).
+    pub cpu_factor: f64,
+}
+
+impl DeviceProfile {
+    /// A desktop-class machine (webpeg's EC2 capture boxes).
+    pub fn desktop() -> DeviceProfile {
+        DeviceProfile { name: "desktop", cpu_factor: 1.0 }
+    }
+
+    /// A flagship phone (~2× slower main thread).
+    pub fn mobile_high() -> DeviceProfile {
+        DeviceProfile { name: "mobile-high", cpu_factor: 2.0 }
+    }
+
+    /// A mid-range phone (~4× slower).
+    pub fn mobile_mid() -> DeviceProfile {
+        DeviceProfile { name: "mobile-mid", cpu_factor: 4.0 }
+    }
+}
+
+/// Main-thread cost model (desktop-scale; multiplied by
+/// [`DeviceProfile::cpu_factor`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuCosts {
+    /// HTML parsing, microseconds per byte.
+    pub parse_per_byte_us: f64,
+    /// Script execution, microseconds per byte of script.
+    pub js_exec_per_byte_us: f64,
+    /// Style/layout work folded into each paint flush.
+    pub style_flush: SimDuration,
+    /// Interval between paint flushes (display refresh).
+    pub vsync: SimDuration,
+}
+
+impl Default for CpuCosts {
+    fn default() -> Self {
+        CpuCosts {
+            // ~0.8 ms per 10 KB of HTML.
+            parse_per_byte_us: 0.08,
+            // ~25 ms for a 50 KB script.
+            js_exec_per_byte_us: 0.5,
+            style_flush: SimDuration::from_millis(2),
+            vsync: SimDuration::from_micros(16_667),
+        }
+    }
+}
+
+/// Full configuration of one capture (one page load).
+#[derive(Debug, Clone)]
+pub struct BrowserConfig {
+    /// Default application protocol (webpeg's `--disable-http2` switch
+    /// corresponds to [`Protocol::Http1`]). Third-party origins without
+    /// H2 support fall back to HTTP/1.1 automatically.
+    pub protocol: Protocol,
+    /// TLS mode for all connections (the studied sites are HTTPS).
+    pub tls: TlsMode,
+    /// Access-link emulation profile.
+    pub network: NetworkProfile,
+    /// Device CPU emulation.
+    pub device: DeviceProfile,
+    /// Main-thread cost model.
+    pub cpu: CpuCosts,
+    /// Installed ad-blocking extension, if any.
+    pub adblocker: Option<AdBlocker>,
+    /// Perform a primer load first so the resolver cache is warm
+    /// (webpeg's default; prevents cold DNS misses from skewing PLTs).
+    pub primer: bool,
+    /// Minimum delay between a script's execution and the fetch of an ad
+    /// it injects (the auction round trip).
+    pub ad_injection_delay: SimDuration,
+    /// Additional per-ad delay spread on top of the minimum. Real ad
+    /// chains are heavy-tailed — passbacks, waterfalls and timer-driven
+    /// slots routinely land seconds later, often *after* onload (the
+    /// source of the paper's Fig. 1(b) bimodality). Each ad draws a
+    /// deterministic delay in `[delay, delay + spread]`.
+    pub ad_injection_spread: SimDuration,
+    /// Injection delay for social widgets.
+    pub widget_injection_delay: SimDuration,
+    /// HTTP/2 server push: the origin pushes its render-blocking
+    /// stylesheets alongside the document instead of waiting for the
+    /// browser to discover and request them (§6 of the paper names
+    /// "HTTP/2 push/priority strategies" as a target experiment).
+    pub h2_server_push: bool,
+}
+
+impl BrowserConfig {
+    /// webpeg's defaults: HTTP/2, TLS 1.3, Cable network, desktop device,
+    /// no extensions, primer load enabled.
+    pub fn new() -> BrowserConfig {
+        BrowserConfig {
+            protocol: Protocol::Http2,
+            tls: TlsMode::Tls13,
+            network: NetworkProfile::cable(),
+            device: DeviceProfile::desktop(),
+            cpu: CpuCosts::default(),
+            adblocker: None,
+            primer: true,
+            // Ad auctions of the era took hundreds of milliseconds
+            // between the tag executing and the creative being fetched.
+            ad_injection_delay: SimDuration::from_millis(300),
+            ad_injection_spread: SimDuration::from_millis(5_700),
+            widget_injection_delay: SimDuration::from_millis(60),
+            h2_server_push: false,
+        }
+    }
+
+    /// Same configuration but forcing HTTP/1.1 (the paper's A/B pairs).
+    pub fn with_protocol(mut self, protocol: Protocol) -> BrowserConfig {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Install an ad blocker.
+    pub fn with_adblocker(mut self, blocker: AdBlocker) -> BrowserConfig {
+        self.adblocker = Some(blocker);
+        self
+    }
+
+    /// Use a different network profile.
+    pub fn with_network(mut self, network: NetworkProfile) -> BrowserConfig {
+        self.network = network;
+        self
+    }
+
+    /// Use a different device profile.
+    pub fn with_device(mut self, device: DeviceProfile) -> BrowserConfig {
+        self.device = device;
+        self
+    }
+
+    /// Enable HTTP/2 server push for render-blocking stylesheets.
+    pub fn with_server_push(mut self) -> BrowserConfig {
+        self.h2_server_push = true;
+        self
+    }
+}
+
+impl Default for BrowserConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let cfg = BrowserConfig::new()
+            .with_protocol(Protocol::Http1)
+            .with_adblocker(AdBlocker::Ghostery)
+            .with_device(DeviceProfile::mobile_mid());
+        assert_eq!(cfg.protocol, Protocol::Http1);
+        assert_eq!(cfg.adblocker, Some(AdBlocker::Ghostery));
+        assert_eq!(cfg.device.cpu_factor, 4.0);
+    }
+
+    #[test]
+    fn device_factors_ordered() {
+        assert!(DeviceProfile::desktop().cpu_factor < DeviceProfile::mobile_high().cpu_factor);
+        assert!(DeviceProfile::mobile_high().cpu_factor < DeviceProfile::mobile_mid().cpu_factor);
+    }
+
+    #[test]
+    fn default_costs_sane() {
+        let c = CpuCosts::default();
+        assert!(c.parse_per_byte_us > 0.0 && c.parse_per_byte_us < 1.0);
+        assert!(c.js_exec_per_byte_us > c.parse_per_byte_us);
+        assert!(c.vsync > SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,240 @@
+//! HAR-style export of a load trace.
+//!
+//! webpeg collects an HTTP Archive per capture through Chrome's remote
+//! debugging protocol — "including when each object loaded, which
+//! protocol was used, and when the onload event fired" (§3.1). This
+//! module serialises the equivalent view of a [`LoadTrace`]: a `log` with
+//! one entry per fetched resource plus the page-level timings. The format
+//! follows HAR 1.2's structure closely enough for familiarity, with
+//! simulation-specific fields under `_eyeorg` keys (the HAR spec's
+//! extension convention).
+
+use serde::Serialize;
+
+use eyeorg_workload::Website;
+
+use crate::trace::LoadTrace;
+
+/// Top-level HAR document.
+#[derive(Debug, Serialize)]
+pub struct Har {
+    /// The single log object, as in HAR 1.2.
+    pub log: HarLog,
+}
+
+/// HAR `log` object.
+#[derive(Debug, Serialize)]
+pub struct HarLog {
+    /// Format version.
+    pub version: &'static str,
+    /// Creator tool metadata.
+    pub creator: HarCreator,
+    /// One page per capture.
+    pub pages: Vec<HarPage>,
+    /// One entry per fetched resource.
+    pub entries: Vec<HarEntry>,
+}
+
+/// HAR creator block.
+#[derive(Debug, Serialize)]
+pub struct HarCreator {
+    /// Tool name.
+    pub name: &'static str,
+    /// Tool version.
+    pub version: &'static str,
+}
+
+/// HAR page with its timing milestones (milliseconds from navigation).
+#[derive(Debug, Serialize)]
+pub struct HarPage {
+    /// Page id referenced by entries.
+    pub id: String,
+    /// Site title (the workload name).
+    pub title: String,
+    /// Page-level timings.
+    #[serde(rename = "pageTimings")]
+    pub page_timings: HarPageTimings,
+}
+
+/// HAR pageTimings block.
+#[derive(Debug, Serialize)]
+pub struct HarPageTimings {
+    /// `onContentLoad` analogue: HTML parse completion, ms.
+    #[serde(rename = "onContentLoad")]
+    pub on_content_load: Option<f64>,
+    /// onload, ms.
+    #[serde(rename = "onLoad")]
+    pub on_load: Option<f64>,
+    /// Simulation extras: last network/CPU activity, ms.
+    #[serde(rename = "_eyeorg_quiescent")]
+    pub quiescent: Option<f64>,
+}
+
+/// One request/response exchange.
+#[derive(Debug, Serialize)]
+pub struct HarEntry {
+    /// Page this entry belongs to.
+    pub pageref: String,
+    /// Start of the exchange (submission), ms from navigation.
+    #[serde(rename = "startedDateTime")]
+    pub started_ms: f64,
+    /// Total wall time of the exchange, ms.
+    pub time: f64,
+    /// Request summary.
+    pub request: HarRequest,
+    /// Response summary.
+    pub response: HarResponse,
+    /// Phase timing breakdown.
+    pub timings: HarTimings,
+    /// Resource kind (extension field).
+    #[serde(rename = "_eyeorg_kind")]
+    pub kind: String,
+}
+
+/// HAR request summary.
+#[derive(Debug, Serialize)]
+pub struct HarRequest {
+    /// Method (always GET in the studied workloads).
+    pub method: &'static str,
+    /// Synthetic URL.
+    pub url: String,
+    /// Header bytes on the wire.
+    #[serde(rename = "headersSize")]
+    pub headers_size: i64,
+}
+
+/// HAR response summary.
+#[derive(Debug, Serialize)]
+pub struct HarResponse {
+    /// Status (200 for everything the simulation serves).
+    pub status: u16,
+    /// Header bytes.
+    #[serde(rename = "headersSize")]
+    pub headers_size: i64,
+    /// Body bytes.
+    #[serde(rename = "bodySize")]
+    pub body_size: i64,
+}
+
+/// HAR timings block (ms; -1 = not applicable, per spec).
+#[derive(Debug, Serialize)]
+pub struct HarTimings {
+    /// Queueing between discovery and submission (includes filter match
+    /// and DNS in this model).
+    pub blocked: f64,
+    /// Submission → headers complete.
+    pub wait: f64,
+    /// Headers → body complete.
+    pub receive: f64,
+}
+
+/// Build the HAR view of a trace. The `site` supplies URLs, sizes and
+/// kinds (the trace stores only timing).
+pub fn to_har(trace: &LoadTrace, site: &Website) -> Har {
+    let page_id = format!("page_{}", trace.site);
+    let ms = |t: eyeorg_net::SimTime| t.as_millis_f64();
+    let entries = trace
+        .resources
+        .iter()
+        .filter(|r| r.submitted.is_some())
+        .map(|r| {
+            let res = &site.resources[r.id.0 as usize];
+            let origin = &site.origins[res.origin.0 as usize];
+            let submitted = r.submitted.expect("filtered on submitted");
+            let headers = r.headers;
+            let completed = r.completed;
+            HarEntry {
+                pageref: page_id.clone(),
+                started_ms: ms(submitted),
+                time: completed.map(|c| ms(c) - ms(submitted)).unwrap_or(-1.0),
+                request: HarRequest {
+                    method: "GET",
+                    url: format!("https://{}/r/{}", origin.host, r.id.0),
+                    headers_size: res.request_header_bytes as i64,
+                },
+                response: HarResponse {
+                    status: 200,
+                    headers_size: res.response_header_bytes as i64,
+                    body_size: res.body_bytes as i64,
+                },
+                timings: HarTimings {
+                    blocked: r
+                        .discovered
+                        .map(|d| ms(submitted) - ms(d))
+                        .unwrap_or(-1.0),
+                    wait: headers.map(|h| ms(h) - ms(submitted)).unwrap_or(-1.0),
+                    receive: match (headers, completed) {
+                        (Some(h), Some(c)) => ms(c) - ms(h),
+                        _ => -1.0,
+                    },
+                },
+                kind: format!("{:?}", res.kind),
+            }
+        })
+        .collect();
+    Har {
+        log: HarLog {
+            version: "1.2",
+            creator: HarCreator { name: "webpeg-sim", version: env!("CARGO_PKG_VERSION") },
+            pages: vec![HarPage {
+                id: page_id,
+                title: trace.site.clone(),
+                page_timings: HarPageTimings {
+                    on_content_load: trace.parse_complete.map(ms),
+                    on_load: trace.onload.map(ms),
+                    quiescent: trace.quiescent.map(ms),
+                },
+            }],
+            entries,
+        },
+    }
+}
+
+/// Serialise the HAR as pretty JSON.
+pub fn to_har_json(trace: &LoadTrace, site: &Website) -> String {
+    serde_json::to_string_pretty(&to_har(trace, site)).expect("HAR serialisation cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BrowserConfig;
+    use crate::loader::load_page;
+    use eyeorg_stats::Seed;
+    use eyeorg_workload::{generate_site, SiteClass};
+
+    #[test]
+    fn har_has_entry_per_fetched_resource() {
+        let site = generate_site(Seed(1), 0, SiteClass::Blog);
+        let trace = load_page(&site, &BrowserConfig::new(), Seed(1));
+        let har = to_har(&trace, &site);
+        let fetched = trace.resources.iter().filter(|r| r.submitted.is_some()).count();
+        assert_eq!(har.log.entries.len(), fetched);
+        assert_eq!(har.log.pages.len(), 1);
+        assert!(har.log.pages[0].page_timings.on_load.is_some());
+    }
+
+    #[test]
+    fn har_json_parses_back() {
+        let site = generate_site(Seed(2), 1, SiteClass::Landing);
+        let trace = load_page(&site, &BrowserConfig::new(), Seed(2));
+        let json = to_har_json(&trace, &site);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["log"]["version"], "1.2");
+        assert!(v["log"]["entries"].as_array().unwrap().len() > 3);
+    }
+
+    #[test]
+    fn har_timings_non_negative_for_completed_entries() {
+        let site = generate_site(Seed(3), 2, SiteClass::News);
+        let trace = load_page(&site, &BrowserConfig::new(), Seed(3));
+        let har = to_har(&trace, &site);
+        for e in &har.log.entries {
+            if e.time >= 0.0 {
+                assert!(e.timings.blocked >= 0.0);
+                assert!(e.timings.wait >= 0.0);
+                assert!(e.timings.receive >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Paint events: what changes on screen, when.
+//!
+//! The render side of the browser model emits a [`PaintEvent`] every time
+//! a region of the page reaches its final appearance. Downstream, these
+//! events are everything: webpeg's video frames are rendered from them,
+//! SpeedIndex and First/LastVisualChange are computed from them, and the
+//! crowd's perception model reads "what has appeared by time t" off them.
+
+use eyeorg_net::SimTime;
+use eyeorg_workload::{Rect, ResourceId};
+use serde::{Deserialize, Serialize};
+
+/// What kind of content a paint event draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PaintKind {
+    /// Progressive document text/background (a horizontal band of the
+    /// page becoming laid-out text).
+    DocumentBand,
+    /// A loaded image reaching the screen.
+    Image,
+    /// An advertisement rendering.
+    Ad,
+    /// A social widget rendering.
+    Widget,
+}
+
+impl PaintKind {
+    /// Whether this paint draws *primary* content (what §6's participants
+    /// describe waiting for) as opposed to auxiliary content.
+    pub fn is_primary(self) -> bool {
+        matches!(self, PaintKind::DocumentBand | PaintKind::Image)
+    }
+}
+
+/// One region of the page changing appearance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaintEvent {
+    /// When the pixels changed.
+    pub time: SimTime,
+    /// The resource whose content painted (the document for text bands).
+    pub resource: ResourceId,
+    /// The painted region in page coordinates.
+    pub rect: Rect,
+    /// Content class.
+    pub kind: PaintKind,
+    /// Content generation: 0 for the initial paint; ads increment it on
+    /// each creative rotation. Rotating ads are why "the last pixels stop
+    /// changing" long after pages feel ready (the paper's
+    /// LastVisualChange pathology).
+    pub generation: u8,
+}
+
+/// Round `t` up to the next multiple of `vsync` (paints land on display
+/// refreshes). `t` exactly on a boundary stays put.
+pub fn align_to_vsync(t: SimTime, vsync: eyeorg_net::SimDuration) -> SimTime {
+    let v = vsync.as_micros().max(1);
+    let us = t.as_micros();
+    SimTime::from_micros(us.div_ceil(v) * v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eyeorg_net::SimDuration;
+
+    #[test]
+    fn vsync_alignment() {
+        let v = SimDuration::from_micros(16_667);
+        assert_eq!(align_to_vsync(SimTime::ZERO, v), SimTime::ZERO);
+        assert_eq!(align_to_vsync(SimTime::from_micros(1), v).as_micros(), 16_667);
+        assert_eq!(align_to_vsync(SimTime::from_micros(16_667), v).as_micros(), 16_667);
+        assert_eq!(align_to_vsync(SimTime::from_micros(16_668), v).as_micros(), 33_334);
+    }
+
+    #[test]
+    fn primary_classification() {
+        assert!(PaintKind::DocumentBand.is_primary());
+        assert!(PaintKind::Image.is_primary());
+        assert!(!PaintKind::Ad.is_primary());
+        assert!(!PaintKind::Widget.is_primary());
+    }
+}

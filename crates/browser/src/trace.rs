@@ -1,0 +1,245 @@
+//! Load traces: everything one page load produced.
+//!
+//! webpeg keeps, for every capture, the HAR (per-object network timings)
+//! plus the video. [`LoadTrace`] is the in-memory superset: per-resource
+//! lifecycle timestamps, the paint-event stream, and the page-level
+//! milestones (`onload`, parse completion, full quiescence). The video
+//! crate renders frames from it; the metrics crate computes PLT metrics
+//! from it; `har` serialises the HAR view of it.
+
+use eyeorg_net::SimTime;
+use eyeorg_workload::ResourceId;
+use serde::{Deserialize, Serialize};
+
+use crate::paint::PaintEvent;
+
+/// Why a resource produced no network traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SkipReason {
+    /// The installed ad blocker's filter list matched it.
+    BlockedByExtension,
+    /// Its injecting parent was itself blocked or never executed, so the
+    /// browser never learned the resource existed.
+    ParentBlocked,
+}
+
+/// Lifecycle of one resource within a load.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceTrace {
+    /// The resource.
+    pub id: ResourceId,
+    /// When the browser learned the resource exists (parser/preload
+    /// scanner reached its reference, or its injecting script ran).
+    pub discovered: Option<SimTime>,
+    /// When the request was handed to the network stack (after any
+    /// filter-list matching and DNS resolution).
+    pub submitted: Option<SimTime>,
+    /// When response headers finished arriving.
+    pub headers: Option<SimTime>,
+    /// When the response completed.
+    pub completed: Option<SimTime>,
+    /// When the resource's effects applied (script executed / image
+    /// decoded & painted).
+    pub applied: Option<SimTime>,
+    /// Set when the resource was never fetched.
+    pub skipped: Option<SkipReason>,
+}
+
+impl ResourceTrace {
+    /// A trace for a resource the browser has not seen yet.
+    pub fn empty(id: ResourceId) -> ResourceTrace {
+        ResourceTrace {
+            id,
+            discovered: None,
+            submitted: None,
+            headers: None,
+            completed: None,
+            applied: None,
+            skipped: None,
+        }
+    }
+
+    /// Whether the resource was fetched to completion.
+    pub fn fetched(&self) -> bool {
+        self.completed.is_some()
+    }
+}
+
+/// The complete record of one page load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadTrace {
+    /// Site name (from the workload).
+    pub site: String,
+    /// Protocol label for reports ("h1"/"h2"/"mixed").
+    pub protocol: String,
+    /// Network profile name.
+    pub network: String,
+    /// Ad blocker in effect, if any.
+    pub adblocker: Option<String>,
+    /// Per-resource lifecycles, indexed by `ResourceId`.
+    pub resources: Vec<ResourceTrace>,
+    /// Paint stream in time order.
+    pub paints: Vec<PaintEvent>,
+    /// When HTML parsing finished.
+    pub parse_complete: Option<SimTime>,
+    /// The `onload` event: parsing done and every resource that had
+    /// started loading has finished.
+    pub onload: Option<SimTime>,
+    /// When the last network/CPU activity ended (late-injected ads
+    /// included) — the capture window's natural end.
+    pub quiescent: Option<SimTime>,
+    /// Above-the-fold paintable area of the page, px² (denominator for
+    /// visual-completeness computations downstream).
+    pub above_fold_area: u64,
+    /// Fold line of the capture viewport.
+    pub fold_y: u32,
+    /// Canvas width of the capture viewport.
+    pub canvas_width: u32,
+    /// Full page height.
+    pub page_height: u32,
+}
+
+impl LoadTrace {
+    /// Time of the first pixels changing, if anything painted.
+    pub fn first_visual_change(&self) -> Option<SimTime> {
+        self.paints.first().map(|p| p.time)
+    }
+
+    /// Time of the last pixels changing.
+    pub fn last_visual_change(&self) -> Option<SimTime> {
+        self.paints.last().map(|p| p.time)
+    }
+
+    /// Paints at or before `t`.
+    pub fn paints_until(&self, t: SimTime) -> &[PaintEvent] {
+        let idx = self.paints.partition_point(|p| p.time <= t);
+        &self.paints[..idx]
+    }
+
+    /// Resources that completed after `onload` fired (the "scripts keep
+    /// loading objects after OnLoad" case from the paper's introduction).
+    pub fn post_onload_completions(&self) -> Vec<ResourceId> {
+        let Some(onload) = self.onload else { return Vec::new() };
+        self.resources
+            .iter()
+            .filter(|r| r.completed.is_some_and(|c| c > onload))
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// Total bytes... is intentionally *not* here: byte accounting lives
+    /// in the HAR view, keeping this struct about time and pixels.
+    ///
+    /// Internal consistency checks used by tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for w in self.paints.windows(2) {
+            if w[1].time < w[0].time {
+                return Err("paints out of order".into());
+            }
+        }
+        for r in &self.resources {
+            if let (Some(d), Some(s)) = (r.discovered, r.submitted) {
+                if s < d {
+                    return Err(format!("{:?} submitted before discovered", r.id));
+                }
+            }
+            if let (Some(s), Some(h)) = (r.submitted, r.headers) {
+                if h < s {
+                    return Err(format!("{:?} headers before submission", r.id));
+                }
+            }
+            if let (Some(h), Some(c)) = (r.headers, r.completed) {
+                if c < h {
+                    return Err(format!("{:?} completed before headers", r.id));
+                }
+            }
+            if r.skipped.is_some() && r.submitted.is_some() {
+                return Err(format!("{:?} both skipped and submitted", r.id));
+            }
+        }
+        if let (Some(p), Some(o)) = (self.parse_complete, self.onload) {
+            if o < p {
+                return Err("onload before parse completion".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paint::PaintKind;
+    use eyeorg_workload::Rect;
+
+    fn paint(t_ms: u64) -> PaintEvent {
+        PaintEvent {
+            time: SimTime::from_millis(t_ms),
+            resource: ResourceId(0),
+            rect: Rect { x: 0, y: 0, w: 10, h: 10 },
+            kind: PaintKind::DocumentBand,
+            generation: 0,
+        }
+    }
+
+    fn base_trace() -> LoadTrace {
+        LoadTrace {
+            site: "s".into(),
+            protocol: "h2".into(),
+            network: "Cable".into(),
+            adblocker: None,
+            resources: vec![ResourceTrace::empty(ResourceId(0))],
+            paints: vec![paint(100), paint(200), paint(500)],
+            parse_complete: Some(SimTime::from_millis(300)),
+            onload: Some(SimTime::from_millis(400)),
+            quiescent: Some(SimTime::from_millis(500)),
+            above_fold_area: 100,
+            fold_y: 720,
+            canvas_width: 1280,
+            page_height: 2000,
+        }
+    }
+
+    #[test]
+    fn visual_change_bounds() {
+        let t = base_trace();
+        assert_eq!(t.first_visual_change(), Some(SimTime::from_millis(100)));
+        assert_eq!(t.last_visual_change(), Some(SimTime::from_millis(500)));
+        assert_eq!(t.paints_until(SimTime::from_millis(250)).len(), 2);
+        assert_eq!(t.paints_until(SimTime::from_millis(99)).len(), 0);
+    }
+
+    #[test]
+    fn post_onload_completions_found() {
+        let mut t = base_trace();
+        t.resources[0].completed = Some(SimTime::from_millis(450));
+        assert_eq!(t.post_onload_completions(), vec![ResourceId(0)]);
+        t.resources[0].completed = Some(SimTime::from_millis(350));
+        assert!(t.post_onload_completions().is_empty());
+    }
+
+    #[test]
+    fn invariants_detect_violations() {
+        let mut t = base_trace();
+        assert!(t.check_invariants().is_ok());
+        t.paints.swap(0, 2);
+        assert!(t.check_invariants().is_err());
+
+        let mut t2 = base_trace();
+        t2.resources[0].discovered = Some(SimTime::from_millis(100));
+        t2.resources[0].submitted = Some(SimTime::from_millis(50));
+        assert!(t2.check_invariants().is_err());
+
+        let mut t3 = base_trace();
+        t3.onload = Some(SimTime::from_millis(100)); // before parse_complete
+        assert!(t3.check_invariants().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = base_trace();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: LoadTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

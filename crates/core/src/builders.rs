@@ -1,0 +1,161 @@
+//! Stimulus builders: from a site corpus to campaign-ready videos.
+//!
+//! These wire the full webpeg pipeline (§3.1–3.2) for the paper's three
+//! campaign types:
+//!
+//! * [`timeline_stimuli`] — capture each site once (5 loads, keep the
+//!   median-onload video) under a single configuration;
+//! * [`protocol_ab_stimuli`] — capture each site under HTTP/1.1 (A) and
+//!   HTTP/2 (B);
+//! * [`adblock_ab_stimuli`] — capture each site with ads (A) and with a
+//!   given ad blocker installed (B); the protocol is *not* forced
+//!   ("Chrome will default to HTTP/2 if the target website supports it").
+
+use eyeorg_browser::{AdBlocker, BrowserConfig};
+use eyeorg_http::Protocol;
+use eyeorg_stats::Seed;
+use eyeorg_video::{capture_median, CaptureConfig};
+use eyeorg_workload::Website;
+
+use crate::experiment::{AbStimulus, TimelineStimulus};
+
+/// Capture every site once under `browser` (median of the configured
+/// repeats), producing timeline stimuli.
+pub fn timeline_stimuli(
+    sites: &[Website],
+    browser: &BrowserConfig,
+    capture: &CaptureConfig,
+    seed: Seed,
+) -> Vec<TimelineStimulus> {
+    sites
+        .iter()
+        .enumerate()
+        .map(|(i, site)| TimelineStimulus {
+            name: site.name.clone(),
+            video: capture_median(site, browser, seed.derive_index("tl-cap", i as u64), capture),
+        })
+        .collect()
+}
+
+/// Capture every site under HTTP/1.1 (A) and HTTP/2 (B) for the
+/// protocol-comparison campaign. Both sides share the same per-site seed
+/// stream family, but every load draws independently — exactly like
+/// capturing twice on a live network.
+pub fn protocol_ab_stimuli(
+    sites: &[Website],
+    base: &BrowserConfig,
+    capture: &CaptureConfig,
+    seed: Seed,
+) -> Vec<AbStimulus> {
+    sites
+        .iter()
+        .enumerate()
+        .map(|(i, site)| {
+            let h1 = base.clone().with_protocol(Protocol::Http1);
+            let h2 = base.clone().with_protocol(Protocol::Http2);
+            AbStimulus {
+                name: site.name.clone(),
+                a: capture_median(site, &h1, seed.derive_index("h1-cap", i as u64), capture),
+                b: capture_median(site, &h2, seed.derive_index("h2-cap", i as u64), capture),
+            }
+        })
+        .collect()
+}
+
+/// Capture every site with ads (A) and under `blocker` (B) for the
+/// ad-blocker campaign.
+pub fn adblock_ab_stimuli(
+    sites: &[Website],
+    base: &BrowserConfig,
+    blocker: AdBlocker,
+    capture: &CaptureConfig,
+    seed: Seed,
+) -> Vec<AbStimulus> {
+    sites
+        .iter()
+        .enumerate()
+        .map(|(i, site)| {
+            let with_blocker = base.clone().with_adblocker(blocker);
+            AbStimulus {
+                name: site.name.clone(),
+                a: capture_median(site, base, seed.derive_index("ads-cap", i as u64), capture),
+                b: capture_median(
+                    site,
+                    &with_blocker,
+                    seed.derive_index("blk-cap", i as u64),
+                    capture,
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Capture every site under plain HTTP/2 (A) and HTTP/2 with server push
+/// of render-blocking stylesheets (B): the §6 "push/priority strategies"
+/// experiment the paper names as future work.
+pub fn push_ab_stimuli(
+    sites: &[Website],
+    base: &BrowserConfig,
+    capture: &CaptureConfig,
+    seed: Seed,
+) -> Vec<AbStimulus> {
+    sites
+        .iter()
+        .enumerate()
+        .map(|(i, site)| {
+            let pushed = base.clone().with_server_push();
+            AbStimulus {
+                name: site.name.clone(),
+                a: capture_median(site, base, seed.derive_index("plain-cap", i as u64), capture),
+                b: capture_median(site, &pushed, seed.derive_index("push-cap", i as u64), capture),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eyeorg_workload::{ad_heavy, alexa_like};
+
+    fn quick_capture() -> CaptureConfig {
+        CaptureConfig { repeats: 2, ..CaptureConfig::default() }
+    }
+
+    #[test]
+    fn timeline_builder_produces_one_stimulus_per_site() {
+        let sites = alexa_like(Seed(1), 3);
+        let st = timeline_stimuli(&sites, &BrowserConfig::new(), &quick_capture(), Seed(2));
+        assert_eq!(st.len(), 3);
+        for (s, site) in st.iter().zip(&sites) {
+            assert_eq!(s.name, site.name);
+            assert!(s.video.trace().onload.is_some());
+        }
+    }
+
+    #[test]
+    fn protocol_builder_sides_use_their_protocols() {
+        let sites = alexa_like(Seed(3), 2);
+        let st = protocol_ab_stimuli(&sites, &BrowserConfig::new(), &quick_capture(), Seed(4));
+        for s in &st {
+            assert_eq!(s.a.trace().protocol, "h1");
+            assert_eq!(s.b.trace().protocol, "h2");
+        }
+    }
+
+    #[test]
+    fn adblock_builder_marks_blocker_side() {
+        let sites = ad_heavy(Seed(5), 2, 1);
+        let st = adblock_ab_stimuli(
+            &sites,
+            &BrowserConfig::new(),
+            AdBlocker::Ghostery,
+            &quick_capture(),
+            Seed(6),
+        );
+        for s in &st {
+            assert_eq!(s.a.trace().adblocker, None);
+            assert_eq!(s.b.trace().adblocker.as_deref(), Some("ghostery"));
+        }
+    }
+}

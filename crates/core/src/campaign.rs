@@ -1,0 +1,251 @@
+//! Campaign execution: recruit, serve, collect.
+//!
+//! A *campaign* is one recruitment drive against one experiment: the
+//! validation campaigns pair 100 paid + 100 trusted participants with 20
+//! videos; the final campaigns serve 100 videos to 1,000 paid
+//! participants each (Table 1). This module runs a campaign end to end —
+//! recruitment, stimulus assignment, per-video behaviour instrumentation,
+//! response generation, and control questions — producing the raw data
+//! the validation (§4) and analysis (§5) layers consume.
+
+use eyeorg_crowd::{
+    ab_control, behavior, timeline_control_passes, timeline_response_cached, AbAnswer,
+    Participant, Recruitment, RecruitmentService, TestKind, TimelineResponse, VideoSession,
+};
+use eyeorg_net::SimTime;
+use eyeorg_stats::Seed;
+use eyeorg_video::{FrameTimeline, Video};
+
+use crate::experiment::{a_on_left, assign, AbStimulus, ExperimentConfig, TimelineStimulus};
+
+/// One timeline showing: participant × video with the full
+/// instrumentation.
+#[derive(Debug, Clone)]
+pub struct TimelineRow {
+    /// Index into the campaign's participant list.
+    pub participant: usize,
+    /// Index into the stimulus list.
+    pub stimulus: usize,
+    /// Behaviour instrumentation for this showing.
+    pub session: VideoSession,
+    /// The response; `None` when the participant skipped the video.
+    pub response: Option<TimelineResponse>,
+}
+
+/// Answer in stimulus space (independent of left/right presentation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbVerdict {
+    /// Baseline (A) felt faster.
+    AFaster,
+    /// Treatment (B) felt faster.
+    BFaster,
+    /// No perceivable difference.
+    NoDifference,
+}
+
+/// One A/B showing.
+#[derive(Debug, Clone)]
+pub struct AbRow {
+    /// Index into the campaign's participant list.
+    pub participant: usize,
+    /// Index into the stimulus list.
+    pub stimulus: usize,
+    /// Whether A was shown on the left for this participant.
+    pub a_left: bool,
+    /// Behaviour instrumentation.
+    pub session: VideoSession,
+    /// The verdict; `None` when skipped.
+    pub verdict: Option<AbVerdict>,
+}
+
+/// A control-question outcome for one participant.
+#[derive(Debug, Clone, Copy)]
+pub struct ControlRow {
+    /// Index into the participant list.
+    pub participant: usize,
+    /// Whether they answered the control correctly.
+    pub passed: bool,
+}
+
+/// Raw data of a timeline campaign.
+#[derive(Debug, Clone)]
+pub struct TimelineCampaign {
+    /// Stimulus names, aligned with row indices.
+    pub stimuli_names: Vec<String>,
+    /// Stimulus durations and onloads are still available through the
+    /// retained videos.
+    pub videos: Vec<Video>,
+    /// Recruited participants (arrival order).
+    pub participants: Vec<Participant>,
+    /// Recruitment economics.
+    pub recruitment_cost_usd: f64,
+    /// Wall time to hit the recruitment target.
+    pub recruitment_duration_secs: f64,
+    /// All showings.
+    pub rows: Vec<TimelineRow>,
+    /// Per-participant control outcomes.
+    pub controls: Vec<ControlRow>,
+}
+
+/// Raw data of an A/B campaign.
+#[derive(Debug, Clone)]
+pub struct AbCampaign {
+    /// Stimulus names.
+    pub stimuli_names: Vec<String>,
+    /// The A-side videos (kept for Δ analysis).
+    pub a_videos: Vec<Video>,
+    /// The B-side videos.
+    pub b_videos: Vec<Video>,
+    /// Participants.
+    pub participants: Vec<Participant>,
+    /// Recruitment economics.
+    pub recruitment_cost_usd: f64,
+    /// Wall time to hit the recruitment target.
+    pub recruitment_duration_secs: f64,
+    /// All showings.
+    pub rows: Vec<AbRow>,
+    /// Per-participant control outcomes.
+    pub controls: Vec<ControlRow>,
+}
+
+/// Run a timeline campaign: `n` participants from `service` against the
+/// given stimuli.
+pub fn run_timeline_campaign(
+    stimuli: Vec<TimelineStimulus>,
+    service: &dyn RecruitmentService,
+    n_participants: usize,
+    cfg: &ExperimentConfig,
+    seed: Seed,
+) -> TimelineCampaign {
+    assert!(!stimuli.is_empty(), "campaign needs stimuli");
+    let recruitment: Recruitment = service.recruit(seed.derive("recruit"), n_participants);
+    // Hard rules first: the humanness gate turns scripts away before any
+    // response is collected (§3.3).
+    let gate = crate::validation::captcha_gate(recruitment.participants);
+    let mut frames: Vec<FrameTimeline> =
+        stimuli.iter().map(|s| FrameTimeline::of(&s.video)).collect();
+
+    let mut rows = Vec::new();
+    let mut controls = Vec::new();
+    for (pi, participant) in gate.admitted.iter().enumerate() {
+        let picks = assign(
+            seed.derive("timeline"),
+            pi as u64,
+            stimuli.len(),
+            cfg.videos_per_participant,
+        );
+        for &si in &picks {
+            let label = format!("tl-{si}");
+            let video = &stimuli[si].video;
+            let session = behavior::video_session(video, participant, TestKind::Timeline, &label);
+            let response = if session.skipped {
+                None
+            } else {
+                Some(timeline_response_cached(video, &mut frames[si], participant, &label))
+            };
+            rows.push(TimelineRow { participant: pi, stimulus: si, session, response });
+        }
+        if cfg.with_controls {
+            // The control reuses one of the participant's videos with a
+            // nearly-blank rewind suggestion (Fig. 3b).
+            let ctrl_video = picks[0];
+            let passed = timeline_control_passes(participant, &format!("tl-{ctrl_video}"));
+            controls.push(ControlRow { participant: pi, passed });
+        }
+    }
+    TimelineCampaign {
+        stimuli_names: stimuli.iter().map(|s| s.name.clone()).collect(),
+        videos: stimuli.into_iter().map(|s| s.video).collect(),
+        participants: gate.admitted,
+        recruitment_cost_usd: recruitment.cost_usd,
+        recruitment_duration_secs: recruitment
+            .arrivals
+            .last()
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0),
+        rows,
+        controls,
+    }
+}
+
+/// Run an A/B campaign.
+pub fn run_ab_campaign(
+    stimuli: Vec<AbStimulus>,
+    service: &dyn RecruitmentService,
+    n_participants: usize,
+    cfg: &ExperimentConfig,
+    seed: Seed,
+) -> AbCampaign {
+    assert!(!stimuli.is_empty(), "campaign needs stimuli");
+    let recruitment: Recruitment = service.recruit(seed.derive("recruit"), n_participants);
+    let gate = crate::validation::captcha_gate(recruitment.participants);
+
+    let mut rows = Vec::new();
+    let mut controls = Vec::new();
+    for (pi, participant) in gate.admitted.iter().enumerate() {
+        let picks =
+            assign(seed.derive("ab"), pi as u64, stimuli.len(), cfg.videos_per_participant);
+        for &si in &picks {
+            let label = format!("ab-{si}");
+            let a_left = a_on_left(seed.derive("ab"), pi as u64, si);
+            let s = &stimuli[si];
+            // The spliced video the participant downloads covers both
+            // sides; behaviour is driven by the longer capture.
+            let longer =
+                if s.a.duration() >= s.b.duration() { &s.a } else { &s.b };
+            let session = behavior::video_session(longer, participant, TestKind::Ab, &label);
+            let verdict = if session.skipped {
+                None
+            } else {
+                let (left, right) =
+                    if a_left { (&s.a, &s.b) } else { (&s.b, &s.a) };
+                let answer = eyeorg_crowd::ab_response(left, right, participant, &label);
+                Some(match (answer, a_left) {
+                    (AbAnswer::NoDifference, _) => AbVerdict::NoDifference,
+                    (AbAnswer::Left, true) | (AbAnswer::Right, false) => AbVerdict::AFaster,
+                    (AbAnswer::Left, false) | (AbAnswer::Right, true) => AbVerdict::BFaster,
+                })
+            };
+            rows.push(AbRow { participant: pi, stimulus: si, a_left, session, verdict });
+        }
+        if cfg.with_controls {
+            let ctrl = picks[0];
+            let (_, passed) = ab_control(&stimuli[ctrl].a, participant, &format!("ab-{ctrl}"));
+            controls.push(ControlRow { participant: pi, passed });
+        }
+    }
+    AbCampaign {
+        stimuli_names: stimuli.iter().map(|s| s.name.clone()).collect(),
+        a_videos: stimuli.iter().map(|s| s.a.clone()).collect(),
+        b_videos: stimuli.into_iter().map(|s| s.b).collect(),
+        participants: gate.admitted,
+        recruitment_cost_usd: recruitment.cost_usd,
+        recruitment_duration_secs: recruitment
+            .arrivals
+            .last()
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0),
+        rows,
+        controls,
+    }
+}
+
+/// Sessions of one participant within a campaign, in presentation order.
+pub fn sessions_of(rows: &[TimelineRow], participant: usize) -> Vec<VideoSession> {
+    rows.iter().filter(|r| r.participant == participant).map(|r| r.session).collect()
+}
+
+/// Same for A/B rows.
+pub fn ab_sessions_of(rows: &[AbRow], participant: usize) -> Vec<VideoSession> {
+    rows.iter().filter(|r| r.participant == participant).map(|r| r.session).collect()
+}
+
+/// Convenience: when a timeline row carries a response, its submitted
+/// `UserPerceivedPLT` in seconds.
+pub fn submitted_uplt(row: &TimelineRow) -> Option<f64> {
+    row.response.map(|r| r.submitted.as_secs_f64())
+}
+
+/// A stable wall-clock anchor for a campaign (campaigns start at t = 0 of
+/// their own clock; arrival offsets come from the recruitment model).
+pub const CAMPAIGN_START: SimTime = SimTime::ZERO;

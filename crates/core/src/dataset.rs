@@ -1,0 +1,241 @@
+//! Reading the released dataset back.
+//!
+//! The paper publishes its crowdsourced responses at eyeorg.net so that
+//! "the community at large can leverage" the data. This module is the
+//! consumer side of our release format (`crate::report`): parse a dataset
+//! document and recompute the standard aggregates without access to the
+//! original campaign objects — exactly what a downstream researcher does.
+
+use std::collections::BTreeMap;
+
+use eyeorg_stats::{percentile_band, Summary};
+
+use crate::report::{AbExport, TimelineExport};
+
+/// Errors raised while reading a dataset document.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// The document was not valid JSON for the expected schema.
+    Parse(serde_json::Error),
+    /// Structurally valid but semantically inconsistent (e.g. more kept
+    /// rows than participants).
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::Parse(e) => write!(f, "dataset parse error: {e}"),
+            DatasetError::Inconsistent(m) => write!(f, "inconsistent dataset: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// Parse a timeline dataset document from JSON.
+pub fn read_timeline(json: &str) -> Result<TimelineExport, DatasetError> {
+    let export: TimelineExport = serde_json::from_str(json).map_err(DatasetError::Parse)?;
+    validate_timeline(&export)?;
+    Ok(export)
+}
+
+/// Parse an A/B dataset document from JSON.
+pub fn read_ab(json: &str) -> Result<AbExport, DatasetError> {
+    let export: AbExport = serde_json::from_str(json).map_err(DatasetError::Parse)?;
+    for row in &export.rows {
+        if row.participant >= export.meta.participants {
+            return Err(DatasetError::Inconsistent(format!(
+                "row references participant {} of {}",
+                row.participant, export.meta.participants
+            )));
+        }
+        if let Some(v) = &row.verdict {
+            if !matches!(v.as_str(), "a" | "b" | "nd") {
+                return Err(DatasetError::Inconsistent(format!("unknown verdict {v:?}")));
+            }
+        }
+    }
+    Ok(export)
+}
+
+fn validate_timeline(export: &TimelineExport) -> Result<(), DatasetError> {
+    for row in &export.rows {
+        if row.participant >= export.meta.participants {
+            return Err(DatasetError::Inconsistent(format!(
+                "row references participant {} of {}",
+                row.participant, export.meta.participants
+            )));
+        }
+        if let Some(u) = row.uplt_secs {
+            if !u.is_finite() || u < 0.0 {
+                return Err(DatasetError::Inconsistent(format!("bad UPLT {u}")));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Per-video crowd UPLT recomputed from a dataset document alone (kept
+/// responses, 25–75 band) — what a consumer of the release reproduces
+/// first.
+pub fn crowd_uplt_from_dataset(export: &TimelineExport) -> BTreeMap<String, f64> {
+    let mut per_video: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for row in &export.rows {
+        if !row.kept {
+            continue;
+        }
+        if let Some(u) = row.uplt_secs {
+            per_video.entry(row.video.clone()).or_default().push(u);
+        }
+    }
+    per_video
+        .into_iter()
+        .filter_map(|(video, responses)| {
+            let banded = percentile_band(&responses, 25.0, 75.0);
+            Summary::of(&banded).map(|s| (video, s.mean))
+        })
+        .collect()
+}
+
+/// Per-pair score recomputed from an A/B dataset document alone.
+pub fn scores_from_dataset(export: &AbExport) -> BTreeMap<String, f64> {
+    let mut tallies: BTreeMap<String, (u32, u32)> = BTreeMap::new();
+    for row in &export.rows {
+        if !row.kept {
+            continue;
+        }
+        match row.verdict.as_deref() {
+            Some("a") => tallies.entry(row.pair.clone()).or_default().0 += 1,
+            Some("b") => tallies.entry(row.pair.clone()).or_default().1 += 1,
+            _ => {}
+        }
+    }
+    tallies
+        .into_iter()
+        .filter_map(|(pair, (a, b))| {
+            let decided = a + b;
+            if decided == 0 {
+                None
+            } else {
+                Some((pair, f64::from(b) / f64::from(decided)))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{AbExportRow, ExportMeta, TimelineExportRow};
+
+    fn meta(n: usize) -> ExportMeta {
+        ExportMeta {
+            campaign: "t".into(),
+            participants: n,
+            cost_usd: 1.0,
+            recruitment_hours: 1.0,
+            filtered_engagement: 0,
+            filtered_soft: 0,
+            filtered_control: 0,
+        }
+    }
+
+    fn tl_row(p: usize, video: &str, uplt: f64, kept: bool) -> TimelineExportRow {
+        TimelineExportRow {
+            participant: p,
+            gender: "m".into(),
+            country: "VE".into(),
+            video: video.into(),
+            uplt_secs: Some(uplt),
+            slider_secs: Some(uplt + 0.2),
+            accepted_helper: Some(true),
+            seeks: 10,
+            out_of_focus_secs: 0.0,
+            kept,
+        }
+    }
+
+    #[test]
+    fn timeline_roundtrip_and_aggregate() {
+        let export = TimelineExport {
+            meta: meta(4),
+            rows: vec![
+                tl_row(0, "v1", 2.0, true),
+                tl_row(1, "v1", 2.4, true),
+                tl_row(2, "v1", 2.2, true),
+                tl_row(3, "v1", 50.0, false), // filtered out
+            ],
+        };
+        let json = crate::report::to_json(&export);
+        let back = read_timeline(&json).expect("parses");
+        let uplt = crowd_uplt_from_dataset(&back);
+        let v1 = uplt["v1"];
+        assert!((2.0..=2.4).contains(&v1), "kept-only, banded mean: {v1}");
+    }
+
+    #[test]
+    fn timeline_rejects_inconsistencies() {
+        let bad = TimelineExport { meta: meta(1), rows: vec![tl_row(5, "v1", 2.0, true)] };
+        let json = crate::report::to_json(&bad);
+        assert!(matches!(read_timeline(&json), Err(DatasetError::Inconsistent(_))));
+
+        let nan = TimelineExport {
+            meta: meta(1),
+            rows: vec![TimelineExportRow { uplt_secs: Some(f64::NAN), ..tl_row(0, "v", 1.0, true) }],
+        };
+        // NaN doesn't survive JSON round-tripping as a number; construct
+        // the error path directly.
+        assert!(validate_timeline(&nan).is_err());
+    }
+
+    #[test]
+    fn ab_scores_recomputed() {
+        let row = |p: usize, pair: &str, verdict: &str, kept: bool| AbExportRow {
+            participant: p,
+            gender: "f".into(),
+            country: "US".into(),
+            pair: pair.into(),
+            verdict: Some(verdict.into()),
+            a_left: true,
+            kept,
+        };
+        let export = AbExport {
+            meta: meta(4),
+            rows: vec![
+                row(0, "p1", "b", true),
+                row(1, "p1", "b", true),
+                row(2, "p1", "a", true),
+                row(3, "p1", "nd", true),
+            ],
+        };
+        let json = crate::report::to_json(&export);
+        let back = read_ab(&json).expect("parses");
+        let scores = scores_from_dataset(&back);
+        assert!((scores["p1"] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ab_rejects_unknown_verdicts() {
+        let export = AbExport {
+            meta: meta(1),
+            rows: vec![AbExportRow {
+                participant: 0,
+                gender: "m".into(),
+                country: "US".into(),
+                pair: "p".into(),
+                verdict: Some("maybe".into()),
+                a_left: false,
+                kept: true,
+            }],
+        };
+        let json = crate::report::to_json(&export);
+        assert!(matches!(read_ab(&json), Err(DatasetError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn garbage_json_is_a_parse_error() {
+        assert!(matches!(read_timeline("{not json"), Err(DatasetError::Parse(_))));
+        assert!(matches!(read_ab("[]"), Err(DatasetError::Parse(_))));
+    }
+}

@@ -1,0 +1,162 @@
+//! Experiment definitions: what participants are shown and asked.
+//!
+//! Eyeorg's two initial experiment types (§3.2):
+//!
+//! * **Timeline** — one page-load video with a scrubber; "drag the slider
+//!   to the point where you consider the site 'ready to use'".
+//! * **A/B** — two captures spliced side by side; "which loaded faster,
+//!   Left, Right, or No Difference?", with the pair order randomised per
+//!   showing.
+//!
+//! Videos are assigned so that every video collects roughly the same
+//! number of responses (600 showings over 20 validation videos ≈ 30 each;
+//! 6,000 over 100 final videos ≈ 60 each), and each participant receives
+//! one control question (§3.3).
+
+use eyeorg_video::Video;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use eyeorg_stats::Seed;
+
+/// One timeline stimulus.
+#[derive(Debug, Clone)]
+pub struct TimelineStimulus {
+    /// Site name (for reports and per-site analysis).
+    pub name: String,
+    /// The capture shown.
+    pub video: Video,
+}
+
+/// One A/B stimulus: the two captures of the same site under the two
+/// configurations being compared ("A" = baseline, "B" = treatment).
+#[derive(Debug, Clone)]
+pub struct AbStimulus {
+    /// Site name.
+    pub name: String,
+    /// Baseline capture (e.g. HTTP/1.1, or with-ads).
+    pub a: Video,
+    /// Treatment capture (e.g. HTTP/2, or ad-blocked).
+    pub b: Video,
+}
+
+/// Shared experiment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// Videos shown per participant (the paper uses 6).
+    pub videos_per_participant: usize,
+    /// Whether each participant additionally receives one control
+    /// question.
+    pub with_controls: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig { videos_per_participant: 6, with_controls: true }
+    }
+}
+
+/// Assign stimuli to a participant: a seeded draw of
+/// `videos_per_participant` distinct indices, load-balanced so every
+/// stimulus collects a near-equal number of showings across the campaign.
+///
+/// The balancing works by rotating a base window through the stimulus
+/// list per participant and then shuffling the window order (what a
+/// participant sees is random *order*, while coverage stays uniform).
+pub fn assign(
+    seed: Seed,
+    participant_idx: u64,
+    n_stimuli: usize,
+    per_participant: usize,
+) -> Vec<usize> {
+    assert!(n_stimuli > 0, "no stimuli to assign");
+    let k = per_participant.min(n_stimuli);
+    let start = (participant_idx as usize * k) % n_stimuli;
+    let mut picks: Vec<usize> = (0..k).map(|j| (start + j) % n_stimuli).collect();
+    // Shuffle the presentation order deterministically.
+    let mut rng =
+        StdRng::seed_from_u64(seed.derive_index("assign", participant_idx).value());
+    for i in (1..picks.len()).rev() {
+        let j = rng.random_range(0..=i);
+        picks.swap(i, j);
+    }
+    picks
+}
+
+/// For A/B tests: whether stimulus `pair_idx` is shown to this
+/// participant with A on the left (§3.2: "'A' is not always on the
+/// left").
+pub fn a_on_left(seed: Seed, participant_idx: u64, pair_idx: usize) -> bool {
+    let mut rng = StdRng::seed_from_u64(
+        seed.derive_index("ab-order", participant_idx)
+            .derive_index("pair", pair_idx as u64)
+            .value(),
+    );
+    rng.random_bool(0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_covers_stimuli_evenly() {
+        let n_stimuli = 20;
+        let per = 6;
+        let mut counts = vec![0u32; n_stimuli];
+        for p in 0..100 {
+            for idx in assign(Seed(1), p, n_stimuli, per) {
+                counts[idx] += 1;
+            }
+        }
+        // 600 showings over 20 videos = 30 each.
+        assert!(counts.iter().all(|&c| c == 30), "{counts:?}");
+    }
+
+    #[test]
+    fn assignment_has_no_duplicates() {
+        for p in 0..50 {
+            let a = assign(Seed(2), p, 100, 6);
+            let mut b = a.clone();
+            b.sort_unstable();
+            b.dedup();
+            assert_eq!(a.len(), 6);
+            assert_eq!(b.len(), 6, "participant {p} got duplicates");
+        }
+    }
+
+    #[test]
+    fn assignment_order_varies_but_set_is_balanced() {
+        // Two participants with the same window should usually see
+        // different orders.
+        let n = 6; // window == whole set
+        let a = assign(Seed(3), 0, n, 6);
+        let b = assign(Seed(3), 1, n, 6);
+        let mut sa = a.clone();
+        let mut sb = b.clone();
+        sa.sort_unstable();
+        sb.sort_unstable();
+        assert_eq!(sa, sb, "same set");
+        assert_ne!(a, b, "different order");
+    }
+
+    #[test]
+    fn fewer_stimuli_than_requested_caps_assignment() {
+        let a = assign(Seed(4), 0, 3, 6);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn ab_order_is_balanced() {
+        let lefts = (0..1000)
+            .filter(|&p| a_on_left(Seed(5), p, 0))
+            .count();
+        assert!((400..600).contains(&lefts), "{lefts}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(assign(Seed(6), 7, 50, 6), assign(Seed(6), 7, 50, 6));
+        assert_eq!(a_on_left(Seed(6), 7, 3), a_on_left(Seed(6), 7, 3));
+    }
+}

@@ -1,0 +1,89 @@
+//! # eyeorg-core
+//!
+//! The Eyeorg platform: crowdsourced web-QoE measurement, end to end.
+//!
+//! This crate is the reproduction's counterpart of the system in §3 of
+//! the paper — the part that *is* Eyeorg rather than its substrates. It
+//! designs experiments, runs campaigns against (simulated) crowds,
+//! validates and filters responses, and analyses the results:
+//!
+//! * [`experiment`] — timeline and A/B test definitions, balanced video
+//!   assignment, randomised A/B presentation order, control insertion.
+//! * [`builders`] — webpeg capture pipelines for the three campaign
+//!   types (PLT timeline, H1-vs-H2 A/B, ad-blocker A/B).
+//! * [`campaign`] — recruitment + serving + response collection.
+//! * [`validation`] — §3.3's hard rules: the humanness (captcha) gate.
+//! * [`filtering`] — the §4.3 validation pipeline: engagement (actions &
+//!   focus), soft rules, control questions, wisdom-of-the-crowd bands.
+//! * [`analysis`] — `UserPerceivedPLT` aggregation, A/B agreement and
+//!   scores, Δ-bucketed agreement, behaviour statistics.
+//! * [`viz`] — the Fig. 1 response-timeline explorer and ASCII CDFs.
+//! * [`report`] — Table-1 summaries and the public-dataset JSON export.
+//! * [`dataset`] — the consumer side: parse a released dataset and
+//!   recompute the aggregates without the original campaign objects.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use eyeorg_core::prelude::*;
+//! use eyeorg_stats::Seed;
+//!
+//! // 1. Pick a site sample and capture videos (webpeg).
+//! let sites = eyeorg_workload::alexa_like(Seed(7), 20);
+//! let stimuli = timeline_stimuli(
+//!     &sites,
+//!     &eyeorg_browser::BrowserConfig::new(),
+//!     &eyeorg_video::CaptureConfig::default(),
+//!     Seed(7),
+//! );
+//!
+//! // 2. Run a campaign with 100 paid participants.
+//! let campaign = run_timeline_campaign(
+//!     stimuli,
+//!     &eyeorg_crowd::CrowdFlower,
+//!     100,
+//!     &ExperimentConfig::default(),
+//!     Seed(7),
+//! );
+//!
+//! // 3. Filter and analyse.
+//! let report = filter_timeline(&campaign, &paper_pipeline());
+//! let uplt = mean_uplt(&campaign, &report, Some((25.0, 75.0)));
+//! println!("site 0 crowd UPLT: {:?}", uplt[0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod builders;
+pub mod campaign;
+pub mod dataset;
+pub mod experiment;
+pub mod filtering;
+pub mod report;
+pub mod validation;
+pub mod viz;
+
+/// Most-used items in one import.
+pub mod prelude {
+    pub use crate::analysis::{
+        ab_demographics, ab_tallies, agreement_by_delta, behavior_points, mean_uplt,
+        uplt_samples, uplt_stdev, AbTally, DemographicSensitivity,
+    };
+    pub use crate::builders::{
+        adblock_ab_stimuli, protocol_ab_stimuli, push_ab_stimuli, timeline_stimuli,
+    };
+    pub use crate::campaign::{
+        run_ab_campaign, run_timeline_campaign, AbCampaign, AbRow, AbVerdict, ControlRow,
+        TimelineCampaign, TimelineRow,
+    };
+    pub use crate::experiment::{AbStimulus, ExperimentConfig, TimelineStimulus};
+    pub use crate::filtering::{
+        filter_ab, filter_timeline, paper_pipeline, wisdom_band, FilterReport,
+        ParticipantFilter,
+    };
+    pub use crate::dataset::{crowd_uplt_from_dataset, read_ab, read_timeline, scores_from_dataset};
+    pub use crate::report::{export_ab, export_timeline, render_table1, table1_row, to_json};
+    pub use crate::validation::{captcha_gate, GateReport};
+}

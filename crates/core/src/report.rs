@@ -1,0 +1,267 @@
+//! Reporting and dataset export.
+//!
+//! The paper releases its crowdsourced dataset at eyeorg.net; this module
+//! reproduces that release format (JSON rows of anonymised responses plus
+//! campaign metadata) and the Table-1-style campaign summaries the bench
+//! harness prints.
+
+use serde::{Deserialize, Serialize};
+
+use crate::campaign::{AbCampaign, AbVerdict, TimelineCampaign};
+use crate::filtering::FilterReport;
+
+/// One exported timeline response (the public dataset row).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimelineExportRow {
+    /// Anonymous participant number within the campaign.
+    pub participant: usize,
+    /// Gender as reported ("m"/"f").
+    pub gender: String,
+    /// Country as reported.
+    pub country: String,
+    /// Site/video identifier.
+    pub video: String,
+    /// Submitted UserPerceivedPLT, seconds.
+    pub uplt_secs: Option<f64>,
+    /// Their pre-helper slider choice, seconds.
+    pub slider_secs: Option<f64>,
+    /// Whether the frame helper's suggestion was accepted.
+    pub accepted_helper: Option<bool>,
+    /// Seek actions on this video.
+    pub seeks: u32,
+    /// Out-of-focus seconds during this test.
+    pub out_of_focus_secs: f64,
+    /// Whether the participant survived the filtering pipeline.
+    pub kept: bool,
+}
+
+/// One exported A/B response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AbExportRow {
+    /// Anonymous participant number.
+    pub participant: usize,
+    /// Gender as reported ("m"/"f").
+    pub gender: String,
+    /// Country as reported.
+    pub country: String,
+    /// Site/pair identifier.
+    pub pair: String,
+    /// Verdict in stimulus space ("a", "b", "nd"); absent when skipped.
+    pub verdict: Option<String>,
+    /// Whether A was shown on the left.
+    pub a_left: bool,
+    /// Whether the participant survived filtering.
+    pub kept: bool,
+}
+
+/// Campaign metadata included with every export.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExportMeta {
+    /// Campaign label.
+    pub campaign: String,
+    /// Number of participants recruited.
+    pub participants: usize,
+    /// Recruitment cost, USD.
+    pub cost_usd: f64,
+    /// Recruitment wall time, hours.
+    pub recruitment_hours: f64,
+    /// Participants dropped by each §4.3 filter.
+    pub filtered_engagement: usize,
+    /// Soft-rule drops.
+    pub filtered_soft: usize,
+    /// Control-question drops.
+    pub filtered_control: usize,
+}
+
+/// The full dataset document for a timeline campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimelineExport {
+    /// Metadata block.
+    pub meta: ExportMeta,
+    /// One row per showing.
+    pub rows: Vec<TimelineExportRow>,
+}
+
+/// The full dataset document for an A/B campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AbExport {
+    /// Metadata block.
+    pub meta: ExportMeta,
+    /// One row per showing.
+    pub rows: Vec<AbExportRow>,
+}
+
+fn gender_str(g: eyeorg_crowd::Gender) -> &'static str {
+    match g {
+        eyeorg_crowd::Gender::Male => "m",
+        eyeorg_crowd::Gender::Female => "f",
+    }
+}
+
+/// Build the public dataset view of a timeline campaign.
+pub fn export_timeline(
+    label: &str,
+    campaign: &TimelineCampaign,
+    report: &FilterReport,
+) -> TimelineExport {
+    let rows = campaign
+        .rows
+        .iter()
+        .map(|r| {
+            let p = &campaign.participants[r.participant];
+            TimelineExportRow {
+                participant: r.participant,
+                gender: gender_str(p.gender).to_owned(),
+                country: p.country.clone(),
+                video: campaign.stimuli_names[r.stimulus].clone(),
+                uplt_secs: r.response.map(|resp| resp.submitted.as_secs_f64()),
+                slider_secs: r.response.map(|resp| resp.slider.as_secs_f64()),
+                accepted_helper: r.response.map(|resp| resp.accepted_helper),
+                seeks: r.session.seeks,
+                out_of_focus_secs: r.session.out_of_focus.as_secs_f64(),
+                kept: report.kept.contains(&r.participant),
+            }
+        })
+        .collect();
+    TimelineExport {
+        meta: ExportMeta {
+            campaign: label.to_owned(),
+            participants: campaign.participants.len(),
+            cost_usd: campaign.recruitment_cost_usd,
+            recruitment_hours: campaign.recruitment_duration_secs / 3600.0,
+            filtered_engagement: report.engagement,
+            filtered_soft: report.soft,
+            filtered_control: report.control,
+        },
+        rows,
+    }
+}
+
+/// Build the public dataset view of an A/B campaign.
+pub fn export_ab(label: &str, campaign: &AbCampaign, report: &FilterReport) -> AbExport {
+    let rows = campaign
+        .rows
+        .iter()
+        .map(|r| {
+            let p = &campaign.participants[r.participant];
+            AbExportRow {
+                participant: r.participant,
+                gender: gender_str(p.gender).to_owned(),
+                country: p.country.clone(),
+                pair: campaign.stimuli_names[r.stimulus].clone(),
+                verdict: r.verdict.map(|v| {
+                    match v {
+                        AbVerdict::AFaster => "a",
+                        AbVerdict::BFaster => "b",
+                        AbVerdict::NoDifference => "nd",
+                    }
+                    .to_owned()
+                }),
+                a_left: r.a_left,
+                kept: report.kept.contains(&r.participant),
+            }
+        })
+        .collect();
+    AbExport {
+        meta: ExportMeta {
+            campaign: label.to_owned(),
+            participants: campaign.participants.len(),
+            cost_usd: campaign.recruitment_cost_usd,
+            recruitment_hours: campaign.recruitment_duration_secs / 3600.0,
+            filtered_engagement: report.engagement,
+            filtered_soft: report.soft,
+            filtered_control: report.control,
+        },
+        rows,
+    }
+}
+
+/// Serialise an export as pretty JSON (the release format).
+pub fn to_json<T: Serialize>(export: &T) -> String {
+    serde_json::to_string_pretty(export).expect("export serialisation cannot fail")
+}
+
+/// One line of a Table-1-style summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Campaign name (e.g. "PLT timeline").
+    pub campaign: String,
+    /// "Paid" or "Trusted".
+    pub pool: String,
+    /// Male/female split, e.g. "76/24".
+    pub gender_split: String,
+    /// Recruitment duration as reported (hours or days).
+    pub duration: String,
+    /// Cost as reported.
+    pub cost: String,
+    /// Number of distinct sites/videos.
+    pub sites: usize,
+    /// Engagement-filter drops.
+    pub engagement: usize,
+    /// Soft-rule drops.
+    pub soft: usize,
+    /// Control drops.
+    pub control: usize,
+}
+
+/// Produce a Table-1 row from campaign data.
+pub fn table1_row(
+    campaign_name: &str,
+    pool: &str,
+    participants: &[eyeorg_crowd::Participant],
+    cost_usd: f64,
+    recruitment_secs: f64,
+    sites: usize,
+    report: &FilterReport,
+) -> Table1Row {
+    let males =
+        participants.iter().filter(|p| p.gender == eyeorg_crowd::Gender::Male).count();
+    let n = participants.len().max(1);
+    let male_pct = (males * 100 + n / 2) / n;
+    let duration = if recruitment_secs >= 36.0 * 3600.0 {
+        format!("{:.1} days", recruitment_secs / 86_400.0)
+    } else {
+        format!("{:.1} hours", recruitment_secs / 3600.0)
+    };
+    let cost = if cost_usd == 0.0 { "-".to_owned() } else { format!("${cost_usd:.0}") };
+    Table1Row {
+        campaign: campaign_name.to_owned(),
+        pool: pool.to_owned(),
+        gender_split: format!("{male_pct}/{}", 100 - male_pct),
+        duration,
+        cost,
+        sites,
+        engagement: report.engagement,
+        soft: report.soft,
+        control: report.control,
+    }
+}
+
+/// Render Table-1 rows with [`crate::viz::table`].
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut cells = vec![vec![
+        "Campaign".to_owned(),
+        "Pool".to_owned(),
+        "M/F".to_owned(),
+        "Duration".to_owned(),
+        "Cost".to_owned(),
+        "#Sites".to_owned(),
+        "Engagement".to_owned(),
+        "Soft".to_owned(),
+        "Control".to_owned(),
+    ]];
+    for r in rows {
+        cells.push(vec![
+            r.campaign.clone(),
+            r.pool.clone(),
+            r.gender_split.clone(),
+            r.duration.clone(),
+            r.cost.clone(),
+            r.sites.to_string(),
+            r.engagement.to_string(),
+            r.soft.to_string(),
+            r.control.to_string(),
+        ]);
+    }
+    crate::viz::table(&cells)
+}

@@ -1,0 +1,249 @@
+//! Visualisation tools.
+//!
+//! The paper's §1/Fig. 1 shows Eyeorg's response-exploration tool: the
+//! `UserPerceivedPLT` responses of a video rendered as a timeline next to
+//! the video so patterns (like the ads-vs-no-ads bimodality) pop out.
+//! This module renders terminal equivalents: response timelines with
+//! metric markers, ASCII CDFs, and aligned tables — the same views, one
+//! medium down.
+
+use eyeorg_stats::{Ecdf, Histogram};
+
+/// Render a response timeline (Fig. 1): a histogram of responses over
+/// `[0, max_secs]` as a bar strip, with optional labelled markers (e.g.
+/// onload, SpeedIndex) underneath.
+pub fn response_timeline(
+    responses: &[f64],
+    max_secs: f64,
+    width: usize,
+    markers: &[(char, f64, &str)],
+) -> String {
+    assert!(width >= 10, "timeline too narrow");
+    assert!(max_secs > 0.0, "timeline needs a positive span");
+    let hist = Histogram::with_bins(responses, 0.0, max_secs, width)
+        .expect("validated parameters");
+    let peak = hist.counts().iter().copied().max().unwrap_or(0).max(1);
+    const LEVELS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let mut strip = String::with_capacity(width);
+    for &c in hist.counts() {
+        let lvl = if c == 0 { 0 } else { 1 + (usize::try_from(c).unwrap_or(0) * 7) / peak as usize };
+        strip.push(LEVELS[lvl.min(8)]);
+    }
+    let mut out = String::new();
+    out.push_str(&format!("responses (n={:>3}) |{strip}|\n", responses.len()));
+    // Axis.
+    out.push_str(&format!(
+        "{:<19}|{}|\n",
+        "",
+        axis_line(width, max_secs)
+    ));
+    // Markers.
+    for &(symbol, at, label) in markers {
+        let pos = ((at / max_secs) * width as f64).round() as usize;
+        let pos = pos.min(width.saturating_sub(1));
+        let mut line = vec![' '; width];
+        line[pos] = symbol;
+        out.push_str(&format!(
+            "{:<19}|{}| {symbol} = {label} ({at:.2}s)\n",
+            "",
+            line.iter().collect::<String>()
+        ));
+    }
+    out
+}
+
+fn axis_line(width: usize, max_secs: f64) -> String {
+    let mut line = vec!['-'; width];
+    line[0] = '0';
+    let label = format!("{max_secs:.0}s");
+    let start = width.saturating_sub(label.len());
+    for (i, ch) in label.chars().enumerate() {
+        if start + i < width {
+            line[start + i] = ch;
+        }
+    }
+    line.into_iter().collect()
+}
+
+/// Render one or more CDFs on a shared axis as an ASCII plot: `rows`
+/// lines tall, `cols` wide, one glyph per series.
+pub fn ascii_cdfs(series: &[(&str, &Ecdf)], rows: usize, cols: usize) -> String {
+    assert!(rows >= 4 && cols >= 16, "plot too small");
+    assert!(!series.is_empty(), "nothing to plot");
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let lo = series.iter().map(|(_, e)| e.min()).fold(f64::INFINITY, f64::min);
+    let hi = series.iter().map(|(_, e)| e.max()).fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    let mut grid = vec![vec![' '; cols]; rows];
+    for (si, (_, ecdf)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for c in 0..cols {
+            let x = lo + span * c as f64 / (cols - 1) as f64;
+            let y = ecdf.eval(x);
+            let r = ((1.0 - y) * (rows - 1) as f64).round() as usize;
+            grid[r.min(rows - 1)][c] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let y = 1.0 - r as f64 / (rows - 1) as f64;
+        out.push_str(&format!("{y:>4.2} |{}|\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!("     {}\n", " ".repeat(0)));
+    out.push_str(&format!("      x: {lo:.2} .. {hi:.2}\n"));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("      {} = {name}\n", GLYPHS[si % GLYPHS.len()]));
+    }
+    out
+}
+
+/// Render an (x, y) scatter as an ASCII grid (Fig. 7b's panels), with an
+/// `=` diagonal marking y = x when `diagonal` is set.
+pub fn ascii_scatter(
+    points: &[(f64, f64)],
+    rows: usize,
+    cols: usize,
+    diagonal: bool,
+) -> String {
+    assert!(rows >= 4 && cols >= 16, "plot too small");
+    if points.is_empty() {
+        return String::from("(no points)\n");
+    }
+    let (mut xmin, mut xmax, mut ymin, mut ymax) =
+        (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in points {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(y);
+        ymax = ymax.max(y);
+    }
+    if diagonal {
+        // A shared scale keeps the diagonal meaningful.
+        xmin = xmin.min(ymin);
+        ymin = xmin;
+        xmax = xmax.max(ymax);
+        ymax = xmax;
+    }
+    let xs = (xmax - xmin).max(1e-12);
+    let ys = (ymax - ymin).max(1e-12);
+    let mut grid = vec![vec![' '; cols]; rows];
+    if diagonal {
+        for c in 0..cols {
+            let x = xmin + xs * c as f64 / (cols - 1) as f64;
+            let r = ((1.0 - (x - ymin) / ys) * (rows - 1) as f64).round();
+            if (0.0..rows as f64).contains(&r) {
+                grid[r as usize][c] = '=';
+            }
+        }
+    }
+    for &(x, y) in points {
+        let c = (((x - xmin) / xs) * (cols - 1) as f64).round() as usize;
+        let r = ((1.0 - (y - ymin) / ys) * (rows - 1) as f64).round() as usize;
+        grid[r.min(rows - 1)][c.min(cols - 1)] = '*';
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let y = ymax - ys * r as f64 / (rows - 1) as f64;
+        out.push_str(&format!("{y:>6.1} |{}|\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!("        x: {xmin:.1} .. {xmax:.1}\n"));
+    out
+}
+
+/// Render rows as an aligned, pipe-separated table (markdown-ish). The
+/// first row is treated as the header.
+pub fn table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for r in rows {
+        for (i, cell) in r.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (ri, r) in rows.iter().enumerate() {
+        out.push('|');
+        for (i, w) in widths.iter().enumerate() {
+            let cell = r.get(i).map(String::as_str).unwrap_or("");
+            out.push_str(&format!(" {cell:<w$} |"));
+        }
+        out.push('\n');
+        if ri == 0 {
+            out.push('|');
+            for w in &widths {
+                out.push_str(&format!("{}|", "-".repeat(w + 2)));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_renders_peak_and_markers() {
+        let responses = vec![2.0, 2.1, 2.05, 2.2, 6.0];
+        let s = response_timeline(&responses, 10.0, 40, &[('O', 4.0, "onload")]);
+        assert!(s.contains("n=  5"));
+        assert!(s.contains("O = onload (4.00s)"));
+        // The densest bin renders the tallest glyph.
+        assert!(s.contains('█'));
+    }
+
+    #[test]
+    fn timeline_out_of_range_marker_clamped() {
+        let s = response_timeline(&[1.0], 5.0, 20, &[('X', 99.0, "late")]);
+        assert!(s.contains("X = late"));
+    }
+
+    #[test]
+    #[should_panic(expected = "too narrow")]
+    fn timeline_width_validated() {
+        response_timeline(&[1.0], 5.0, 3, &[]);
+    }
+
+    #[test]
+    fn cdf_plot_contains_series_and_legend() {
+        let a = Ecdf::new(&[1.0, 2.0, 3.0]).unwrap();
+        let b = Ecdf::new(&[2.0, 4.0, 6.0]).unwrap();
+        let s = ascii_cdfs(&[("fast", &a), ("slow", &b)], 8, 32);
+        assert!(s.contains('*') && s.contains('o'));
+        assert!(s.contains("* = fast"));
+        assert!(s.contains("o = slow"));
+    }
+
+    #[test]
+    fn scatter_renders_points_and_diagonal() {
+        let pts = vec![(1.0, 1.1), (2.0, 2.2), (5.0, 4.5)];
+        let s = ascii_scatter(&pts, 8, 32, true);
+        assert!(s.contains('*'));
+        assert!(s.contains('='));
+        assert!(s.contains("x: 1.0 .. 5.0"));
+        assert_eq!(ascii_scatter(&[], 8, 32, false), "(no points)\n");
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let rows = vec![
+            vec!["name".into(), "n".into()],
+            vec!["a-long-name".into(), "5".into()],
+            vec!["b".into(), "12345".into()],
+        ];
+        let s = table(&rows);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header + rule + 2 rows
+        let first_len = lines[0].chars().count();
+        assert!(lines.iter().all(|l| l.chars().count() == first_len));
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        assert!(table(&[]).is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! End-to-end platform tests: miniature versions of the paper's
+//! validation campaigns, exercised through the full pipeline — corpus →
+//! webpeg captures → recruitment → responses → filtering → analysis.
+
+use eyeorg_browser::BrowserConfig;
+use eyeorg_core::prelude::*;
+use eyeorg_crowd::{CrowdFlower, TrustedChannel};
+use eyeorg_stats::{Seed, Summary};
+use eyeorg_video::CaptureConfig;
+use eyeorg_workload::alexa_like;
+
+fn quick_capture() -> CaptureConfig {
+    CaptureConfig { repeats: 3, ..CaptureConfig::default() }
+}
+
+fn mini_timeline(n_participants: usize, trusted: bool, seed: u64) -> TimelineCampaign {
+    let sites = alexa_like(Seed(500), 6);
+    let stimuli =
+        timeline_stimuli(&sites, &BrowserConfig::new(), &quick_capture(), Seed(501));
+    if trusted {
+        run_timeline_campaign(
+            stimuli,
+            &TrustedChannel,
+            n_participants,
+            &ExperimentConfig::default(),
+            Seed(seed),
+        )
+    } else {
+        run_timeline_campaign(
+            stimuli,
+            &CrowdFlower,
+            n_participants,
+            &ExperimentConfig::default(),
+            Seed(seed),
+        )
+    }
+}
+
+#[test]
+fn timeline_campaign_structure() {
+    let c = mini_timeline(40, false, 1);
+    // The captcha gate may turn away a recruit or two (bots, misfires).
+    let n = c.participants.len();
+    assert!((35..=40).contains(&n), "admitted {n} of 40");
+    assert_eq!(c.rows.len(), n * 6);
+    assert_eq!(c.controls.len(), n);
+    // Every stimulus collected responses.
+    for si in 0..c.stimuli_names.len() {
+        let n = c.rows.iter().filter(|r| r.stimulus == si && r.response.is_some()).count();
+        assert!(n >= 20, "stimulus {si} has only {n} responses");
+    }
+    // Cost matches the CrowdFlower model.
+    assert!((c.recruitment_cost_usd - 40.0 * 0.12).abs() < 1e-9);
+}
+
+#[test]
+fn filtering_drops_plausible_fraction_of_paid() {
+    let c = mini_timeline(120, false, 2);
+    let n = c.participants.len();
+    let report = filter_timeline(&c, &paper_pipeline());
+    let dropped = report.dropped() as f64 / n as f64;
+    // The paper flags ~20 % of paid participants as low performers.
+    assert!(
+        (0.05..0.45).contains(&dropped),
+        "dropped fraction {dropped} out of plausible range"
+    );
+    assert!(report.kept.len() + report.dropped() == n);
+    // Every §4.3 technique catches someone at this scale.
+    assert!(report.engagement + report.soft + report.control > 0);
+}
+
+#[test]
+fn trusted_pool_is_cleaner_than_paid() {
+    let paid = mini_timeline(80, false, 3);
+    let trusted = mini_timeline(80, true, 3);
+    let rp = filter_timeline(&paid, &paper_pipeline());
+    let rt = filter_timeline(&trusted, &paper_pipeline());
+    assert!(
+        rt.dropped() < rp.dropped(),
+        "trusted {} vs paid {}",
+        rt.dropped(),
+        rp.dropped()
+    );
+}
+
+#[test]
+fn wisdom_band_tightens_agreement() {
+    // Fig. 6b: filtering to the 25–75 band collapses the per-video
+    // standard deviation.
+    let c = mini_timeline(80, false, 4);
+    let report = filter_timeline(&c, &paper_pipeline());
+    let all = uplt_stdev(&c, &report, None);
+    let banded = uplt_stdev(&c, &report, Some((25.0, 75.0)));
+    let mean_all: f64 =
+        all.iter().flatten().sum::<f64>() / all.iter().flatten().count() as f64;
+    let mean_banded: f64 =
+        banded.iter().flatten().sum::<f64>() / banded.iter().flatten().count() as f64;
+    assert!(
+        mean_banded < mean_all * 0.7,
+        "band should tighten stdev: {mean_banded:.2} vs {mean_all:.2}"
+    );
+}
+
+#[test]
+fn filtered_paid_aligns_with_trusted() {
+    // The §4.2 validation claim: after filtering + banding, paid and
+    // trusted crowds agree on per-video UPLT.
+    let paid = mini_timeline(100, false, 5);
+    let trusted = mini_timeline(100, true, 5);
+    let rp = filter_timeline(&paid, &paper_pipeline());
+    let rt = filter_timeline(&trusted, &paper_pipeline());
+    let up = mean_uplt(&paid, &rp, Some((25.0, 75.0)));
+    let ut = mean_uplt(&trusted, &rt, Some((25.0, 75.0)));
+    for (i, (p, t)) in up.iter().zip(&ut).enumerate() {
+        let (p, t) = (p.unwrap(), t.unwrap());
+        let rel = (p - t).abs() / t.max(0.5);
+        assert!(rel < 0.35, "video {i}: paid {p:.2}s vs trusted {t:.2}s");
+    }
+}
+
+#[test]
+fn campaigns_are_deterministic() {
+    let a = mini_timeline(20, false, 6);
+    let b = mini_timeline(20, false, 6);
+    let ra = filter_timeline(&a, &paper_pipeline());
+    let rb = filter_timeline(&b, &paper_pipeline());
+    assert_eq!(ra, rb);
+    assert_eq!(
+        mean_uplt(&a, &ra, Some((25.0, 75.0))),
+        mean_uplt(&b, &rb, Some((25.0, 75.0)))
+    );
+}
+
+#[test]
+fn ab_campaign_h2_vs_h1_shape() {
+    let sites = alexa_like(Seed(510), 6);
+    let stimuli =
+        protocol_ab_stimuli(&sites, &BrowserConfig::new(), &quick_capture(), Seed(511));
+    let campaign = run_ab_campaign(
+        stimuli,
+        &CrowdFlower,
+        120,
+        &ExperimentConfig::default(),
+        Seed(512),
+    );
+    let report = filter_ab(&campaign, &paper_pipeline());
+    let tallies = ab_tallies(&campaign, &report);
+    // Every pair got votes; scores lean toward H2 (the B side) overall.
+    let scores: Vec<f64> = tallies.iter().filter_map(|t| t.score()).collect();
+    assert_eq!(scores.len(), 6, "all pairs decided by someone");
+    let mean_score = Summary::of(&scores).unwrap().mean;
+    assert!(mean_score > 0.55, "H2 should be preferred on average: {mean_score:.2}");
+    // Agreement is meaningful (not uniformly split).
+    for t in &tallies {
+        assert!(t.agreement().unwrap() > 0.34);
+    }
+}
+
+#[test]
+fn table1_and_export_render() {
+    let c = mini_timeline(30, false, 7);
+    let report = filter_timeline(&c, &paper_pipeline());
+    let row = table1_row(
+        "PLT timeline",
+        "Paid",
+        &c.participants,
+        c.recruitment_cost_usd,
+        c.recruitment_duration_secs,
+        c.stimuli_names.len(),
+        &report,
+    );
+    let rendered = render_table1(&[row]);
+    assert!(rendered.contains("PLT timeline"));
+    assert!(rendered.contains("Engagement"));
+
+    let export = export_timeline("validation-timeline", &c, &report);
+    let json = to_json(&export);
+    let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+    let n = c.participants.len() as u64;
+    assert_eq!(v["meta"]["participants"], n);
+    assert_eq!(v["rows"].as_array().unwrap().len() as u64, n * 6);
+    // Kept flags must be consistent with the filter report.
+    for row in v["rows"].as_array().unwrap() {
+        let pi = row["participant"].as_u64().unwrap() as usize;
+        assert_eq!(row["kept"].as_bool().unwrap(), report.kept.contains(&pi));
+    }
+}
+
+#[test]
+fn response_timeline_viz_smoke() {
+    let c = mini_timeline(40, false, 8);
+    let report = filter_timeline(&c, &paper_pipeline());
+    let samples = uplt_samples(&c, &report, None);
+    let onload = c.videos[0].trace().onload.unwrap().as_secs_f64();
+    let max = c.videos[0].duration().as_secs_f64();
+    let viz = eyeorg_core::viz::response_timeline(
+        &samples[0],
+        max,
+        60,
+        &[('O', onload, "onload")],
+    );
+    assert!(viz.contains("onload"));
+    assert!(viz.lines().count() >= 3);
+}

@@ -1,0 +1,52 @@
+//! # eyeorg-crowd
+//!
+//! The crowd: simulated study participants for the Eyeorg platform.
+//!
+//! The paper's repro gate is people — 100 trusted + 100 paid validators
+//! and 3 × 1,000 paid workers. Per the substitution rule (DESIGN.md) this
+//! crate generates a synthetic crowd whose *pathologies are calibrated to
+//! the paper's own measurements*: the ~20 % of paid workers the filters
+//! catch, the 1–2 % video skippers, the ~5 % control failures, the
+//! distraction-grows-with-video-load-time coupling, the two frenetic
+//! 700-seek outliers, and the three interpretations of "ready to use"
+//! behind Fig. 9's response modes.
+//!
+//! * [`participant`] — demographics, phenotypes, trait generation.
+//! * [`perception`] — the timeline test: ready-moment extraction, noisy
+//!   perception, slider overshoot, frame-helper negotiation.
+//! * [`abjudge`] — the A/B test: JND-based Left/Right/NoDifference.
+//! * [`behavior`] — instrumentation signals: actions, focus, skips, time.
+//! * [`service`] — CrowdFlower/Microworkers/Trusted recruitment with the
+//!   paper's cost and arrival anchors.
+//!
+//! Everything derives from per-participant seeds: a campaign re-run with
+//! the same seed reproduces every response bit for bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abjudge;
+pub mod behavior;
+pub mod participant;
+pub mod perception;
+pub mod service;
+
+pub use abjudge::{ab_control, ab_response, judge_pair, AbAnswer};
+pub use behavior::{total_time_on_site, video_session, TestKind, VideoSession};
+pub use participant::{
+    Gender, Participant, ParticipantClass, ParticipantType, PopulationProfile, ReadinessCriterion,
+};
+pub use perception::{
+    timeline_control_passes, timeline_response, timeline_response_cached, true_ready_time,
+    TimelineResponse,
+};
+pub use service::{CrowdFlower, Microworkers, Recruitment, RecruitmentService, TrustedChannel};
+
+/// One standard-normal draw (Box–Muller), shared by the perception and
+/// behaviour models.
+pub(crate) fn dist_normal<R: rand::Rng>(rng: &mut R) -> f64 {
+    use rand::RngExt as _;
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}

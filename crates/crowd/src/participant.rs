@@ -1,0 +1,331 @@
+//! Participants: who takes Eyeorg's tests.
+//!
+//! §4 of the paper contrasts two pools — 100 **trusted** participants
+//! (friends/colleagues who "promised full commitment") and paid
+//! crowdworkers from CrowdFlower's "historically trustworthy" tier — and
+//! finds ~20 % of the paid pool must be filtered: distracted workers,
+//! video skippers, control-question failures, and two spectacular
+//! outliers performing 714/724 seek actions ("we conjecture a browser
+//! extension might have been used"). The population model here generates
+//! exactly those phenotypes, with mixing weights chosen so the *paper's
+//! own filter statistics* (Table 1) are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use eyeorg_stats::Seed;
+
+/// Reported gender (the paper reports a binary split: 75/25 in the
+/// validation pools, 70/30 in the final campaigns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Gender {
+    /// Male.
+    Male,
+    /// Female.
+    Female,
+}
+
+/// Trusted (recruited via email/social media) vs paid crowdworker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParticipantType {
+    /// Friends/colleagues with promised commitment.
+    Trusted,
+    /// Paid crowdsourcing worker.
+    Paid,
+}
+
+/// Behavioural phenotype, the latent variable the validation pipeline
+/// tries to observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParticipantClass {
+    /// Careful, engaged, follows instructions.
+    Diligent,
+    /// Normal worker: mostly careful, occasionally imprecise.
+    Average,
+    /// Rushes, overshoots, sometimes skips interactions.
+    Sloppy,
+    /// Clicks through for the payment; answers carry little signal.
+    RandomClicker,
+    /// The 700-seek anomaly: enormous action counts in little time.
+    Frenetic,
+    /// Not a person at all: a script farming task payments. Mostly
+    /// stopped at the door by the "I'm not a robot" gate (§3.3's hard
+    /// rules); the survivors answer instantly and randomly.
+    Bot,
+}
+
+/// What a participant means by "ready to use" (§6: left deliberately
+/// open; three interpretations emerge from the response distributions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReadinessCriterion {
+    /// Ready once the *main* content is in place ("I selected the one
+    /// where the main content loaded first").
+    MainContent,
+    /// Waits for everything, ads and widgets included ("when I don't
+    /// know what is on the site … I want to wait for everything").
+    AllContent,
+    /// Satisfied by the first substantial impression (text + hero).
+    FirstImpression,
+}
+
+/// A generated participant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Participant {
+    /// Unique id within a campaign.
+    pub id: u64,
+    /// Pool.
+    pub ptype: ParticipantType,
+    /// Latent phenotype.
+    pub class: ParticipantClass,
+    /// Reported gender.
+    pub gender: Gender,
+    /// Reported country (ISO-ish short label).
+    pub country: String,
+    /// Self-assessed technical ability, 1–5.
+    pub tech_savvy: u8,
+    /// The participant's own downlink (their videos must be downloaded).
+    pub bandwidth_bps: u64,
+    /// Interpretation of "ready to use".
+    pub readiness: ReadinessCriterion,
+    /// Multiplicative perception noise (lognormal sigma).
+    pub perception_noise: f64,
+    /// Tendency to overshoot with the slider before the helper corrects.
+    pub overshoot: f64,
+    /// Private RNG stream seed.
+    pub seed: Seed,
+}
+
+impl Participant {
+    /// The participant's private RNG for a given activity label.
+    pub fn rng(&self, label: &str) -> StdRng {
+        StdRng::seed_from_u64(self.seed.derive(label).value())
+    }
+}
+
+/// Mixing weights and trait ranges for a pool.
+#[derive(Debug, Clone)]
+pub struct PopulationProfile {
+    /// Pool type to stamp on the generated participants.
+    pub ptype: ParticipantType,
+    /// `(class, weight)` mixture; weights need not sum to 1.
+    pub class_mix: Vec<(ParticipantClass, f64)>,
+    /// Fraction reporting male (paper: 0.75 validation, 0.70 final).
+    pub male_fraction: f64,
+    /// `(country, weight)` mixture.
+    pub countries: Vec<(&'static str, f64)>,
+}
+
+impl PopulationProfile {
+    /// The paid pool (CrowdFlower "historically trustworthy" tier):
+    /// mostly fine, with the §4 pathologies mixed in at the rates the
+    /// paper's filters caught. Venezuela tops the 30-country paid pool.
+    pub fn paid() -> PopulationProfile {
+        PopulationProfile {
+            ptype: ParticipantType::Paid,
+            class_mix: vec![
+                (ParticipantClass::Diligent, 0.42),
+                (ParticipantClass::Average, 0.36),
+                (ParticipantClass::Sloppy, 0.13),
+                (ParticipantClass::RandomClicker, 0.07),
+                (ParticipantClass::Frenetic, 0.02),
+                (ParticipantClass::Bot, 0.03),
+            ],
+            male_fraction: 0.72,
+            countries: vec![
+                ("VE", 0.22),
+                ("IN", 0.12),
+                ("ID", 0.08),
+                ("PH", 0.07),
+                ("EG", 0.06),
+                ("RS", 0.05),
+                ("BR", 0.05),
+                ("US", 0.04),
+                ("PK", 0.04),
+                ("RO", 0.04),
+                ("other", 0.23),
+            ],
+        }
+    }
+
+    /// The trusted pool: overwhelmingly diligent (the paper still caught
+    /// one control failure and a few seconds of distraction per
+    /// campaign). US tops the 12-country trusted pool.
+    pub fn trusted() -> PopulationProfile {
+        PopulationProfile {
+            ptype: ParticipantType::Trusted,
+            class_mix: vec![
+                (ParticipantClass::Diligent, 0.78),
+                (ParticipantClass::Average, 0.19),
+                (ParticipantClass::Sloppy, 0.03),
+            ],
+            male_fraction: 0.79,
+            countries: vec![
+                ("US", 0.38),
+                ("ES", 0.16),
+                ("UK", 0.12),
+                ("IT", 0.08),
+                ("GR", 0.07),
+                ("DE", 0.06),
+                ("other", 0.13),
+            ],
+        }
+    }
+
+    /// Generate `n` participants with ids `0..n`.
+    pub fn generate(&self, seed: Seed, n: usize) -> Vec<Participant> {
+        (0..n as u64).map(|i| self.generate_one(seed, i)).collect()
+    }
+
+    /// Generate the `i`-th participant of this pool.
+    pub fn generate_one(&self, seed: Seed, i: u64) -> Participant {
+        let pseed = seed.derive_index("participant", i);
+        let mut rng = StdRng::seed_from_u64(pseed.derive("traits").value());
+        let class = pick_weighted(&mut rng, &self.class_mix);
+        let gender =
+            if rng.random_bool(self.male_fraction) { Gender::Male } else { Gender::Female };
+        let country = pick_weighted(&mut rng, &self.countries).to_owned();
+        let tech_savvy = rng.random_range(1..=5u8);
+        // Worker downlinks: log-uniform 0.5–30 Mbit/s — 2016 crowd
+        // workers cluster in regions where sub-2 Mbit/s lines were
+        // common, which is what stretches video load times to the tens
+        // of seconds Fig. 5 conditions on.
+        let bw_exp: f64 = rng.random_range(5.7..7.5);
+        let bandwidth_bps = 10f64.powf(bw_exp) as u64;
+        let readiness = pick_weighted(
+            &mut rng,
+            &[
+                // Participants see *unfamiliar* sites (§6: "when I don't
+                // know what is on the site ... I want to wait for
+                // everything"), so the wait-for-everything cohort is
+                // nearly as large as the main-content one.
+                (ReadinessCriterion::MainContent, 0.40),
+                (ReadinessCriterion::AllContent, 0.42),
+                (ReadinessCriterion::FirstImpression, 0.18),
+            ],
+        );
+        let (perception_noise, overshoot) = match class {
+            ParticipantClass::Diligent => (rng.random_range(0.03..0.08), rng.random_range(0.02..0.08)),
+            ParticipantClass::Average => (rng.random_range(0.06..0.14), rng.random_range(0.05..0.15)),
+            ParticipantClass::Sloppy => (rng.random_range(0.12..0.25), rng.random_range(0.15..0.40)),
+            ParticipantClass::RandomClicker | ParticipantClass::Bot => {
+                (rng.random_range(0.3..0.6), rng.random_range(0.2..0.6))
+            }
+            ParticipantClass::Frenetic => (rng.random_range(0.10..0.2), rng.random_range(0.05..0.2)),
+        };
+        Participant {
+            id: i,
+            ptype: self.ptype,
+            class,
+            gender,
+            country,
+            tech_savvy,
+            bandwidth_bps,
+            readiness,
+            perception_noise,
+            overshoot,
+            seed: pseed,
+        }
+    }
+}
+
+fn pick_weighted<T: Copy, R: rand::Rng>(rng: &mut R, mix: &[(T, f64)]) -> T {
+    let total: f64 = mix.iter().map(|(_, w)| w).sum();
+    let mut x: f64 = rng.random_range(0.0..total);
+    for &(v, w) in mix {
+        if x < w {
+            return v;
+        }
+        x -= w;
+    }
+    mix.last().expect("non-empty mixture").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_deterministic() {
+        let a = PopulationProfile::paid().generate(Seed(1), 50);
+        let b = PopulationProfile::paid().generate(Seed(1), 50);
+        assert_eq!(a, b);
+        assert_ne!(a, PopulationProfile::paid().generate(Seed(2), 50));
+    }
+
+    #[test]
+    fn class_mix_realised() {
+        let pop = PopulationProfile::paid().generate(Seed(3), 4000);
+        let frac = |c: ParticipantClass| {
+            pop.iter().filter(|p| p.class == c).count() as f64 / pop.len() as f64
+        };
+        assert!((frac(ParticipantClass::Diligent) - 0.42).abs() < 0.03);
+        assert!((frac(ParticipantClass::RandomClicker) - 0.07).abs() < 0.02);
+        assert!(frac(ParticipantClass::Frenetic) > 0.005);
+    }
+
+    #[test]
+    fn trusted_pool_has_no_random_clickers() {
+        let pop = PopulationProfile::trusted().generate(Seed(4), 1000);
+        assert!(pop.iter().all(|p| !matches!(
+            p.class,
+            ParticipantClass::RandomClicker | ParticipantClass::Frenetic | ParticipantClass::Bot
+        )));
+    }
+
+    #[test]
+    fn paid_pool_contains_some_bots() {
+        let pop = PopulationProfile::paid().generate(Seed(9), 2000);
+        let bots = pop.iter().filter(|p| p.class == ParticipantClass::Bot).count();
+        assert!((20..120).contains(&bots), "bots: {bots}");
+    }
+
+    #[test]
+    fn gender_split_matches_paper() {
+        let pop = PopulationProfile::paid().generate(Seed(5), 4000);
+        let male =
+            pop.iter().filter(|p| p.gender == Gender::Male).count() as f64 / pop.len() as f64;
+        assert!((male - 0.72).abs() < 0.03, "male fraction {male}");
+    }
+
+    #[test]
+    fn country_tops_match_paper() {
+        let paid = PopulationProfile::paid().generate(Seed(6), 3000);
+        // "other" aggregates the long tail of countries; the paper's
+        // "most popular country" claim concerns named countries.
+        let top = |pop: &[Participant]| -> String {
+            let mut counts = std::collections::BTreeMap::new();
+            for p in pop {
+                if p.country != "other" {
+                    *counts.entry(p.country.clone()).or_insert(0u32) += 1;
+                }
+            }
+            counts.into_iter().max_by_key(|&(_, c)| c).unwrap().0
+        };
+        assert_eq!(top(&paid), "VE", "Venezuela tops the paid pool");
+        let trusted = PopulationProfile::trusted().generate(Seed(6), 3000);
+        assert_eq!(top(&trusted), "US", "US tops the trusted pool");
+    }
+
+    #[test]
+    fn traits_in_declared_ranges() {
+        for p in PopulationProfile::paid().generate(Seed(7), 500) {
+            assert!((1..=5).contains(&p.tech_savvy));
+            assert!(p.bandwidth_bps >= 450_000 && p.bandwidth_bps <= 33_000_000);
+            assert!(p.perception_noise > 0.0 && p.perception_noise < 0.7);
+            assert!(p.overshoot >= 0.0 && p.overshoot < 0.7);
+        }
+    }
+
+    #[test]
+    fn readiness_criteria_all_present() {
+        let pop = PopulationProfile::paid().generate(Seed(8), 1000);
+        for c in [
+            ReadinessCriterion::MainContent,
+            ReadinessCriterion::AllContent,
+            ReadinessCriterion::FirstImpression,
+        ] {
+            assert!(pop.iter().any(|p| p.readiness == c), "{c:?} missing");
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Human perception of "ready to use".
+//!
+//! This is the generative counterpart of everything the platform
+//! measures: a participant watches a capture, forms an internal "the page
+//! is ready" moment according to their own criterion (§6 shows
+//! participants genuinely differ — main-content people, wait-for-
+//! everything people, first-impression people), perceives it with noise,
+//! overshoots with the slider (§3.2 observed both trusted and paid
+//! participants overshooting), and then negotiates with the frame-
+//! selection helper (Fig. 3).
+//!
+//! `UserPerceivedPLT` in the reproduction is therefore *generated* here
+//! and *measured back* by `eyeorg-core`'s pipeline; the gap between the
+//! two is precisely what Fig. 7 quantifies.
+
+use eyeorg_net::SimTime;
+use eyeorg_video::{FrameTimeline, Video};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::participant::{Participant, ParticipantClass, ReadinessCriterion};
+
+/// The moment a page becomes "ready" under a given criterion, extracted
+/// from the capture's viewport-visible paint stream.
+///
+/// * `FirstImpression` — the document has painted its first viewport
+///   bands and 60 % of the viewport's eventually-painted primary area is
+///   in place.
+/// * `MainContent` — the last *primary* (document/image) initial paint.
+/// * `AllContent` — the last initial paint of any kind (ads and widgets
+///   included; creative rotations do not count — §6's "I know the page
+///   isn't totally done … I just don't care" refers to content, not ad
+///   churn).
+pub fn true_ready_time(video: &Video, criterion: ReadinessCriterion) -> SimTime {
+    let fold = video.trace().fold_y;
+    let viewport_initial = || {
+        video
+            .trace()
+            .paints
+            .iter()
+            .filter(move |p| p.generation == 0)
+            .filter_map(move |p| p.rect.above_fold(fold).map(|r| (p, r)))
+    };
+    match criterion {
+        ReadinessCriterion::MainContent => viewport_initial()
+            // Everything except ads counts as "main" content: §6's
+            // comments single out ads as the thing people don't wait
+            // for, while social widgets read as page content.
+            .filter(|(p, _)| p.kind != eyeorg_browser::PaintKind::Ad)
+            .map(|(p, _)| p.time)
+            .last()
+            .unwrap_or(SimTime::ZERO),
+        ReadinessCriterion::AllContent => {
+            viewport_initial().map(|(p, _)| p.time).last().unwrap_or(SimTime::ZERO)
+        }
+        ReadinessCriterion::FirstImpression => {
+            let total: u64 = viewport_initial()
+                .filter(|(p, _)| p.kind.is_primary())
+                .map(|(_, r)| r.area())
+                .sum();
+            if total == 0 {
+                return SimTime::ZERO;
+            }
+            let target = (total as f64 * 0.6) as u64;
+            let mut acc = 0u64;
+            for (p, r) in viewport_initial().filter(|(p, _)| p.kind.is_primary()) {
+                acc += r.area();
+                if acc >= target {
+                    return p.time;
+                }
+            }
+            SimTime::ZERO
+        }
+    }
+}
+
+/// One timeline-test interaction, end to end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineResponse {
+    /// The participant's internal (noisy) ready moment.
+    pub perceived: SimTime,
+    /// Where they initially left the slider (frame-quantised; includes
+    /// overshoot).
+    pub slider: SimTime,
+    /// The frame helper's rewind suggestion for that slider position.
+    pub helper: SimTime,
+    /// What they submitted.
+    pub submitted: SimTime,
+    /// Whether they accepted the helper's suggestion.
+    pub accepted_helper: bool,
+}
+
+/// Simulate one participant answering one timeline test.
+///
+/// `video_label` identifies the video so that the same participant gives
+/// independent (but reproducible) answers across their six videos.
+///
+/// Convenience wrapper that materialises the frame timeline per call;
+/// campaign-scale simulation should build one [`FrameTimeline`] per video
+/// and use [`timeline_response_cached`].
+pub fn timeline_response(
+    video: &Video,
+    participant: &Participant,
+    video_label: &str,
+) -> TimelineResponse {
+    let mut frames = FrameTimeline::of(video);
+    timeline_response_cached(video, &mut frames, participant, video_label)
+}
+
+/// [`timeline_response`] against a pre-materialised frame timeline.
+pub fn timeline_response_cached(
+    video: &Video,
+    frames: &mut FrameTimeline,
+    participant: &Participant,
+    video_label: &str,
+) -> TimelineResponse {
+    let mut rng = response_rng(participant, video_label);
+    let dur_us = video.duration().as_micros().max(1);
+
+    if matches!(participant.class, ParticipantClass::RandomClicker | ParticipantClass::Bot)
+        && rng.random_bool(if participant.class == ParticipantClass::Bot { 1.0 } else { 0.6 })
+    {
+        // Pays no attention: drags the slider somewhere — often all the
+        // way to an end, the head/tail pattern of Fig. 6a.
+        let t = if rng.random_bool(0.5) {
+            let edge = if rng.random_bool(0.5) { 0.02 } else { 0.98 };
+            SimTime::from_micros((dur_us as f64 * edge) as u64)
+        } else {
+            SimTime::from_micros(rng.random_range(0..dur_us))
+        };
+        let slider = quantize(video, t);
+        // Blindly accepts whatever the helper proposes.
+        let helper_frame = frames.rewind(video.frame_index_at(slider));
+        let helper = video.frame_time(helper_frame);
+        return TimelineResponse {
+            perceived: t,
+            slider,
+            helper,
+            submitted: helper,
+            accepted_helper: true,
+        };
+    }
+
+    let ready = true_ready_time(video, participant.readiness);
+    // Multiplicative perception noise (Weber-like: error scales with the
+    // magnitude being judged).
+    let z: f64 = crate::dist_normal(&mut rng);
+    // Participants are *watching* the video: no one coherent reports
+    // "ready" on a frame where nothing has appeared yet, so perception
+    // is floored at the first viewport-visible paint.
+    let fold = video.trace().fold_y;
+    let first_visible = video
+        .trace()
+        .paints
+        .iter()
+        .find(|p| p.rect.above_fold(fold).is_some())
+        .map(|p| p.time.as_micros() as f64)
+        .unwrap_or(0.0);
+    let perceived_us = (ready.as_micros() as f64
+        * (participant.perception_noise * z).exp())
+    .max(first_visible);
+    let perceived = SimTime::from_micros(perceived_us.min(dur_us as f64) as u64);
+    // Scrubbing overshoot: participants settle late, then (maybe) let
+    // the helper pull them back.
+    let overshoot_frac = participant.overshoot * rng.random_range(0.3..1.0);
+    let slider_us = (perceived_us * (1.0 + overshoot_frac)).min(dur_us as f64);
+    let slider = quantize(video, SimTime::from_micros(slider_us as u64));
+
+    let helper_frame = frames.rewind(video.frame_index_at(slider));
+    let helper = video.frame_time(helper_frame);
+
+    // Acceptance: participants accept the rewind when it does not
+    // contradict their internal ready moment by much.
+    let disagreement =
+        (perceived_us - helper.as_micros() as f64).abs() / perceived_us.max(500_000.0);
+    let accept_p = match participant.class {
+        ParticipantClass::Diligent | ParticipantClass::Average => {
+            if disagreement < 0.25 {
+                0.92
+            } else {
+                0.25
+            }
+        }
+        ParticipantClass::Sloppy => 0.75,
+        ParticipantClass::Frenetic => 0.6,
+        ParticipantClass::RandomClicker | ParticipantClass::Bot => 0.85,
+    };
+    let accepted_helper = rng.random_bool(accept_p);
+    let submitted = if accepted_helper { helper } else { slider };
+    TimelineResponse { perceived, slider, helper, submitted, accepted_helper }
+}
+
+/// Outcome of the timeline control question (a nearly-blank frame is
+/// proposed as the rewind; §3.3): `true` = the participant correctly
+/// kept their own choice.
+pub fn timeline_control_passes(participant: &Participant, video_label: &str) -> bool {
+    let mut rng = response_rng(participant, &format!("ctrl-{video_label}"));
+    let reject_p = match participant.class {
+        ParticipantClass::Diligent => 0.995,
+        ParticipantClass::Average => 0.98,
+        ParticipantClass::Sloppy => 0.90,
+        ParticipantClass::Frenetic => 0.92,
+        ParticipantClass::RandomClicker => 0.40,
+        ParticipantClass::Bot => 0.25,
+    };
+    rng.random_bool(reject_p)
+}
+
+fn quantize(video: &Video, t: SimTime) -> SimTime {
+    video.frame_time(video.frame_index_at(t))
+}
+
+fn response_rng(participant: &Participant, label: &str) -> StdRng {
+    StdRng::seed_from_u64(
+        participant.seed.derive("perception").derive(label).value(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::participant::PopulationProfile;
+    use eyeorg_stats::Seed;
+    use eyeorg_browser::{load_page, BrowserConfig};
+    use eyeorg_net::SimDuration;
+    use eyeorg_workload::{generate_site, SiteClass};
+
+    fn video() -> Video {
+        let site = generate_site(Seed(30), 0, SiteClass::News);
+        let trace = load_page(&site, &BrowserConfig::new(), Seed(30));
+        Video::capture(trace, 10, SimDuration::from_secs(5))
+    }
+
+    #[test]
+    fn criteria_are_ordered() {
+        let v = video();
+        let fi = true_ready_time(&v, ReadinessCriterion::FirstImpression);
+        let mc = true_ready_time(&v, ReadinessCriterion::MainContent);
+        let ac = true_ready_time(&v, ReadinessCriterion::AllContent);
+        assert!(fi <= mc, "first impression before main content");
+        assert!(mc <= ac, "main content before everything");
+        assert!(fi > SimTime::ZERO);
+    }
+
+    #[test]
+    fn responses_deterministic_per_label() {
+        let v = video();
+        let p = &PopulationProfile::paid().generate(Seed(1), 1)[0];
+        assert_eq!(timeline_response(&v, p, "v1"), timeline_response(&v, p, "v1"));
+        assert_ne!(
+            timeline_response(&v, p, "v1").submitted,
+            timeline_response(&v, p, "v2").submitted
+        );
+    }
+
+    #[test]
+    fn slider_overshoots_then_helper_rewinds() {
+        let v = video();
+        let pop = PopulationProfile::paid().generate(Seed(2), 60);
+        let mut slid_late = 0;
+        let mut helper_not_after_slider = true;
+        for p in pop.iter().filter(|p| p.class != ParticipantClass::RandomClicker) {
+            let r = timeline_response(&v, p, "v1");
+            if r.slider >= r.perceived {
+                slid_late += 1;
+            }
+            if r.helper > r.slider {
+                helper_not_after_slider = false;
+            }
+        }
+        assert!(slid_late > 40, "overshoot should dominate: {slid_late}");
+        assert!(helper_not_after_slider, "helper only ever rewinds");
+    }
+
+    #[test]
+    fn submissions_cluster_near_ready_for_good_participants() {
+        let v = video();
+        let pop = PopulationProfile::trusted().generate(Seed(3), 40);
+        for p in &pop {
+            let r = timeline_response(&v, p, "v1");
+            let ready = true_ready_time(&v, p.readiness).as_secs_f64();
+            let sub = r.submitted.as_secs_f64();
+            assert!(
+                (sub - ready).abs() < ready.max(1.0) * 0.8 + 1.0,
+                "submission {sub} wildly off ready {ready} for {:?}",
+                p.class
+            );
+        }
+    }
+
+    #[test]
+    fn control_pass_rates_by_class() {
+        let pop = PopulationProfile::paid().generate(Seed(4), 3000);
+        let rate = |class: ParticipantClass| {
+            let subset: Vec<_> = pop.iter().filter(|p| p.class == class).collect();
+            let passed = subset
+                .iter()
+                .filter(|p| timeline_control_passes(p, "c1"))
+                .count();
+            passed as f64 / subset.len().max(1) as f64
+        };
+        assert!(rate(ParticipantClass::Diligent) > 0.97);
+        assert!(rate(ParticipantClass::RandomClicker) < 0.6);
+    }
+
+    #[test]
+    fn random_clickers_spread_over_video() {
+        let v = video();
+        let pop = PopulationProfile::paid().generate(Seed(5), 400);
+        let clickers: Vec<_> =
+            pop.iter().filter(|p| p.class == ParticipantClass::RandomClicker).collect();
+        assert!(clickers.len() > 10);
+        let subs: Vec<f64> = clickers
+            .iter()
+            .map(|p| timeline_response(&v, p, "v1").submitted.as_secs_f64())
+            .collect();
+        let spread = eyeorg_stats::Summary::of(&subs).unwrap();
+        // Their answers spread across a large chunk of the video, unlike
+        // coherent participants.
+        assert!(spread.stdev > 0.15 * v.duration().as_secs_f64(), "stdev {}", spread.stdev);
+    }
+}

@@ -1,0 +1,111 @@
+//! HPACK header-compression size model.
+//!
+//! HTTP/2 compresses headers with HPACK (RFC 7541): a static table of
+//! common fields plus a per-connection dynamic table that makes repeated
+//! headers (cookies, user-agent, accept…) cost only an index. For a page
+//! load this matters because the *first* request on a connection carries
+//! near-full headers while the dozens that follow shrink dramatically —
+//! SPDY-era measurements put steady-state request headers at ~10–30 % of
+//! their raw size.
+//!
+//! We model size, not bits: the actual field values never matter to the
+//! simulation, only how many bytes cross the wire. The model is:
+//!
+//! * first header block on a connection: `static_ratio` × raw size
+//!   (static-table and Huffman savings apply immediately),
+//! * subsequent blocks: `dynamic_ratio` × raw size (dynamic table hits),
+//! * every block pays a small floor (`min_bytes`) — indices are not free.
+
+/// Size model for one HPACK compression context (= one H2 connection
+/// direction).
+#[derive(Debug, Clone)]
+pub struct HpackContext {
+    static_ratio: f64,
+    dynamic_ratio: f64,
+    min_bytes: u64,
+    blocks_encoded: u64,
+}
+
+impl HpackContext {
+    /// Default model: 60 % of raw on the first block (Huffman + static
+    /// table), 15 % once the dynamic table is warm, 20-byte floor.
+    pub fn new() -> HpackContext {
+        HpackContext::with_ratios(0.6, 0.15, 20)
+    }
+
+    /// Custom ratios (clamped to `[0, 1]`), for sensitivity studies.
+    pub fn with_ratios(static_ratio: f64, dynamic_ratio: f64, min_bytes: u64) -> HpackContext {
+        HpackContext {
+            static_ratio: static_ratio.clamp(0.0, 1.0),
+            dynamic_ratio: dynamic_ratio.clamp(0.0, 1.0),
+            min_bytes,
+            blocks_encoded: 0,
+        }
+    }
+
+    /// Encode a header block of `raw_bytes`, returning its on-wire size
+    /// and advancing the dynamic-table state.
+    pub fn encode(&mut self, raw_bytes: u64) -> u64 {
+        let ratio = if self.blocks_encoded == 0 { self.static_ratio } else { self.dynamic_ratio };
+        self.blocks_encoded += 1;
+        ((raw_bytes as f64 * ratio) as u64).max(self.min_bytes.min(raw_bytes))
+    }
+
+    /// Number of header blocks encoded so far.
+    pub fn blocks_encoded(&self) -> u64 {
+        self.blocks_encoded
+    }
+}
+
+impl Default for HpackContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_block_compresses_less_than_later_ones() {
+        let mut ctx = HpackContext::new();
+        let first = ctx.encode(1000);
+        let second = ctx.encode(1000);
+        assert_eq!(first, 600);
+        assert_eq!(second, 150);
+        assert!(second < first);
+    }
+
+    #[test]
+    fn floor_applies() {
+        let mut ctx = HpackContext::new();
+        ctx.encode(1000);
+        // 15% of 50 = 7.5 → floored to 20.
+        assert_eq!(ctx.encode(50), 20);
+    }
+
+    #[test]
+    fn floor_never_exceeds_raw() {
+        let mut ctx = HpackContext::new();
+        ctx.encode(1000);
+        // A 5-byte raw block cannot grow to 20.
+        assert_eq!(ctx.encode(5), 5);
+    }
+
+    #[test]
+    fn ratios_clamped() {
+        let mut ctx = HpackContext::with_ratios(2.0, -1.0, 0);
+        assert_eq!(ctx.encode(100), 100); // clamped to 1.0
+        assert_eq!(ctx.encode(100), 0); // clamped to 0.0
+    }
+
+    #[test]
+    fn block_counter() {
+        let mut ctx = HpackContext::new();
+        assert_eq!(ctx.blocks_encoded(), 0);
+        ctx.encode(10);
+        ctx.encode(10);
+        assert_eq!(ctx.blocks_encoded(), 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! # eyeorg-http
+//!
+//! HTTP/1.1 and HTTP/2 protocol simulation over [`eyeorg_net`].
+//!
+//! The paper's second measurement campaign asks crowd workers whether the
+//! HTTP/2 rendition of a site *feels* faster than its HTTP/1.1 one
+//! (Fig. 8b). That comparison is meaningful only if the two protocols'
+//! mechanics are faithfully different, so this crate models what actually
+//! differs between them on the wire:
+//!
+//! | | HTTP/1.1 ([`h1`]) | HTTP/2 ([`h2`]) |
+//! |---|---|---|
+//! | connections/origin | up to 6, one exchange each | 1, multiplexed |
+//! | request queueing | waits for a free connection | streams open immediately |
+//! | response scheduling | FIFO per connection | weighted (priority) interleaving |
+//! | headers | raw every time | HPACK-compressed ([`hpack`]) |
+//! | loss sensitivity | per-connection | one window stalls everything |
+//!
+//! [`engine::FetchEngine`] is the browser-facing API; it co-simulates
+//! with the caller through bounded event pumping
+//! ([`engine::FetchEngine::next_event_until`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod h1;
+pub mod h2;
+pub mod hpack;
+pub mod request;
+
+pub use engine::{FetchEngine, HttpConfig, Protocol};
+pub use hpack::HpackContext;
+pub use request::{FetchEvent, OriginId, Priority, Request, RequestId, RequestTiming};

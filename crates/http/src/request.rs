@@ -1,0 +1,177 @@
+//! Request/response model shared by both protocol engines.
+//!
+//! A [`Request`] describes one resource fetch the browser wants: where it
+//! goes (origin), how big its headers and body are, its scheduling
+//! priority, and how long the server thinks before the first response
+//! byte. The engines turn submissions into [`FetchEvent`]s — the
+//! progressive byte-level feedback the browser's parser and renderer
+//! consume.
+
+use eyeorg_net::{SimDuration, SimTime};
+
+/// Identifier of a submitted request, unique within one engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+/// Identifier of an origin (scheme+host+port equivalence class). The
+/// workload generator assigns these; the engine maps each to its own
+/// connection pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OriginId(pub u32);
+
+/// Browser-assigned request priority, ordered from most to least urgent.
+///
+/// Chrome's scheduler (the browser webpeg records) prioritises the main
+/// document, then render-blocking CSS/fonts, then scripts, then images,
+/// with ads/trackers effectively last. HTTP/2 carries these as stream
+/// priorities; HTTP/1.1 browsers approximate them by choosing which
+/// queued request gets the next free connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// The main HTML document.
+    Critical,
+    /// Render-blocking subresources (CSS, fonts).
+    High,
+    /// Scripts.
+    Medium,
+    /// Images and media.
+    Low,
+    /// Ads, trackers, beacons.
+    Lowest,
+}
+
+impl Priority {
+    /// HTTP/2 weight used by the weighted-round-robin response scheduler.
+    ///
+    /// The steep ratios approximate Chrome/H2-server practice, where the
+    /// critical path (document, stylesheets, fonts) is served near-
+    /// exclusively ahead of image traffic rather than proportionally.
+    pub fn h2_weight(self) -> u32 {
+        match self {
+            Priority::Critical => 256,
+            Priority::High => 96,
+            Priority::Medium => 24,
+            Priority::Low => 6,
+            Priority::Lowest => 1,
+        }
+    }
+
+    /// All priorities, most urgent first (used by queue scans).
+    pub const ALL: [Priority; 5] =
+        [Priority::Critical, Priority::High, Priority::Medium, Priority::Low, Priority::Lowest];
+}
+
+/// One resource fetch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Connection-pool key.
+    pub origin: OriginId,
+    /// Uncompressed request header bytes (method, path, cookies, UA…).
+    pub request_header_bytes: u64,
+    /// Uncompressed response header bytes.
+    pub response_header_bytes: u64,
+    /// Response body bytes.
+    pub body_bytes: u64,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Server processing time between receiving the request and the first
+    /// response byte becoming available.
+    pub server_think: SimDuration,
+}
+
+/// Progressive fetch feedback delivered by the engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchEvent {
+    /// All response header bytes have arrived; the browser may begin
+    /// acting on the resource's metadata.
+    HeadersReceived {
+        /// The request this event belongs to.
+        id: RequestId,
+    },
+    /// More body bytes arrived, in order.
+    Data {
+        /// The request this event belongs to.
+        id: RequestId,
+        /// Cumulative body bytes received so far.
+        body_bytes: u64,
+    },
+    /// The full response (headers + body) has arrived.
+    Completed {
+        /// The request this event belongs to.
+        id: RequestId,
+    },
+}
+
+impl FetchEvent {
+    /// The request the event refers to.
+    pub fn request_id(&self) -> RequestId {
+        match *self {
+            FetchEvent::HeadersReceived { id }
+            | FetchEvent::Data { id, .. }
+            | FetchEvent::Completed { id } => id,
+        }
+    }
+}
+
+/// Timing record kept per request, the raw material of the HAR log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequestTiming {
+    /// When the browser submitted the request to the engine.
+    pub submitted: Option<SimTime>,
+    /// When the request bytes left the client (assigned to a connection).
+    pub sent: Option<SimTime>,
+    /// When the full request arrived at the server.
+    pub request_at_server: Option<SimTime>,
+    /// When the response headers completed at the client (time to first
+    /// usable byte).
+    pub headers_received: Option<SimTime>,
+    /// When the full response completed at the client.
+    pub completed: Option<SimTime>,
+}
+
+impl RequestTiming {
+    /// Total fetch latency (submit → complete), if finished.
+    pub fn total(&self) -> Option<SimDuration> {
+        Some(self.completed?.since(self.submitted?))
+    }
+
+    /// Time to first byte (submit → headers), if headers arrived.
+    pub fn ttfb(&self) -> Option<SimDuration> {
+        Some(self.headers_received?.since(self.submitted?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_weights_monotone() {
+        let w: Vec<u32> = Priority::ALL.iter().map(|p| p.h2_weight()).collect();
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1], "weights must strictly decrease");
+        }
+    }
+
+    #[test]
+    fn fetch_event_request_id() {
+        let id = RequestId(7);
+        assert_eq!(FetchEvent::HeadersReceived { id }.request_id(), id);
+        assert_eq!(FetchEvent::Data { id, body_bytes: 1 }.request_id(), id);
+        assert_eq!(FetchEvent::Completed { id }.request_id(), id);
+    }
+
+    #[test]
+    fn timing_arithmetic() {
+        let t = RequestTiming {
+            submitted: Some(SimTime::from_millis(100)),
+            sent: Some(SimTime::from_millis(101)),
+            request_at_server: Some(SimTime::from_millis(120)),
+            headers_received: Some(SimTime::from_millis(160)),
+            completed: Some(SimTime::from_millis(200)),
+        };
+        assert_eq!(t.ttfb().unwrap(), SimDuration::from_millis(60));
+        assert_eq!(t.total().unwrap(), SimDuration::from_millis(100));
+        assert!(RequestTiming::default().total().is_none());
+    }
+}

@@ -1,0 +1,24 @@
+//! # eyeorg-metrics
+//!
+//! Automatic page-load-time metrics, computed from captures the way a
+//! WebPageTest-style pipeline extracts them from real videos and HARs.
+//!
+//! The whole point of the paper's first campaign (§5.2, Fig. 7) is to
+//! hold these machine metrics up against crowdsourced human perception:
+//! OnLoad and FirstVisualChange correlate strongly with
+//! `UserPerceivedPLT` (0.85/0.84 in the paper), SpeedIndex less (0.68),
+//! LastVisualChange barely (0.47). This crate supplies the machine side
+//! of that comparison.
+//!
+//! * [`plt`] — [`plt::PltMetrics`]: OnLoad, SpeedIndex,
+//!   First/LastVisualChange.
+//! * [`progress`] — the visual-completeness curve underlying SpeedIndex.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plt;
+pub mod progress;
+
+pub use plt::{compute_metrics, speed_index, PltMetrics, METRIC_NAMES};
+pub use progress::{time_to_completeness, visual_progress_curve};

@@ -1,0 +1,175 @@
+//! The four automatic PLT metrics of §5.2.
+//!
+//! * **OnLoad** — "the time it takes for the JavaScript onLoad event to
+//!   fire"; the de-facto standard metric the paper interrogates.
+//! * **SpeedIndex** — "the average time at which visible parts of the
+//!   page are displayed": the area above the visual-completeness curve.
+//! * **FirstVisualChange / LastVisualChange** — "the times at which the
+//!   first pixels are drawn and the last pixels stop changing on the
+//!   user's screen" (viewport-clipped).
+//!
+//! All four are computed from a capture ([`eyeorg_video::Video`]) the
+//! same way a WebPageTest-style pipeline extracts them from real
+//! captures, so their disagreements with human perception are emergent,
+//! not scripted.
+
+use eyeorg_net::{SimDuration, SimTime};
+use eyeorg_video::Video;
+
+use crate::progress::visual_progress_curve;
+
+/// The metric bundle for one capture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PltMetrics {
+    /// onload event time.
+    pub onload: Option<SimTime>,
+    /// SpeedIndex (a duration: smaller is better).
+    pub speed_index: Option<SimDuration>,
+    /// First viewport pixel change.
+    pub first_visual_change: Option<SimTime>,
+    /// Last viewport pixel change.
+    pub last_visual_change: Option<SimTime>,
+}
+
+/// Names of the four metrics, in the paper's reporting order.
+pub const METRIC_NAMES: [&str; 4] =
+    ["onload", "speedindex", "lastvisualchange", "firstvisualchange"];
+
+impl PltMetrics {
+    /// Look a metric up by its [`METRIC_NAMES`] name, in seconds.
+    pub fn by_name(&self, name: &str) -> Option<f64> {
+        match name {
+            "onload" => self.onload.map(|t| t.as_secs_f64()),
+            "speedindex" => self.speed_index.map(|d| d.as_secs_f64()),
+            "firstvisualchange" => self.first_visual_change.map(|t| t.as_secs_f64()),
+            "lastvisualchange" => self.last_visual_change.map(|t| t.as_secs_f64()),
+            _ => None,
+        }
+    }
+}
+
+/// Compute all four metrics for a capture.
+pub fn compute_metrics(video: &Video) -> PltMetrics {
+    let fold = video.trace().fold_y;
+    // A WebPageTest-style pipeline only sees the recorded video: paints
+    // beyond the capture window (late ad rotations) cannot move the
+    // metrics, so clamp to the recording end.
+    let end = SimTime::from_micros(video.duration().as_micros());
+    let viewport_paints: Vec<SimTime> = video
+        .trace()
+        .paints
+        .iter()
+        .filter(|p| p.time <= end)
+        .filter(|p| p.rect.above_fold(fold).is_some())
+        .map(|p| p.time)
+        .collect();
+    let first_visual_change = viewport_paints.first().copied();
+    let last_visual_change = viewport_paints.last().copied();
+    PltMetrics {
+        onload: video.trace().onload,
+        speed_index: speed_index(video),
+        first_visual_change,
+        last_visual_change,
+    }
+}
+
+/// SpeedIndex: the area above the visual-completeness curve,
+/// `∫ (1 − completeness(t)) dt`, integrated step-wise from 0 to the last
+/// visual change. `None` when nothing ever paints in the viewport.
+pub fn speed_index(video: &Video) -> Option<SimDuration> {
+    let curve = visual_progress_curve(video);
+    if curve.len() < 2 {
+        return None;
+    }
+    let mut area_us = 0.0f64;
+    for w in curve.windows(2) {
+        let (t0, c0) = w[0];
+        let (t1, _) = w[1];
+        // The curve is a step function: completeness holds at c0 until t1.
+        area_us += (1.0 - c0) * (t1.as_micros() - t0.as_micros()) as f64;
+    }
+    Some(SimDuration::from_micros(area_us.round() as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eyeorg_browser::{load_page, BrowserConfig};
+    use eyeorg_stats::Seed;
+    use eyeorg_workload::{generate_site, SiteClass};
+
+    fn capture(class: SiteClass, idx: u64, seed: u64) -> Video {
+        let site = generate_site(Seed(idx + 50), idx, class);
+        let trace = load_page(&site, &BrowserConfig::new(), Seed(seed));
+        Video::capture(trace, 10, SimDuration::from_secs(4))
+    }
+
+    #[test]
+    fn metric_ordering_invariants() {
+        for i in 0..6 {
+            let v = capture(SiteClass::ALL[(i % 5) as usize], i, i);
+            let m = compute_metrics(&v);
+            let fvc = m.first_visual_change.unwrap();
+            let lvc = m.last_visual_change.unwrap();
+            let si = m.speed_index.unwrap();
+            assert!(fvc <= lvc, "site {i}");
+            // SpeedIndex lies between FVC and LVC by construction.
+            assert!(si.as_micros() >= fvc.as_micros(), "site {i}: SI {si} < FVC {fvc}");
+            assert!(si.as_micros() <= lvc.as_micros(), "site {i}: SI {si} > LVC {lvc}");
+            assert!(m.onload.is_some());
+        }
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        let v = capture(SiteClass::Blog, 0, 1);
+        let m = compute_metrics(&v);
+        for name in METRIC_NAMES {
+            assert!(m.by_name(name).is_some(), "{name}");
+        }
+        assert!(m.by_name("nonsense").is_none());
+        assert_eq!(m.by_name("onload").unwrap(), m.onload.unwrap().as_secs_f64());
+    }
+
+    #[test]
+    fn speed_index_penalises_late_painting() {
+        // Among repeated loads of the same site, a load whose content
+        // appears later must have a larger SpeedIndex. Compare a site on
+        // a fast vs a slow network.
+        let site = generate_site(Seed(60), 0, SiteClass::Blog);
+        let fast = Video::capture(
+            load_page(&site, &BrowserConfig::new(), Seed(2)),
+            10,
+            SimDuration::from_secs(4),
+        );
+        let slow_cfg =
+            BrowserConfig::new().with_network(eyeorg_net::NetworkProfile::mobile_3g());
+        let slow = Video::capture(
+            load_page(&site, &slow_cfg, Seed(2)),
+            10,
+            SimDuration::from_secs(4),
+        );
+        let si_fast = speed_index(&fast).unwrap();
+        let si_slow = speed_index(&slow).unwrap();
+        assert!(si_slow > si_fast, "slow {si_slow} vs fast {si_fast}");
+    }
+
+    #[test]
+    fn onload_may_precede_last_visual_change() {
+        // Ad rotations and post-onload injected ads mean LVC regularly
+        // exceeds OnLoad on ad-carrying sites — the pathology behind
+        // LastVisualChange's poor correlation in Fig. 7b.
+        let mut late_paint_sites = 0;
+        for i in 0..8 {
+            let v = capture(SiteClass::News, i, 100 + i);
+            let m = compute_metrics(&v);
+            if m.last_visual_change.unwrap() > m.onload.unwrap() {
+                late_paint_sites += 1;
+            }
+        }
+        assert!(
+            late_paint_sites >= 4,
+            "expected most news sites to paint after onload, got {late_paint_sites}/8"
+        );
+    }
+}

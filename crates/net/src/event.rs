@@ -1,0 +1,169 @@
+//! Deterministic event queue.
+//!
+//! A binary min-heap keyed on `(time, sequence)`. The monotonically
+//! increasing sequence number breaks ties in insertion order, which makes
+//! event processing fully deterministic: two events scheduled for the same
+//! instant always pop in the order they were pushed, regardless of heap
+//! internals. Determinism here is what makes every campaign in the
+//! reproduction replayable from a seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A scheduled event carrying a payload of type `E`.
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on (time, seq).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events may only be scheduled at or after the time of the most recently
+/// popped event (the queue's *watermark*); scheduling into the past would
+/// violate causality and panics.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    watermark: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with watermark at time zero.
+    pub fn new() -> EventQueue<E> {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, watermark: SimTime::ZERO }
+    }
+
+    /// Schedule `payload` to fire at `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is earlier than the watermark (the time of the
+    /// last popped event).
+    pub fn schedule(&mut self, time: SimTime, payload: E) {
+        assert!(
+            time >= self.watermark,
+            "scheduling into the past: {} < watermark {}",
+            time,
+            self.watermark
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, payload });
+    }
+
+    /// Remove and return the earliest event, advancing the watermark.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let ev = self.heap.pop()?;
+        self.watermark = ev.time;
+        Some((ev.time, ev.payload))
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The current watermark: no event earlier than this can exist.
+    pub fn now(&self) -> SimTime {
+        self.watermark
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), "c");
+        q.schedule(SimTime::from_millis(10), "a");
+        q.schedule(SimTime::from_millis(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn watermark_advances() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(10));
+        // Scheduling at exactly the watermark is allowed.
+        q.schedule(SimTime::from_millis(10), ());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn past_scheduling_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), ());
+        q.pop();
+        q.schedule(SimTime::from_millis(9), ());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1) + SimDuration::from_micros(5), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(1005)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! # eyeorg-net
+//!
+//! Deterministic, event-driven network simulator underpinning the Eyeorg
+//! reproduction.
+//!
+//! The paper's capture tool (webpeg) records page loads over real network
+//! paths with Chrome's network emulation; every timing the platform later
+//! shows to participants is downstream of transport behaviour. This crate
+//! replaces the physical network with a seeded simulation that keeps the
+//! pieces that matter to the paper's experiments:
+//!
+//! * a shared **access link** per client with serialisation, propagation
+//!   and drop-tail queueing ([`link`]),
+//! * **Reno/NewReno TCP** per connection — slow start from a 10-segment
+//!   window, AIMD, fast retransmit, RTO with backoff ([`tcp`]),
+//! * seeded **loss processes** including bursty Gilbert–Elliott loss
+//!   ([`loss`]),
+//! * **TLS handshake** round-trip costs ([`profile::TlsMode`]),
+//! * a caching **DNS resolver** supporting webpeg's primer-load
+//!   methodology ([`dns`]),
+//! * WebPageTest-style **network profiles** (Cable/DSL/3G/LTE/Fiber)
+//!   ([`profile`]).
+//!
+//! Everything is driven by a deterministic event queue ([`event`]) with
+//! FIFO tie-breaking; identical seeds replay identical packet timelines.
+//!
+//! The top-level entry point is [`sim::NetSim`]; the HTTP engines in
+//! `eyeorg-http` sit directly on top of it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dns;
+pub mod event;
+pub mod link;
+pub mod loss;
+pub mod profile;
+pub mod qlog;
+pub mod sim;
+pub mod tcp;
+pub mod time;
+
+pub use dns::{DnsConfig, Resolver};
+pub use loss::{LossModel, LossProcess};
+pub use profile::{NetworkProfile, TlsMode};
+pub use qlog::{ConnEvent, ConnLog};
+pub use sim::{ConnId, ConnStats, NetEvent, NetSim};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,203 @@
+//! Network emulation profiles.
+//!
+//! webpeg records page loads under controlled network conditions via
+//! Chrome's remote-debugging network emulation (§3.1 of the paper). The
+//! presets here mirror the de-facto standard WebPageTest traffic-shaping
+//! profiles that tooling of that era used, so an experimenter can say
+//! "capture this site over Cable" exactly as they would have with the
+//! original platform.
+
+use crate::loss::LossModel;
+use crate::time::SimDuration;
+
+/// A bidirectional access-link profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkProfile {
+    /// Human-readable name ("Cable", "3G", …).
+    pub name: &'static str,
+    /// Downlink rate in bits per second.
+    pub down_bps: u64,
+    /// Uplink rate in bits per second.
+    pub up_bps: u64,
+    /// Round-trip propagation delay (split evenly per direction).
+    pub rtt: SimDuration,
+    /// Loss process applied to downlink data segments.
+    pub loss: LossModel,
+    /// Drop-tail buffer size in packets, per direction.
+    pub queue_limit: usize,
+}
+
+impl NetworkProfile {
+    /// One-way propagation delay per direction.
+    pub fn one_way_delay(&self) -> SimDuration {
+        SimDuration::from_micros(self.rtt.as_micros() / 2)
+    }
+
+    /// "FTTC": 12 Mbit/s down, 3 Mbit/s up, 45 ms RTT — a fast consumer
+    /// line reaching real (not datacentre-local) origins; the regime
+    /// where the paper's mix of 1–10 s onloads arises for a top-sites
+    /// sample, and where multiplexing's round-trip savings show.
+    pub fn fttc() -> NetworkProfile {
+        NetworkProfile {
+            name: "FTTC",
+            down_bps: 12_000_000,
+            up_bps: 3_000_000,
+            rtt: SimDuration::from_millis(45),
+            loss: LossModel::Bernoulli { p: 0.0003 },
+            // Bufferbloat-era CPE: ~100 ms of buffering at line rate.
+            // Much shallower buffers put small flows into correlated
+            // drop-tail RTO spirals real captures did not show; much
+            // deeper ones hide HTTP/1.1's six-connection self-congestion.
+            queue_limit: 96,
+        }
+    }
+
+    /// WebPageTest "Cable": 5 Mbit/s down, 1 Mbit/s up, 28 ms RTT.
+    pub fn cable() -> NetworkProfile {
+        NetworkProfile {
+            name: "Cable",
+            down_bps: 5_000_000,
+            up_bps: 1_000_000,
+            rtt: SimDuration::from_millis(28),
+            loss: LossModel::Bernoulli { p: 0.0005 },
+            queue_limit: 64,
+        }
+    }
+
+    /// WebPageTest "DSL": 1.5 Mbit/s down, 384 kbit/s up, 50 ms RTT.
+    pub fn dsl() -> NetworkProfile {
+        NetworkProfile {
+            name: "DSL",
+            down_bps: 1_500_000,
+            up_bps: 384_000,
+            rtt: SimDuration::from_millis(50),
+            loss: LossModel::Bernoulli { p: 0.001 },
+            queue_limit: 48,
+        }
+    }
+
+    /// WebPageTest "3G": 1.6 Mbit/s down, 768 kbit/s up, 300 ms RTT,
+    /// bursty loss — the profile where protocol differences bite hardest.
+    pub fn mobile_3g() -> NetworkProfile {
+        NetworkProfile {
+            name: "3G",
+            down_bps: 1_600_000,
+            up_bps: 768_000,
+            rtt: SimDuration::from_millis(300),
+            loss: LossModel::GilbertElliott {
+                p_good_to_bad: 0.002,
+                p_bad_to_good: 0.2,
+                loss_good: 0.0005,
+                loss_bad: 0.15,
+            },
+            queue_limit: 32,
+        }
+    }
+
+    /// "LTE": 12 Mbit/s symmetric, 70 ms RTT, light bursty loss.
+    pub fn lte() -> NetworkProfile {
+        NetworkProfile {
+            name: "LTE",
+            down_bps: 12_000_000,
+            up_bps: 12_000_000,
+            rtt: SimDuration::from_millis(70),
+            loss: LossModel::GilbertElliott {
+                p_good_to_bad: 0.001,
+                p_bad_to_good: 0.3,
+                loss_good: 0.0002,
+                loss_bad: 0.08,
+            },
+            queue_limit: 96,
+        }
+    }
+
+    /// "Fiber": 100 Mbit/s down, 40 Mbit/s up, 10 ms RTT, negligible loss.
+    pub fn fiber() -> NetworkProfile {
+        NetworkProfile {
+            name: "Fiber",
+            down_bps: 100_000_000,
+            up_bps: 40_000_000,
+            rtt: SimDuration::from_millis(10),
+            loss: LossModel::Bernoulli { p: 0.0001 },
+            queue_limit: 96,
+        }
+    }
+
+    /// A lossless, fast profile for unit tests needing exact arithmetic.
+    pub fn lossless_test() -> NetworkProfile {
+        NetworkProfile {
+            name: "test",
+            down_bps: 10_000_000,
+            up_bps: 10_000_000,
+            rtt: SimDuration::from_millis(40),
+            loss: LossModel::None,
+            queue_limit: 1024,
+        }
+    }
+
+    /// All named presets, for sweeps and CLI listings.
+    pub fn presets() -> Vec<NetworkProfile> {
+        vec![
+            NetworkProfile::fiber(),
+            NetworkProfile::fttc(),
+            NetworkProfile::cable(),
+            NetworkProfile::dsl(),
+            NetworkProfile::lte(),
+            NetworkProfile::mobile_3g(),
+        ]
+    }
+}
+
+/// TLS configuration for a connection. webpeg's captures of H2 sites are
+/// necessarily over TLS; H1 comparisons in the paper load the same https
+/// URLs, so both protocols pay the handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlsMode {
+    /// Plain TCP — no additional round trips.
+    None,
+    /// TLS 1.2: two additional round trips before application data.
+    Tls12,
+    /// TLS 1.3: one additional round trip.
+    Tls13,
+}
+
+impl TlsMode {
+    /// Handshake round trips added on top of the TCP handshake.
+    pub fn extra_round_trips(self) -> u32 {
+        match self {
+            TlsMode::None => 0,
+            TlsMode::Tls12 => 2,
+            TlsMode::Tls13 => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        for p in NetworkProfile::presets() {
+            assert!(p.down_bps > 0);
+            assert!(p.up_bps > 0);
+            assert!(p.queue_limit > 0);
+            assert!(p.rtt > SimDuration::ZERO);
+            assert!(p.loss.mean_loss_rate() < 0.05, "{} too lossy", p.name);
+            assert_eq!(p.one_way_delay().as_micros() * 2, p.rtt.as_micros());
+        }
+    }
+
+    #[test]
+    fn profiles_ordered_by_speed() {
+        assert!(NetworkProfile::fiber().down_bps > NetworkProfile::cable().down_bps);
+        assert!(NetworkProfile::cable().down_bps > NetworkProfile::dsl().down_bps);
+    }
+
+    #[test]
+    fn tls_round_trips() {
+        assert_eq!(TlsMode::None.extra_round_trips(), 0);
+        assert_eq!(TlsMode::Tls13.extra_round_trips(), 1);
+        assert_eq!(TlsMode::Tls12.extra_round_trips(), 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! Connection event logs (qlog-style).
+//!
+//! Debugging a transport simulation needs the same visibility debugging a
+//! real transport does: what was sent when, what the congestion window
+//! did, where the retransmissions and timeouts happened. [`ConnLog`]
+//! records a per-connection event stream that [`crate::sim::NetSim`] fills
+//! when logging is enabled, in the spirit of IETF qlog — serialisable,
+//! per-event timestamps, transport-level vocabulary.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// One logged transport event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConnEvent {
+    /// The connection's handshake completed.
+    Established,
+    /// A data segment entered the network.
+    SegmentSent {
+        /// First byte offset.
+        start: u64,
+        /// Payload length.
+        len: u64,
+        /// Whether this was a retransmission.
+        retransmission: bool,
+        /// Congestion window at send time (bytes).
+        cwnd: u64,
+    },
+    /// The segment was dropped before the queue (random loss) or by the
+    /// drop-tail buffer.
+    SegmentDropped {
+        /// First byte offset.
+        start: u64,
+    },
+    /// A cumulative ACK arrived at the sender.
+    AckReceived {
+        /// Acknowledged byte point.
+        ack: u64,
+        /// Congestion window after processing (bytes).
+        cwnd: u64,
+        /// Bytes in flight after processing.
+        in_flight: u64,
+    },
+    /// The retransmission timer fired.
+    Timeout,
+}
+
+/// A per-connection event log.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnLog {
+    /// Events in time order.
+    pub events: Vec<(SimTime, ConnEvent)>,
+}
+
+impl ConnLog {
+    /// Record an event (called by the simulator).
+    pub(crate) fn push(&mut self, t: SimTime, ev: ConnEvent) {
+        self.events.push((t, ev));
+    }
+
+    /// The congestion-window trace: `(time, cwnd)` samples from every
+    /// send and ACK event.
+    pub fn cwnd_trace(&self) -> Vec<(SimTime, u64)> {
+        self.events
+            .iter()
+            .filter_map(|&(t, ev)| match ev {
+                ConnEvent::SegmentSent { cwnd, .. } | ConnEvent::AckReceived { cwnd, .. } => {
+                    Some((t, cwnd))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Count of events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&ConnEvent) -> bool) -> usize {
+        self.events.iter().filter(|(_, ev)| pred(ev)).count()
+    }
+
+    /// Serialise as JSON lines (one event per line), the friendliest
+    /// format for ad-hoc inspection.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (t, ev) in &self.events {
+            out.push_str(
+                &serde_json::to_string(&(t.as_micros(), ev)).expect("log serialisation"),
+            );
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{NetworkProfile, TlsMode};
+    use crate::sim::{NetEvent, NetSim};
+    use eyeorg_stats::Seed;
+
+    fn run_logged_transfer(bytes: u64) -> ConnLog {
+        let mut sim = NetSim::new(NetworkProfile::cable(), Seed(9));
+        sim.set_logging(true);
+        let conn = sim.open(SimTime::ZERO, TlsMode::None);
+        sim.client_send(conn, SimTime::ZERO, 300);
+        let mut responded = false;
+        while let Some((t, ev)) = sim.next_event() {
+            if let NetEvent::RequestDelivered { .. } = ev {
+                if !responded {
+                    responded = true;
+                    sim.server_send(conn, t, bytes);
+                }
+            }
+        }
+        sim.take_log(conn).expect("logging was enabled")
+    }
+
+    #[test]
+    fn log_captures_full_lifecycle() {
+        let log = run_logged_transfer(200_000);
+        assert!(log.count(|e| matches!(e, ConnEvent::Established)) == 1);
+        let sends = log.count(|e| matches!(e, ConnEvent::SegmentSent { .. }));
+        assert!(sends >= (200_000 / 1460) as usize, "sends {sends}");
+        assert!(log.count(|e| matches!(e, ConnEvent::AckReceived { .. })) > 0);
+        // Time-ordered.
+        for w in log.events.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+        }
+    }
+
+    #[test]
+    fn cwnd_trace_shows_slow_start_growth() {
+        let log = run_logged_transfer(400_000);
+        let trace = log.cwnd_trace();
+        assert!(!trace.is_empty());
+        let first = trace.first().expect("non-empty").1;
+        let max = trace.iter().map(|&(_, c)| c).max().expect("non-empty");
+        assert!(max > first, "cwnd must grow from IW: {first} -> {max}");
+    }
+
+    #[test]
+    fn jsonl_roundtrips_per_line() {
+        let log = run_logged_transfer(20_000);
+        let jsonl = log.to_jsonl();
+        for line in jsonl.lines() {
+            let (_t, _ev): (u64, ConnEvent) = serde_json::from_str(line).expect("valid line");
+        }
+        assert_eq!(jsonl.lines().count(), log.events.len());
+    }
+
+    #[test]
+    fn logging_disabled_returns_none() {
+        let mut sim = NetSim::new(NetworkProfile::cable(), Seed(9));
+        let conn = sim.open(SimTime::ZERO, TlsMode::None);
+        sim.run_to_quiescence();
+        assert!(sim.take_log(conn).is_none());
+    }
+}

@@ -1,0 +1,676 @@
+//! The network simulator: connections over a shared access link.
+//!
+//! [`NetSim`] is the substrate under every page load in this
+//! reproduction. It owns one bidirectional access link (the client's
+//! bottleneck), any number of TCP connections multiplexed over it, a
+//! seeded loss process, and the global event queue. The HTTP engines in
+//! `eyeorg-http` drive it through four calls — open a connection, send
+//! request bytes up, send response bytes down, and pump events — and
+//! observe byte-level progress through [`NetEvent`]s.
+//!
+//! ## Fidelity notes
+//!
+//! * Response (downlink) segments experience congestion control, loss and
+//!   drop-tail queueing — this is where the HTTP/1.1-vs-HTTP/2 differences
+//!   the paper measures come from.
+//! * Request (uplink) bytes and ACKs are serialised through the uplink
+//!   queue but are not subject to loss or congestion control: requests in
+//!   the studied workloads are a few hundred bytes, far below any
+//!   uplink's congestion point, and modelling their loss would add noise
+//!   without changing any conclusion (documented substitution).
+//! * Handshake packets (TCP + TLS legs) are likewise lossless; their
+//!   contribution is the round trips, which are modelled through the real
+//!   queues so queueing delay still applies.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+use eyeorg_stats::Seed;
+
+use crate::event::EventQueue;
+use crate::link::{LinkQueue, Transmit};
+use crate::loss::LossProcess;
+use crate::profile::{NetworkProfile, TlsMode};
+use crate::qlog::{ConnEvent, ConnLog};
+use crate::tcp::{SackBlocks, TcpReceiver, TcpSender, HEADER_BYTES, MSS};
+use crate::time::SimTime;
+
+/// Wire size of a handshake packet (SYN/SYNACK/TLS flight, abstracted).
+const HANDSHAKE_PACKET_BYTES: u64 = 66;
+
+/// Wire size of a bare ACK.
+const ACK_BYTES: u64 = HEADER_BYTES + 26;
+
+/// Identifier of a connection within one [`NetSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConnId(pub usize);
+
+/// Application-visible events surfaced by [`NetSim::next_event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetEvent {
+    /// The connection finished its TCP (+TLS) handshake; the client may
+    /// now send requests.
+    Established {
+        /// The connection that became usable.
+        conn: ConnId,
+    },
+    /// Cumulative request bytes that have arrived at the server.
+    RequestDelivered {
+        /// Connection carrying the request.
+        conn: ConnId,
+        /// Total uplink application bytes delivered so far.
+        total_bytes: u64,
+    },
+    /// Cumulative in-order response bytes available to the client
+    /// application (the browser).
+    Delivered {
+        /// Connection carrying the response.
+        conn: ConnId,
+        /// Total downlink application bytes delivered in order so far.
+        total_bytes: u64,
+    },
+}
+
+/// Internal simulator events.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Open { conn: usize },
+    HandshakeLeg { conn: usize, remaining: u32 },
+    ClientSend { conn: usize, bytes: u64 },
+    ServerSend { conn: usize, bytes: u64 },
+    UpDataArrive { conn: usize, end: u64 },
+    SegArrive { conn: usize, start: u64, end: u64 },
+    AckArrive { conn: usize, ack: u64, sack: SackBlocks },
+    RtoCheck { conn: usize, epoch: u64 },
+}
+
+/// Per-connection bookkeeping around the TCP state machines.
+#[derive(Debug)]
+struct Conn {
+    sender: TcpSender,
+    receiver: TcpReceiver,
+    tls: TlsMode,
+    established: bool,
+    established_at: Option<SimTime>,
+    opened_at: SimTime,
+    up_sent: u64,
+    up_delivered: u64,
+    rto_epoch: u64,
+    log: Option<ConnLog>,
+}
+
+/// Public per-connection statistics (for HARs and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnStats {
+    /// When `open` was called.
+    pub opened_at: SimTime,
+    /// When the handshake completed (None if still connecting).
+    pub established_at: Option<SimTime>,
+    /// Segments the server sent, including retransmissions.
+    pub segments_sent: u64,
+    /// Retransmitted segments.
+    pub retransmissions: u64,
+    /// RTO events.
+    pub timeouts: u64,
+    /// In-order response bytes delivered to the client.
+    pub bytes_delivered: u64,
+}
+
+/// A deterministic network simulation over one access link.
+#[derive(Debug)]
+pub struct NetSim {
+    profile: NetworkProfile,
+    downlink: LinkQueue,
+    uplink: LinkQueue,
+    loss: LossProcess,
+    conns: Vec<Conn>,
+    queue: EventQueue<Ev>,
+    out: VecDeque<(SimTime, NetEvent)>,
+    logging: bool,
+    #[allow(dead_code)] // reserved for future jitter modelling
+    rng: StdRng,
+}
+
+impl NetSim {
+    /// Create a simulator for the given access-link profile. All
+    /// randomness (currently the loss process) derives from `seed`.
+    pub fn new(profile: NetworkProfile, seed: Seed) -> NetSim {
+        let one_way = profile.one_way_delay();
+        NetSim {
+            downlink: LinkQueue::new(profile.down_bps, one_way, profile.queue_limit),
+            // Uplink carries only small requests/ACKs; give it a deep
+            // buffer so drop-tail never applies (see module docs).
+            uplink: LinkQueue::new(profile.up_bps, one_way, usize::MAX / 2),
+            loss: LossProcess::new(profile.loss, seed),
+            conns: Vec::new(),
+            queue: EventQueue::new(),
+            out: VecDeque::new(),
+            logging: false,
+            rng: StdRng::seed_from_u64(seed.derive("netsim").value()),
+            profile,
+        }
+    }
+
+    /// The configured profile.
+    pub fn profile(&self) -> &NetworkProfile {
+        &self.profile
+    }
+
+    /// Enable or disable qlog-style event logging for connections opened
+    /// *after* this call.
+    pub fn set_logging(&mut self, on: bool) {
+        self.logging = on;
+    }
+
+    /// Take (consume) the event log of a connection; `None` when logging
+    /// was off when it was opened.
+    pub fn take_log(&mut self, conn: ConnId) -> Option<ConnLog> {
+        self.conns[conn.0].log.take()
+    }
+
+    /// Current simulation time (time of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Earliest pending internal event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Open a connection at time `at` (≥ the current watermark). The
+    /// handshake (1 RTT for TCP plus [`TlsMode::extra_round_trips`]) runs
+    /// through the link queues; an [`NetEvent::Established`] fires when
+    /// the client may transmit.
+    pub fn open(&mut self, at: SimTime, tls: TlsMode) -> ConnId {
+        let idx = self.conns.len();
+        self.conns.push(Conn {
+            sender: TcpSender::new(),
+            receiver: TcpReceiver::new(),
+            tls,
+            established: false,
+            established_at: None,
+            opened_at: at,
+            up_sent: 0,
+            up_delivered: 0,
+            rto_epoch: 0,
+            log: self.logging.then(ConnLog::default),
+        });
+        self.queue.schedule(at, Ev::Open { conn: idx });
+        ConnId(idx)
+    }
+
+    /// Queue `bytes` of request data from client to server at time `at`.
+    /// The connection must be established by then (the caller reacts to
+    /// [`NetEvent::Established`], so this is natural); bytes sent on an
+    /// unestablished connection are delivered only after establishment.
+    pub fn client_send(&mut self, conn: ConnId, at: SimTime, bytes: u64) {
+        assert!(bytes > 0, "client_send of zero bytes");
+        self.queue.schedule(at, Ev::ClientSend { conn: conn.0, bytes });
+    }
+
+    /// Queue `bytes` of response data from server to client at time `at`.
+    pub fn server_send(&mut self, conn: ConnId, at: SimTime, bytes: u64) {
+        assert!(bytes > 0, "server_send of zero bytes");
+        self.queue.schedule(at, Ev::ServerSend { conn: conn.0, bytes });
+    }
+
+    /// Statistics snapshot for a connection.
+    pub fn conn_stats(&self, conn: ConnId) -> ConnStats {
+        let c = &self.conns[conn.0];
+        ConnStats {
+            opened_at: c.opened_at,
+            established_at: c.established_at,
+            segments_sent: c.sender.segments_sent(),
+            retransmissions: c.sender.retransmissions(),
+            timeouts: c.sender.timeouts(),
+            bytes_delivered: c.receiver.delivered(),
+        }
+    }
+
+    /// Advance the simulation until the next application-visible event
+    /// and return it, or `None` when the simulation has quiesced.
+    pub fn next_event(&mut self) -> Option<(SimTime, NetEvent)> {
+        self.next_event_until(SimTime::from_micros(u64::MAX))
+    }
+
+    /// Like [`NetSim::next_event`], but refuses to process internal events
+    /// later than `limit`. Returns `None` once the next pending internal
+    /// event (if any) lies beyond `limit`, leaving it queued.
+    ///
+    /// Layers above the simulator (the HTTP engines) keep their own timed
+    /// actions (server think time, scheduler wake-ups); this bound lets
+    /// them interleave those actions without the simulator racing past
+    /// the time at which the layer above still intends to inject work.
+    pub fn next_event_until(&mut self, limit: SimTime) -> Option<(SimTime, NetEvent)> {
+        loop {
+            if let Some(ev) = self.out.pop_front() {
+                return Some(ev);
+            }
+            if self.queue.peek_time()? > limit {
+                return None;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked non-empty");
+            self.process(now, ev);
+        }
+    }
+
+    /// Run the simulation to quiescence, discarding events. Useful in
+    /// tests that only inspect final statistics.
+    pub fn run_to_quiescence(&mut self) {
+        while self.next_event().is_some() {}
+    }
+
+    // ------------------------------------------------------------------
+    // Internal event processing
+    // ------------------------------------------------------------------
+
+    fn process(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Open { conn } => {
+                // First handshake leg: client → server.
+                let total_legs = 2 * (1 + self.conns[conn].tls.extra_round_trips());
+                let arrival = self.up_transmit(now, HANDSHAKE_PACKET_BYTES);
+                self.queue.schedule(arrival, Ev::HandshakeLeg { conn, remaining: total_legs - 1 });
+            }
+            Ev::HandshakeLeg { conn, remaining } => {
+                if remaining == 0 {
+                    let c = &mut self.conns[conn];
+                    c.established = true;
+                    c.established_at = Some(now);
+                    if let Some(log) = &mut c.log {
+                        log.push(now, ConnEvent::Established);
+                    }
+                    // Flush any request bytes queued before establishment.
+                    let pending = c.up_sent - c.up_delivered;
+                    let delivered = c.up_delivered;
+                    self.out.push_back((now, NetEvent::Established { conn: ConnId(conn) }));
+                    if pending > 0 {
+                        self.up_send_chunks(conn, now, delivered, pending);
+                    }
+                    return;
+                }
+                // Legs alternate: odd remaining counts left → next leg is
+                // downlink if the leg count left is odd (server replies),
+                // uplink otherwise.
+                let is_down = remaining % 2 == 1;
+                let arrival = if is_down {
+                    self.down_transmit_lossless(now, HANDSHAKE_PACKET_BYTES)
+                } else {
+                    self.up_transmit(now, HANDSHAKE_PACKET_BYTES)
+                };
+                self.queue.schedule(arrival, Ev::HandshakeLeg { conn, remaining: remaining - 1 });
+            }
+            Ev::ClientSend { conn, bytes } => {
+                let start = self.conns[conn].up_sent;
+                self.conns[conn].up_sent += bytes;
+                if self.conns[conn].established {
+                    self.up_send_chunks(conn, now, start, bytes);
+                }
+                // Otherwise the handshake-completion path flushes it.
+            }
+            Ev::UpDataArrive { conn, end } => {
+                let c = &mut self.conns[conn];
+                if end > c.up_delivered {
+                    c.up_delivered = end;
+                    self.out.push_back((
+                        now,
+                        NetEvent::RequestDelivered { conn: ConnId(conn), total_bytes: end },
+                    ));
+                }
+            }
+            Ev::ServerSend { conn, bytes } => {
+                self.conns[conn].sender.app_write(bytes);
+                self.pump(conn, now);
+                self.rearm_rto(conn, now);
+            }
+            Ev::SegArrive { conn, start, end } => {
+                let outcome = self.conns[conn].receiver.on_segment(start, end);
+                if outcome.newly_delivered > 0 {
+                    self.out.push_back((
+                        now,
+                        NetEvent::Delivered {
+                            conn: ConnId(conn),
+                            total_bytes: self.conns[conn].receiver.delivered(),
+                        },
+                    ));
+                }
+                // ACK back to the server through the uplink.
+                let arrival = self.up_transmit(now, ACK_BYTES);
+                self.queue.schedule(
+                    arrival,
+                    Ev::AckArrive { conn, ack: outcome.ack, sack: outcome.sack },
+                );
+            }
+            Ev::AckArrive { conn, ack, sack } => {
+                self.conns[conn].sender.update_sack(sack);
+                self.conns[conn].sender.on_ack(ack, now);
+                let c = &mut self.conns[conn];
+                if let Some(log) = &mut c.log {
+                    log.push(
+                        now,
+                        ConnEvent::AckReceived {
+                            ack,
+                            cwnd: c.sender.cwnd_bytes(),
+                            in_flight: c.sender.in_flight(),
+                        },
+                    );
+                }
+                self.pump(conn, now);
+                self.rearm_rto(conn, now);
+            }
+            Ev::RtoCheck { conn, epoch } => {
+                if self.conns[conn].rto_epoch != epoch {
+                    return; // superseded by a later (re)arm
+                }
+                if self.conns[conn].sender.on_rto() {
+                    if let Some(log) = &mut self.conns[conn].log {
+                        log.push(now, ConnEvent::Timeout);
+                    }
+                    self.pump(conn, now);
+                    self.rearm_rto(conn, now);
+                }
+            }
+        }
+    }
+
+    /// Transmit all segments the sender's window currently allows.
+    fn pump(&mut self, conn: usize, now: SimTime) {
+        loop {
+            let Some(seg) = self.conns[conn].sender.next_segment() else { break };
+            self.conns[conn].sender.mark_sent(seg, now);
+            let cwnd = self.conns[conn].sender.cwnd_bytes();
+            if let Some(log) = &mut self.conns[conn].log {
+                log.push(
+                    now,
+                    ConnEvent::SegmentSent {
+                        start: seg.start,
+                        len: seg.len(),
+                        retransmission: seg.retransmission,
+                        cwnd,
+                    },
+                );
+            }
+            if self.loss.drops_next() {
+                if let Some(log) = &mut self.conns[conn].log {
+                    log.push(now, ConnEvent::SegmentDropped { start: seg.start });
+                }
+                continue; // lost in the network
+            }
+            match self.downlink.offer(now, seg.wire_bytes()) {
+                Transmit::Delivered(arrival) => {
+                    self.queue
+                        .schedule(arrival, Ev::SegArrive { conn, start: seg.start, end: seg.end });
+                }
+                Transmit::Dropped => {
+                    // Drop-tail loss: sender finds out via dupacks/RTO.
+                    if let Some(log) = &mut self.conns[conn].log {
+                        log.push(now, ConnEvent::SegmentDropped { start: seg.start });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reset the retransmission timer after any sender activity.
+    fn rearm_rto(&mut self, conn: usize, now: SimTime) {
+        let c = &mut self.conns[conn];
+        c.rto_epoch += 1;
+        if c.sender.in_flight() > 0 {
+            let deadline = now + c.sender.current_rto();
+            self.queue.schedule(deadline, Ev::RtoCheck { conn, epoch: c.rto_epoch });
+        }
+    }
+
+    /// Send `bytes` of request data (starting at stream offset `start`)
+    /// up the link in MSS-sized chunks.
+    fn up_send_chunks(&mut self, conn: usize, now: SimTime, start: u64, bytes: u64) {
+        let mut off = 0;
+        while off < bytes {
+            let chunk = (bytes - off).min(MSS);
+            let arrival = self.up_transmit(now, chunk + HEADER_BYTES);
+            self.queue.schedule(arrival, Ev::UpDataArrive { conn, end: start + off + chunk });
+            off += chunk;
+        }
+    }
+
+    fn up_transmit(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        match self.uplink.offer(now, bytes) {
+            Transmit::Delivered(t) => t,
+            Transmit::Dropped => unreachable!("uplink buffer is effectively unbounded"),
+        }
+    }
+
+    fn down_transmit_lossless(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        match self.downlink.offer(now, bytes) {
+            Transmit::Delivered(t) => t,
+            // A handshake packet squeezed out by a full buffer: model as
+            // delayed behind the burst rather than lost, keeping
+            // handshakes deterministic.
+            Transmit::Dropped => now + self.downlink.queueing_delay(now) + self.downlink.prop_delay(),
+        }
+    }
+}
+
+/// One-shot convenience: time to deliver `bytes` from server to client on
+/// a fresh connection (handshake + request + response), mimicking a
+/// single-object fetch. Returns `(request_sent_at, completion)` times.
+pub fn single_transfer(
+    profile: NetworkProfile,
+    seed: Seed,
+    tls: TlsMode,
+    request_bytes: u64,
+    response_bytes: u64,
+) -> (SimTime, SimTime) {
+    let mut sim = NetSim::new(profile, seed);
+    let conn = sim.open(SimTime::ZERO, tls);
+    let mut request_at = SimTime::ZERO;
+    let mut done_at = SimTime::ZERO;
+    while let Some((t, ev)) = sim.next_event() {
+        match ev {
+            NetEvent::Established { conn: c } if c == conn => {
+                request_at = t;
+                sim.client_send(conn, t, request_bytes);
+            }
+            NetEvent::RequestDelivered { conn: c, total_bytes } if c == conn => {
+                if total_bytes == request_bytes {
+                    sim.server_send(conn, t, response_bytes);
+                }
+            }
+            NetEvent::Delivered { conn: c, total_bytes } if c == conn => {
+                if total_bytes == response_bytes {
+                    done_at = t;
+                }
+            }
+            _ => {}
+        }
+    }
+    (request_at, done_at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::LossModel;
+
+    fn lossless() -> NetworkProfile {
+        NetworkProfile::lossless_test() // 10/10 Mbit/s, 40 ms RTT, no loss
+    }
+
+    #[test]
+    fn handshake_takes_one_rtt_without_tls() {
+        let mut sim = NetSim::new(lossless(), Seed(1));
+        let conn = sim.open(SimTime::ZERO, TlsMode::None);
+        let (t, ev) = sim.next_event().expect("established");
+        assert_eq!(ev, NetEvent::Established { conn });
+        // 1 RTT = 40 ms plus two 66-byte serialisations (52.8 µs each → 53).
+        let us = t.as_micros();
+        assert!((40_000..41_000).contains(&us), "handshake at {us}µs");
+    }
+
+    #[test]
+    fn tls13_adds_one_rtt() {
+        let t_plain = {
+            let mut s = NetSim::new(lossless(), Seed(1));
+            s.open(SimTime::ZERO, TlsMode::None);
+            s.next_event().unwrap().0
+        };
+        let t_tls = {
+            let mut s = NetSim::new(lossless(), Seed(1));
+            s.open(SimTime::ZERO, TlsMode::Tls13);
+            s.next_event().unwrap().0
+        };
+        let delta = t_tls.as_micros() - t_plain.as_micros();
+        assert!((40_000..41_000).contains(&delta), "TLS1.3 extra {delta}µs");
+    }
+
+    #[test]
+    fn small_fetch_arrives_after_two_rtt_ish() {
+        let (req_at, done) =
+            single_transfer(lossless(), Seed(2), TlsMode::None, 300, 10_000);
+        // request leg (0.5 RTT) + response leg (0.5 RTT) + serialisation.
+        let fetch = done.as_micros() - req_at.as_micros();
+        assert!((40_000..52_000).contains(&fetch), "fetch took {fetch}µs");
+    }
+
+    #[test]
+    fn bulk_transfer_throughput_close_to_link_rate() {
+        let bytes = 2_000_000u64;
+        let (_req, done) = single_transfer(lossless(), Seed(3), TlsMode::None, 300, bytes);
+        let ideal = (bytes + 40 * bytes / MSS) as f64 * 8.0 / 10_000_000.0;
+        let actual = done.as_secs_f64();
+        // Slow start and the request RTT cost something, but under 35 %.
+        assert!(actual > ideal, "cannot beat the link: {actual} vs {ideal}");
+        assert!(actual < ideal * 1.35, "too slow: {actual} vs ideal {ideal}");
+    }
+
+    #[test]
+    fn transfer_completes_under_loss_with_retransmissions() {
+        let profile = NetworkProfile {
+            loss: LossModel::Bernoulli { p: 0.03 },
+            ..lossless()
+        };
+        let mut sim = NetSim::new(profile, Seed(4));
+        let conn = sim.open(SimTime::ZERO, TlsMode::None);
+        let total = 500_000u64;
+        let mut done = None;
+        while let Some((t, ev)) = sim.next_event() {
+            match ev {
+                NetEvent::Established { .. } => sim.client_send(conn, t, 300),
+                NetEvent::RequestDelivered { total_bytes: 300, .. } => {
+                    sim.server_send(conn, t, total)
+                }
+                NetEvent::Delivered { total_bytes, .. } if total_bytes == total => {
+                    done = Some(t)
+                }
+                _ => {}
+            }
+        }
+        let stats = sim.conn_stats(conn);
+        assert!(done.is_some(), "transfer never completed");
+        assert!(stats.retransmissions > 0, "3% loss must cause retransmissions");
+        assert_eq!(stats.bytes_delivered, total);
+    }
+
+    #[test]
+    fn lossy_transfer_slower_than_lossless() {
+        let run = |loss| {
+            let profile = NetworkProfile { loss, ..lossless() };
+            single_transfer(profile, Seed(5), TlsMode::None, 300, 1_000_000).1
+        };
+        let clean = run(LossModel::None);
+        let lossy = run(LossModel::Bernoulli { p: 0.05 });
+        assert!(lossy > clean, "loss must slow the transfer: {lossy} vs {clean}");
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let run = |seed| {
+            let profile =
+                NetworkProfile { loss: LossModel::Bernoulli { p: 0.02 }, ..lossless() };
+            single_transfer(profile, seed, TlsMode::Tls13, 400, 300_000)
+        };
+        assert_eq!(run(Seed(42)), run(Seed(42)));
+        assert_ne!(run(Seed(42)), run(Seed(43)));
+    }
+
+    #[test]
+    fn six_connections_share_the_bottleneck() {
+        // Six parallel 200 KB transfers must take ~6x the time one does
+        // on the shared link (minus slow-start overlap benefits).
+        let one = {
+            let (_r, d) = single_transfer(lossless(), Seed(6), TlsMode::None, 300, 200_000);
+            d.as_secs_f64()
+        };
+        let mut sim = NetSim::new(lossless(), Seed(6));
+        let conns: Vec<ConnId> =
+            (0..6).map(|_| sim.open(SimTime::ZERO, TlsMode::None)).collect();
+        let mut done_count = 0;
+        let mut last_done = SimTime::ZERO;
+        while let Some((t, ev)) = sim.next_event() {
+            match ev {
+                NetEvent::Established { conn } => sim.client_send(conn, t, 300),
+                NetEvent::RequestDelivered { conn, total_bytes: 300 } => {
+                    sim.server_send(conn, t, 200_000)
+                }
+                NetEvent::Delivered { total_bytes, .. } if total_bytes == 200_000 => {
+                    done_count += 1;
+                    last_done = t;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(done_count, 6);
+        assert_eq!(conns.len(), 6);
+        let six = last_done.as_secs_f64();
+        // The six flows share one 10 Mbit/s link: finishing all of them
+        // can't beat aggregate serialisation time (6 × 200 KB ≈ 0.99 s
+        // with header overhead), and overlapping slow starts mean it
+        // shouldn't take much longer either.
+        let ideal = 6.0 * (200_000.0 + 40.0 * 200_000.0 / MSS as f64) * 8.0 / 10_000_000.0;
+        assert!(six > ideal, "cannot beat the shared link: {six}s vs {ideal}s");
+        assert!(six < ideal * 1.4, "sharing too inefficient: {six}s vs {ideal}s");
+        // And the shared link means each flow is far slower than solo.
+        assert!(six > 2.0 * one, "six flows at {six}s vs one at {one}s");
+    }
+
+    #[test]
+    fn request_before_establishment_is_flushed_after() {
+        let mut sim = NetSim::new(lossless(), Seed(7));
+        let conn = sim.open(SimTime::ZERO, TlsMode::None);
+        // Queue the request immediately (before Established).
+        sim.client_send(conn, SimTime::ZERO, 500);
+        let mut got_request = false;
+        while let Some((_t, ev)) = sim.next_event() {
+            if let NetEvent::RequestDelivered { total_bytes, .. } = ev {
+                assert_eq!(total_bytes, 500);
+                got_request = true;
+            }
+        }
+        assert!(got_request);
+    }
+
+    #[test]
+    fn delivered_events_are_cumulative_and_monotone() {
+        let mut sim = NetSim::new(lossless(), Seed(8));
+        let conn = sim.open(SimTime::ZERO, TlsMode::None);
+        sim.client_send(conn, SimTime::ZERO, 300);
+        let mut sent_response = false;
+        let mut last = 0;
+        while let Some((t, ev)) = sim.next_event() {
+            match ev {
+                NetEvent::RequestDelivered { .. } if !sent_response => {
+                    sent_response = true;
+                    sim.server_send(conn, t, 100_000);
+                }
+                NetEvent::Delivered { total_bytes, .. } => {
+                    assert!(total_bytes > last, "monotone progress");
+                    last = total_bytes;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(last, 100_000);
+    }
+}

@@ -1,0 +1,235 @@
+//! Simulation time.
+//!
+//! All simulator components share a single virtual clock expressed in
+//! microseconds. Microsecond resolution is fine enough that segment
+//! serialisation times on fast links (a 1500-byte frame at 100 Mbit/s is
+//! 120 µs) never collapse to zero, and coarse enough that a `u64` covers
+//! ~584 000 years of simulated time — overflow is not a practical concern
+//! and arithmetic is checked in debug builds regardless.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant on the simulation clock, in microseconds since the start of
+/// the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulation time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from raw microseconds.
+    pub const fn from_micros(us: u64) -> SimTime {
+        SimTime(us)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> SimTime {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Raw microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional milliseconds (for reporting).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Time as fractional seconds (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is later than `self`; simulation time never
+    /// runs backwards, so that indicates a logic error.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("SimTime::since: earlier instant is in the future"),
+        )
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from raw microseconds.
+    pub const fn from_micros(us: u64) -> SimDuration {
+        SimDuration(us)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> SimDuration {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> SimDuration {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest
+    /// microsecond; negative values clamp to zero.
+    pub fn from_secs_f64(s: f64) -> SimDuration {
+        SimDuration((s.max(0.0) * 1_000_000.0).round() as u64)
+    }
+
+    /// Raw microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Duration as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating multiplication by an integer factor (used for RTO
+    /// exponential backoff).
+    pub fn saturating_mul(self, k: u32) -> SimDuration {
+        SimDuration(self.0.saturating_mul(u64::from(k)))
+    }
+
+    /// Transmission time of `bytes` at `bits_per_sec`, rounded up to a
+    /// whole microsecond so that serialisation on absurdly fast links
+    /// still advances the clock.
+    ///
+    /// # Panics
+    /// Panics if `bits_per_sec` is zero.
+    pub fn serialization(bytes: u64, bits_per_sec: u64) -> SimDuration {
+        assert!(bits_per_sec > 0, "link rate must be positive");
+        let bits = bytes * 8;
+        SimDuration((bits * 1_000_000).div_ceil(bits_per_sec))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}µs", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.2}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(SimTime::from_millis(1500).as_micros(), 1_500_000);
+        assert_eq!(SimTime::from_secs(2).as_millis_f64(), 2000.0);
+        assert_eq!(SimDuration::from_secs_f64(0.001).as_micros(), 1_000);
+        assert_eq!(SimDuration::from_secs_f64(-5.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(10) + SimDuration::from_millis(5);
+        assert_eq!(t, SimTime::from_millis(15));
+        assert_eq!(t.since(SimTime::from_millis(10)), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the future")]
+    fn since_panics_backwards() {
+        let _ = SimTime::from_millis(1).since(SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn serialization_times() {
+        // 1460 bytes at 10 Mbit/s = 1.168 ms.
+        let d = SimDuration::serialization(1460, 10_000_000);
+        assert_eq!(d.as_micros(), 1168);
+        // Rounds up: 1 byte at 1 Gbit/s is 8 ns → 1 µs.
+        assert_eq!(SimDuration::serialization(1, 1_000_000_000).as_micros(), 1);
+        // Zero bytes serialise instantly.
+        assert_eq!(SimDuration::serialization(0, 1_000_000).as_micros(), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_micros(12)), "12µs");
+        assert_eq!(format!("{}", SimDuration::from_millis(12)), "12.00ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000s");
+        assert_eq!(format!("{}", SimTime::from_millis(1500)), "1.500s");
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        let a = SimTime::from_millis(1);
+        let b = SimTime::from_millis(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+}

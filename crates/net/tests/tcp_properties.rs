@@ -1,0 +1,67 @@
+//! Property-based tests of the TCP state machines: byte conservation and
+//! sender invariants under adversarial delivery orders.
+
+use proptest::prelude::*;
+
+use eyeorg_net::tcp::{TcpReceiver, TcpSender, MSS};
+use eyeorg_net::SimTime;
+
+proptest! {
+    /// Whatever order segments arrive in (duplicates and overlaps
+    /// included), the receiver delivers each byte exactly once and ends
+    /// with the full prefix once all segments have been seen.
+    #[test]
+    fn receiver_conserves_bytes(
+        total_segments in 1usize..30,
+        order in prop::collection::vec(0usize..30, 1..90),
+    ) {
+        let mut r = TcpReceiver::new();
+        let mut delivered = 0u64;
+        let mut seen = vec![false; total_segments];
+        for i in order.iter().copied().chain(0..total_segments) {
+            let i = i % total_segments;
+            seen[i] = true;
+            let start = i as u64 * MSS;
+            let out = r.on_segment(start, start + MSS);
+            delivered += out.newly_delivered;
+            prop_assert!(out.ack <= total_segments as u64 * MSS);
+            prop_assert_eq!(out.ack, r.delivered());
+        }
+        // The chained iterator guarantees every segment arrived at least once.
+        prop_assert_eq!(delivered, total_segments as u64 * MSS);
+        prop_assert_eq!(r.buffered(), 0);
+    }
+
+    /// The sender never has more unacked fresh data than its window
+    /// allows, never sends beyond the app limit, and always terminates
+    /// when acks eventually cover everything.
+    #[test]
+    fn sender_window_invariants(
+        app_bytes in 1u64..400_000,
+        ack_chunks in prop::collection::vec(1u64..40, 1..200),
+    ) {
+        let mut s = TcpSender::new();
+        s.app_write(app_bytes);
+        let mut now_us = 0u64;
+        let mut acked = 0u64;
+        let mut chunk_iter = ack_chunks.iter().cycle();
+        let mut guard = 0;
+        while !s.all_acked() {
+            guard += 1;
+            prop_assert!(guard < 10_000, "must terminate");
+            // Drain the window.
+            while let Some(seg) = s.next_segment() {
+                prop_assert!(seg.end <= app_bytes, "never beyond app data");
+                prop_assert!(!seg.is_empty());
+                s.mark_sent(seg, SimTime::from_micros(now_us));
+                prop_assert!(s.in_flight() <= s.cwnd_bytes() + MSS);
+            }
+            // Ack forward by an arbitrary chunk.
+            let step = *chunk_iter.next().expect("cycle") * MSS;
+            acked = (acked + step).min(s.in_flight() + acked).min(app_bytes);
+            now_us += 10_000;
+            s.on_ack(acked, SimTime::from_micros(now_us));
+        }
+        prop_assert_eq!(acked, app_bytes);
+    }
+}

@@ -1,0 +1,174 @@
+//! Seeded bootstrap resampling.
+//!
+//! The paper reports point estimates (correlations, medians, score
+//! fractions) without uncertainty; with a simulated crowd we can afford
+//! to attach confidence intervals, and the harness does so for the
+//! headline Fig. 7 correlations. Deterministic: the same seed yields the
+//! same resamples.
+
+use crate::seed::Seed;
+
+/// A two-sided percentile bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Point estimate on the original sample.
+    pub point: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Nominal coverage (e.g. 0.95).
+    pub level: f64,
+}
+
+/// Internal: minimal xorshift so this module needs no `rand` dependency —
+/// resampling indices only need uniformity, not quality.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Percentile-bootstrap CI for an arbitrary statistic of one sample.
+///
+/// `statistic` receives each resample (same length as the input, drawn
+/// with replacement) and returns the quantity of interest; resamples on
+/// which it returns `None` (degenerate draws) are skipped. Returns `None`
+/// when the input is empty, the statistic is undefined on the original
+/// sample, or fewer than half the resamples produced a value.
+pub fn bootstrap_ci(
+    sample: &[f64],
+    level: f64,
+    resamples: usize,
+    seed: Seed,
+    statistic: impl Fn(&[f64]) -> Option<f64>,
+) -> Option<ConfidenceInterval> {
+    if sample.is_empty() || !(0.0..1.0).contains(&level) || resamples == 0 {
+        return None;
+    }
+    let point = statistic(sample)?;
+    let mut rng = XorShift(seed.derive("bootstrap").value() | 1);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0; sample.len()];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = sample[rng.below(sample.len())];
+        }
+        if let Some(v) = statistic(&buf) {
+            stats.push(v);
+        }
+    }
+    if stats.len() < resamples / 2 {
+        return None;
+    }
+    let alpha = (1.0 - level) / 2.0;
+    let lo = crate::quantile::percentile(&stats, alpha * 100.0)?;
+    let hi = crate::quantile::percentile(&stats, (1.0 - alpha) * 100.0)?;
+    Some(ConfidenceInterval { lo, point, hi, level })
+}
+
+/// Bootstrap CI for the Pearson correlation of paired data: resampling
+/// happens over *pairs* (index bootstrap).
+pub fn bootstrap_pearson_ci(
+    x: &[f64],
+    y: &[f64],
+    level: f64,
+    resamples: usize,
+    seed: Seed,
+) -> Option<ConfidenceInterval> {
+    if x.len() != y.len() || x.len() < 3 {
+        return None;
+    }
+    let point = crate::corr::pearson(x, y)?;
+    let mut rng = XorShift(seed.derive("bootstrap-r").value() | 1);
+    let n = x.len();
+    let mut bx = vec![0.0; n];
+    let mut by = vec![0.0; n];
+    let mut stats = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        for i in 0..n {
+            let j = rng.below(n);
+            bx[i] = x[j];
+            by[i] = y[j];
+        }
+        if let Some(r) = crate::corr::pearson(&bx, &by) {
+            stats.push(r);
+        }
+    }
+    if stats.len() < resamples / 2 {
+        return None;
+    }
+    let alpha = (1.0 - level) / 2.0;
+    Some(ConfidenceInterval {
+        lo: crate::quantile::percentile(&stats, alpha * 100.0)?,
+        point,
+        hi: crate::quantile::percentile(&stats, (1.0 - alpha) * 100.0)?,
+        level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::mean;
+
+    #[test]
+    fn mean_ci_brackets_the_mean_and_shrinks_with_n() {
+        let small: Vec<f64> = (0..20).map(|i| (i % 7) as f64).collect();
+        let big: Vec<f64> = (0..2000).map(|i| (i % 7) as f64).collect();
+        let ci_small = bootstrap_ci(&small, 0.95, 500, Seed(1), mean).unwrap();
+        let ci_big = bootstrap_ci(&big, 0.95, 500, Seed(1), mean).unwrap();
+        assert!(ci_small.lo <= ci_small.point && ci_small.point <= ci_small.hi);
+        assert!(
+            (ci_big.hi - ci_big.lo) < (ci_small.hi - ci_small.lo),
+            "more data, tighter interval"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data: Vec<f64> = (0..50).map(|i| (i * i % 13) as f64).collect();
+        let a = bootstrap_ci(&data, 0.9, 200, Seed(5), mean).unwrap();
+        let b = bootstrap_ci(&data, 0.9, 200, Seed(5), mean).unwrap();
+        assert_eq!(a, b);
+        let c = bootstrap_ci(&data, 0.9, 200, Seed(6), mean).unwrap();
+        assert!(a != c, "different seeds resample differently");
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(bootstrap_ci(&[], 0.95, 100, Seed(1), mean).is_none());
+        assert!(bootstrap_ci(&[1.0], 1.5, 100, Seed(1), mean).is_none());
+        assert!(bootstrap_ci(&[1.0], 0.95, 0, Seed(1), mean).is_none());
+    }
+
+    #[test]
+    fn pearson_ci_contains_strong_correlation() {
+        let x: Vec<f64> = (0..60).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v + ((v * 7.0) % 11.0)).collect();
+        let ci = bootstrap_pearson_ci(&x, &y, 0.95, 400, Seed(2)).unwrap();
+        assert!(ci.point > 0.9);
+        assert!(ci.lo > 0.8, "strong correlation, tight lower bound: {ci:?}");
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi);
+    }
+
+    #[test]
+    fn pearson_ci_wide_for_weak_correlation() {
+        // Small n, weak relation → the CI must be wide.
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| (v * 37.0) % 7.0).collect();
+        let ci = bootstrap_pearson_ci(&x, &y, 0.95, 400, Seed(3)).unwrap();
+        assert!(ci.hi - ci.lo > 0.5, "weak correlation, wide interval: {ci:?}");
+    }
+}

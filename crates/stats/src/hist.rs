@@ -1,0 +1,197 @@
+//! Histograms with fixed-width and Freedman–Diaconis binning.
+//!
+//! Fig. 9 of the paper shows per-site histograms of `UserPerceivedPLT`
+//! responses, from which three distribution shapes are read off (tight
+//! unimodal, spread unimodal, multimodal). [`Histogram`] provides the
+//! binned counts; [`crate::modes`] performs the shape classification.
+
+/// A histogram over `[lo, hi)` with equal-width bins (the final bin is
+/// closed on the right so `hi` itself is counted).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u32>,
+    /// Observations outside `[lo, hi]`, counted but not binned.
+    outside: u32,
+}
+
+impl Histogram {
+    /// Build a histogram with `bins` equal-width bins spanning `[lo, hi]`.
+    /// Returns `None` when `bins == 0` or the range is empty/invalid.
+    pub fn with_bins(sample: &[f64], lo: f64, hi: f64, bins: usize) -> Option<Histogram> {
+        if bins == 0 || !(hi > lo) {
+            return None;
+        }
+        let mut h = Histogram { lo, hi, counts: vec![0; bins], outside: 0 };
+        for &v in sample {
+            h.add(v);
+        }
+        Some(h)
+    }
+
+    /// Build a histogram over the sample's own range using the
+    /// Freedman–Diaconis rule (`bin width = 2·IQR·n^(-1/3)`), the standard
+    /// robust choice for unknown response distributions. Falls back to
+    /// Sturges' rule when the IQR is zero (heavily tied data) and to a
+    /// single bin for degenerate (constant) samples. Returns `None` on an
+    /// empty sample.
+    pub fn auto(sample: &[f64]) -> Option<Histogram> {
+        if sample.is_empty() {
+            return None;
+        }
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let lo = sorted[0];
+        let hi = *sorted.last().expect("non-empty");
+        if hi == lo {
+            // All values identical: one bin around the value.
+            return Histogram::with_bins(sample, lo - 0.5, lo + 0.5, 1);
+        }
+        let n = sample.len() as f64;
+        let iqr = crate::quantile::percentile_sorted(&sorted, 75.0)
+            - crate::quantile::percentile_sorted(&sorted, 25.0);
+        let bins = if iqr > 0.0 {
+            let width = 2.0 * iqr / n.cbrt();
+            (((hi - lo) / width).ceil() as usize).clamp(1, 512)
+        } else {
+            (n.log2().ceil() as usize + 1).clamp(1, 512)
+        };
+        Histogram::with_bins(sample, lo, hi, bins)
+    }
+
+    fn add(&mut self, v: f64) {
+        if !v.is_finite() || v < self.lo || v > self.hi {
+            self.outside += 1;
+            return;
+        }
+        let bins = self.counts.len();
+        let width = (self.hi - self.lo) / bins as f64;
+        let idx = (((v - self.lo) / width) as usize).min(bins - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Number of observations that fell outside `[lo, hi]` (or were
+    /// non-finite) and are therefore not represented in any bin.
+    pub fn outside(&self) -> u32 {
+        self.outside
+    }
+
+    /// Centre of bin `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len());
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + width * (i as f64 + 0.5)
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Lower edge of the histogram range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge of the histogram range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Total binned observations.
+    pub fn total(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+
+    /// Bin counts smoothed with a centred moving average of half-width `w`
+    /// (window `2w+1`, truncated at the edges). Smoothing before peak
+    /// detection suppresses single-response jitter in sparse per-video
+    /// histograms.
+    pub fn smoothed(&self, w: usize) -> Vec<f64> {
+        let n = self.counts.len();
+        (0..n)
+            .map(|i| {
+                let a = i.saturating_sub(w);
+                let b = (i + w).min(n - 1);
+                let sum: u32 = self.counts[a..=b].iter().sum();
+                sum as f64 / (b - a + 1) as f64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(Histogram::with_bins(&[1.0], 0.0, 1.0, 0).is_none());
+        assert!(Histogram::with_bins(&[1.0], 1.0, 1.0, 4).is_none());
+        assert!(Histogram::with_bins(&[1.0], 2.0, 1.0, 4).is_none());
+        assert!(Histogram::auto(&[]).is_none());
+    }
+
+    #[test]
+    fn binning_boundaries() {
+        let h = Histogram::with_bins(&[0.0, 0.9, 1.0, 1.1, 2.0], 0.0, 2.0, 2).unwrap();
+        // [0,1): {0.0, 0.9}; [1,2]: {1.0, 1.1, 2.0}
+        assert_eq!(h.counts(), &[2, 3]);
+        assert_eq!(h.outside(), 0);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn out_of_range_counted_separately() {
+        let h = Histogram::with_bins(&[-1.0, 0.5, 3.0, f64::NAN], 0.0, 2.0, 2).unwrap();
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.outside(), 3);
+    }
+
+    #[test]
+    fn bin_centers_and_width() {
+        let h = Histogram::with_bins(&[], 0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_width(), 2.0);
+        assert_eq!(h.bin_center(0), 1.0);
+        assert_eq!(h.bin_center(4), 9.0);
+    }
+
+    #[test]
+    fn auto_handles_constant_sample() {
+        let h = Histogram::auto(&[3.0, 3.0, 3.0]).unwrap();
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts().len(), 1);
+    }
+
+    #[test]
+    fn auto_bin_count_reasonable() {
+        // 1000 uniform-ish points: FD rule should give O(10) bins, not 1 or 512.
+        let sample: Vec<f64> = (0..1000).map(|i| (i % 97) as f64).collect();
+        let h = Histogram::auto(&sample).unwrap();
+        assert!(h.counts().len() >= 4 && h.counts().len() <= 64, "{}", h.counts().len());
+        assert_eq!(h.total(), 1000);
+    }
+
+    #[test]
+    fn smoothing_preserves_mass_location() {
+        let h = Histogram::with_bins(&[5.0, 5.0, 5.0, 5.1], 0.0, 10.0, 10).unwrap();
+        let s = h.smoothed(1);
+        // Peak must remain at/adjacent to bin 5.
+        let max_i = s
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!((4..=6).contains(&max_i));
+    }
+}

@@ -1,0 +1,149 @@
+//! Percentiles and percentile-band selection.
+//!
+//! Eyeorg's final filtering strategy (§4.3 of the paper) keeps, for each
+//! video, only the timeline responses lying between the 25th and 75th
+//! percentile of that video's `UserPerceivedPLT` distribution; the
+//! validation analysis (Fig. 6b) also examines the looser 10th–90th band.
+//! [`percentile_band`] implements exactly that selection.
+//!
+//! Percentiles use the "linear interpolation between closest ranks"
+//! definition (type 7 in the Hyndman–Fan taxonomy, the default of R and
+//! NumPy): for a sorted sample `x[0..n]`, the `p`-th percentile is
+//! `x[h.floor()] + (h - h.floor()) * (x[h.ceil()] - x[h.floor()])` with
+//! `h = (n - 1) * p / 100`.
+
+/// The `p`-th percentile (0 ≤ `p` ≤ 100) of a sample, by linear
+/// interpolation. Returns `None` on an empty sample or a `p` outside
+/// `[0, 100]`. The input need not be sorted.
+pub fn percentile(sample: &[f64], p: f64) -> Option<f64> {
+    if sample.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    Some(percentile_sorted(&sorted, p))
+}
+
+/// The `p`-th percentile of an already-sorted sample.
+///
+/// Callers that evaluate many percentiles of the same sample should sort
+/// once and use this to avoid repeated `O(n log n)` work.
+///
+/// # Panics
+///
+/// Panics if the sample is empty; sortedness is the caller's contract and
+/// is not re-verified.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = (n - 1) as f64 * p / 100.0;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// Select the subset of a sample lying within the `[lo_pct, hi_pct]`
+/// percentile band (inclusive on both ends).
+///
+/// This is the paper's wisdom-of-the-crowd outlier filter: responses far
+/// from the crowd consensus (participants who "simply scroll to the
+/// beginning or end of the video") fall outside the band and are dropped.
+/// Values *equal* to a band edge are kept, matching the inclusive wording
+/// "responses between the 25th and 75th percentiles".
+///
+/// Returns the retained values in their original order. Empty input yields
+/// an empty output; an inverted band (`lo_pct > hi_pct`) yields an empty
+/// output as no value can satisfy it.
+pub fn percentile_band(sample: &[f64], lo_pct: f64, hi_pct: f64) -> Vec<f64> {
+    if sample.is_empty() || lo_pct > hi_pct {
+        return Vec::new();
+    }
+    let mut sorted: Vec<f64> = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let lo = percentile_sorted(&sorted, lo_pct.clamp(0.0, 100.0));
+    let hi = percentile_sorted(&sorted, hi_pct.clamp(0.0, 100.0));
+    sample.iter().copied().filter(|&v| v >= lo && v <= hi).collect()
+}
+
+/// Interquartile range (75th minus 25th percentile); `None` when empty.
+pub fn iqr(sample: &[f64]) -> Option<f64> {
+    if sample.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = sample.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    Some(percentile_sorted(&sorted, 75.0) - percentile_sorted(&sorted, 25.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_out_of_range() {
+        assert!(percentile(&[], 50.0).is_none());
+        assert!(percentile(&[1.0], -1.0).is_none());
+        assert!(percentile(&[1.0], 100.1).is_none());
+    }
+
+    #[test]
+    fn endpoints_are_min_and_max() {
+        let data = [5.0, 1.0, 3.0];
+        assert_eq!(percentile(&data, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&data, 100.0).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn median_of_even_sample_interpolates() {
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 50.0).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn matches_numpy_type7() {
+        // numpy.percentile([15, 20, 35, 40, 50], 40) == 29.0
+        let data = [15.0, 20.0, 35.0, 40.0, 50.0];
+        assert!((percentile(&data, 40.0).unwrap() - 29.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn band_keeps_inclusive_edges() {
+        let data: Vec<f64> = (1..=8).map(|i| i as f64).collect();
+        // 25th pct = 2.75, 75th = 6.25 → keep 3,4,5,6
+        let kept = percentile_band(&data, 25.0, 75.0);
+        assert_eq!(kept, vec![3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn band_preserves_original_order() {
+        let data = [9.0, 1.0, 5.0, 7.0, 3.0];
+        let kept = percentile_band(&data, 10.0, 90.0);
+        // Order of retention must match input order, not sorted order.
+        let positions: Vec<usize> =
+            kept.iter().map(|v| data.iter().position(|d| d == v).unwrap()).collect();
+        let mut sorted_positions = positions.clone();
+        sorted_positions.sort_unstable();
+        assert_eq!(positions, sorted_positions);
+    }
+
+    #[test]
+    fn inverted_band_is_empty() {
+        assert!(percentile_band(&[1.0, 2.0], 75.0, 25.0).is_empty());
+    }
+
+    #[test]
+    fn full_band_keeps_everything() {
+        let data = [4.0, 2.0, 2.0, 8.0];
+        assert_eq!(percentile_band(&data, 0.0, 100.0), data.to_vec());
+    }
+
+    #[test]
+    fn iqr_known_value() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!((iqr(&data).unwrap() - 2.0).abs() < 1e-12);
+        assert!(iqr(&[]).is_none());
+    }
+}

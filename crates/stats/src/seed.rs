@@ -1,0 +1,101 @@
+//! Deterministic seed derivation.
+//!
+//! Every stochastic component in the workspace (network loss, website
+//! corpus generation, participant populations, behaviour noise, …) draws
+//! from a seeded RNG. [`Seed`] provides *labelled derivation*: a campaign
+//! seed is split into independent child seeds by hashing a string label,
+//! so adding a new consumer of randomness never perturbs the streams of
+//! existing consumers — a property the regression tests rely on.
+//!
+//! The derivation is FNV-1a over the label folded into a SplitMix64
+//! finaliser. This is not cryptographic and does not need to be; it only
+//! needs to be stable across platforms and well-dispersed.
+
+/// A 64-bit deterministic seed.
+///
+/// `Seed` is deliberately *not* `Default`: every seed in the system must
+/// be traceable to an explicit experiment configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Seed(pub u64);
+
+impl Seed {
+    /// Derive an independent child seed for the component named `label`.
+    ///
+    /// Derivation is pure: the same `(seed, label)` pair always yields the
+    /// same child, and distinct labels yield (with overwhelming
+    /// probability) unrelated streams.
+    pub fn derive(self, label: &str) -> Seed {
+        // FNV-1a over the label, offset by the parent seed.
+        let mut h = 0xcbf2_9ce4_8422_2325_u64 ^ self.0;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Seed(splitmix64(h))
+    }
+
+    /// Derive a child seed for the `index`-th element of a family (e.g.
+    /// per-site or per-participant streams).
+    pub fn derive_index(self, label: &str, index: u64) -> Seed {
+        Seed(splitmix64(self.derive(label).0 ^ splitmix64(index.wrapping_add(0x9e37_79b9))))
+    }
+
+    /// The raw value, for constructing an RNG
+    /// (`StdRng::seed_from_u64(seed.value())`).
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+/// SplitMix64 finaliser: a fast, well-dispersed 64-bit mixing function.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let s = Seed(42);
+        assert_eq!(s.derive("net"), s.derive("net"));
+        assert_eq!(s.derive_index("site", 7), s.derive_index("site", 7));
+    }
+
+    #[test]
+    fn distinct_labels_diverge() {
+        let s = Seed(42);
+        assert_ne!(s.derive("net"), s.derive("crowd"));
+        assert_ne!(s.derive("a"), Seed(43).derive("a"));
+    }
+
+    #[test]
+    fn distinct_indices_diverge() {
+        let s = Seed(7);
+        let seeds: Vec<u64> = (0..100).map(|i| s.derive_index("p", i).value()).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+
+    #[test]
+    fn label_prefixes_do_not_collide() {
+        // "ab" + index vs "a" + different index should not alias.
+        let s = Seed(1);
+        assert_ne!(s.derive("ab"), s.derive("a").derive("b"));
+    }
+
+    #[test]
+    fn bits_are_dispersed() {
+        // Successive indices must not produce near-identical seeds.
+        let s = Seed(0);
+        let a = s.derive_index("x", 0).value();
+        let b = s.derive_index("x", 1).value();
+        assert!((a ^ b).count_ones() > 8);
+    }
+}

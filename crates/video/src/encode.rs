@@ -1,0 +1,214 @@
+//! Delta video encoding and its size model.
+//!
+//! webpeg stores captures as webm "which offers small file sizes"
+//! (§3.1); the byte size matters downstream because participants must
+//! *download* the videos, and §4.2/Fig. 5 shows long video load times
+//! driving participants out of focus. This encoder is an honest, if
+//! simple, inter-frame codec: a run-length-encoded keyframe followed by
+//! run-length-encoded cell deltas, with periodic keyframes for
+//! seekability. It round-trips exactly (tests decode and compare), so
+//! the size model is *measured*, not asserted.
+
+use crate::capture::Video;
+use crate::frame::Frame;
+
+/// Keyframe interval (frames).
+pub const KEYFRAME_INTERVAL: usize = 50;
+
+/// An encoded video.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedVideo {
+    /// Grid width.
+    pub width: u32,
+    /// Grid height.
+    pub height: u32,
+    /// Frames per second.
+    pub fps: u32,
+    /// Encoded packets, one per frame.
+    pub packets: Vec<Packet>,
+}
+
+/// One encoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Packet {
+    /// Full frame: RLE of all cells.
+    Key(Vec<(u16, u8)>),
+    /// Delta frame: runs over cells, `None` = unchanged, `Some(v)` = new
+    /// value, encoded as (run length, marker) pairs.
+    Delta(Vec<DeltaRun>),
+}
+
+/// A run within a delta packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaRun {
+    /// `n` unchanged cells.
+    Skip(u16),
+    /// `n` cells set to `value`.
+    Set(u16, u8),
+}
+
+impl EncodedVideo {
+    /// Total encoded size in bytes: 3 bytes per RLE run (2-byte length +
+    /// value/marker) plus a 16-byte per-frame header — the granularity a
+    /// container format costs.
+    pub fn byte_size(&self) -> u64 {
+        let mut total = 0u64;
+        for p in &self.packets {
+            total += 16;
+            total += 3 * match p {
+                Packet::Key(runs) => runs.len() as u64,
+                Packet::Delta(runs) => runs.len() as u64,
+            };
+        }
+        total
+    }
+
+    /// Decode frame `i` (decodes forward from the nearest keyframe).
+    pub fn decode_frame(&self, i: usize) -> Frame {
+        assert!(i < self.packets.len(), "frame index out of range");
+        // Find the latest keyframe at or before i.
+        let key = (0..=i)
+            .rev()
+            .find(|&k| matches!(self.packets[k], Packet::Key(_)))
+            .expect("stream starts with a keyframe");
+        let mut cells = match &self.packets[key] {
+            Packet::Key(runs) => {
+                let mut v = Vec::with_capacity((self.width * self.height) as usize);
+                for &(n, val) in runs {
+                    v.extend(std::iter::repeat_n(val, n as usize));
+                }
+                v
+            }
+            Packet::Delta(_) => unreachable!("key index points at a keyframe"),
+        };
+        for p in &self.packets[key + 1..=i] {
+            if let Packet::Delta(runs) = p {
+                let mut pos = 0usize;
+                for run in runs {
+                    match *run {
+                        DeltaRun::Skip(n) => pos += n as usize,
+                        DeltaRun::Set(n, v) => {
+                            for c in &mut cells[pos..pos + n as usize] {
+                                *c = v;
+                            }
+                            pos += n as usize;
+                        }
+                    }
+                }
+            }
+        }
+        Frame::from_cells(self.width, self.height, cells)
+    }
+}
+
+fn rle_key(frame: &Frame) -> Vec<(u16, u8)> {
+    let mut runs = Vec::new();
+    for &c in frame.cells() {
+        match runs.last_mut() {
+            Some((n, v)) if *v == c && *n < u16::MAX => *n += 1,
+            _ => runs.push((1u16, c)),
+        }
+    }
+    runs
+}
+
+fn rle_delta(prev: &Frame, cur: &Frame) -> Vec<DeltaRun> {
+    let mut runs: Vec<DeltaRun> = Vec::new();
+    for (&a, &b) in prev.cells().iter().zip(cur.cells()) {
+        if a == b {
+            match runs.last_mut() {
+                Some(DeltaRun::Skip(n)) if *n < u16::MAX => *n += 1,
+                _ => runs.push(DeltaRun::Skip(1)),
+            }
+        } else {
+            match runs.last_mut() {
+                Some(DeltaRun::Set(n, v)) if *v == b && *n < u16::MAX => *n += 1,
+                _ => runs.push(DeltaRun::Set(1, b)),
+            }
+        }
+    }
+    runs
+}
+
+/// Encode a captured video.
+pub fn encode(video: &Video) -> EncodedVideo {
+    let n = video.frame_count();
+    let mut packets = Vec::with_capacity(n);
+    let mut prev: Option<Frame> = None;
+    for i in 0..n {
+        let f = video.frame(i);
+        let packet = match (&prev, i % KEYFRAME_INTERVAL) {
+            (Some(p), k) if k != 0 => Packet::Delta(rle_delta(p, &f)),
+            _ => Packet::Key(rle_key(&f)),
+        };
+        packets.push(packet);
+        prev = Some(f);
+    }
+    let first = video.frame(0);
+    EncodedVideo { width: first.width(), height: first.height(), fps: video.fps(), packets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eyeorg_browser::{load_page, BrowserConfig};
+    use eyeorg_net::SimDuration;
+    use eyeorg_stats::Seed;
+    use eyeorg_workload::{generate_site, SiteClass};
+
+    fn video() -> Video {
+        let site = generate_site(Seed(2), 1, SiteClass::Blog);
+        let trace = load_page(&site, &BrowserConfig::new(), Seed(2));
+        Video::capture(trace, 10, SimDuration::from_secs(2))
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let v = video();
+        let enc = encode(&v);
+        for i in [0, 1, v.frame_count() / 2, v.frame_count() - 1] {
+            assert_eq!(enc.decode_frame(i), v.frame(i), "frame {i} mismatch");
+        }
+    }
+
+    #[test]
+    fn keyframes_at_interval() {
+        let v = video();
+        let enc = encode(&v);
+        for (i, p) in enc.packets.iter().enumerate() {
+            if i % KEYFRAME_INTERVAL == 0 {
+                assert!(matches!(p, Packet::Key(_)), "frame {i} should be a keyframe");
+            }
+        }
+    }
+
+    #[test]
+    fn static_video_compresses_hard() {
+        // A video of an already-finished page is almost all Skip runs.
+        let v = video();
+        let enc = encode(&v);
+        let raw = (v.frame_count() as u64) * u64::from(enc.width) * u64::from(enc.height);
+        assert!(
+            enc.byte_size() < raw / 2,
+            "encoded {} vs raw {raw}",
+            enc.byte_size()
+        );
+    }
+
+    #[test]
+    fn size_scales_with_duration() {
+        let site = generate_site(Seed(3), 2, SiteClass::Blog);
+        let trace = load_page(&site, &BrowserConfig::new(), Seed(3));
+        let short = encode(&Video::capture(trace.clone(), 10, SimDuration::from_secs(1)));
+        let long = encode(&Video::capture(trace, 10, SimDuration::from_secs(10)));
+        assert!(long.byte_size() > short.byte_size());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn decode_out_of_range_panics() {
+        let v = video();
+        let enc = encode(&v);
+        enc.decode_frame(enc.packets.len());
+    }
+}

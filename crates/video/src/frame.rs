@@ -1,0 +1,207 @@
+//! Video frames.
+//!
+//! webpeg captures the browser viewport with ffmpeg; participants only
+//! ever see those pixels. A [`Frame`] is the simulated equivalent: a
+//! downscaled grid over the viewport (the above-the-fold region) where
+//! each cell holds an 8-bit "appearance" value. Appearance values are
+//! content hashes, not colours — two cells are "the same pixels" iff
+//! their values match, which is all that frame comparison (the 1 %
+//! rewind-frame helper, Fig. 3) and delta encoding need.
+
+use eyeorg_workload::Rect;
+
+/// Appearance value of unpainted page background (blank white page).
+pub const BLANK: u8 = 245;
+
+/// A downscaled viewport frame.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Frame {
+    width: u32,
+    height: u32,
+    cells: Vec<u8>,
+}
+
+impl Frame {
+    /// A blank frame of the given grid size.
+    ///
+    /// # Panics
+    /// Panics on a zero-sized grid.
+    pub fn blank(width: u32, height: u32) -> Frame {
+        assert!(width > 0 && height > 0, "frame grid must be non-empty");
+        Frame { width, height, cells: vec![BLANK; (width * height) as usize] }
+    }
+
+    /// Build a frame from raw row-major cells.
+    ///
+    /// # Panics
+    /// Panics when `cells.len() != width * height` or the grid is empty.
+    pub fn from_cells(width: u32, height: u32, cells: Vec<u8>) -> Frame {
+        assert!(width > 0 && height > 0, "frame grid must be non-empty");
+        assert_eq!(cells.len(), (width * height) as usize, "cell count mismatch");
+        Frame { width, height, cells }
+    }
+
+    /// Grid width in cells.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Grid height in cells.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Raw cells, row-major.
+    pub fn cells(&self) -> &[u8] {
+        &self.cells
+    }
+
+    /// Value at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics out of bounds.
+    pub fn get(&self, x: u32, y: u32) -> u8 {
+        assert!(x < self.width && y < self.height);
+        self.cells[(y * self.width + x) as usize]
+    }
+
+    /// Fill the grid cells covered by `rect` (given in page coordinates
+    /// scaled by `sx`, `sy` cells-per-pixel) with `value`. Regions outside
+    /// the grid are clipped.
+    pub fn fill_rect_scaled(&mut self, rect: &Rect, sx: f64, sy: f64, value: u8) {
+        let x0 = (f64::from(rect.x) * sx).floor() as i64;
+        let y0 = (f64::from(rect.y) * sy).floor() as i64;
+        let x1 = (f64::from(rect.x + rect.w) * sx).ceil() as i64;
+        let y1 = (f64::from(rect.y + rect.h) * sy).ceil() as i64;
+        let x0 = x0.clamp(0, i64::from(self.width)) as u32;
+        let y0 = y0.clamp(0, i64::from(self.height)) as u32;
+        let x1 = x1.clamp(0, i64::from(self.width)) as u32;
+        let y1 = y1.clamp(0, i64::from(self.height)) as u32;
+        for y in y0..y1 {
+            for x in x0..x1 {
+                self.cells[(y * self.width + x) as usize] = value;
+            }
+        }
+    }
+
+    /// Fraction of cells that differ between two frames of equal size
+    /// (the paper's "pixel-by-pixel comparison").
+    ///
+    /// # Panics
+    /// Panics when the dimensions differ.
+    pub fn diff_fraction(&self, other: &Frame) -> f64 {
+        assert_eq!(self.width, other.width, "frame widths differ");
+        assert_eq!(self.height, other.height, "frame heights differ");
+        let differing =
+            self.cells.iter().zip(&other.cells).filter(|(a, b)| a != b).count();
+        differing as f64 / self.cells.len() as f64
+    }
+
+    /// Fraction of cells that are not blank (used to synthesise the
+    /// nearly-blank control frame check).
+    pub fn painted_fraction(&self) -> f64 {
+        let painted = self.cells.iter().filter(|&&c| c != BLANK).count();
+        painted as f64 / self.cells.len() as f64
+    }
+
+    /// Concatenate two frames side by side (for A/B splices), separated
+    /// by a 1-cell divider column.
+    ///
+    /// # Panics
+    /// Panics when heights differ.
+    pub fn side_by_side(&self, right: &Frame) -> Frame {
+        assert_eq!(self.height, right.height, "frame heights differ");
+        let w = self.width + 1 + right.width;
+        let mut out = Frame::blank(w, self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                out.cells[(y * w + x) as usize] = self.get(x, y);
+            }
+            out.cells[(y * w + self.width) as usize] = 0; // divider
+            for x in 0..right.width {
+                out.cells[(y * w + self.width + 1 + x) as usize] = right.get(x, y);
+            }
+        }
+        out
+    }
+}
+
+/// Stable appearance value for a resource's content: maps a resource id
+/// and a kind salt into `[20, 220]`, avoiding [`BLANK`].
+pub fn appearance(resource_id: u32, kind_salt: u8) -> u8 {
+    let mut h = u64::from(resource_id).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= u64::from(kind_salt) << 32;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    20 + (h % 200) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blank_frame_is_blank() {
+        let f = Frame::blank(8, 4);
+        assert_eq!(f.painted_fraction(), 0.0);
+        assert_eq!(f.get(7, 3), BLANK);
+    }
+
+    #[test]
+    fn fill_and_diff() {
+        let mut a = Frame::blank(10, 10);
+        let b = Frame::blank(10, 10);
+        assert_eq!(a.diff_fraction(&b), 0.0);
+        // Fill a 5x10 half at 1:1 scale.
+        a.fill_rect_scaled(&Rect { x: 0, y: 0, w: 5, h: 10 }, 1.0, 1.0, 7);
+        assert_eq!(a.diff_fraction(&b), 0.5);
+        assert_eq!(a.painted_fraction(), 0.5);
+    }
+
+    #[test]
+    fn fill_clips_out_of_bounds() {
+        let mut f = Frame::blank(4, 4);
+        f.fill_rect_scaled(&Rect { x: 2, y: 2, w: 100, h: 100 }, 1.0, 1.0, 9);
+        assert_eq!(f.painted_fraction(), 0.25); // bottom-right 2x2
+    }
+
+    #[test]
+    fn scaling_maps_page_to_grid() {
+        // 1280x720 page viewport onto a 64x36 grid: scale 1/20.
+        let mut f = Frame::blank(64, 36);
+        f.fill_rect_scaled(&Rect { x: 0, y: 0, w: 640, h: 360 }, 64.0 / 1280.0, 36.0 / 720.0, 3);
+        // Top-left quadrant covered.
+        assert_eq!(f.get(0, 0), 3);
+        assert_eq!(f.get(31, 17), 3);
+        assert_eq!(f.get(32, 18), BLANK);
+    }
+
+    #[test]
+    fn side_by_side_layout() {
+        let mut l = Frame::blank(3, 2);
+        l.fill_rect_scaled(&Rect { x: 0, y: 0, w: 3, h: 2 }, 1.0, 1.0, 50);
+        let r = Frame::blank(3, 2);
+        let s = l.side_by_side(&r);
+        assert_eq!(s.width(), 7);
+        assert_eq!(s.get(0, 0), 50);
+        assert_eq!(s.get(3, 0), 0); // divider
+        assert_eq!(s.get(4, 0), BLANK);
+    }
+
+    #[test]
+    fn appearance_stable_and_nonblank() {
+        for id in 0..500 {
+            for salt in [1u8, 2, 3] {
+                let v = appearance(id, salt);
+                assert_ne!(v, BLANK);
+                assert_eq!(v, appearance(id, salt));
+            }
+        }
+        assert_ne!(appearance(1, 1), appearance(2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "widths differ")]
+    fn diff_requires_same_size() {
+        let _ = Frame::blank(2, 2).diff_fraction(&Frame::blank(3, 2));
+    }
+}

@@ -1,0 +1,185 @@
+//! Client-side video delivery and playback.
+//!
+//! Participants download Eyeorg's videos over their own connections; the
+//! paper's engagement analysis (Fig. 5) shows out-of-focus time growing
+//! with video load time, and the timeline test *forces a full preload*
+//! before the scrubber activates ("we force the browser to preload the
+//! entire video before the test begins", §3.2) precisely because partial
+//! buffering misled participants into overshooting.
+//!
+//! This module models both delivery modes:
+//!
+//! * [`preload_time`] — timeline tests: the whole file must arrive.
+//! * [`PlaybackSim`] — A/B tests: progressive playback that may stall
+//!   when the connection cannot sustain the bitrate.
+
+use eyeorg_net::SimDuration;
+
+/// Time to download `bytes` at `bandwidth_bps` (bits per second).
+///
+/// # Panics
+/// Panics when the bandwidth is zero.
+pub fn preload_time(bytes: u64, bandwidth_bps: u64) -> SimDuration {
+    assert!(bandwidth_bps > 0, "bandwidth must be positive");
+    SimDuration::from_micros((bytes * 8).saturating_mul(1_000_000) / bandwidth_bps)
+}
+
+/// Result of a progressive playback simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlaybackResult {
+    /// Wall time from pressing play to the final frame.
+    pub wall_time: SimDuration,
+    /// Total time spent stalled (buffer underruns).
+    pub stall_time: SimDuration,
+    /// Number of distinct stall events.
+    pub stall_events: u32,
+}
+
+/// Progressive playback of a constant-bitrate stream with an initial
+/// buffer, re-buffering in fixed chunks on underrun (the way `<video>`
+/// elements behave for A/B participants).
+#[derive(Debug, Clone, Copy)]
+pub struct PlaybackSim {
+    /// Encoded size of the video.
+    pub bytes: u64,
+    /// Playback duration of the video.
+    pub duration: SimDuration,
+    /// Participant downlink in bits per second.
+    pub bandwidth_bps: u64,
+    /// Seconds of media buffered before playback starts.
+    pub startup_buffer: SimDuration,
+}
+
+impl PlaybackSim {
+    /// Run the playback model.
+    ///
+    /// The stream is treated as constant-bitrate; playback begins once
+    /// `startup_buffer` of media is buffered and stalls whenever the
+    /// buffer empties, resuming after another `startup_buffer` of media
+    /// accumulates.
+    ///
+    /// # Panics
+    /// Panics when the bandwidth is zero or the duration is zero.
+    pub fn run(&self) -> PlaybackResult {
+        assert!(self.bandwidth_bps > 0, "bandwidth must be positive");
+        assert!(self.duration > SimDuration::ZERO, "duration must be positive");
+        let media_secs = self.duration.as_secs_f64();
+        let download_secs = (self.bytes * 8) as f64 / self.bandwidth_bps as f64;
+        // Media-seconds fetched per wall-second.
+        let fill_rate = media_secs / download_secs;
+        let startup = self.startup_buffer.as_secs_f64().min(media_secs);
+
+        let mut wall = startup / fill_rate; // fill the startup buffer
+        let mut buffered = startup; // media-seconds downloaded
+        let mut played = 0.0;
+        let mut stall_time = 0.0;
+        let mut stalls = 0u32;
+
+        while played < media_secs {
+            if fill_rate >= 1.0 {
+                // Download outruns playback: no further stalls.
+                wall += media_secs - played;
+                break;
+            }
+            // Play until the buffer drains: buffer shrinks at (1 - fill).
+            let lead = buffered - played;
+            let drain_time = lead / (1.0 - fill_rate);
+            let playable = drain_time.min(media_secs - played);
+            wall += playable;
+            played += playable;
+            buffered += playable * fill_rate;
+            if played >= media_secs {
+                break;
+            }
+            if buffered >= media_secs {
+                // Everything downloaded; play out the rest.
+                continue;
+            }
+            // Stall: rebuffer another startup worth (or to the end).
+            let refill = startup.min(media_secs - buffered);
+            let t = refill / fill_rate;
+            wall += t;
+            buffered += refill;
+            stall_time += t;
+            stalls += 1;
+        }
+        PlaybackResult {
+            wall_time: SimDuration::from_secs_f64(wall),
+            stall_time: SimDuration::from_secs_f64(stall_time),
+            stall_events: stalls,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preload_scales_with_size_and_bandwidth() {
+        assert_eq!(preload_time(1_000_000, 8_000_000), SimDuration::from_secs(1));
+        assert_eq!(preload_time(1_000_000, 4_000_000), SimDuration::from_secs(2));
+        assert_eq!(preload_time(0, 1_000_000), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fast_connection_never_stalls() {
+        let r = PlaybackSim {
+            bytes: 1_000_000,                       // 8 Mbit
+            duration: SimDuration::from_secs(10),   // 0.8 Mbit/s bitrate
+            bandwidth_bps: 8_000_000,               // 10x the bitrate
+            startup_buffer: SimDuration::from_secs(1),
+        }
+        .run();
+        assert_eq!(r.stall_events, 0);
+        assert_eq!(r.stall_time, SimDuration::ZERO);
+        // Wall time = startup fill + media duration.
+        let expected = 10.0 + 0.1; // 1s of media at 10x fill = 0.1s
+        assert!((r.wall_time.as_secs_f64() - expected).abs() < 0.01, "{r:?}");
+    }
+
+    #[test]
+    fn slow_connection_stalls() {
+        let r = PlaybackSim {
+            bytes: 2_000_000,                     // 16 Mbit
+            duration: SimDuration::from_secs(10), // 1.6 Mbit/s bitrate
+            bandwidth_bps: 800_000,               // half the bitrate
+            startup_buffer: SimDuration::from_secs(2),
+        }
+        .run();
+        assert!(r.stall_events > 0);
+        assert!(r.stall_time > SimDuration::ZERO);
+        // Total wall time is bounded below by the download time.
+        assert!(r.wall_time.as_secs_f64() >= 19.9, "{r:?}");
+    }
+
+    #[test]
+    fn wall_time_at_least_media_duration() {
+        for bw in [500_000u64, 2_000_000, 50_000_000] {
+            let r = PlaybackSim {
+                bytes: 1_500_000,
+                duration: SimDuration::from_secs(8),
+                bandwidth_bps: bw,
+                startup_buffer: SimDuration::from_secs(1),
+            }
+            .run();
+            assert!(r.wall_time.as_secs_f64() >= 8.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn stall_time_consistent_with_wall_time() {
+        let sim = PlaybackSim {
+            bytes: 4_000_000,
+            duration: SimDuration::from_secs(12),
+            bandwidth_bps: 1_000_000,
+            startup_buffer: SimDuration::from_secs(2),
+        };
+        let r = sim.run();
+        // wall = media + stalls + startup fill.
+        let media = 12.0;
+        let slack = r.wall_time.as_secs_f64() - media - r.stall_time.as_secs_f64();
+        assert!(slack >= 0.0, "{r:?}");
+        assert!(slack < 35.0, "{r:?}"); // startup fill bounded
+    }
+}

@@ -1,0 +1,214 @@
+//! A/B splicing: two captures in one file.
+//!
+//! §3.2: "There is no guarantee that two videos in a browser stay
+//! perfectly synchronized … To ensure the videos stay synchronized, we
+//! splice them into a single video file. If playback stalls, both sides
+//! are affected equally." The A/B control question (§3.3) shows "two
+//! copies of the same video with one side artificially delayed by three
+//! seconds".
+
+use eyeorg_net::{SimDuration, SimTime};
+
+use crate::capture::Video;
+use crate::frame::Frame;
+
+/// Which side the "A" capture landed on (pairs are shown in random
+/// order: "'A' is not always on the left").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbOrder {
+    /// A on the left, B on the right.
+    ALeft,
+    /// B on the left, A on the right.
+    BLeft,
+}
+
+/// Two captures spliced side by side into one synchronized video.
+#[derive(Debug, Clone)]
+pub struct SplicedVideo {
+    left: Video,
+    right: Video,
+    /// Artificial start delay applied to the right side (control
+    /// questions use 3 s on a copy of the same capture).
+    right_delay: SimDuration,
+    fps: u32,
+}
+
+impl SplicedVideo {
+    /// Splice `left` and `right`. Both must share an fps (webpeg captures
+    /// at a fixed rate).
+    ///
+    /// # Panics
+    /// Panics when the frame rates differ.
+    pub fn new(left: Video, right: Video, right_delay: SimDuration) -> SplicedVideo {
+        assert_eq!(left.fps(), right.fps(), "spliced sides must share fps");
+        let fps = left.fps();
+        SplicedVideo { left, right, right_delay, fps }
+    }
+
+    /// The left-side capture.
+    pub fn left(&self) -> &Video {
+        &self.left
+    }
+
+    /// The right-side capture.
+    pub fn right(&self) -> &Video {
+        &self.right
+    }
+
+    /// The artificial delay applied to the right side.
+    pub fn right_delay(&self) -> SimDuration {
+        self.right_delay
+    }
+
+    /// Frames per second.
+    pub fn fps(&self) -> u32 {
+        self.fps
+    }
+
+    /// Wall duration: long enough for both sides (including the delay).
+    pub fn duration(&self) -> SimDuration {
+        let l = self.left.duration();
+        let r = self.right.duration() + self.right_delay;
+        if l >= r {
+            l
+        } else {
+            r
+        }
+    }
+
+    /// Number of frames.
+    pub fn frame_count(&self) -> usize {
+        let step = 1_000_000u64 / u64::from(self.fps);
+        (self.duration().as_micros() / step + 1) as usize
+    }
+
+    /// Render frame `i`: left at `t`, right at `t - delay` (blank while
+    /// the delay has not elapsed).
+    pub fn frame(&self, i: usize) -> Frame {
+        let step = 1_000_000u64 / u64::from(self.fps);
+        let t = SimTime::from_micros(i as u64 * step);
+        let lf = self.left.render_at(t);
+        let rf = if t.as_micros() >= self.right_delay.as_micros() {
+            self.right
+                .render_at(SimTime::from_micros(t.as_micros() - self.right_delay.as_micros()))
+        } else {
+            let probe = self.right.render_at(SimTime::ZERO);
+            Frame::blank(probe.width(), probe.height())
+        };
+        lf.side_by_side(&rf)
+    }
+}
+
+/// Build the §3.3 A/B control: the same capture on both sides with the
+/// right side delayed 3 s. A correct answer picks the *left* (undelayed)
+/// side.
+pub fn control_splice(video: Video) -> SplicedVideo {
+    SplicedVideo::new(video.clone(), video, SimDuration::from_secs(3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eyeorg_browser::{load_page, BrowserConfig};
+    use eyeorg_stats::Seed;
+    use eyeorg_workload::{generate_site, SiteClass};
+
+    fn video(seed: u64) -> Video {
+        let site = generate_site(Seed(seed), 0, SiteClass::Blog);
+        let trace = load_page(&site, &BrowserConfig::new(), Seed(seed));
+        Video::capture(trace, 10, SimDuration::from_secs(2))
+    }
+
+    #[test]
+    fn splice_dimensions() {
+        let s = SplicedVideo::new(video(1), video(2), SimDuration::ZERO);
+        let f = s.frame(0);
+        assert_eq!(f.width(), 64 + 1 + 64);
+        assert_eq!(f.height(), 36);
+    }
+
+    #[test]
+    fn duration_covers_both_sides() {
+        let a = video(1);
+        let b = video(2);
+        let d_a = a.duration();
+        let d_b = b.duration();
+        let s = SplicedVideo::new(a, b, SimDuration::from_secs(5));
+        assert!(s.duration().as_micros() >= d_a.as_micros());
+        assert!(s.duration().as_micros() >= d_b.as_micros() + 5_000_000);
+    }
+
+    #[test]
+    fn delayed_side_starts_blank() {
+        let v = video(3);
+        // Probe just after the left side's first visual change; the right
+        // side (3s delay) must still be blank there.
+        // (The right side is blank at `fvc + 0.2s` for any fvc: the
+        // delayed side's clock reads `fvc - 2.8s`, before its own fvc.)
+        // Use the first *viewport-visible* paint — frames only show the
+        // region above the fold.
+        let fold = v.trace().fold_y;
+        let fvc = v
+            .trace()
+            .paints
+            .iter()
+            .find(|p| p.rect.above_fold(fold).is_some())
+            .expect("something paints in the viewport")
+            .time;
+        let probe = fvc + SimDuration::from_millis(200);
+        let s = control_splice(v);
+        let step_frames = (probe.as_micros() / 100_000) as usize; // 10 fps
+        let f = s.frame(step_frames);
+        // Left half: some paint; right half: blank.
+        let w = 64;
+        let mut left_painted = 0;
+        let mut right_painted = 0;
+        for y in 0..f.height() {
+            for x in 0..w {
+                if f.get(x, y) != crate::frame::BLANK {
+                    left_painted += 1;
+                }
+                if f.get(w + 1 + x, y) != crate::frame::BLANK {
+                    right_painted += 1;
+                }
+            }
+        }
+        assert!(left_painted > 0, "left side should have painted by 1s");
+        assert_eq!(right_painted, 0, "delayed side must still be blank");
+    }
+
+    #[test]
+    fn delayed_side_lags_left_by_exactly_the_delay() {
+        // The control splice shows the same capture on both sides, the
+        // right delayed 3 s: the right half at frame i must equal the
+        // left half at frame i - 30 (10 fps). Ads may still be rotating,
+        // so the two halves of a single frame legitimately differ — the
+        // invariant is the time shift.
+        let s = control_splice(video(4));
+        let shift = 30; // 3 s at 10 fps
+        let i = s.frame_count() - 1;
+        let now = s.frame(i);
+        let earlier = s.frame(i - shift);
+        let w = 64;
+        for y in 0..now.height() {
+            for x in 0..w {
+                assert_eq!(
+                    now.get(w + 1 + x, y),
+                    earlier.get(x, y),
+                    "right@{i} != left@{} at ({x},{y})",
+                    i - shift
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "share fps")]
+    fn mismatched_fps_panics() {
+        let a = video(1);
+        let site = generate_site(Seed(9), 0, SiteClass::Blog);
+        let trace = load_page(&site, &BrowserConfig::new(), Seed(9));
+        let b = Video::capture(trace, 25, SimDuration::from_secs(2));
+        let _ = SplicedVideo::new(a, b, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,145 @@
+//! Materialised frame timelines with memoised rewind lookups.
+//!
+//! A campaign serves each video to dozens of participants, and every
+//! timeline response consults the rewind helper, which compares frames
+//! pairwise. Rendering each frame from the paint stream on every lookup
+//! would make campaigns quadratic in practice; [`FrameTimeline`]
+//! materialises the frame sequence once per video (incrementally — total
+//! work proportional to painted area, not frames × paints) and memoises
+//! rewind queries, so a whole campaign touches each distinct scan at most
+//! once.
+
+use std::collections::BTreeMap;
+
+use eyeorg_browser::PaintKind;
+use eyeorg_net::SimTime;
+
+use crate::capture::Video;
+use crate::compare::SIMILARITY_THRESHOLD;
+use crate::frame::{appearance, Frame};
+
+/// All frames of a capture, materialised, plus memoised helper queries.
+#[derive(Debug, Clone)]
+pub struct FrameTimeline {
+    frames: Vec<Frame>,
+    rewind_memo: BTreeMap<usize, usize>,
+}
+
+impl FrameTimeline {
+    /// Materialise every frame of `video` by applying paints
+    /// incrementally between frame instants.
+    pub fn of(video: &Video) -> FrameTimeline {
+        let n = video.frame_count();
+        let trace = video.trace();
+        let probe = video.render_at(SimTime::ZERO);
+        let (w, h) = (probe.width(), probe.height());
+        let sx = f64::from(w) / f64::from(trace.canvas_width.max(1));
+        let sy = f64::from(h) / f64::from(trace.fold_y.max(1));
+
+        let mut frames = Vec::with_capacity(n);
+        let mut cur = Frame::blank(w, h);
+        let mut paint_idx = 0;
+        for i in 0..n {
+            let t = video.frame_time(i);
+            while paint_idx < trace.paints.len() && trace.paints[paint_idx].time <= t {
+                let p = &trace.paints[paint_idx];
+                paint_idx += 1;
+                let Some(visible) = p.rect.above_fold(trace.fold_y) else { continue };
+                let salt = match p.kind {
+                    PaintKind::DocumentBand => 1u8,
+                    PaintKind::Image => 2,
+                    PaintKind::Ad => 3,
+                    PaintKind::Widget => 4,
+                };
+                let salt = salt + p.generation.wrapping_mul(16);
+                cur.fill_rect_scaled(&visible, sx, sy, appearance(p.resource.0, salt));
+            }
+            frames.push(cur.clone());
+        }
+        FrameTimeline { frames, rewind_memo: BTreeMap::new() }
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the timeline is empty (never true for a real capture).
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Frame `i`.
+    ///
+    /// # Panics
+    /// Panics out of range.
+    pub fn frame(&self, i: usize) -> &Frame {
+        &self.frames[i]
+    }
+
+    /// Earliest frame within [`SIMILARITY_THRESHOLD`] of frame `chosen`
+    /// (the rewind helper), memoised per chosen index.
+    pub fn rewind(&mut self, chosen: usize) -> usize {
+        let chosen = chosen.min(self.frames.len().saturating_sub(1));
+        if let Some(&r) = self.rewind_memo.get(&chosen) {
+            return r;
+        }
+        let target = &self.frames[chosen];
+        let mut result = chosen;
+        for i in 0..=chosen {
+            if self.frames[i].diff_fraction(target) <= SIMILARITY_THRESHOLD {
+                result = i;
+                break;
+            }
+        }
+        self.rewind_memo.insert(chosen, result);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::rewind_suggestion;
+    use eyeorg_browser::{load_page, BrowserConfig};
+    use eyeorg_net::SimDuration;
+    use eyeorg_stats::Seed;
+    use eyeorg_workload::{generate_site, SiteClass};
+
+    fn video() -> Video {
+        let site = generate_site(Seed(60), 2, SiteClass::Blog);
+        let trace = load_page(&site, &BrowserConfig::new(), Seed(61));
+        Video::capture(trace, 10, SimDuration::from_secs(3))
+    }
+
+    #[test]
+    fn materialised_frames_match_lazy_rendering() {
+        let v = video();
+        let tl = FrameTimeline::of(&v);
+        assert_eq!(tl.len(), v.frame_count());
+        for i in [0, 1, v.frame_count() / 3, v.frame_count() - 1] {
+            assert_eq!(*tl.frame(i), v.frame(i), "frame {i}");
+        }
+    }
+
+    #[test]
+    fn rewind_matches_reference_implementation() {
+        let v = video();
+        let mut tl = FrameTimeline::of(&v);
+        for chosen in [0, 3, v.frame_count() / 2, v.frame_count() - 1] {
+            assert_eq!(tl.rewind(chosen), rewind_suggestion(&v, chosen), "chosen {chosen}");
+        }
+    }
+
+    #[test]
+    fn rewind_memoised_and_clamped() {
+        let v = video();
+        let mut tl = FrameTimeline::of(&v);
+        let last = tl.len() - 1;
+        let a = tl.rewind(last);
+        let b = tl.rewind(last); // memo hit
+        assert_eq!(a, b);
+        // Out-of-range chosen clamps to the final frame.
+        assert_eq!(tl.rewind(usize::MAX), a);
+    }
+}

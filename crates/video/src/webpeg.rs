@@ -1,0 +1,116 @@
+//! webpeg: the capture orchestrator.
+//!
+//! §3.2: "For each experiment configuration, we repeat each load five
+//! times and use the video with the median onload time." This module
+//! wraps the browser + capture pipeline exactly that way: fresh browser
+//! state per load (a new seeded loader), repeated loads, median
+//! selection.
+
+use eyeorg_browser::{load_page, BrowserConfig, LoadTrace};
+use eyeorg_net::SimDuration;
+use eyeorg_stats::Seed;
+use eyeorg_workload::Website;
+
+use crate::capture::Video;
+
+/// Capture settings for a webpeg run.
+#[derive(Debug, Clone, Copy)]
+pub struct CaptureConfig {
+    /// Frames per second of the recording.
+    pub fps: u32,
+    /// Recording continues this long after onload.
+    pub record_after: SimDuration,
+    /// Number of repeated loads per configuration.
+    pub repeats: usize,
+}
+
+impl Default for CaptureConfig {
+    fn default() -> Self {
+        // The paper records at video rate and repeats each load 5 times.
+        CaptureConfig { fps: 10, record_after: SimDuration::from_secs(5), repeats: 5 }
+    }
+}
+
+/// Perform `repeats` loads of `site` and return every trace, in load
+/// order. Each load uses an independent derived seed — fresh browser
+/// state, fresh network draws — exactly like webpeg deleting Chrome's
+/// local state between loads.
+pub fn capture_all(
+    site: &Website,
+    browser: &BrowserConfig,
+    seed: Seed,
+    capture: &CaptureConfig,
+) -> Vec<LoadTrace> {
+    (0..capture.repeats)
+        .map(|i| load_page(site, browser, seed.derive_index("load", i as u64)))
+        .collect()
+}
+
+/// Capture the site and keep the load with the **median onload time**,
+/// returning its video.
+///
+/// # Panics
+/// Panics if `repeats` is zero.
+pub fn capture_median(
+    site: &Website,
+    browser: &BrowserConfig,
+    seed: Seed,
+    capture: &CaptureConfig,
+) -> Video {
+    assert!(capture.repeats > 0, "at least one load required");
+    let traces = capture_all(site, browser, seed, capture);
+    let median = select_median_onload(traces);
+    Video::capture(median, capture.fps, capture.record_after)
+}
+
+/// Pick the trace with the median onload from a set of loads (ties and
+/// even counts resolve to the lower middle, as an index-based median of
+/// sorted onloads).
+fn select_median_onload(mut traces: Vec<LoadTrace>) -> LoadTrace {
+    assert!(!traces.is_empty());
+    traces.sort_by_key(|t| t.onload.map(|o| o.as_micros()).unwrap_or(u64::MAX));
+    let mid = (traces.len() - 1) / 2;
+    traces.swap_remove(mid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eyeorg_stats::Seed;
+    use eyeorg_workload::{generate_site, SiteClass};
+
+    #[test]
+    fn median_selection_picks_middle_onload() {
+        let site = generate_site(Seed(5), 0, SiteClass::Blog);
+        let cfg = CaptureConfig { repeats: 5, ..CaptureConfig::default() };
+        let traces = capture_all(&site, &BrowserConfig::new(), Seed(7), &cfg);
+        assert_eq!(traces.len(), 5);
+        let mut onloads: Vec<u64> =
+            traces.iter().map(|t| t.onload.unwrap().as_micros()).collect();
+        onloads.sort_unstable();
+        let video = capture_median(&site, &BrowserConfig::new(), Seed(7), &cfg);
+        assert_eq!(video.trace().onload.unwrap().as_micros(), onloads[2]);
+    }
+
+    #[test]
+    fn repeated_loads_differ_but_are_reproducible() {
+        let site = generate_site(Seed(6), 1, SiteClass::News);
+        let cfg = CaptureConfig { repeats: 3, ..CaptureConfig::default() };
+        let a = capture_all(&site, &BrowserConfig::new(), Seed(8), &cfg);
+        let b = capture_all(&site, &BrowserConfig::new(), Seed(8), &cfg);
+        assert_eq!(a, b, "same seed, same captures");
+        // Within a run, loads see different network draws.
+        assert!(
+            a[0].onload != a[1].onload || a[1].onload != a[2].onload,
+            "independent loads should differ"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one load")]
+    fn zero_repeats_rejected() {
+        let site = generate_site(Seed(5), 0, SiteClass::Blog);
+        let cfg = CaptureConfig { repeats: 0, ..CaptureConfig::default() };
+        capture_median(&site, &BrowserConfig::new(), Seed(7), &cfg);
+    }
+}

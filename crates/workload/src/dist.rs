@@ -1,0 +1,131 @@
+//! Sampling distributions for corpus generation.
+//!
+//! Real-web quantities (object sizes, object counts, think times) are
+//! heavy-tailed; HTTP Archive-era measurements are conventionally fit
+//! with log-normals. The `rand` crate in our dependency set ships only
+//! uniform/Bernoulli primitives, so the transforms live here: a
+//! Box–Muller standard normal, log-normal on top of it, and a bounded
+//! Pareto for the occasional monster object.
+
+use rand::{Rng, RngExt};
+
+/// One standard-normal draw via the Box–Muller transform.
+///
+/// Uses both transform outputs' *first* value only — wasting the second
+/// costs one extra uniform pair every other call but keeps the sampler
+/// stateless, which matters for reproducibility across call sites.
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    // Guard u1 away from 0 so ln() stays finite.
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal with the given mean and standard deviation.
+pub fn normal<R: Rng>(rng: &mut R, mean: f64, stdev: f64) -> f64 {
+    mean + stdev * standard_normal(rng)
+}
+
+/// Log-normal parameterised by the *median* and the shape `sigma`
+/// (standard deviation of the underlying normal). The median
+/// parameterisation is less error-prone than (mu, sigma) when transcribing
+/// "typical object is X KB" statements.
+pub fn lognormal_median<R: Rng>(rng: &mut R, median: f64, sigma: f64) -> f64 {
+    assert!(median > 0.0, "log-normal median must be positive");
+    median * (sigma * standard_normal(rng)).exp()
+}
+
+/// Log-normal clamped into `[lo, hi]` — corpus quantities (bytes, counts,
+/// durations) all have physical bounds and unclamped heavy tails would
+/// occasionally produce degenerate sites.
+pub fn lognormal_clamped<R: Rng>(rng: &mut R, median: f64, sigma: f64, lo: f64, hi: f64) -> f64 {
+    lognormal_median(rng, median, sigma).clamp(lo, hi)
+}
+
+/// Bounded Pareto draw on `[lo, hi]` with shape `alpha` (smaller alpha =
+/// heavier tail). Used for the rare very large object.
+pub fn bounded_pareto<R: Rng>(rng: &mut R, alpha: f64, lo: f64, hi: f64) -> f64 {
+    assert!(alpha > 0.0 && lo > 0.0 && hi > lo);
+    let u: f64 = rng.random_range(0.0..1.0);
+    let la = lo.powf(alpha);
+    let ha = hi.powf(alpha);
+    // Inverse-CDF of the bounded Pareto.
+    (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+}
+
+/// Integer draw from a clamped log-normal (rounding to nearest).
+pub fn lognormal_count<R: Rng>(rng: &mut R, median: f64, sigma: f64, lo: u64, hi: u64) -> u64 {
+    lognormal_clamped(rng, median, sigma, lo as f64, hi as f64).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 200_000;
+        let draws: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_is_median() {
+        let mut r = rng();
+        let n = 100_001;
+        let mut draws: Vec<f64> = (0..n).map(|_| lognormal_median(&mut r, 40.0, 1.0)).collect();
+        draws.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = draws[n / 2];
+        assert!((med - 40.0).abs() / 40.0 < 0.03, "median {med}");
+    }
+
+    #[test]
+    fn clamped_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let v = lognormal_clamped(&mut r, 50.0, 2.0, 10.0, 100.0);
+            assert!((10.0..=100.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_in_range_and_heavy_tailed() {
+        let mut r = rng();
+        let draws: Vec<f64> = (0..50_000).map(|_| bounded_pareto(&mut r, 1.2, 1.0, 1000.0)).collect();
+        assert!(draws.iter().all(|&v| (1.0..=1000.0).contains(&v)));
+        // Heavy tail: the mean should far exceed the median.
+        let mut sorted = draws.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[draws.len() / 2];
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!(mean > 2.0 * median, "mean {mean}, median {median}");
+    }
+
+    #[test]
+    fn count_draw_within_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let c = lognormal_count(&mut r, 75.0, 0.6, 5, 300);
+            assert!((5..=300).contains(&c));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+}

@@ -1,0 +1,647 @@
+//! Synthetic website generation.
+//!
+//! The paper samples real populations: 100 Alexa-top-1M sites with full
+//! HTTP/2 support, and 100 of 10,000 ad-displaying sites. This generator
+//! produces a *population* with the same load-bearing heterogeneity:
+//! object counts and sizes follow the heavy-tailed distributions of
+//! 2016-era HTTP Archive censuses (median ~75 objects, ~2.2 MB per page),
+//! pages differ in structure by class (news/commerce/blog/landing/media),
+//! ads and trackers arrive via script-injection chains, and layout places
+//! content above or below a 1280×720 fold.
+//!
+//! Every draw comes from a per-site seeded RNG, so `site(i)` of a corpus
+//! is identical across runs and independent of any other site.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use eyeorg_stats::Seed;
+
+use crate::dist::{lognormal_clamped, lognormal_count};
+use crate::resource::{Discovery, OriginRef, Rect, Resource, ResourceId, ResourceKind};
+use crate::site::{Origin, Website};
+
+/// Canvas width for all generated sites (the desktop viewport webpeg
+/// records at).
+pub const CANVAS_WIDTH: u32 = 1280;
+
+/// Fold line (viewport height).
+pub const FOLD_Y: u32 = 720;
+
+/// Site archetypes with different structural parameter ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteClass {
+    /// Long pages, many images, heavy ad/tracker load.
+    News,
+    /// Product grids, moderate ads, many small images.
+    Ecommerce,
+    /// Light pages, few third parties.
+    Blog,
+    /// Minimal single-viewport pages.
+    Landing,
+    /// Few but large media objects.
+    MediaHeavy,
+}
+
+/// Per-class generation parameters. Counts are (median, sigma, lo, hi)
+/// for clamped log-normal draws; sizes are in bytes.
+#[derive(Debug, Clone)]
+pub struct ClassParams {
+    /// Images: count distribution.
+    pub images: (f64, f64, u64, u64),
+    /// Scripts (sync + deferred combined).
+    pub scripts: (f64, f64, u64, u64),
+    /// Stylesheets.
+    pub stylesheets: (f64, f64, u64, u64),
+    /// Fonts.
+    pub fonts: (f64, f64, u64, u64),
+    /// Trackers.
+    pub trackers: (f64, f64, u64, u64),
+    /// Display ads.
+    pub ads: (f64, f64, u64, u64),
+    /// Social widgets.
+    pub widgets: (f64, f64, u64, u64),
+    /// Median image size in bytes.
+    pub image_size_median: f64,
+    /// Page height distribution (median, sigma, lo, hi) in px.
+    pub page_height: (f64, f64, u64, u64),
+    /// Number of first-party CDN shard origins (inclusive range).
+    pub cdn_shards: (u16, u16),
+}
+
+impl SiteClass {
+    /// The generation parameters of this class, drawn from 2016-era web
+    /// census shapes.
+    pub fn params(self) -> ClassParams {
+        match self {
+            SiteClass::News => ClassParams {
+                images: (45.0, 0.5, 15, 140),
+                scripts: (25.0, 0.4, 8, 60),
+                stylesheets: (4.0, 0.4, 1, 8),
+                fonts: (4.0, 0.5, 1, 8),
+                trackers: (12.0, 0.5, 4, 30),
+                ads: (6.0, 0.4, 2, 14),
+                widgets: (3.0, 0.6, 0, 8),
+                image_size_median: 22_000.0,
+                page_height: (6000.0, 0.4, 2500, 14000),
+                cdn_shards: (1, 3),
+            },
+            SiteClass::Ecommerce => ClassParams {
+                images: (55.0, 0.5, 20, 150),
+                scripts: (20.0, 0.4, 6, 45),
+                stylesheets: (3.0, 0.4, 1, 6),
+                fonts: (3.0, 0.5, 1, 6),
+                trackers: (8.0, 0.5, 2, 20),
+                ads: (1.5, 0.7, 0, 5),
+                widgets: (2.0, 0.6, 0, 5),
+                image_size_median: 15_000.0,
+                page_height: (4500.0, 0.4, 2000, 10000),
+                cdn_shards: (1, 3),
+            },
+            SiteClass::Blog => ClassParams {
+                images: (15.0, 0.6, 4, 50),
+                scripts: (10.0, 0.5, 3, 25),
+                stylesheets: (2.0, 0.4, 1, 4),
+                fonts: (2.0, 0.5, 0, 5),
+                trackers: (4.0, 0.6, 1, 12),
+                ads: (1.0, 0.8, 0, 4),
+                widgets: (2.0, 0.6, 0, 5),
+                image_size_median: 30_000.0,
+                page_height: (3500.0, 0.4, 1500, 9000),
+                cdn_shards: (0, 1),
+            },
+            SiteClass::Landing => ClassParams {
+                images: (8.0, 0.5, 3, 20),
+                scripts: (6.0, 0.5, 2, 15),
+                stylesheets: (2.0, 0.3, 1, 3),
+                fonts: (2.0, 0.4, 1, 4),
+                trackers: (3.0, 0.6, 1, 8),
+                ads: (0.2, 0.5, 0, 1),
+                widgets: (1.0, 0.6, 0, 3),
+                image_size_median: 60_000.0,
+                page_height: (1800.0, 0.3, 900, 4000),
+                cdn_shards: (0, 1),
+            },
+            SiteClass::MediaHeavy => ClassParams {
+                images: (20.0, 0.5, 8, 60),
+                scripts: (15.0, 0.4, 5, 35),
+                stylesheets: (3.0, 0.4, 1, 5),
+                fonts: (3.0, 0.5, 1, 6),
+                trackers: (7.0, 0.5, 2, 18),
+                ads: (3.0, 0.6, 1, 8),
+                widgets: (2.0, 0.6, 0, 5),
+                image_size_median: 90_000.0,
+                page_height: (4000.0, 0.4, 1800, 9000),
+                cdn_shards: (1, 2),
+            },
+        }
+    }
+
+    /// All classes, for iteration.
+    pub const ALL: [SiteClass; 5] = [
+        SiteClass::News,
+        SiteClass::Ecommerce,
+        SiteClass::Blog,
+        SiteClass::Landing,
+        SiteClass::MediaHeavy,
+    ];
+}
+
+/// Standard IAB display-ad formats `(w, h)`.
+const AD_FORMATS: [(u32, u32); 4] = [(728, 90), (300, 250), (300, 600), (320, 50)];
+
+/// Generate one site of the given class. `index` names the site and
+/// derives its private RNG stream from `seed`.
+pub fn generate_site(seed: Seed, index: u64, class: SiteClass) -> Website {
+    let mut rng = StdRng::seed_from_u64(seed.derive_index("site", index).value());
+    let p = class.params();
+
+    // Per-site "bloat" factor: real sites have a common speed scale —
+    // heavy sites are heavy everywhere (big CSS bundles, fat scripts,
+    // slow backends). This shared multiplier on sizes and think times is
+    // what makes the cross-site correlations of Fig. 7b possible.
+    let bloat = lognormal_clamped(&mut rng, 1.0, 0.35, 0.55, 2.5);
+
+    // ---- origin table -------------------------------------------------
+    let mut origins = vec![Origin {
+        host: format!("site{index:03}.example"),
+        supports_h2: true,
+        third_party: false,
+    }];
+    let shards = rng.random_range(p.cdn_shards.0..=p.cdn_shards.1);
+    for s in 0..shards {
+        origins.push(Origin {
+            host: format!("cdn{s}.site{index:03}.example"),
+            supports_h2: true,
+            third_party: false,
+        });
+    }
+    // Third parties: a couple of ad networks, an analytics host, a
+    // widget host. Ad networks of the era lagged on H2 support.
+    let n_adnets = rng.random_range(1..=3u16);
+    let first_adnet = origins.len() as u16;
+    for a in 0..n_adnets {
+        origins.push(Origin {
+            host: format!("adnet{a}.thirdparty.example"),
+            supports_h2: rng.random_bool(0.4),
+            third_party: true,
+        });
+    }
+    let analytics = origins.len() as u16;
+    origins.push(Origin {
+        host: "analytics.thirdparty.example".into(),
+        supports_h2: rng.random_bool(0.6),
+        third_party: true,
+    });
+    let widget_host = origins.len() as u16;
+    origins.push(Origin {
+        host: "widgets.social.example".into(),
+        supports_h2: true,
+        third_party: true,
+    });
+    let first_party_pool: Vec<u16> = (0..=shards).collect();
+
+    // ---- layout state --------------------------------------------------
+    let page_height =
+        lognormal_count(&mut rng, p.page_height.0, p.page_height.1, p.page_height.2, p.page_height.3)
+            as u32;
+    // Main column (0..900) and sidebar (950..1250).
+    let mut main_y: u32 = 80; // below a header band
+    let mut side_y: u32 = 100;
+
+    // ---- helpers -------------------------------------------------------
+    let mut resources: Vec<Resource> = Vec::new();
+    let mut next_id = 0u32;
+    let mut push = |resources: &mut Vec<Resource>, r: Resource| -> ResourceId {
+        let id = ResourceId(next_id);
+        next_id += 1;
+        resources.push(Resource { id, ..r });
+        id
+    };
+    let think = |rng: &mut StdRng, third_party: bool| -> u64 {
+        let median = if third_party { 55_000.0 } else { 22_000.0 };
+        lognormal_clamped(rng, median * bloat, 0.8, 3_000.0, 400_000.0) as u64
+    };
+    let req_hdr = |rng: &mut StdRng| lognormal_clamped(rng, 450.0, 0.3, 200.0, 1500.0) as u64;
+    let resp_hdr = |rng: &mut StdRng| lognormal_clamped(rng, 320.0, 0.3, 150.0, 900.0) as u64;
+
+    // ---- root document --------------------------------------------------
+    let html_bytes = lognormal_clamped(&mut rng, 45_000.0 * bloat, 0.7, 6_000.0, 350_000.0) as u64;
+    // Document TTFB dominates first paint on real sites (backends,
+    // redirects, geo-routing): a wide, bloat-correlated draw.
+    let tk = lognormal_clamped(&mut rng, 200_000.0 * bloat * bloat, 0.55, 30_000.0, 2_500_000.0) as u64;
+    let rh = req_hdr(&mut rng);
+    let ph = resp_hdr(&mut rng);
+    push(
+        &mut resources,
+        Resource {
+            id: ResourceId(0),
+            kind: ResourceKind::Html,
+            origin: OriginRef(0),
+            body_bytes: html_bytes,
+            request_header_bytes: rh,
+            response_header_bytes: ph,
+            // The document's own paint: the text/background of the page.
+            rect: Some(Rect { x: 0, y: 0, w: CANVAS_WIDTH, h: page_height }),
+            discovery: Discovery::Root,
+            render_blocking: false,
+            defer: false,
+            server_think_us: tk,
+        },
+    );
+
+    // ---- stylesheets ----------------------------------------------------
+    let n_css = lognormal_count(&mut rng, p.stylesheets.0, p.stylesheets.1, p.stylesheets.2, p.stylesheets.3);
+    let mut css_ids = Vec::new();
+    for _ in 0..n_css {
+        let bytes = lognormal_clamped(&mut rng, 28_000.0 * bloat, 0.8, 1_500.0, 120_000.0) as u64;
+        let origin = OriginRef(first_party_pool[rng.random_range(0..first_party_pool.len())]);
+        let tk = think(&mut rng, false);
+        let rh = req_hdr(&mut rng);
+        let ph = resp_hdr(&mut rng);
+        let at = rng.random_range(0.01f32..0.12);
+        let id = push(
+            &mut resources,
+            Resource {
+                id: ResourceId(0),
+                kind: ResourceKind::Css,
+                origin,
+                body_bytes: bytes,
+                request_header_bytes: rh,
+                response_header_bytes: ph,
+                rect: None,
+                discovery: Discovery::Html { at_fraction: at },
+                render_blocking: true,
+                defer: false,
+                server_think_us: tk,
+            },
+        );
+        css_ids.push(id);
+    }
+
+    // ---- fonts (children of stylesheets) ---------------------------------
+    let n_fonts = lognormal_count(&mut rng, p.fonts.0, p.fonts.1, p.fonts.2, p.fonts.3);
+    for _ in 0..n_fonts {
+        if css_ids.is_empty() {
+            break;
+        }
+        let parent = css_ids[rng.random_range(0..css_ids.len())];
+        let bytes = lognormal_clamped(&mut rng, 26_000.0, 0.5, 8_000.0, 120_000.0) as u64;
+        let origin = OriginRef(first_party_pool[rng.random_range(0..first_party_pool.len())]);
+        let tk = think(&mut rng, false);
+        let rh = req_hdr(&mut rng);
+        let ph = resp_hdr(&mut rng);
+        push(
+            &mut resources,
+            Resource {
+                id: ResourceId(0),
+                kind: ResourceKind::Font,
+                origin,
+                body_bytes: bytes,
+                request_header_bytes: rh,
+                response_header_bytes: ph,
+                rect: None,
+                discovery: Discovery::Parent { parent },
+                render_blocking: true,
+                defer: false,
+                server_think_us: tk,
+            },
+        );
+    }
+
+    // ---- scripts ----------------------------------------------------------
+    let n_scripts = lognormal_count(&mut rng, p.scripts.0, p.scripts.1, p.scripts.2, p.scripts.3);
+    for _ in 0..n_scripts {
+        let bytes = lognormal_clamped(&mut rng, 35_000.0 * bloat, 0.9, 1_000.0, 500_000.0) as u64;
+        let origin = OriginRef(first_party_pool[rng.random_range(0..first_party_pool.len())]);
+        let defer = rng.random_bool(0.55);
+        let at = if defer { rng.random_range(0.1f32..0.95) } else { rng.random_range(0.03f32..0.5) };
+        let tk = think(&mut rng, false);
+        let rh = req_hdr(&mut rng);
+        let ph = resp_hdr(&mut rng);
+        push(
+            &mut resources,
+            Resource {
+                id: ResourceId(0),
+                kind: ResourceKind::Js,
+                origin,
+                body_bytes: bytes,
+                request_header_bytes: rh,
+                response_header_bytes: ph,
+                rect: None,
+                discovery: Discovery::Html { at_fraction: at },
+                render_blocking: false,
+                defer,
+                server_think_us: tk,
+            },
+        );
+    }
+
+    // ---- images -------------------------------------------------------------
+    let n_images = lognormal_count(&mut rng, p.images.0, p.images.1, p.images.2, p.images.3);
+    for i in 0..n_images {
+        let bytes =
+            lognormal_clamped(&mut rng, p.image_size_median * bloat, 1.0, 500.0, 1_500_000.0)
+                as u64;
+        let origin = OriginRef(first_party_pool[rng.random_range(0..first_party_pool.len())]);
+        // First image is the hero (big, above the fold); the rest flow
+        // down the main column.
+        let rect = if i == 0 {
+            Rect { x: 0, y: 80, w: 900, h: rng.random_range(250..480) }
+        } else {
+            let h = rng.random_range(120..360);
+            let w = rng.random_range(250..880);
+            let y = main_y.min(page_height.saturating_sub(h + 1));
+            main_y = (main_y + h + rng.random_range(30..220)).min(page_height);
+            Rect { x: rng.random_range(0..(900 - w)), y, w, h }
+        };
+        // Document order correlates with layout: earlier images appear
+        // higher on the page.
+        let at = ((rect.y as f32 / page_height.max(1) as f32) * 0.8 + 0.1).clamp(0.1, 0.95);
+        let tk = think(&mut rng, false);
+        let rh = req_hdr(&mut rng);
+        let ph = resp_hdr(&mut rng);
+        push(
+            &mut resources,
+            Resource {
+                id: ResourceId(0),
+                kind: ResourceKind::Image,
+                origin,
+                body_bytes: bytes,
+                request_header_bytes: rh,
+                response_header_bytes: ph,
+                rect: Some(rect),
+                discovery: Discovery::Html { at_fraction: at },
+                render_blocking: false,
+                defer: false,
+                server_think_us: tk,
+            },
+        );
+    }
+
+    // ---- late-blooming above-fold content ---------------------------------------
+    // Roughly half of real pages finish their viewport late: a carousel
+    // pane, a lazy hero variant, or an A/B-tested banner referenced deep
+    // in the document. This is what puts human "ready" close to onload on
+    // a sizable fraction of sites (Fig. 7c's 30%-within-100 ms block).
+    if rng.random_bool(0.45) {
+        let w = rng.random_range(400..760u32);
+        let h = rng.random_range(200..380u32);
+        let rect = Rect {
+            x: rng.random_range(0..(900 - w)),
+            y: rng.random_range(120..340),
+            w,
+            h,
+        };
+        let bytes =
+            lognormal_clamped(&mut rng, p.image_size_median * bloat * 2.5, 0.5, 20_000.0, 2_000_000.0)
+                as u64;
+        let origin = OriginRef(first_party_pool[rng.random_range(0..first_party_pool.len())]);
+        let tk = think(&mut rng, false);
+        let rh = req_hdr(&mut rng);
+        let ph = resp_hdr(&mut rng);
+        push(
+            &mut resources,
+            Resource {
+                id: ResourceId(0),
+                kind: ResourceKind::Image,
+                origin,
+                body_bytes: bytes,
+                request_header_bytes: rh,
+                response_header_bytes: ph,
+                rect: Some(rect),
+                discovery: Discovery::Html { at_fraction: rng.random_range(0.85f32..0.97) },
+                render_blocking: false,
+                defer: false,
+                server_think_us: tk,
+            },
+        );
+    }
+
+    // ---- trackers --------------------------------------------------------------
+    let n_trackers = lognormal_count(&mut rng, p.trackers.0, p.trackers.1, p.trackers.2, p.trackers.3);
+    let mut tracker_ids = Vec::new();
+    for _ in 0..n_trackers {
+        let bytes = lognormal_clamped(&mut rng, 9_000.0, 1.0, 400.0, 120_000.0) as u64;
+        let origin = if rng.random_bool(0.5) {
+            OriginRef(analytics)
+        } else {
+            OriginRef(first_adnet + rng.random_range(0..n_adnets))
+        };
+        let tk = think(&mut rng, true);
+        let rh = req_hdr(&mut rng);
+        let ph = resp_hdr(&mut rng);
+        let id = push(
+            &mut resources,
+            Resource {
+                id: ResourceId(0),
+                kind: ResourceKind::Tracker,
+                origin,
+                body_bytes: bytes,
+                request_header_bytes: rh,
+                response_header_bytes: ph,
+                rect: None,
+                discovery: Discovery::Html { at_fraction: rng.random_range(0.2f32..0.95) },
+                render_blocking: false,
+                defer: rng.random_bool(0.8),
+                server_think_us: tk,
+            },
+        );
+        tracker_ids.push(id);
+    }
+
+    // ---- ads -----------------------------------------------------------------------
+    let n_ads = lognormal_count(&mut rng, p.ads.0.max(0.05), p.ads.1, p.ads.2, p.ads.3);
+    for i in 0..n_ads {
+        let (w, h) = AD_FORMATS[rng.random_range(0..AD_FORMATS.len())];
+        // Standard slots: leaderboard top (often above fold), sidebar
+        // rectangles, in-content ads below.
+        let rect = if i == 0 && w == 728 {
+            Rect { x: 276, y: 0, w, h } // top leaderboard, above fold
+        } else if w == 300 {
+            let y = side_y.min(page_height.saturating_sub(h + 1));
+            side_y = (side_y + h + rng.random_range(80..400)).min(page_height);
+            Rect { x: 950, y, w, h }
+        } else {
+            let y = main_y.min(page_height.saturating_sub(h + 1));
+            main_y = (main_y + h + rng.random_range(60..300)).min(page_height);
+            Rect { x: 100, y, w, h }
+        };
+        let bytes = lognormal_clamped(&mut rng, 16_000.0, 0.9, 2_000.0, 400_000.0) as u64;
+        let origin = OriginRef(first_adnet + rng.random_range(0..n_adnets));
+        // Most ads are script-injected by a tracker (late, possibly
+        // post-onload); a minority are plain iframes in the HTML.
+        let discovery = if !tracker_ids.is_empty() && rng.random_bool(0.75) {
+            Discovery::Parent { parent: tracker_ids[rng.random_range(0..tracker_ids.len())] }
+        } else {
+            Discovery::Html { at_fraction: rng.random_range(0.3f32..0.9) }
+        };
+        let tk = think(&mut rng, true);
+        let rh = req_hdr(&mut rng);
+        let ph = resp_hdr(&mut rng);
+        push(
+            &mut resources,
+            Resource {
+                id: ResourceId(0),
+                kind: ResourceKind::Ad,
+                origin,
+                body_bytes: bytes,
+                request_header_bytes: rh,
+                response_header_bytes: ph,
+                rect: Some(rect),
+                discovery,
+                render_blocking: false,
+                defer: false,
+                server_think_us: tk,
+            },
+        );
+    }
+
+    // ---- widgets ---------------------------------------------------------------------
+    let n_widgets = lognormal_count(&mut rng, p.widgets.0.max(0.05), p.widgets.1, p.widgets.2, p.widgets.3);
+    for _ in 0..n_widgets {
+        let w = rng.random_range(200..320);
+        let h = rng.random_range(60..200);
+        let y = main_y.min(page_height.saturating_sub(h + 1));
+        main_y = (main_y + h + rng.random_range(40..200)).min(page_height);
+        let rect = Rect { x: rng.random_range(0..(900 - w)), y, w, h };
+        let bytes = lognormal_clamped(&mut rng, 25_000.0, 0.8, 3_000.0, 200_000.0) as u64;
+        let discovery = if !tracker_ids.is_empty() && rng.random_bool(0.4) {
+            Discovery::Parent { parent: tracker_ids[rng.random_range(0..tracker_ids.len())] }
+        } else {
+            Discovery::Html { at_fraction: rng.random_range(0.4f32..0.95) }
+        };
+        let tk = think(&mut rng, true);
+        let rh = req_hdr(&mut rng);
+        let ph = resp_hdr(&mut rng);
+        push(
+            &mut resources,
+            Resource {
+                id: ResourceId(0),
+                kind: ResourceKind::Widget,
+                origin: OriginRef(widget_host),
+                body_bytes: bytes,
+                request_header_bytes: rh,
+                response_header_bytes: ph,
+                rect: Some(rect),
+                discovery,
+                render_blocking: false,
+                defer: false,
+                server_think_us: tk,
+            },
+        );
+    }
+
+    Website {
+        name: format!("site{index:03}.example"),
+        origins,
+        resources,
+        canvas_width: CANVAS_WIDTH,
+        page_height,
+        fold_y: FOLD_Y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_sites_validate() {
+        for class in SiteClass::ALL {
+            for i in 0..10 {
+                let site = generate_site(Seed(7), i, class);
+                let errs = site.validate();
+                assert!(errs.is_empty(), "{class:?} site {i}: {errs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_independent() {
+        let a = generate_site(Seed(1), 5, SiteClass::News);
+        let b = generate_site(Seed(1), 5, SiteClass::News);
+        assert_eq!(a, b);
+        // Site 5 is unchanged regardless of whether other sites exist.
+        let c = generate_site(Seed(1), 6, SiteClass::News);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn class_heterogeneity_shows() {
+        let avg = |class: SiteClass, f: &dyn Fn(&Website) -> f64| -> f64 {
+            (0..20).map(|i| f(&generate_site(Seed(3), i, class))).sum::<f64>() / 20.0
+        };
+        let news_objs = avg(SiteClass::News, &|s| s.resources.len() as f64);
+        let landing_objs = avg(SiteClass::Landing, &|s| s.resources.len() as f64);
+        assert!(news_objs > 2.0 * landing_objs, "news {news_objs} vs landing {landing_objs}");
+        let news_ads = avg(SiteClass::News, &|s| s.count_kind(ResourceKind::Ad) as f64);
+        let blog_ads = avg(SiteClass::Blog, &|s| s.count_kind(ResourceKind::Ad) as f64);
+        assert!(news_ads > blog_ads);
+        let media_bytes = avg(SiteClass::MediaHeavy, &|s| s.total_bytes() as f64);
+        let landing_bytes = avg(SiteClass::Landing, &|s| s.total_bytes() as f64);
+        assert!(media_bytes > landing_bytes);
+    }
+
+    #[test]
+    fn sites_have_reasonable_2016_era_shape() {
+        // Across a mixed sample: median object count and page weight in
+        // the ballpark of 2016 HTTP Archive numbers.
+        let mut counts = Vec::new();
+        let mut bytes = Vec::new();
+        for i in 0..60 {
+            let class = SiteClass::ALL[(i % 5) as usize];
+            let s = generate_site(Seed(11), i, class);
+            counts.push(s.resources.len() as f64);
+            bytes.push(s.total_bytes() as f64);
+        }
+        let med_count = eyeorg_stats::percentile(&counts, 50.0).unwrap();
+        let med_bytes = eyeorg_stats::percentile(&bytes, 50.0).unwrap();
+        assert!((25.0..150.0).contains(&med_count), "median objects {med_count}");
+        assert!((500_000.0..5_000_000.0).contains(&med_bytes), "median bytes {med_bytes}");
+    }
+
+    #[test]
+    fn ads_mostly_script_injected() {
+        let mut injected = 0;
+        let mut total = 0;
+        for i in 0..30 {
+            let s = generate_site(Seed(5), i, SiteClass::News);
+            for r in &s.resources {
+                if r.kind == ResourceKind::Ad {
+                    total += 1;
+                    if matches!(r.discovery, Discovery::Parent { .. }) {
+                        injected += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            injected as f64 / total as f64 > 0.5,
+            "most ads should be script-injected ({injected}/{total})"
+        );
+    }
+
+    #[test]
+    fn some_content_above_and_below_fold() {
+        let s = generate_site(Seed(9), 0, SiteClass::News);
+        let above = s.above_fold_resources().len();
+        let visual = s.resources.iter().filter(|r| r.rect.is_some()).count();
+        assert!(above >= 2, "hero/header content above fold");
+        assert!(above < visual, "long pages must also have below-fold content");
+    }
+
+    #[test]
+    fn third_party_origins_marked() {
+        let s = generate_site(Seed(2), 0, SiteClass::News);
+        assert!(!s.origins[0].third_party);
+        assert!(s.origins.iter().any(|o| o.third_party));
+        // Every ad/tracker resource lives on a third-party origin.
+        for r in &s.resources {
+            if matches!(r.kind, ResourceKind::Ad | ResourceKind::Tracker) {
+                assert!(s.origins[r.origin.0 as usize].third_party, "{:?}", r.kind);
+            }
+        }
+    }
+}

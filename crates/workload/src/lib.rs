@@ -1,0 +1,31 @@
+//! # eyeorg-workload
+//!
+//! Synthetic website corpus for the Eyeorg reproduction.
+//!
+//! The paper's campaigns sample real site populations (Alexa top-1M sites
+//! with HTTP/2 support; 10,000 ad-displaying sites). Those populations
+//! are not available here, so this crate generates structurally
+//! equivalent ones (substitution documented in `DESIGN.md`): seeded,
+//! deterministic sites with heavy-tailed object counts and sizes,
+//! per-class structure (news/commerce/blog/landing/media), CDN sharding,
+//! script-injected ad/tracker chains, and above/below-fold layout.
+//!
+//! * [`resource`] — the resource model (kinds, discovery, layout rects).
+//! * [`site`] — [`site::Website`] with validation of structural invariants.
+//! * [`gen`] — the per-site generator.
+//! * [`corpus`] — the campaign-level samplers.
+//! * [`dist`] — heavy-tailed sampling primitives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod dist;
+pub mod gen;
+pub mod resource;
+pub mod site;
+
+pub use corpus::{ad_heavy, alexa_like};
+pub use gen::{generate_site, SiteClass};
+pub use resource::{Discovery, OriginRef, Rect, Resource, ResourceId, ResourceKind};
+pub use site::{Origin, SiteError, Website};

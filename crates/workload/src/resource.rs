@@ -1,0 +1,219 @@
+//! The resource model: what a web page is made of.
+//!
+//! webpeg records real pages; the reproduction needs a structural stand-in
+//! rich enough that every downstream phenomenon the paper studies can
+//! occur: render-blocking CSS/JS, late script-injected ads (the source of
+//! Fig. 9's multi-modal "ready" distributions), above-/below-the-fold
+//! placement (the input to SpeedIndex), third-party origins (what ad
+//! blockers remove), and onload semantics (statically discovered
+//! resources gate `onload`; script-injected ones may land after it).
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a resource within its [`crate::site::Website`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ResourceId(pub u32);
+
+/// Index of an origin within its website's origin table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OriginRef(pub u16);
+
+/// What kind of resource this is; drives sizing, priority, blocking
+/// semantics and ad-blocker treatment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// The main document.
+    Html,
+    /// A stylesheet (render-blocking).
+    Css,
+    /// A script; [`Resource::defer`] distinguishes sync (parser-blocking)
+    /// from deferred/async execution.
+    Js,
+    /// An image.
+    Image,
+    /// A web font (render-blocking for the text it styles).
+    Font,
+    /// A display advertisement (visual, third-party).
+    Ad,
+    /// An analytics/tracking script (invisible, third-party).
+    Tracker,
+    /// A social widget (like button, embedded feed): visual, third-party.
+    Widget,
+}
+
+impl ResourceKind {
+    /// Whether the resource paints pixels when it finishes loading.
+    pub fn is_visual(self) -> bool {
+        matches!(
+            self,
+            ResourceKind::Html
+                | ResourceKind::Css
+                | ResourceKind::Image
+                | ResourceKind::Ad
+                | ResourceKind::Widget
+        )
+    }
+
+    /// Whether the resource is third-party auxiliary content (the class
+    /// participants in §6 describe ignoring when judging "ready").
+    pub fn is_auxiliary(self) -> bool {
+        matches!(self, ResourceKind::Ad | ResourceKind::Tracker | ResourceKind::Widget)
+    }
+}
+
+/// Axis-aligned rectangle in page coordinates (CSS pixels; y grows
+/// downward). Pages are laid out on a fixed-width canvas and the
+/// viewport's fold line decides what is above the fold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left edge.
+    pub x: u32,
+    /// Top edge.
+    pub y: u32,
+    /// Width.
+    pub w: u32,
+    /// Height.
+    pub h: u32,
+}
+
+impl Rect {
+    /// Area in px².
+    pub fn area(&self) -> u64 {
+        u64::from(self.w) * u64::from(self.h)
+    }
+
+    /// The portion of this rect above the horizontal line `fold_y`
+    /// (i.e. within the initial viewport), or `None` if fully below.
+    pub fn above_fold(&self, fold_y: u32) -> Option<Rect> {
+        if self.y >= fold_y {
+            return None;
+        }
+        let visible_h = (fold_y - self.y).min(self.h);
+        Some(Rect { x: self.x, y: self.y, w: self.w, h: visible_h })
+    }
+
+    /// Whether two rects overlap (zero-area touching does not count).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x < other.x + other.w
+            && other.x < self.x + self.w
+            && self.y < other.y + other.h
+            && other.y < self.y + self.h
+    }
+}
+
+/// How the browser finds out a resource exists.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Discovery {
+    /// It is the root document (fetched from the address bar).
+    Root,
+    /// Referenced by the HTML; discovered when the parser has consumed
+    /// the given fraction of the document's bytes (0.0 = very first tag,
+    /// 1.0 = last byte).
+    Html {
+        /// Fraction of document bytes parsed at the reference point.
+        at_fraction: f32,
+    },
+    /// Referenced from a stylesheet/script: discovered when that parent
+    /// resource has loaded (and, for scripts, executed).
+    Parent {
+        /// The referencing resource.
+        parent: ResourceId,
+    },
+}
+
+/// One fetchable resource of a website.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Resource {
+    /// Identity within the website.
+    pub id: ResourceId,
+    /// Kind (drives priority/blocking/ad-blocking semantics).
+    pub kind: ResourceKind,
+    /// Which origin serves it.
+    pub origin: OriginRef,
+    /// Response body size in bytes.
+    pub body_bytes: u64,
+    /// Request header size (cookies scale with the origin).
+    pub request_header_bytes: u64,
+    /// Response header size.
+    pub response_header_bytes: u64,
+    /// Visual footprint in page coordinates; `None` for non-visual
+    /// resources (scripts, trackers, fonts).
+    pub rect: Option<Rect>,
+    /// How the browser discovers it.
+    pub discovery: Discovery,
+    /// Whether it blocks rendering until loaded (CSS, fonts in use).
+    pub render_blocking: bool,
+    /// For scripts: deferred/async (does not block the parser).
+    pub defer: bool,
+    /// Server processing time for this resource, in microseconds (kept as
+    /// a plain integer so the type serialises cleanly).
+    pub server_think_us: u64,
+}
+
+impl Resource {
+    /// Whether this script blocks HTML parsing at its reference point.
+    pub fn parser_blocking(&self) -> bool {
+        self.kind == ResourceKind::Js && !self.defer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visual_and_auxiliary_classification() {
+        assert!(ResourceKind::Image.is_visual());
+        assert!(ResourceKind::Ad.is_visual());
+        assert!(!ResourceKind::Js.is_visual());
+        assert!(!ResourceKind::Tracker.is_visual());
+        assert!(ResourceKind::Ad.is_auxiliary());
+        assert!(ResourceKind::Widget.is_auxiliary());
+        assert!(!ResourceKind::Css.is_auxiliary());
+    }
+
+    #[test]
+    fn rect_area_and_fold() {
+        let r = Rect { x: 0, y: 500, w: 100, h: 300 };
+        assert_eq!(r.area(), 30_000);
+        // Fold at 600: top 100px visible.
+        let above = r.above_fold(600).unwrap();
+        assert_eq!(above.h, 100);
+        assert_eq!(above.area(), 10_000);
+        // Fold at 500: fully below.
+        assert!(r.above_fold(500).is_none());
+        // Fold far down: fully visible.
+        assert_eq!(r.above_fold(10_000).unwrap(), r);
+    }
+
+    #[test]
+    fn rect_intersection() {
+        let a = Rect { x: 0, y: 0, w: 10, h: 10 };
+        let b = Rect { x: 5, y: 5, w: 10, h: 10 };
+        let c = Rect { x: 10, y: 0, w: 5, h: 5 };
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c), "edge-touching is not overlap");
+    }
+
+    #[test]
+    fn parser_blocking_semantics() {
+        let mut r = Resource {
+            id: ResourceId(1),
+            kind: ResourceKind::Js,
+            origin: OriginRef(0),
+            body_bytes: 100,
+            request_header_bytes: 100,
+            response_header_bytes: 100,
+            rect: None,
+            discovery: Discovery::Html { at_fraction: 0.1 },
+            render_blocking: false,
+            defer: false,
+            server_think_us: 0,
+        };
+        assert!(r.parser_blocking());
+        r.defer = true;
+        assert!(!r.parser_blocking());
+        r.kind = ResourceKind::Css;
+        assert!(!r.parser_blocking());
+    }
+}

@@ -1,0 +1,66 @@
+//! The paper's third campaign in miniature: how do AdBlock, Ghostery and
+//! uBlock affect perceived page load time?
+//!
+//! Each ad-displaying site is captured with ads (A) and once per blocker
+//! (B); separate crowds judge each pairing. §5.4's finding — Ghostery the
+//! clear favourite, with blocked-vs-ads comparisons more contested than
+//! protocol comparisons — should reproduce at this scale.
+//!
+//! ```sh
+//! cargo run --release --example adblocker_comparison
+//! ```
+
+use eyeorg_browser::{AdBlocker, BrowserConfig};
+use eyeorg_core::prelude::*;
+use eyeorg_crowd::CrowdFlower;
+use eyeorg_net::NetworkProfile;
+use eyeorg_stats::Seed;
+use eyeorg_video::CaptureConfig;
+use eyeorg_workload::ad_heavy;
+
+fn main() {
+    let seed = Seed(99);
+    let sites = ad_heavy(seed, 9, 2);
+    let browser = BrowserConfig::new().with_network(NetworkProfile::fttc());
+
+    println!("blocker    mean-score  >=0.8  contested  blocked-requests");
+    for blocker in AdBlocker::ALL {
+        let stimuli = adblock_ab_stimuli(
+            &sites,
+            &browser,
+            blocker,
+            &CaptureConfig::default(),
+            seed.derive(blocker.name()),
+        );
+        // Count what the extension actually removed, from the captures.
+        let blocked: usize = stimuli
+            .iter()
+            .map(|s| {
+                s.b.trace().resources.iter().filter(|r| r.skipped.is_some()).count()
+            })
+            .sum();
+        let campaign = run_ab_campaign(
+            stimuli,
+            &CrowdFlower,
+            60,
+            &ExperimentConfig::default(),
+            seed.derive(blocker.name()),
+        );
+        let report = filter_ab(&campaign, &paper_pipeline());
+        let tallies = ab_tallies(&campaign, &report);
+        let scores: Vec<f64> = tallies.iter().filter_map(AbTally::score).collect();
+        let mean = scores.iter().sum::<f64>() / scores.len().max(1) as f64;
+        let strong = scores.iter().filter(|&&s| s >= 0.8).count();
+        let contested = scores.iter().filter(|&&s| (0.2..=0.8).contains(&s)).count();
+        println!(
+            "{:<10} {mean:>9.2} {:>6}/{} {:>8}/{} {:>12}",
+            blocker.name(),
+            strong,
+            scores.len(),
+            contested,
+            scores.len(),
+            blocked,
+        );
+    }
+    println!("\n(1.0 = the ad-blocked version felt faster on every decided vote)");
+}

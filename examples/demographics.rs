@@ -1,0 +1,48 @@
+//! "Which demographics are more sensitive to PLT speedup?" — one of the
+//! motivating questions Eyeorg's introduction poses (§3). This example
+//! runs an H1-vs-H2 A/B campaign and slices the responses by self-
+//! assessed technical ability and by gender.
+//!
+//! ```sh
+//! cargo run --release --example demographics
+//! ```
+
+use eyeorg_browser::BrowserConfig;
+use eyeorg_core::analysis::ab_demographics;
+use eyeorg_core::prelude::*;
+use eyeorg_crowd::CrowdFlower;
+use eyeorg_net::NetworkProfile;
+use eyeorg_stats::Seed;
+use eyeorg_video::CaptureConfig;
+use eyeorg_workload::alexa_like;
+
+fn main() {
+    let seed = Seed(2024);
+    let sites = alexa_like(seed, 8);
+    let stimuli = protocol_ab_stimuli(
+        &sites,
+        &BrowserConfig::new().with_network(NetworkProfile::cable()),
+        &CaptureConfig::default(),
+        seed,
+    );
+    let campaign =
+        run_ab_campaign(stimuli, &CrowdFlower, 240, &ExperimentConfig::default(), seed);
+    let report = filter_ab(&campaign, &paper_pipeline());
+
+    println!("slice      participants  votes  decided  majority-agreement");
+    for s in ab_demographics(&campaign, &report) {
+        println!(
+            "{:<10} {:>12} {:>6} {:>7.0}% {:>18.0}%",
+            s.label,
+            s.participants,
+            s.votes,
+            s.decided_rate * 100.0,
+            s.majority_agreement * 100.0,
+        );
+    }
+    println!(
+        "\nTechnically savvy participants decide more often (finer JNDs),\n\
+         while gender slices behave alike — sensitivity is about expertise,\n\
+         not demographics per se."
+    );
+}

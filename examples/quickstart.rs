@@ -1,0 +1,85 @@
+//! Quickstart: the full Eyeorg pipeline on one small campaign.
+//!
+//! Generates a site sample, captures page-load videos with the simulated
+//! webpeg, recruits a paid crowd, runs a timeline experiment, filters the
+//! responses with the paper's §4.3 pipeline, and compares the crowd's
+//! `UserPerceivedPLT` against the automatic metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use eyeorg_browser::BrowserConfig;
+use eyeorg_core::prelude::*;
+use eyeorg_crowd::CrowdFlower;
+use eyeorg_metrics::compute_metrics;
+use eyeorg_net::NetworkProfile;
+use eyeorg_stats::Seed;
+use eyeorg_video::CaptureConfig;
+use eyeorg_workload::alexa_like;
+
+fn main() {
+    let seed = Seed(7);
+
+    // 1. A sample of H2-ready sites (the paper samples 100; we take 8).
+    let sites = alexa_like(seed, 8);
+    println!("corpus: {} sites, {:.1} MB median page weight", sites.len(), {
+        let mut w: Vec<f64> =
+            sites.iter().map(|s| s.total_bytes() as f64 / 1e6).collect();
+        w.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        w[w.len() / 2]
+    });
+
+    // 2. webpeg: five loads per site on a fast consumer line, keep the
+    //    median-onload capture.
+    let browser = BrowserConfig::new().with_network(NetworkProfile::fttc());
+    let stimuli = timeline_stimuli(&sites, &browser, &CaptureConfig::default(), seed);
+
+    // 3. A timeline campaign with 60 paid participants, 6 videos each.
+    let campaign =
+        run_timeline_campaign(stimuli, &CrowdFlower, 60, &ExperimentConfig::default(), seed);
+    println!(
+        "campaign: {} participants recruited in {:.1} h for ${:.2}",
+        campaign.participants.len(),
+        campaign.recruitment_duration_secs / 3600.0,
+        campaign.recruitment_cost_usd,
+    );
+
+    // 4. Validate & filter (§4.3), then wisdom-of-the-crowd band.
+    let report = filter_timeline(&campaign, &paper_pipeline());
+    println!(
+        "filtering: {} engagement, {} soft-rule, {} control → {} kept",
+        report.engagement,
+        report.soft,
+        report.control,
+        report.kept.len()
+    );
+
+    // 5. Crowd UPLT vs the automatic metrics, per site.
+    let uplt = mean_uplt(&campaign, &report, Some((25.0, 75.0)));
+    println!("\nsite                 crowd-UPLT   onload   speedindex");
+    for (i, name) in campaign.stimuli_names.iter().enumerate() {
+        let m = compute_metrics(&campaign.videos[i]);
+        println!(
+            "{name:<20} {:>8.2}s {:>8.2}s {:>10.2}s",
+            uplt[i].unwrap_or(f64::NAN),
+            m.onload.map(|t| t.as_secs_f64()).unwrap_or(f64::NAN),
+            m.speed_index.map(|d| d.as_secs_f64()).unwrap_or(f64::NAN),
+        );
+    }
+
+    // 6. The Fig. 1 visualisation for the first site.
+    let samples = uplt_samples(&campaign, &report, None);
+    let video = &campaign.videos[0];
+    let onload = video.trace().onload.expect("onload fired").as_secs_f64();
+    println!("\nresponse timeline for {}:", campaign.stimuli_names[0]);
+    print!(
+        "{}",
+        eyeorg_core::viz::response_timeline(
+            &samples[0],
+            video.duration().as_secs_f64(),
+            60,
+            &[('O', onload, "onload")],
+        )
+    );
+}

@@ -1,0 +1,1 @@
+pub use eyeorg_core as core;
