@@ -143,6 +143,11 @@ pub fn build_final_ads(scale: &Scale) -> Vec<(AdBlocker, Filtered<AbCampaign>)> 
         (scale.sites / AdBlocker::ALL.len()).max(2),
         1,
     );
+    // One capture seed for all three blockers: the with-ads baseline (A
+    // side) is the *same* capture for every blocker, so the shared
+    // capture cache serves it once and only the blocker-specific B sides
+    // are captured per iteration.
+    let cap_seed = scale.seed.derive("final-ads").derive("cap");
     AdBlocker::ALL
         .iter()
         .map(|&blocker| {
@@ -152,7 +157,7 @@ pub fn build_final_ads(scale: &Scale) -> Vec<(AdBlocker, Filtered<AbCampaign>)> 
                 &capture_browser(),
                 blocker,
                 &scale.capture(),
-                seed.derive("cap"),
+                cap_seed,
             );
             let campaign = run_ab_campaign(
                 stimuli,

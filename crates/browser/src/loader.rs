@@ -654,11 +654,10 @@ impl<'a> Loader<'a> {
     }
 
     fn check_onload(&mut self, t: SimTime) {
-        if self.onload.is_none()
-            && self.parse_complete.is_some()
-            && self.outstanding.is_empty()
-        {
-            self.onload = Some(t.max(self.parse_complete.expect("checked")));
+        if let Some(parse_done) = self.parse_complete {
+            if self.onload.is_none() && self.outstanding.is_empty() {
+                self.onload = Some(t.max(parse_done));
+            }
         }
     }
 

@@ -13,11 +13,19 @@
 
 use eyeorg_browser::{AdBlocker, BrowserConfig};
 use eyeorg_http::Protocol;
-use eyeorg_stats::Seed;
-use eyeorg_video::{capture_median, CaptureConfig};
+use eyeorg_stats::{par_map_range, resolve_threads, Seed};
+use eyeorg_video::{shared_capture_cache, CaptureConfig};
 use eyeorg_workload::Website;
 
 use crate::experiment::{AbStimulus, TimelineStimulus};
+
+// Builders fan captures out over the automatic thread count (override
+// with `EYEORG_THREADS`): each site's captures draw only from their own
+// `derive_index` seed streams and land in the site's output slot, so
+// the stimulus list is byte-identical at every thread count. Finished
+// captures go through the process-wide [`CaptureCache`] — repeated
+// builder calls for the same configuration (the ad-blocker study's
+// with-ads baseline, re-run experiments) reuse the stored video.
 
 /// Capture every site once under `browser` (median of the configured
 /// repeats), producing timeline stimuli.
@@ -27,14 +35,31 @@ pub fn timeline_stimuli(
     capture: &CaptureConfig,
     seed: Seed,
 ) -> Vec<TimelineStimulus> {
-    sites
-        .iter()
-        .enumerate()
-        .map(|(i, site)| TimelineStimulus {
+    timeline_stimuli_threads(sites, browser, capture, seed, 0)
+}
+
+/// [`timeline_stimuli`] with an explicit worker-thread count (`0` =
+/// automatic, `1` = sequential); output is identical for every value.
+pub fn timeline_stimuli_threads(
+    sites: &[Website],
+    browser: &BrowserConfig,
+    capture: &CaptureConfig,
+    seed: Seed,
+    threads: usize,
+) -> Vec<TimelineStimulus> {
+    let cache = shared_capture_cache();
+    par_map_range(sites.len(), resolve_threads(threads), |i| {
+        let site = &sites[i];
+        TimelineStimulus {
             name: site.name.clone(),
-            video: capture_median(site, browser, seed.derive_index("tl-cap", i as u64), capture),
-        })
-        .collect()
+            video: cache.capture_median(
+                site,
+                browser,
+                seed.derive_index("tl-cap", i as u64),
+                capture,
+            ),
+        }
+    })
 }
 
 /// Capture every site under HTTP/1.1 (A) and HTTP/2 (B) for the
@@ -47,19 +72,17 @@ pub fn protocol_ab_stimuli(
     capture: &CaptureConfig,
     seed: Seed,
 ) -> Vec<AbStimulus> {
-    sites
-        .iter()
-        .enumerate()
-        .map(|(i, site)| {
-            let h1 = base.clone().with_protocol(Protocol::Http1);
-            let h2 = base.clone().with_protocol(Protocol::Http2);
-            AbStimulus {
-                name: site.name.clone(),
-                a: capture_median(site, &h1, seed.derive_index("h1-cap", i as u64), capture),
-                b: capture_median(site, &h2, seed.derive_index("h2-cap", i as u64), capture),
-            }
-        })
-        .collect()
+    let cache = shared_capture_cache();
+    par_map_range(sites.len(), resolve_threads(0), |i| {
+        let site = &sites[i];
+        let h1 = base.clone().with_protocol(Protocol::Http1);
+        let h2 = base.clone().with_protocol(Protocol::Http2);
+        AbStimulus {
+            name: site.name.clone(),
+            a: cache.capture_median(site, &h1, seed.derive_index("h1-cap", i as u64), capture),
+            b: cache.capture_median(site, &h2, seed.derive_index("h2-cap", i as u64), capture),
+        }
+    })
 }
 
 /// Capture every site with ads (A) and under `blocker` (B) for the
@@ -71,23 +94,21 @@ pub fn adblock_ab_stimuli(
     capture: &CaptureConfig,
     seed: Seed,
 ) -> Vec<AbStimulus> {
-    sites
-        .iter()
-        .enumerate()
-        .map(|(i, site)| {
-            let with_blocker = base.clone().with_adblocker(blocker);
-            AbStimulus {
-                name: site.name.clone(),
-                a: capture_median(site, base, seed.derive_index("ads-cap", i as u64), capture),
-                b: capture_median(
-                    site,
-                    &with_blocker,
-                    seed.derive_index("blk-cap", i as u64),
-                    capture,
-                ),
-            }
-        })
-        .collect()
+    let cache = shared_capture_cache();
+    par_map_range(sites.len(), resolve_threads(0), |i| {
+        let site = &sites[i];
+        let with_blocker = base.clone().with_adblocker(blocker);
+        AbStimulus {
+            name: site.name.clone(),
+            a: cache.capture_median(site, base, seed.derive_index("ads-cap", i as u64), capture),
+            b: cache.capture_median(
+                site,
+                &with_blocker,
+                seed.derive_index("blk-cap", i as u64),
+                capture,
+            ),
+        }
+    })
 }
 
 /// Capture every site under plain HTTP/2 (A) and HTTP/2 with server push
@@ -99,18 +120,16 @@ pub fn push_ab_stimuli(
     capture: &CaptureConfig,
     seed: Seed,
 ) -> Vec<AbStimulus> {
-    sites
-        .iter()
-        .enumerate()
-        .map(|(i, site)| {
-            let pushed = base.clone().with_server_push();
-            AbStimulus {
-                name: site.name.clone(),
-                a: capture_median(site, base, seed.derive_index("plain-cap", i as u64), capture),
-                b: capture_median(site, &pushed, seed.derive_index("push-cap", i as u64), capture),
-            }
-        })
-        .collect()
+    let cache = shared_capture_cache();
+    par_map_range(sites.len(), resolve_threads(0), |i| {
+        let site = &sites[i];
+        let pushed = base.clone().with_server_push();
+        AbStimulus {
+            name: site.name.clone(),
+            a: cache.capture_median(site, base, seed.derive_index("plain-cap", i as u64), capture),
+            b: cache.capture_median(site, &pushed, seed.derive_index("push-cap", i as u64), capture),
+        }
+    })
 }
 
 #[cfg(test)]

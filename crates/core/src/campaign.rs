@@ -9,11 +9,11 @@
 //! the validation (§4) and analysis (§5) layers consume.
 
 use eyeorg_crowd::{
-    ab_control, behavior, timeline_control_passes, timeline_response_cached, AbAnswer,
+    ab_control, behavior, timeline_control_passes, timeline_response_shared, AbAnswer,
     Participant, Recruitment, RecruitmentService, TestKind, TimelineResponse, VideoSession,
 };
 use eyeorg_net::SimTime;
-use eyeorg_stats::Seed;
+use eyeorg_stats::{par_map_range, resolve_threads, Seed};
 use eyeorg_video::{FrameTimeline, Video};
 
 use crate::experiment::{a_on_left, assign, AbStimulus, ExperimentConfig, TimelineStimulus};
@@ -118,39 +118,95 @@ pub fn run_timeline_campaign(
     seed: Seed,
 ) -> TimelineCampaign {
     assert!(!stimuli.is_empty(), "campaign needs stimuli");
+    let threads = resolve_threads(cfg.threads);
     let recruitment: Recruitment = service.recruit(seed.derive("recruit"), n_participants);
     // Hard rules first: the humanness gate turns scripts away before any
     // response is collected (§3.3).
     let gate = crate::validation::captcha_gate(recruitment.participants);
-    let mut frames: Vec<FrameTimeline> =
-        stimuli.iter().map(|s| FrameTimeline::of(&s.video)).collect();
-
     let mut rows = Vec::new();
     let mut controls = Vec::new();
-    for (pi, participant) in gate.admitted.iter().enumerate() {
-        let picks = assign(
-            seed.derive("timeline"),
-            pi as u64,
-            stimuli.len(),
-            cfg.videos_per_participant,
-        );
-        for &si in &picks {
-            let label = format!("tl-{si}");
-            let video = &stimuli[si].video;
-            let session = behavior::video_session(video, participant, TestKind::Timeline, &label);
-            let response = if session.skipped {
-                None
-            } else {
-                Some(timeline_response_cached(video, &mut frames[si], participant, &label))
-            };
-            rows.push(TimelineRow { participant: pi, stimulus: si, session, response });
+    if threads <= 1 {
+        // The sequential engine: one memoising timeline per stimulus,
+        // rewinds computed lazily as participants touch frames.
+        let mut frames: Vec<FrameTimeline> =
+            stimuli.iter().map(|s| FrameTimeline::of(&s.video)).collect();
+        for (pi, participant) in gate.admitted.iter().enumerate() {
+            let picks = assign(
+                seed.derive("timeline"),
+                pi as u64,
+                stimuli.len(),
+                cfg.videos_per_participant,
+            );
+            for &si in &picks {
+                let label = format!("tl-{si}");
+                let video = &stimuli[si].video;
+                let session =
+                    behavior::video_session(video, participant, TestKind::Timeline, &label);
+                let response = if session.skipped {
+                    None
+                } else {
+                    Some(eyeorg_crowd::timeline_response_cached(
+                        video,
+                        &mut frames[si],
+                        participant,
+                        &label,
+                    ))
+                };
+                rows.push(TimelineRow { participant: pi, stimulus: si, session, response });
+            }
+            if cfg.with_controls {
+                // The control reuses one of the participant's videos with
+                // a nearly-blank rewind suggestion (Fig. 3b).
+                let ctrl_video = picks[0];
+                let passed = timeline_control_passes(participant, &format!("tl-{ctrl_video}"));
+                controls.push(ControlRow { participant: pi, passed });
+            }
         }
-        if cfg.with_controls {
-            // The control reuses one of the participant's videos with a
-            // nearly-blank rewind suggestion (Fig. 3b).
-            let ctrl_video = picks[0];
-            let passed = timeline_control_passes(participant, &format!("tl-{ctrl_video}"));
-            controls.push(ControlRow { participant: pi, passed });
+    } else {
+        // The parallel engine. Materialise one immutable timeline per
+        // stimulus with the rewind table filled up front, so participant
+        // workers share them read-only; the rewind scan is pure, so the
+        // table holds exactly the values the lazy path would compute.
+        let frames: Vec<FrameTimeline> = par_map_range(stimuli.len(), threads, |si| {
+            let mut tl = FrameTimeline::of(&stimuli[si].video);
+            tl.precompute_rewinds();
+            tl
+        });
+        // Every response draws only from the participant's own derived
+        // seed streams, so participants are independent work items;
+        // merging in participant index order makes the row list
+        // byte-identical to the sequential engine.
+        let per_participant = par_map_range(gate.admitted.len(), threads, |pi| {
+            let participant = &gate.admitted[pi];
+            let picks = assign(
+                seed.derive("timeline"),
+                pi as u64,
+                stimuli.len(),
+                cfg.videos_per_participant,
+            );
+            let mut p_rows = Vec::with_capacity(picks.len());
+            for &si in &picks {
+                let label = format!("tl-{si}");
+                let video = &stimuli[si].video;
+                let session =
+                    behavior::video_session(video, participant, TestKind::Timeline, &label);
+                let response = if session.skipped {
+                    None
+                } else {
+                    Some(timeline_response_shared(video, &frames[si], participant, &label))
+                };
+                p_rows.push(TimelineRow { participant: pi, stimulus: si, session, response });
+            }
+            let control = cfg.with_controls.then(|| {
+                let ctrl_video = picks[0];
+                let passed = timeline_control_passes(participant, &format!("tl-{ctrl_video}"));
+                ControlRow { participant: pi, passed }
+            });
+            (p_rows, control)
+        });
+        for (p_rows, control) in per_participant {
+            rows.extend(p_rows);
+            controls.extend(control);
         }
     }
     TimelineCampaign {
@@ -177,17 +233,26 @@ pub fn run_ab_campaign(
     seed: Seed,
 ) -> AbCampaign {
     assert!(!stimuli.is_empty(), "campaign needs stimuli");
+    let threads = resolve_threads(cfg.threads);
     let recruitment: Recruitment = service.recruit(seed.derive("recruit"), n_participants);
     let gate = crate::validation::captcha_gate(recruitment.participants);
 
-    let mut rows = Vec::new();
-    let mut controls = Vec::new();
-    for (pi, participant) in gate.admitted.iter().enumerate() {
-        let picks =
-            assign(seed.derive("ab"), pi as u64, stimuli.len(), cfg.videos_per_participant);
+    // Participants are independent work items (see the timeline
+    // campaign); merge order pins the sequential row layout. The
+    // assignment and presentation-order draws use distinct seed labels —
+    // "ab-assign" vs "ab-side" — so the two streams never collide.
+    let per_participant = par_map_range(gate.admitted.len(), threads, |pi| {
+        let participant = &gate.admitted[pi];
+        let picks = assign(
+            seed.derive("ab-assign"),
+            pi as u64,
+            stimuli.len(),
+            cfg.videos_per_participant,
+        );
+        let mut p_rows = Vec::with_capacity(picks.len());
         for &si in &picks {
             let label = format!("ab-{si}");
-            let a_left = a_on_left(seed.derive("ab"), pi as u64, si);
+            let a_left = a_on_left(seed.derive("ab-side"), pi as u64, si);
             let s = &stimuli[si];
             // The spliced video the participant downloads covers both
             // sides; behaviour is driven by the longer capture.
@@ -206,13 +271,20 @@ pub fn run_ab_campaign(
                     (AbAnswer::Left, false) | (AbAnswer::Right, true) => AbVerdict::BFaster,
                 })
             };
-            rows.push(AbRow { participant: pi, stimulus: si, a_left, session, verdict });
+            p_rows.push(AbRow { participant: pi, stimulus: si, a_left, session, verdict });
         }
-        if cfg.with_controls {
+        let control = cfg.with_controls.then(|| {
             let ctrl = picks[0];
             let (_, passed) = ab_control(&stimuli[ctrl].a, participant, &format!("ab-{ctrl}"));
-            controls.push(ControlRow { participant: pi, passed });
-        }
+            ControlRow { participant: pi, passed }
+        });
+        (p_rows, control)
+    });
+    let mut rows = Vec::new();
+    let mut controls = Vec::new();
+    for (p_rows, control) in per_participant {
+        rows.extend(p_rows);
+        controls.extend(control);
     }
     AbCampaign {
         stimuli_names: stimuli.iter().map(|s| s.name.clone()).collect(),

@@ -14,8 +14,7 @@
 //! one control question (§3.3).
 
 use eyeorg_video::Video;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use eyeorg_stats::rng::Rng;
 
 use eyeorg_stats::Seed;
 
@@ -48,11 +47,17 @@ pub struct ExperimentConfig {
     /// Whether each participant additionally receives one control
     /// question.
     pub with_controls: bool,
+    /// Worker threads for campaign execution: `0` = automatic
+    /// (`EYEORG_THREADS`, else the machine's available parallelism),
+    /// `1` = the sequential path, `n` = exactly `n` workers. Campaign
+    /// output is byte-identical for every value — responses draw only
+    /// from per-participant seed streams and merge in participant order.
+    pub threads: usize,
 }
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
-        ExperimentConfig { videos_per_participant: 6, with_controls: true }
+        ExperimentConfig { videos_per_participant: 6, with_controls: true, threads: 0 }
     }
 }
 
@@ -75,7 +80,7 @@ pub fn assign(
     let mut picks: Vec<usize> = (0..k).map(|j| (start + j) % n_stimuli).collect();
     // Shuffle the presentation order deterministically.
     let mut rng =
-        StdRng::seed_from_u64(seed.derive_index("assign", participant_idx).value());
+        Rng::seed_from_u64(seed.derive_index("assign", participant_idx).value());
     for i in (1..picks.len()).rev() {
         let j = rng.random_range(0..=i);
         picks.swap(i, j);
@@ -87,7 +92,7 @@ pub fn assign(
 /// participant with A on the left (§3.2: "'A' is not always on the
 /// left").
 pub fn a_on_left(seed: Seed, participant_idx: u64, pair_idx: usize) -> bool {
-    let mut rng = StdRng::seed_from_u64(
+    let mut rng = Rng::seed_from_u64(
         seed.derive_index("ab-order", participant_idx)
             .derive_index("pair", pair_idx as u64)
             .value(),

@@ -73,6 +73,7 @@ pub mod prelude {
     };
     pub use crate::builders::{
         adblock_ab_stimuli, protocol_ab_stimuli, push_ab_stimuli, timeline_stimuli,
+        timeline_stimuli_threads,
     };
     pub use crate::campaign::{
         run_ab_campaign, run_timeline_campaign, AbCampaign, AbRow, AbVerdict, ControlRow,

@@ -11,8 +11,7 @@
 //! pathologies (sloppiness, distraction), not automation.
 
 use eyeorg_crowd::{Participant, ParticipantClass};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use eyeorg_stats::rng::Rng;
 
 /// Pass probability of the humanness check for a real person (misfires
 /// are rare but exist: broken challenges, accessibility issues).
@@ -37,7 +36,7 @@ pub fn captcha_gate(participants: Vec<Participant>) -> GateReport {
     let mut admitted = Vec::with_capacity(participants.len());
     let mut rejected = 0;
     for p in participants {
-        let mut rng = StdRng::seed_from_u64(p.seed.derive("captcha").value());
+        let mut rng = Rng::seed_from_u64(p.seed.derive("captcha").value());
         let pass_rate = if p.class == ParticipantClass::Bot {
             BOT_PASS_RATE
         } else {

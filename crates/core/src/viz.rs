@@ -77,8 +77,10 @@ pub fn ascii_cdfs(series: &[(&str, &Ecdf)], rows: usize, cols: usize) -> String 
     let mut grid = vec![vec![' '; cols]; rows];
     for (si, (_, ecdf)) in series.iter().enumerate() {
         let glyph = GLYPHS[si % GLYPHS.len()];
-        for c in 0..cols {
-            let x = lo + span * c as f64 / (cols - 1) as f64;
+        for (c, x) in (0..cols)
+            .map(|c| lo + span * c as f64 / (cols - 1) as f64)
+            .enumerate()
+        {
             let y = ecdf.eval(x);
             let r = ((1.0 - y) * (rows - 1) as f64).round() as usize;
             grid[r.min(rows - 1)][c] = glyph;
@@ -128,8 +130,10 @@ pub fn ascii_scatter(
     let ys = (ymax - ymin).max(1e-12);
     let mut grid = vec![vec![' '; cols]; rows];
     if diagonal {
-        for c in 0..cols {
-            let x = xmin + xs * c as f64 / (cols - 1) as f64;
+        for (c, x) in (0..cols)
+            .map(|c| xmin + xs * c as f64 / (cols - 1) as f64)
+            .enumerate()
+        {
             let r = ((1.0 - (x - ymin) / ys) * (rows - 1) as f64).round();
             if (0.0..rows as f64).contains(&r) {
                 grid[r as usize][c] = '=';

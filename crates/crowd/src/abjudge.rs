@@ -10,8 +10,7 @@
 
 use eyeorg_net::SimTime;
 use eyeorg_video::Video;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use eyeorg_stats::rng::Rng;
 
 use crate::participant::{Participant, ParticipantClass};
 use crate::perception::true_ready_time;
@@ -111,8 +110,8 @@ pub fn ab_control(video: &Video, participant: &Participant, label: &str) -> (AbA
     (answer, answer == AbAnswer::Left)
 }
 
-fn judge_rng(participant: &Participant, label: &str) -> StdRng {
-    StdRng::seed_from_u64(participant.seed.derive("abjudge").derive(label).value())
+fn judge_rng(participant: &Participant, label: &str) -> Rng {
+    Rng::seed_from_u64(participant.seed.derive("abjudge").derive(label).value())
 }
 
 #[cfg(test)]

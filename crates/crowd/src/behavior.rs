@@ -18,8 +18,7 @@
 
 use eyeorg_net::{SimDuration, SimTime};
 use eyeorg_video::{preload_time, Video};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use eyeorg_stats::rng::Rng;
 
 use crate::participant::{Participant, ParticipantClass, ParticipantType};
 
@@ -208,8 +207,8 @@ pub fn instruction_time(participant: &Participant) -> SimDuration {
     SimDuration::from_secs_f64(secs)
 }
 
-fn behavior_rng(participant: &Participant, label: &str) -> StdRng {
-    StdRng::seed_from_u64(participant.seed.derive("behavior").derive(label).value())
+fn behavior_rng(participant: &Participant, label: &str) -> Rng {
+    Rng::seed_from_u64(participant.seed.derive("behavior").derive(label).value())
 }
 
 /// A participant's total time across their assigned videos (the Fig. 4a
@@ -227,7 +226,7 @@ pub fn total_time_on_site(sessions: &[VideoSession], participant: &Participant) 
 pub fn submitted_at(start: SimTime, sessions: &[VideoSession], idx: usize) -> SimTime {
     let mut t = start;
     for s in sessions.iter().take(idx + 1) {
-        t = t + s.time_spent;
+        t += s.time_spent;
     }
     t
 }

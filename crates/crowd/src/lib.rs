@@ -37,16 +37,13 @@ pub use participant::{
     Gender, Participant, ParticipantClass, ParticipantType, PopulationProfile, ReadinessCriterion,
 };
 pub use perception::{
-    timeline_control_passes, timeline_response, timeline_response_cached, true_ready_time,
-    TimelineResponse,
+    timeline_control_passes, timeline_response, timeline_response_cached,
+    timeline_response_shared, true_ready_time, TimelineResponse,
 };
 pub use service::{CrowdFlower, Microworkers, Recruitment, RecruitmentService, TrustedChannel};
 
 /// One standard-normal draw (Box–Muller), shared by the perception and
 /// behaviour models.
-pub(crate) fn dist_normal<R: rand::Rng>(rng: &mut R) -> f64 {
-    use rand::RngExt as _;
-    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.random_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+pub(crate) fn dist_normal(rng: &mut eyeorg_stats::rng::Rng) -> f64 {
+    rng.standard_normal()
 }

@@ -10,8 +10,7 @@
 //! exactly those phenotypes, with mixing weights chosen so the *paper's
 //! own filter statistics* (Table 1) are reproducible.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use eyeorg_stats::rng::Rng;
 use serde::{Deserialize, Serialize};
 
 use eyeorg_stats::Seed;
@@ -98,8 +97,8 @@ pub struct Participant {
 
 impl Participant {
     /// The participant's private RNG for a given activity label.
-    pub fn rng(&self, label: &str) -> StdRng {
-        StdRng::seed_from_u64(self.seed.derive(label).value())
+    pub fn rng(&self, label: &str) -> Rng {
+        Rng::seed_from_u64(self.seed.derive(label).value())
     }
 }
 
@@ -180,7 +179,7 @@ impl PopulationProfile {
     /// Generate the `i`-th participant of this pool.
     pub fn generate_one(&self, seed: Seed, i: u64) -> Participant {
         let pseed = seed.derive_index("participant", i);
-        let mut rng = StdRng::seed_from_u64(pseed.derive("traits").value());
+        let mut rng = Rng::seed_from_u64(pseed.derive("traits").value());
         let class = pick_weighted(&mut rng, &self.class_mix);
         let gender =
             if rng.random_bool(self.male_fraction) { Gender::Male } else { Gender::Female };
@@ -229,7 +228,7 @@ impl PopulationProfile {
     }
 }
 
-fn pick_weighted<T: Copy, R: rand::Rng>(rng: &mut R, mix: &[(T, f64)]) -> T {
+fn pick_weighted<T: Copy>(rng: &mut Rng, mix: &[(T, f64)]) -> T {
     let total: f64 = mix.iter().map(|(_, w)| w).sum();
     let mut x: f64 = rng.random_range(0.0..total);
     for &(v, w) in mix {

@@ -15,8 +15,7 @@
 
 use eyeorg_net::SimTime;
 use eyeorg_video::{FrameTimeline, Video};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use eyeorg_stats::rng::Rng;
 
 use crate::participant::{Participant, ParticipantClass, ReadinessCriterion};
 
@@ -48,10 +47,10 @@ pub fn true_ready_time(video: &Video, criterion: ReadinessCriterion) -> SimTime 
             // for, while social widgets read as page content.
             .filter(|(p, _)| p.kind != eyeorg_browser::PaintKind::Ad)
             .map(|(p, _)| p.time)
-            .last()
+            .next_back()
             .unwrap_or(SimTime::ZERO),
         ReadinessCriterion::AllContent => {
-            viewport_initial().map(|(p, _)| p.time).last().unwrap_or(SimTime::ZERO)
+            viewport_initial().map(|(p, _)| p.time).next_back().unwrap_or(SimTime::ZERO)
         }
         ReadinessCriterion::FirstImpression => {
             let total: u64 = viewport_initial()
@@ -114,6 +113,30 @@ pub fn timeline_response_cached(
     participant: &Participant,
     video_label: &str,
 ) -> TimelineResponse {
+    timeline_response_with(video, &mut |i| frames.rewind(i), participant, video_label)
+}
+
+/// [`timeline_response`] against a *shared* frame timeline — the form the
+/// parallel campaign engine uses, with one immutable [`FrameTimeline`]
+/// per stimulus (rewinds precomputed) serving every worker thread.
+/// Bit-identical to [`timeline_response_cached`] for the same inputs.
+pub fn timeline_response_shared(
+    video: &Video,
+    frames: &FrameTimeline,
+    participant: &Participant,
+    video_label: &str,
+) -> TimelineResponse {
+    timeline_response_with(video, &mut |i| frames.rewind_at(i), participant, video_label)
+}
+
+/// Core of the timeline interaction, abstracted over how a rewind is
+/// looked up (memoising `&mut` path vs. shared precomputed path).
+fn timeline_response_with(
+    video: &Video,
+    rewind: &mut dyn FnMut(usize) -> usize,
+    participant: &Participant,
+    video_label: &str,
+) -> TimelineResponse {
     let mut rng = response_rng(participant, video_label);
     let dur_us = video.duration().as_micros().max(1);
 
@@ -130,7 +153,7 @@ pub fn timeline_response_cached(
         };
         let slider = quantize(video, t);
         // Blindly accepts whatever the helper proposes.
-        let helper_frame = frames.rewind(video.frame_index_at(slider));
+        let helper_frame = rewind(video.frame_index_at(slider));
         let helper = video.frame_time(helper_frame);
         return TimelineResponse {
             perceived: t,
@@ -166,7 +189,7 @@ pub fn timeline_response_cached(
     let slider_us = (perceived_us * (1.0 + overshoot_frac)).min(dur_us as f64);
     let slider = quantize(video, SimTime::from_micros(slider_us as u64));
 
-    let helper_frame = frames.rewind(video.frame_index_at(slider));
+    let helper_frame = rewind(video.frame_index_at(slider));
     let helper = video.frame_time(helper_frame);
 
     // Acceptance: participants accept the rewind when it does not
@@ -210,8 +233,8 @@ fn quantize(video: &Video, t: SimTime) -> SimTime {
     video.frame_time(video.frame_index_at(t))
 }
 
-fn response_rng(participant: &Participant, label: &str) -> StdRng {
-    StdRng::seed_from_u64(
+fn response_rng(participant: &Participant, label: &str) -> Rng {
+    Rng::seed_from_u64(
         participant.seed.derive("perception").derive(label).value(),
     )
 }

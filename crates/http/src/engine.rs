@@ -301,7 +301,7 @@ impl FetchEngine {
                         // No network event at or before `bound`. If a
                         // timer set the bound, the next iteration fires
                         // it; if the caller's limit did, we are done.
-                        if tim_t.map_or(true, |t| t > limit) {
+                        if tim_t.is_none_or(|t| t > limit) {
                             return None;
                         }
                     }

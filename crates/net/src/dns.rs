@@ -8,8 +8,7 @@
 //! expensive and recursive, subsequent lookups are cheap until the TTL
 //! expires.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use eyeorg_stats::rng::Rng;
 use std::collections::BTreeMap;
 
 use eyeorg_stats::Seed;
@@ -55,7 +54,7 @@ impl Default for DnsConfig {
 #[derive(Debug)]
 pub struct Resolver {
     cfg: DnsConfig,
-    rng: StdRng,
+    rng: Rng,
     /// name → (expiry, cold latency drawn for this name).
     cache: BTreeMap<String, (SimTime, SimDuration)>,
     hits: u64,
@@ -67,7 +66,7 @@ impl Resolver {
     pub fn new(cfg: DnsConfig, seed: Seed) -> Resolver {
         Resolver {
             cfg,
-            rng: StdRng::seed_from_u64(seed.derive("dns").value()),
+            rng: Rng::seed_from_u64(seed.derive("dns").value()),
             cache: BTreeMap::new(),
             hits: 0,
             misses: 0,

@@ -15,8 +15,7 @@
 //!   with geometric sojourn times. Bursty loss is what real access links
 //!   exhibit and what punishes a single congestion window the most.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use eyeorg_stats::rng::Rng;
 
 use eyeorg_stats::Seed;
 
@@ -66,7 +65,7 @@ impl LossModel {
 #[derive(Debug)]
 pub struct LossProcess {
     model: LossModel,
-    rng: StdRng,
+    rng: Rng,
     in_bad_state: bool,
     observed_drops: u64,
     observed_packets: u64,
@@ -77,7 +76,7 @@ impl LossProcess {
     pub fn new(model: LossModel, seed: Seed) -> LossProcess {
         LossProcess {
             model,
-            rng: StdRng::seed_from_u64(seed.derive("loss").value()),
+            rng: Rng::seed_from_u64(seed.derive("loss").value()),
             in_bad_state: false,
             observed_drops: 0,
             observed_packets: 0,

@@ -22,8 +22,7 @@
 //!   contribution is the round trips, which are modelled through the real
 //!   queues so queueing delay still applies.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use eyeorg_stats::rng::Rng;
 use std::collections::VecDeque;
 
 use eyeorg_stats::Seed;
@@ -129,7 +128,7 @@ pub struct NetSim {
     out: VecDeque<(SimTime, NetEvent)>,
     logging: bool,
     #[allow(dead_code)] // reserved for future jitter modelling
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl NetSim {
@@ -147,7 +146,7 @@ impl NetSim {
             queue: EventQueue::new(),
             out: VecDeque::new(),
             logging: false,
-            rng: StdRng::seed_from_u64(seed.derive("netsim").value()),
+            rng: Rng::seed_from_u64(seed.derive("netsim").value()),
             profile,
         }
     }
@@ -377,8 +376,7 @@ impl NetSim {
 
     /// Transmit all segments the sender's window currently allows.
     fn pump(&mut self, conn: usize, now: SimTime) {
-        loop {
-            let Some(seg) = self.conns[conn].sender.next_segment() else { break };
+        while let Some(seg) = self.conns[conn].sender.next_segment() {
             self.conns[conn].sender.mark_sent(seg, now);
             let cwnd = self.conns[conn].sender.cwnd_bytes();
             if let Some(log) = &mut self.conns[conn].log {
@@ -473,15 +471,15 @@ pub fn single_transfer(
                 request_at = t;
                 sim.client_send(conn, t, request_bytes);
             }
-            NetEvent::RequestDelivered { conn: c, total_bytes } if c == conn => {
-                if total_bytes == request_bytes {
-                    sim.server_send(conn, t, response_bytes);
-                }
+            NetEvent::RequestDelivered { conn: c, total_bytes }
+                if c == conn && total_bytes == request_bytes =>
+            {
+                sim.server_send(conn, t, response_bytes);
             }
-            NetEvent::Delivered { conn: c, total_bytes } if c == conn => {
-                if total_bytes == response_bytes {
-                    done_at = t;
-                }
+            NetEvent::Delivered { conn: c, total_bytes }
+                if c == conn && total_bytes == response_bytes =>
+            {
+                done_at = t;
             }
             _ => {}
         }
@@ -614,7 +612,7 @@ mod tests {
                 NetEvent::RequestDelivered { conn, total_bytes: 300 } => {
                     sim.server_send(conn, t, 200_000)
                 }
-                NetEvent::Delivered { total_bytes, .. } if total_bytes == 200_000 => {
+                NetEvent::Delivered { total_bytes: 200_000, .. } => {
                     done_count += 1;
                     last_done = t;
                 }

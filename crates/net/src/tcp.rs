@@ -646,9 +646,8 @@ impl TcpReceiver {
         }
         // In order: advance, then drain any contiguous buffered ranges.
         self.rcv_nxt = end;
-        loop {
-            // Find a buffered range that begins at or before rcv_nxt.
-            let Some((&s, &e)) = self.ooo.range(..=self.rcv_nxt).next_back() else { break };
+        // Find buffered ranges that begin at or before rcv_nxt.
+        while let Some((&s, &e)) = self.ooo.range(..=self.rcv_nxt).next_back() {
             if e <= self.rcv_nxt {
                 self.ooo.remove(&s);
                 continue;
@@ -803,7 +802,7 @@ mod tests {
         s.app_write(100_000);
         drain_window(&mut s, SimTime::ZERO);
         assert!(s.on_rto());
-        assert_eq!(s.cwnd_bytes(), MSS as u64);
+        assert_eq!(s.cwnd_bytes(), MSS);
         assert_eq!(s.timeouts(), 1);
         let seg = s.next_segment().unwrap();
         assert!(seg.retransmission);

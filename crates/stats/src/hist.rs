@@ -20,7 +20,8 @@ impl Histogram {
     /// Build a histogram with `bins` equal-width bins spanning `[lo, hi]`.
     /// Returns `None` when `bins == 0` or the range is empty/invalid.
     pub fn with_bins(sample: &[f64], lo: f64, hi: f64, bins: usize) -> Option<Histogram> {
-        if bins == 0 || !(hi > lo) {
+        // NaN-safe: any incomparable bound rejects the range.
+        if bins == 0 || hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
             return None;
         }
         let mut h = Histogram { lo, hi, counts: vec![0; bins], outside: 0 };

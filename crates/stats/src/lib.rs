@@ -25,6 +25,9 @@
 //!   (tight-unimodal / spread-unimodal / multimodal, as in Fig. 9).
 //! * [`bootstrap`] — seeded bootstrap confidence intervals.
 //! * [`seed`] — deterministic seed derivation used across the workspace.
+//! * [`rng`] — the workspace's internal seeded generator (xoshiro256++).
+//! * [`par`] — deterministic parallel map (index-sharded seed streams,
+//!   order-pinned merge) used by the campaign pipeline.
 //!
 //! All functions operate on `&[f64]` (or typed wrappers thereof) and either
 //! return `Option`/`Result` on degenerate input or document their behaviour
@@ -38,7 +41,9 @@ pub mod corr;
 pub mod ecdf;
 pub mod hist;
 pub mod modes;
+pub mod par;
 pub mod quantile;
+pub mod rng;
 pub mod seed;
 pub mod summary;
 
@@ -47,6 +52,8 @@ pub use corr::{pearson, spearman};
 pub use ecdf::Ecdf;
 pub use hist::Histogram;
 pub use modes::{classify_shape, find_peaks, DistributionShape, ShapeParams};
+pub use par::{default_threads, par_map_indexed, par_map_range, resolve_threads};
 pub use quantile::{percentile, percentile_band};
+pub use rng::Rng;
 pub use seed::Seed;
 pub use summary::Summary;

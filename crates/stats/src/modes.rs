@@ -148,7 +148,8 @@ pub fn mode_histogram(sample: &[f64]) -> Option<Histogram> {
     }
     let lo = sample.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    if !(hi > lo) {
+    // NaN-safe: degenerate or incomparable range collapses to one bin.
+    if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
         return Histogram::with_bins(sample, lo - 0.5, lo + 0.5, 1);
     }
     let bins = ((sample.len() as f64).sqrt().ceil() as usize * 2).clamp(8, 64);

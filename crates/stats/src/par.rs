@@ -1,0 +1,166 @@
+//! Deterministic parallel execution on `std::thread::scope`.
+//!
+//! The campaign pipeline (capture fan-out, per-participant response
+//! generation, figure regeneration) is embarrassingly parallel *and*
+//! must stay byte-reproducible: the regression suite asserts that the
+//! same root [`Seed`](crate::Seed) yields identical campaign reports.
+//! Both properties hold because work items never share an RNG stream —
+//! each item draws only from its own `Seed::derive_index` child — so the
+//! only thing parallelism could perturb is *result order*, and the
+//! functions here pin that by index:
+//!
+//! * work items are claimed from a shared atomic counter by a fixed pool
+//!   of scoped threads;
+//! * each result lands in the pre-sized output slot of its item index;
+//! * `threads <= 1` short-circuits to a plain sequential iterator — the
+//!   exact code path the single-threaded implementation used.
+//!
+//! The merged output is therefore identical for every thread count, and
+//! a 1-thread run *is* the old sequential run.
+//!
+//! No external dependencies: plain `std::thread::scope`, `AtomicUsize`,
+//! and `Mutex`ed output slots (uncontended — each slot is locked exactly
+//! once).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of worker threads to use when a caller asks for "automatic":
+/// the `EYEORG_THREADS` environment variable when set to a positive
+/// integer, otherwise [`std::thread::available_parallelism`].
+///
+/// Cached after the first call (consistent within a process run).
+pub fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("EYEORG_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+    })
+}
+
+/// Resolve a thread-count knob: `0` means "automatic" (see
+/// [`default_threads`]), anything else is taken literally.
+pub fn resolve_threads(knob: usize) -> usize {
+    if knob == 0 {
+        default_threads()
+    } else {
+        knob
+    }
+}
+
+/// Map `f` over `0..n` on `threads` workers, returning results in index
+/// order. `f(i)` must depend only on `i` (and captured immutable state)
+/// — the usual shape is "derive the item's own seed from its index".
+///
+/// With `threads <= 1` this is exactly `(0..n).map(f).collect()`.
+pub fn par_map_range<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker completed every claimed index")
+        })
+        .collect()
+}
+
+/// Map `f` over owned `items` on `threads` workers; `f` receives
+/// `(index, item)` and results come back in item order, byte-identical
+/// to the sequential run.
+///
+/// With `threads <= 1` this is exactly
+/// `items.into_iter().enumerate().map(|(i, x)| f(i, x)).collect()`.
+pub fn par_map_indexed<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let cells: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let f = &f;
+    let cells_ref = &cells;
+    par_map_range(cells.len(), threads, move |i| {
+        let item = cells_ref[i]
+            .lock()
+            .expect("item cell poisoned")
+            .take()
+            .expect("each index claimed once");
+        f(i, item)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Seed;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let work = |i: usize| {
+            // A per-index derived stream, like real call sites.
+            let mut rng = crate::rng::Rng::seed_from_u64(Seed(9).derive_index("w", i as u64).value());
+            (0..100).map(|_| rng.next_u64()).fold(0u64, u64::wrapping_add)
+        };
+        let seq = par_map_range(64, 1, work);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(par_map_range(64, threads, work), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn indexed_map_preserves_order_and_items() {
+        let items: Vec<String> = (0..40).map(|i| format!("item-{i}")).collect();
+        let expected: Vec<String> = items.iter().enumerate().map(|(i, s)| format!("{i}:{s}")).collect();
+        let got = par_map_indexed(items, 4, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn zero_and_one_items_work_at_any_thread_count() {
+        assert_eq!(par_map_range(0, 8, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_range(1, 8, |i| i * 2), vec![0]);
+        assert_eq!(par_map_indexed(Vec::<u8>::new(), 8, |_, x| x), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        assert_eq!(par_map_range(3, 64, |i| i + 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn resolve_threads_zero_is_auto() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

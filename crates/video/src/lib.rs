@@ -42,4 +42,6 @@ pub use frame::Frame;
 pub use player::{preload_time, PlaybackResult, PlaybackSim};
 pub use splice::{control_splice, AbOrder, SplicedVideo};
 pub use timeline::FrameTimeline;
-pub use webpeg::{capture_all, capture_median, CaptureConfig};
+pub use webpeg::{
+    capture_all, capture_median, shared_capture_cache, CaptureCache, CaptureConfig,
+};

@@ -84,6 +84,53 @@ impl FrameTimeline {
         if let Some(&r) = self.rewind_memo.get(&chosen) {
             return r;
         }
+        let result = self.compute_rewind(chosen);
+        self.rewind_memo.insert(chosen, result);
+        result
+    }
+
+    /// [`rewind`](Self::rewind) through a shared reference: answers from
+    /// the memo when present, otherwise recomputes without storing (the
+    /// scan is pure, so the answer is identical either way). Combine with
+    /// [`precompute_rewinds`](Self::precompute_rewinds) to serve many
+    /// concurrent readers with memo-hit cost.
+    pub fn rewind_at(&self, chosen: usize) -> usize {
+        let chosen = chosen.min(self.frames.len().saturating_sub(1));
+        if let Some(&r) = self.rewind_memo.get(&chosen) {
+            return r;
+        }
+        self.compute_rewind(chosen)
+    }
+
+    /// Fill the rewind memo for every frame, so subsequent
+    /// [`rewind_at`](Self::rewind_at) calls are pure lookups. The scans
+    /// for distinct chosen indices are independent, so this is where a
+    /// campaign pays the whole per-video rewind cost up front — once —
+    /// before fanning participants out across threads.
+    pub fn precompute_rewinds(&mut self) {
+        for chosen in 0..self.frames.len() {
+            if !self.rewind_memo.contains_key(&chosen) {
+                let r = self.compute_rewind(chosen);
+                self.rewind_memo.insert(chosen, r);
+            }
+        }
+    }
+
+    /// [`precompute_rewinds`](Self::precompute_rewinds) with the scans
+    /// spread over `threads` workers (`0` = automatic). Entries already
+    /// memoised are kept; the table is identical to the sequential fill
+    /// for every thread count.
+    pub fn precompute_rewinds_parallel(&mut self, threads: usize) {
+        let threads = eyeorg_stats::resolve_threads(threads);
+        let computed = eyeorg_stats::par_map_range(self.frames.len(), threads, |chosen| {
+            self.rewind_at(chosen)
+        });
+        for (chosen, r) in computed.into_iter().enumerate() {
+            self.rewind_memo.entry(chosen).or_insert(r);
+        }
+    }
+
+    fn compute_rewind(&self, chosen: usize) -> usize {
         let target = &self.frames[chosen];
         let mut result = chosen;
         for i in 0..=chosen {
@@ -92,7 +139,6 @@ impl FrameTimeline {
                 break;
             }
         }
-        self.rewind_memo.insert(chosen, result);
         result
     }
 }
@@ -128,6 +174,23 @@ mod tests {
         let mut tl = FrameTimeline::of(&v);
         for chosen in [0, 3, v.frame_count() / 2, v.frame_count() - 1] {
             assert_eq!(tl.rewind(chosen), rewind_suggestion(&v, chosen), "chosen {chosen}");
+        }
+    }
+
+    #[test]
+    fn shared_lookup_matches_memoising_path() {
+        let v = video();
+        let mut memoising = FrameTimeline::of(&v);
+        let shared = FrameTimeline::of(&v);
+        let mut precomputed = FrameTimeline::of(&v);
+        precomputed.precompute_rewinds();
+        let mut par = FrameTimeline::of(&v);
+        par.precompute_rewinds_parallel(4);
+        for chosen in 0..v.frame_count() {
+            let reference = memoising.rewind(chosen);
+            assert_eq!(shared.rewind_at(chosen), reference, "cold &self lookup, frame {chosen}");
+            assert_eq!(precomputed.rewind_at(chosen), reference, "precomputed, frame {chosen}");
+            assert_eq!(par.rewind_at(chosen), reference, "parallel precompute, frame {chosen}");
         }
     }
 

@@ -6,6 +6,9 @@
 //! state per load (a new seeded loader), repeated loads, median
 //! selection.
 
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
 use eyeorg_browser::{load_page, BrowserConfig, LoadTrace};
 use eyeorg_net::SimDuration;
 use eyeorg_stats::Seed;
@@ -63,6 +66,104 @@ pub fn capture_median(
     Video::capture(median, capture.fps, capture.record_after)
 }
 
+/// Cache key of one capture: fingerprints of everything that determines
+/// the resulting video. `capture_median` is a pure function of these
+/// four values — the browser fingerprint covers the network profile,
+/// protocol, and ad-blocker settings via its `Debug` form — so equal
+/// keys always map to bit-identical videos.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CaptureKey {
+    site: u64,
+    browser: u64,
+    capture: u64,
+    seed: u64,
+}
+
+/// FNV-1a over a `Debug` rendering: the configuration structs carry
+/// `f64` fields, which rules out deriving `Hash`, but their `Debug`
+/// output is a complete, deterministic description of their state.
+fn debug_fingerprint<T: std::fmt::Debug>(value: &T) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{value:?}").bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A keyed store of finished captures, shared across builder calls.
+///
+/// Campaign builders capture the same (site, browser, seed) triple more
+/// than once — most notably the with-ads baseline of the ad-blocker
+/// study, which every blocker's A side repeats. Captures are pure, so a
+/// map lookup is transparent; the `Mutex` makes the cache usable from
+/// the parallel capture fan-out (held only around map access, never
+/// during a capture).
+#[derive(Debug, Default)]
+pub struct CaptureCache {
+    map: Mutex<HashMap<CaptureKey, Video>>,
+}
+
+impl CaptureCache {
+    /// An empty cache.
+    pub fn new() -> CaptureCache {
+        CaptureCache::default()
+    }
+
+    /// Number of cached captures.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("capture cache poisoned").len()
+    }
+
+    /// Whether the cache holds no captures.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached capture (used by benchmarks that must time
+    /// cold captures).
+    pub fn clear(&self) {
+        self.map.lock().expect("capture cache poisoned").clear();
+    }
+
+    /// [`capture_median`] through the cache: returns the stored video
+    /// when this exact configuration was captured before, otherwise
+    /// captures (outside the lock — concurrent misses on *different*
+    /// keys proceed in parallel; two racing misses on the same key do
+    /// redundant equal work and the second insert is a no-op) and
+    /// stores the result.
+    pub fn capture_median(
+        &self,
+        site: &Website,
+        browser: &BrowserConfig,
+        seed: Seed,
+        capture: &CaptureConfig,
+    ) -> Video {
+        let key = CaptureKey {
+            site: debug_fingerprint(site),
+            browser: debug_fingerprint(browser),
+            capture: debug_fingerprint(capture),
+            seed: seed.value(),
+        };
+        if let Some(v) = self.map.lock().expect("capture cache poisoned").get(&key) {
+            return v.clone();
+        }
+        let video = capture_median(site, browser, seed, capture);
+        self.map
+            .lock()
+            .expect("capture cache poisoned")
+            .entry(key)
+            .or_insert_with(|| video.clone());
+        video
+    }
+}
+
+/// The process-wide capture cache the stimulus builders share.
+pub fn shared_capture_cache() -> &'static CaptureCache {
+    static CACHE: OnceLock<CaptureCache> = OnceLock::new();
+    CACHE.get_or_init(CaptureCache::new)
+}
+
 /// Pick the trace with the median onload from a set of loads (ties and
 /// even counts resolve to the lower middle, as an index-based median of
 /// sorted onloads).
@@ -104,6 +205,41 @@ mod tests {
             a[0].onload != a[1].onload || a[1].onload != a[2].onload,
             "independent loads should differ"
         );
+    }
+
+    #[test]
+    fn cache_returns_identical_video_for_repeated_key() {
+        let site = generate_site(Seed(9), 2, SiteClass::Ecommerce);
+        let cfg = CaptureConfig { repeats: 2, ..CaptureConfig::default() };
+        let browser = BrowserConfig::new();
+        let cache = CaptureCache::new();
+        let first = cache.capture_median(&site, &browser, Seed(11), &cfg);
+        assert_eq!(cache.len(), 1);
+        let second = cache.capture_median(&site, &browser, Seed(11), &cfg);
+        assert_eq!(cache.len(), 1, "repeat key must not grow the cache");
+        assert_eq!(first.trace(), second.trace(), "cache must return the stored capture");
+        // The cached video equals what an uncached capture produces.
+        let direct = capture_median(&site, &browser, Seed(11), &cfg);
+        assert_eq!(first.trace(), direct.trace());
+    }
+
+    #[test]
+    fn cache_distinguishes_every_key_component() {
+        let site_a = generate_site(Seed(9), 2, SiteClass::Ecommerce);
+        let site_b = generate_site(Seed(9), 3, SiteClass::Ecommerce);
+        let cfg = CaptureConfig { repeats: 2, ..CaptureConfig::default() };
+        let cfg_4 = CaptureConfig { repeats: 4, ..CaptureConfig::default() };
+        let browser = BrowserConfig::new();
+        let shaped = BrowserConfig::new().with_network(eyeorg_net::NetworkProfile::fttc());
+        let cache = CaptureCache::new();
+        cache.capture_median(&site_a, &browser, Seed(11), &cfg);
+        cache.capture_median(&site_b, &browser, Seed(11), &cfg); // site differs
+        cache.capture_median(&site_a, &shaped, Seed(11), &cfg); // network differs
+        cache.capture_median(&site_a, &browser, Seed(12), &cfg); // seed differs
+        cache.capture_median(&site_a, &browser, Seed(11), &cfg_4); // capture cfg differs
+        assert_eq!(cache.len(), 5, "each configuration gets its own entry");
+        cache.clear();
+        assert!(cache.is_empty());
     }
 
     #[test]

@@ -8,8 +8,7 @@
 //!   generator toward ad-carrying classes and regenerates until the site
 //!   actually displays ads.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use eyeorg_stats::rng::Rng;
 
 
 use eyeorg_stats::Seed;
@@ -35,7 +34,7 @@ const AD_MIX: [(SiteClass, f64); 4] = [
     (SiteClass::MediaHeavy, 0.30),
 ];
 
-fn pick_class<R: rand::Rng>(rng: &mut R, mix: &[(SiteClass, f64)]) -> SiteClass {
+fn pick_class(rng: &mut Rng, mix: &[(SiteClass, f64)]) -> SiteClass {
     let total: f64 = mix.iter().map(|(_, w)| w).sum();
     let mut x: f64 = rng.random_range(0.0..total);
     for &(c, w) in mix {
@@ -56,7 +55,7 @@ fn pick_class<R: rand::Rng>(rng: &mut R, mix: &[(SiteClass, f64)]) -> SiteClass 
 /// remainder kept their legacy CDN shards — the slice of sites where
 /// HTTP/1.1 can still look good (the paper's 12 % H1-preferred tail).
 pub fn alexa_like(seed: Seed, n: usize) -> Vec<Website> {
-    let mut rng = StdRng::seed_from_u64(seed.derive("corpus-alexa").value());
+    let mut rng = Rng::seed_from_u64(seed.derive("corpus-alexa").value());
     (0..n as u64)
         .map(|i| {
             let class = pick_class(&mut rng, &ALEXA_MIX);
@@ -90,7 +89,7 @@ fn consolidate_first_party(site: &mut Website) {
 /// Sample `n` sites from the ad-displaying population: every returned
 /// site carries at least `min_ads` display ads.
 pub fn ad_heavy(seed: Seed, n: usize, min_ads: usize) -> Vec<Website> {
-    let mut rng = StdRng::seed_from_u64(seed.derive("corpus-ads").value());
+    let mut rng = Rng::seed_from_u64(seed.derive("corpus-ads").value());
     let mut out = Vec::with_capacity(n);
     let mut index = 0u64;
     while out.len() < n {

@@ -2,19 +2,19 @@
 //!
 //! Real-web quantities (object sizes, object counts, think times) are
 //! heavy-tailed; HTTP Archive-era measurements are conventionally fit
-//! with log-normals. The `rand` crate in our dependency set ships only
-//! uniform/Bernoulli primitives, so the transforms live here: a
+//! with log-normals. The workspace RNG (`eyeorg_stats::rng`) ships only
+//! uniform/Bernoulli/normal primitives, so the transforms live here: a
 //! Box–Muller standard normal, log-normal on top of it, and a bounded
 //! Pareto for the occasional monster object.
 
-use rand::{Rng, RngExt};
+use eyeorg_stats::rng::Rng;
 
 /// One standard-normal draw via the Box–Muller transform.
 ///
 /// Uses both transform outputs' *first* value only — wasting the second
 /// costs one extra uniform pair every other call but keeps the sampler
 /// stateless, which matters for reproducibility across call sites.
-pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+pub fn standard_normal(rng: &mut Rng) -> f64 {
     // Guard u1 away from 0 so ln() stays finite.
     let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
     let u2: f64 = rng.random_range(0.0..1.0);
@@ -22,7 +22,7 @@ pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
 }
 
 /// Normal with the given mean and standard deviation.
-pub fn normal<R: Rng>(rng: &mut R, mean: f64, stdev: f64) -> f64 {
+pub fn normal(rng: &mut Rng, mean: f64, stdev: f64) -> f64 {
     mean + stdev * standard_normal(rng)
 }
 
@@ -30,7 +30,7 @@ pub fn normal<R: Rng>(rng: &mut R, mean: f64, stdev: f64) -> f64 {
 /// (standard deviation of the underlying normal). The median
 /// parameterisation is less error-prone than (mu, sigma) when transcribing
 /// "typical object is X KB" statements.
-pub fn lognormal_median<R: Rng>(rng: &mut R, median: f64, sigma: f64) -> f64 {
+pub fn lognormal_median(rng: &mut Rng, median: f64, sigma: f64) -> f64 {
     assert!(median > 0.0, "log-normal median must be positive");
     median * (sigma * standard_normal(rng)).exp()
 }
@@ -38,13 +38,13 @@ pub fn lognormal_median<R: Rng>(rng: &mut R, median: f64, sigma: f64) -> f64 {
 /// Log-normal clamped into `[lo, hi]` — corpus quantities (bytes, counts,
 /// durations) all have physical bounds and unclamped heavy tails would
 /// occasionally produce degenerate sites.
-pub fn lognormal_clamped<R: Rng>(rng: &mut R, median: f64, sigma: f64, lo: f64, hi: f64) -> f64 {
+pub fn lognormal_clamped(rng: &mut Rng, median: f64, sigma: f64, lo: f64, hi: f64) -> f64 {
     lognormal_median(rng, median, sigma).clamp(lo, hi)
 }
 
 /// Bounded Pareto draw on `[lo, hi]` with shape `alpha` (smaller alpha =
 /// heavier tail). Used for the rare very large object.
-pub fn bounded_pareto<R: Rng>(rng: &mut R, alpha: f64, lo: f64, hi: f64) -> f64 {
+pub fn bounded_pareto(rng: &mut Rng, alpha: f64, lo: f64, hi: f64) -> f64 {
     assert!(alpha > 0.0 && lo > 0.0 && hi > lo);
     let u: f64 = rng.random_range(0.0..1.0);
     let la = lo.powf(alpha);
@@ -54,18 +54,15 @@ pub fn bounded_pareto<R: Rng>(rng: &mut R, alpha: f64, lo: f64, hi: f64) -> f64 
 }
 
 /// Integer draw from a clamped log-normal (rounding to nearest).
-pub fn lognormal_count<R: Rng>(rng: &mut R, median: f64, sigma: f64, lo: u64, hi: u64) -> u64 {
+pub fn lognormal_count(rng: &mut Rng, median: f64, sigma: f64, lo: u64, hi: u64) -> u64 {
     lognormal_clamped(rng, median, sigma, lo as f64, hi as f64).round() as u64
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(42)
+    fn rng() -> Rng {
+        Rng::seed_from_u64(42)
     }
 
     #[test]

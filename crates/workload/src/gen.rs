@@ -12,8 +12,7 @@
 //! Every draw comes from a per-site seeded RNG, so `site(i)` of a corpus
 //! is identical across runs and independent of any other site.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use eyeorg_stats::rng::Rng;
 
 use eyeorg_stats::Seed;
 
@@ -153,7 +152,7 @@ const AD_FORMATS: [(u32, u32); 4] = [(728, 90), (300, 250), (300, 600), (320, 50
 /// Generate one site of the given class. `index` names the site and
 /// derives its private RNG stream from `seed`.
 pub fn generate_site(seed: Seed, index: u64, class: SiteClass) -> Website {
-    let mut rng = StdRng::seed_from_u64(seed.derive_index("site", index).value());
+    let mut rng = Rng::seed_from_u64(seed.derive_index("site", index).value());
     let p = class.params();
 
     // Per-site "bloat" factor: real sites have a common speed scale —
@@ -218,12 +217,12 @@ pub fn generate_site(seed: Seed, index: u64, class: SiteClass) -> Website {
         resources.push(Resource { id, ..r });
         id
     };
-    let think = |rng: &mut StdRng, third_party: bool| -> u64 {
+    let think = |rng: &mut Rng, third_party: bool| -> u64 {
         let median = if third_party { 55_000.0 } else { 22_000.0 };
         lognormal_clamped(rng, median * bloat, 0.8, 3_000.0, 400_000.0) as u64
     };
-    let req_hdr = |rng: &mut StdRng| lognormal_clamped(rng, 450.0, 0.3, 200.0, 1500.0) as u64;
-    let resp_hdr = |rng: &mut StdRng| lognormal_clamped(rng, 320.0, 0.3, 150.0, 900.0) as u64;
+    let req_hdr = |rng: &mut Rng| lognormal_clamped(rng, 450.0, 0.3, 200.0, 1500.0) as u64;
+    let resp_hdr = |rng: &mut Rng| lognormal_clamped(rng, 320.0, 0.3, 150.0, 900.0) as u64;
 
     // ---- root document --------------------------------------------------
     let html_bytes = lognormal_clamped(&mut rng, 45_000.0 * bloat, 0.7, 6_000.0, 350_000.0) as u64;

@@ -48,7 +48,7 @@ fn main() {
                 stimuli,
                 &CrowdFlower,
                 24,
-                &ExperimentConfig { videos_per_participant: 1, with_controls: false },
+                &ExperimentConfig { videos_per_participant: 1, with_controls: false, ..ExperimentConfig::default() },
                 seed.derive(profile.name).derive(device.name),
             );
             let report = filter_timeline(&campaign, &paper_pipeline());

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, lint, and the determinism-checking
+# perf harness. Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+# Times the pipeline at 1/2/N threads and exits non-zero when any
+# thread count produces a campaign that differs from the 1-thread run.
+cargo run -q --release -p eyeorg-bench --bin perf_pipeline
+echo "verify: OK"

@@ -1,0 +1,203 @@
+//! The owned JSON value tree shared by the serde/serde_json stand-ins.
+
+/// An owned JSON value.
+///
+/// Objects preserve insertion order (a `Vec` of pairs, not a map): the
+/// exports diff byte-for-byte across runs, so field order must be the
+/// declaration order the derive macro emits.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Shared sentinel for missing-field lookups.
+const NULL: Value = Value::Null;
+
+impl Value {
+    /// Human name of the variant, for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// `true` when the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) => u64::try_from(*n).ok(),
+            Value::F64(x) if x.fract() == 0.0 && *x >= 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(n) => Some(*n),
+            Value::U64(n) => i64::try_from(*n).ok(),
+            Value::F64(x) if x.fract() == 0.0 && *x >= i64::MIN as f64 && *x <= i64::MAX as f64 => {
+                Some(*x as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (any numeric variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::U64(n) => Some(*n as f64),
+            Value::I64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup; `None` when absent or not an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|pairs| {
+            pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        })
+    }
+
+    /// Object field lookup returning `Null` for missing fields — the
+    /// derive-generated deserializers use this so `Option` fields may be
+    /// omitted.
+    pub fn field(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.field(key)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, i: usize) -> &Value {
+        self.as_array().and_then(|items| items.get(i)).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => a == b,
+            (Value::Object(a), Value::Object(b)) => a == b,
+            // Numbers compare by mathematical value across variants.
+            (a, b) => match (a.as_u64(), b.as_u64()) {
+                (Some(x), Some(y)) => x == y,
+                _ => match (a.as_i64(), b.as_i64()) {
+                    (Some(x), Some(y)) => x == y,
+                    _ => match (a.as_f64(), b.as_f64()) {
+                        (Some(x), Some(y)) => x == y,
+                        _ => false,
+                    },
+                },
+            },
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        self.as_i64() == Some(*other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}

@@ -1,0 +1,417 @@
+//! Derive macros for the in-repo serde stand-in.
+//!
+//! No `syn`/`quote` (the build is offline), so the input item is parsed
+//! directly from `proc_macro::TokenTree`s. Supported shapes — exactly
+//! what the workspace uses:
+//!
+//! * structs with named fields (field-level `#[serde(rename = "...")]`);
+//! * tuple structs (newtypes serialize as their inner value, wider
+//!   tuples as arrays);
+//! * enums with unit variants (serialized as the variant-name string),
+//!   struct variants and tuple variants (externally tagged, like serde).
+//!
+//! Generics, lifetimes and container-level attributes are rejected.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field: Rust identifier + JSON key (after rename).
+struct Field {
+    ident: String,
+    json: String,
+}
+
+enum VariantBody {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    ident: String,
+    body: VariantBody,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// Skip any attributes (`#[...]`) at `*i`, returning a rename captured
+/// from `#[serde(rename = "...")]` if present among them.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> Option<String> {
+    let mut rename = None;
+    while *i < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[*i] else { break };
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(g)) = tokens.get(*i + 1) else { break };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        if let Some(r) = parse_serde_rename(&g.stream()) {
+            rename = Some(r);
+        }
+        *i += 2;
+    }
+    rename
+}
+
+/// Extract `rename = "..."` from the contents of a `#[serde(...)]`
+/// attribute, if this bracket group is one.
+fn parse_serde_rename(stream: &TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            match inner.as_slice() {
+                [TokenTree::Ident(key), TokenTree::Punct(eq), TokenTree::Literal(lit)]
+                    if key.to_string() == "rename" && eq.as_char() == '=' =>
+                {
+                    let s = lit.to_string();
+                    Some(s.trim_matches('"').to_string())
+                }
+                _ => panic!("serde stand-in supports only #[serde(rename = \"...\")], got {args}"),
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Skip an optional `pub` / `pub(...)` visibility at `*i`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens[*i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match &tokens[*i] {
+        TokenTree::Ident(id) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde stand-in: expected identifier, got {other}"),
+    }
+}
+
+/// Skip a type (everything up to a top-level `,`), tracking `<`/`>`
+/// depth so commas inside generic arguments don't terminate early.
+/// Consumes the trailing comma when present.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Parse the named fields inside a brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let rename = skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_vis(&tokens, &mut i);
+        let ident = expect_ident(&tokens, &mut i);
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stand-in: expected ':' after field {ident}, got {other}"),
+        }
+        skip_type(&tokens, &mut i);
+        let json = rename.unwrap_or_else(|| ident.clone());
+        fields.push(Field { ident, json });
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct/variant (paren group contents).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut n = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        n += 1;
+        skip_type(&tokens, &mut i);
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let ident = expect_ident(&tokens, &mut i);
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantBody::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantBody::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantBody::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { ident, body });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in does not support generic type {name}");
+    }
+    let kind = match (keyword.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::NamedStruct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::Enum(parse_variants(g.stream()))
+        }
+        _ => panic!("serde stand-in cannot derive for {keyword} {name}"),
+    };
+    Input { name, kind }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn push_named_fields(out: &mut String, fields: &[Field], accessor: &str) {
+    for f in fields {
+        out.push_str(&format!(
+            "obj.push((\"{json}\".to_string(), ::serde::Serialize::to_value(&{accessor}{ident})));\n",
+            json = f.json,
+            ident = f.ident,
+        ));
+    }
+}
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from("let mut obj = Vec::new();\n");
+            push_named_fields(&mut s, fields, "self.");
+            s.push_str("::serde::Value::Object(obj)");
+            s
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|k| format!("::serde::Serialize::to_value(&self.{k})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vi = &v.ident;
+                match &v.body {
+                    VariantBody::Unit => arms.push_str(&format!(
+                        "{name}::{vi} => ::serde::Value::Str(\"{vi}\".to_string()),\n"
+                    )),
+                    VariantBody::Named(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.ident.as_str()).collect();
+                        let mut inner = String::from("let mut obj = Vec::new();\n");
+                        push_named_fields(&mut inner, fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vi} {{ {binds} }} => {{\n{inner}\n\
+                             ::serde::Value::Object(vec![(\"{vi}\".to_string(), ::serde::Value::Object(obj))])\n}}\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    VariantBody::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(x0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vi}({binds}) => ::serde::Value::Object(vec![(\"{vi}\".to_string(), {payload})]),\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn named_fields_de(fields: &[Field], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{ident}: ::serde::Deserialize::from_value({src}.field(\"{json}\"))\
+                 .map_err(|e| e.in_field(\"{json}\"))?",
+                ident = f.ident,
+                json = f.json,
+            )
+        })
+        .collect();
+    inits.join(",\n")
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            format!(
+                "if v.as_object().is_none() {{\n\
+                     return Err(::serde::DeError::expected(\"object\", v));\n\
+                 }}\n\
+                 Ok({name} {{\n{}\n}})",
+                named_fields_de(fields, "v")
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", v))?;\n\
+                 if items.len() != {n} {{\n\
+                     return Err(::serde::DeError(format!(\"expected {n} elements, got {{}}\", items.len())));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                gets.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vi = &v.ident;
+                match &v.body {
+                    VariantBody::Unit => {
+                        unit_arms.push_str(&format!("\"{vi}\" => return Ok({name}::{vi}),\n"));
+                    }
+                    VariantBody::Named(fields) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vi}\" => return Ok({name}::{vi} {{\n{}\n}}),\n",
+                            named_fields_de(fields, "payload")
+                        ));
+                    }
+                    VariantBody::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vi}\" => return Ok({name}::{vi}(::serde::Deserialize::from_value(payload)?)),\n"
+                        ));
+                    }
+                    VariantBody::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vi}\" => {{\n\
+                             let items = payload.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", payload))?;\n\
+                             if items.len() != {n} {{\n\
+                                 return Err(::serde::DeError(format!(\"expected {n} elements, got {{}}\", items.len())));\n\
+                             }}\n\
+                             return Ok({name}::{vi}({}));\n}}\n",
+                            gets.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let Some(s) = v.as_str() {{\n\
+                     match s {{\n{unit_arms}\
+                         other => return Err(::serde::DeError(format!(\"unknown variant {{other}} of {name}\"))),\n\
+                     }}\n\
+                 }}\n\
+                 if let Some(pairs) = v.as_object() {{\n\
+                     if pairs.len() == 1 {{\n\
+                         let (tag, payload) = &pairs[0];\n\
+                         let _ = payload;\n\
+                         match tag.as_str() {{\n{tagged_arms}\
+                             other => return Err(::serde::DeError(format!(\"unknown variant {{other}} of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+                 Err(::serde::DeError::expected(\"{name} variant\", v))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
