@@ -16,7 +16,7 @@ use eyeorg_core::campaign::TimelineCampaign;
 
 /// Metrics for every stimulus of a timeline campaign.
 pub fn stimulus_metrics(campaign: &TimelineCampaign) -> Vec<PltMetrics> {
-    campaign.videos.iter().map(compute_metrics).collect()
+    campaign.videos.iter().map(|v| compute_metrics(v)).collect()
 }
 
 /// Paired `(uplt, metric)` series for one metric name, skipping videos

@@ -39,6 +39,6 @@ pub mod trace;
 pub use config::{BrowserConfig, CpuCosts, DeviceProfile};
 pub use extensions::AdBlocker;
 pub use har::{to_har, to_har_json};
-pub use loader::load_page;
+pub use loader::{load_page, load_page_reference};
 pub use paint::{PaintEvent, PaintKind};
 pub use trace::{LoadTrace, ResourceTrace, SkipReason};

@@ -80,7 +80,16 @@ enum Ev {
 /// Load `site` under `cfg`; the seed controls network loss and DNS
 /// timing. Returns the full trace.
 pub fn load_page(site: &Website, cfg: &BrowserConfig, seed: Seed) -> LoadTrace {
-    Loader::new(site, cfg, seed).run()
+    Loader::new(site, cfg, seed, true).run()
+}
+
+/// [`load_page`] with the network simulator's burst batching disabled —
+/// the per-segment reference path. The trace is identical to
+/// [`load_page`]'s (that equivalence is what the hot-path benchmark
+/// gates on); this entry point only exists so the comparison can be
+/// made end to end.
+pub fn load_page_reference(site: &Website, cfg: &BrowserConfig, seed: Seed) -> LoadTrace {
+    Loader::new(site, cfg, seed, false).run()
 }
 
 struct Loader<'a> {
@@ -122,13 +131,14 @@ struct Loader<'a> {
 }
 
 impl<'a> Loader<'a> {
-    fn new(site: &'a Website, cfg: &'a BrowserConfig, seed: Seed) -> Loader<'a> {
+    fn new(site: &'a Website, cfg: &'a BrowserConfig, seed: Seed, batching: bool) -> Loader<'a> {
         let http_cfg = HttpConfig {
             protocol: cfg.protocol,
             tls: cfg.tls,
             ..HttpConfig::new(cfg.protocol)
         };
-        let engine = FetchEngine::new(http_cfg, cfg.network.clone(), seed.derive("net"));
+        let mut engine = FetchEngine::new(http_cfg, cfg.network.clone(), seed.derive("net"));
+        engine.set_burst_batching(batching);
         let mut resolver = Resolver::new(DnsConfig::default(), seed.derive("dns"));
         if cfg.primer {
             // The webpeg primer load warms the resolver for every origin

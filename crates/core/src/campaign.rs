@@ -8,12 +8,14 @@
 //! response generation, and control questions — producing the raw data
 //! the validation (§4) and analysis (§5) layers consume.
 
+use std::sync::Arc;
+
 use eyeorg_crowd::{
     ab_control, behavior, timeline_control_passes, timeline_response_shared, AbAnswer,
     Participant, Recruitment, RecruitmentService, TestKind, TimelineResponse, VideoSession,
 };
 use eyeorg_net::SimTime;
-use eyeorg_stats::{par_map_range, resolve_threads, Seed};
+use eyeorg_stats::{effective_pool, par_map_range, resolve_threads, Seed};
 use eyeorg_video::{FrameTimeline, Video};
 
 use crate::experiment::{a_on_left, assign, AbStimulus, ExperimentConfig, TimelineStimulus};
@@ -73,8 +75,9 @@ pub struct TimelineCampaign {
     /// Stimulus names, aligned with row indices.
     pub stimuli_names: Vec<String>,
     /// Stimulus durations and onloads are still available through the
-    /// retained videos.
-    pub videos: Vec<Video>,
+    /// retained videos (shared with the capture cache — an `Arc` each,
+    /// not a copy).
+    pub videos: Vec<Arc<Video>>,
     /// Recruited participants (arrival order).
     pub participants: Vec<Participant>,
     /// Recruitment economics.
@@ -92,10 +95,10 @@ pub struct TimelineCampaign {
 pub struct AbCampaign {
     /// Stimulus names.
     pub stimuli_names: Vec<String>,
-    /// The A-side videos (kept for Δ analysis).
-    pub a_videos: Vec<Video>,
+    /// The A-side videos (kept for Δ analysis; shared, not copied).
+    pub a_videos: Vec<Arc<Video>>,
     /// The B-side videos.
-    pub b_videos: Vec<Video>,
+    pub b_videos: Vec<Arc<Video>>,
     /// Participants.
     pub participants: Vec<Participant>,
     /// Recruitment economics.
@@ -125,7 +128,12 @@ pub fn run_timeline_campaign(
     let gate = crate::validation::captcha_gate(recruitment.participants);
     let mut rows = Vec::new();
     let mut controls = Vec::new();
-    if threads <= 1 {
+    // Branch on the pool that will actually run (an oversubscribed
+    // request degrades to 1 worker on small machines): the sequential
+    // engine computes rewinds lazily, so taking it when no real
+    // parallelism is available avoids the parallel engine's eager
+    // precompute. Output is byte-identical either way.
+    if effective_pool(threads) <= 1 {
         // The sequential engine: one memoising timeline per stimulus,
         // rewinds computed lazily as participants touch frames.
         let mut frames: Vec<FrameTimeline> =

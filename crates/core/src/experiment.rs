@@ -13,18 +13,24 @@
 //! 6,000 over 100 final videos ≈ 60 each), and each participant receives
 //! one control question (§3.3).
 
+use std::sync::Arc;
+
 use eyeorg_video::Video;
 use eyeorg_stats::rng::Rng;
 
 use eyeorg_stats::Seed;
 
 /// One timeline stimulus.
+///
+/// Captures are held by [`Arc`]: the capture cache, the stimulus list,
+/// and the finished campaign all share one allocation per distinct
+/// capture instead of cloning whole paint traces around.
 #[derive(Debug, Clone)]
 pub struct TimelineStimulus {
     /// Site name (for reports and per-site analysis).
     pub name: String,
     /// The capture shown.
-    pub video: Video,
+    pub video: Arc<Video>,
 }
 
 /// One A/B stimulus: the two captures of the same site under the two
@@ -34,9 +40,9 @@ pub struct AbStimulus {
     /// Site name.
     pub name: String,
     /// Baseline capture (e.g. HTTP/1.1, or with-ads).
-    pub a: Video,
+    pub a: Arc<Video>,
     /// Treatment capture (e.g. HTTP/2, or ad-blocked).
-    pub b: Video,
+    pub b: Arc<Video>,
 }
 
 /// Shared experiment parameters.

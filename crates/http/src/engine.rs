@@ -157,6 +157,13 @@ impl FetchEngine {
         }
     }
 
+    /// Toggle the network simulator's lossless burst batching (on by
+    /// default; the traces are identical either way). The off position
+    /// is the per-segment reference path benchmarks compare against.
+    pub fn set_burst_batching(&mut self, on: bool) {
+        self.net.set_burst_batching(on);
+    }
+
     /// Override the protocol for one origin (e.g. a third-party ad server
     /// that has not deployed HTTP/2, forcing Chrome to fall back). Must
     /// be called before the first request to that origin; later calls are

@@ -33,15 +33,15 @@ pub fn visual_progress_curve(video: &Video) -> Vec<(SimTime, f64)> {
     let Some(&last) = change_times.last() else {
         return vec![(SimTime::ZERO, 1.0)];
     };
-    let final_frame = video.render_at(last);
-    let mut curve = Vec::with_capacity(change_times.len() + 1);
-    let blank = video.render_at(SimTime::ZERO);
-    curve.push((SimTime::ZERO, 1.0 - blank.diff_fraction(&final_frame)));
-    for t in change_times {
-        let c = 1.0 - video.render_at(t).diff_fraction(&final_frame);
-        curve.push((t, c));
-    }
-    curve
+    // One incremental pass over the paint stream instead of a full
+    // render + full-grid diff per change point; the values are
+    // bit-identical to the per-frame comparison (see
+    // `Video::completeness_at_times`).
+    let mut times = Vec::with_capacity(change_times.len() + 1);
+    times.push(SimTime::ZERO);
+    times.extend(change_times);
+    let completeness = video.completeness_at_times(&times, last);
+    times.into_iter().zip(completeness).collect()
 }
 
 /// First time the curve reaches `target` completeness (e.g. 0.85 for the
@@ -86,6 +86,21 @@ mod tests {
     fn starts_incomplete() {
         let curve = visual_progress_curve(&video());
         assert!(curve[0].1 < 0.5, "blank page far from final state: {}", curve[0].1);
+    }
+
+    #[test]
+    fn incremental_curve_matches_per_frame_reference() {
+        // The shipped curve uses `Video::completeness_at_times`; the
+        // definitional implementation renders every change point and
+        // diffs full grids. They must agree bit-for-bit.
+        let v = video();
+        let curve = visual_progress_curve(&v);
+        let last = curve.last().unwrap().0;
+        let final_frame = v.render_at(last);
+        for &(t, c) in &curve {
+            let reference = 1.0 - v.render_at(t).diff_fraction(&final_frame);
+            assert_eq!(c, reference, "completeness at {t:?}");
+        }
     }
 
     #[test]

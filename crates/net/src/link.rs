@@ -11,6 +11,8 @@
 //! transmission when the transmitter frees up, occupies it for
 //! `size / rate`, then propagates for the link's one-way delay.
 
+use std::collections::VecDeque;
+
 use crate::time::{SimDuration, SimTime};
 
 /// Outcome of offering a packet to a [`LinkQueue`].
@@ -33,8 +35,9 @@ pub struct LinkQueue {
     queue_limit: usize,
     /// Departure times (end of serialisation) of packets that have been
     /// accepted but whose serialisation has not finished. Kept sorted by
-    /// construction (FIFO). Entries with departure <= now are pruned lazily.
-    in_flight_departures: Vec<SimTime>,
+    /// construction (FIFO), so expired entries are pruned from the front
+    /// in O(1) per departed packet.
+    in_flight_departures: VecDeque<SimTime>,
     /// Time the transmitter becomes free.
     busy_until: SimTime,
     /// Counters for diagnostics and tests.
@@ -53,7 +56,7 @@ impl LinkQueue {
             rate_bps,
             prop_delay,
             queue_limit,
-            in_flight_departures: Vec::new(),
+            in_flight_departures: VecDeque::new(),
             busy_until: SimTime::ZERO,
             accepted: 0,
             dropped: 0,
@@ -66,8 +69,11 @@ impl LinkQueue {
     /// when the buffer is full. `now` must be monotonically non-decreasing
     /// across calls (enforced in debug builds only, for speed).
     pub fn offer(&mut self, now: SimTime, bytes: u64) -> Transmit {
-        // Lazily prune packets that have already finished serialising.
-        self.in_flight_departures.retain(|&d| d > now);
+        // Lazily prune packets that have already finished serialising;
+        // departures are FIFO-sorted, so only the front can have expired.
+        while self.in_flight_departures.front().is_some_and(|&d| d <= now) {
+            self.in_flight_departures.pop_front();
+        }
         // Packets *waiting* (not yet begun transmission) = those whose
         // serialisation has not started; conservatively approximate the
         // occupancy as all unfinished packets minus the one on the wire.
@@ -79,7 +85,7 @@ impl LinkQueue {
         let start = self.busy_until.max(now);
         let departure = start + SimDuration::serialization(bytes, self.rate_bps);
         self.busy_until = departure;
-        self.in_flight_departures.push(departure);
+        self.in_flight_departures.push_back(departure);
         self.accepted += 1;
         Transmit::Delivered(departure + self.prop_delay)
     }

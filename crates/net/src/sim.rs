@@ -33,7 +33,7 @@ use crate::loss::LossProcess;
 use crate::profile::{NetworkProfile, TlsMode};
 use crate::qlog::{ConnEvent, ConnLog};
 use crate::tcp::{SackBlocks, TcpReceiver, TcpSender, HEADER_BYTES, MSS};
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 
 /// Wire size of a handshake packet (SYN/SYNACK/TLS flight, abstracted).
 const HANDSHAKE_PACKET_BYTES: u64 = 66;
@@ -81,7 +81,52 @@ enum Ev {
     UpDataArrive { conn: usize, end: u64 },
     SegArrive { conn: usize, start: u64, end: u64 },
     AckArrive { conn: usize, ack: u64, sack: SackBlocks },
+    /// Coalesced replay point for a batched lossless burst: fires at the
+    /// arrival time of the burst's *last* ACK and applies every deferred
+    /// ACK in order (see `BurstPlan`). `generation` tombstones batches
+    /// whose plan was flushed early.
+    AckBatch { conn: usize, generation: u64 },
     RtoCheck { conn: usize, epoch: u64 },
+}
+
+/// Maximum number of segments coalesced into one batch. Keeps the span
+/// guard tight and the deferred state small; bursts beyond this simply
+/// run the per-segment path.
+const MAX_BATCH_SEGMENTS: usize = 64;
+
+/// A burst's deferred ACKs may span at most this long after the plan was
+/// created. Far below TCP's minimum RTO (200 ms), so every RTO check
+/// that could observe deferred state is provably stale (a newer rearm
+/// always lands first).
+const MAX_BATCH_SPAN: SimDuration = SimDuration::from_millis(100);
+
+/// An active lossless-burst batch for one connection.
+///
+/// Created by `pump` when an application-limited sender put `k >= 2`
+/// fresh consecutive segments on an idle path with zero loss draws and
+/// nothing else in flight. Each arriving segment of the burst records
+/// its ACK `(arrival_time, ack_number)` here instead of scheduling a
+/// per-ACK event; when the last segment arrives, one `Ev::AckBatch` at
+/// the final ACK's arrival time replays them all against the sender in
+/// order, with their original timestamps — byte-identical sender state,
+/// `k - 1` fewer event-queue round-trips, and `k - 1` fewer stale
+/// `RtoCheck` events (their rearms are folded into epoch bumps).
+///
+/// Any event that could observe the deferred sender state
+/// (`ServerSend`, a live `RtoCheck`, a stray `AckArrive`) *flushes* the
+/// plan first: deferred ACKs at or before the current time are applied
+/// immediately, later ones are re-materialised as ordinary `AckArrive`
+/// events at their exact recorded times.
+#[derive(Debug)]
+struct BurstPlan {
+    /// Byte ranges still expected to arrive, in order.
+    pending_segments: VecDeque<(u64, u64)>,
+    /// Recorded ACKs awaiting replay: `(uplink_arrival, ack_number)`.
+    acks: VecDeque<(SimTime, u64)>,
+    /// Tombstone counter matched against `Ev::AckBatch::generation`.
+    generation: u64,
+    /// When `pump` created the plan (for the span guard).
+    created_at: SimTime,
 }
 
 /// Per-connection bookkeeping around the TCP state machines.
@@ -96,6 +141,11 @@ struct Conn {
     up_sent: u64,
     up_delivered: u64,
     rto_epoch: u64,
+    /// Active lossless-burst batch, if any.
+    plan: Option<BurstPlan>,
+    /// Monotone plan counter; stale `Ev::AckBatch` events carry an older
+    /// generation and are ignored.
+    plan_generation: u64,
     log: Option<ConnLog>,
 }
 
@@ -127,6 +177,13 @@ pub struct NetSim {
     queue: EventQueue<Ev>,
     out: VecDeque<(SimTime, NetEvent)>,
     logging: bool,
+    /// Coalesce lossless bursts into one ACK-replay event (default on).
+    /// The `false` path is the per-segment reference implementation the
+    /// equivalence tests compare against.
+    batching: bool,
+    /// Internal events processed since construction (for the hot-path
+    /// bench's events/sec metric).
+    events_processed: u64,
     #[allow(dead_code)] // reserved for future jitter modelling
     rng: Rng,
 }
@@ -146,6 +203,8 @@ impl NetSim {
             queue: EventQueue::new(),
             out: VecDeque::new(),
             logging: false,
+            batching: true,
+            events_processed: 0,
             rng: Rng::seed_from_u64(seed.derive("netsim").value()),
             profile,
         }
@@ -160,6 +219,19 @@ impl NetSim {
     /// *after* this call.
     pub fn set_logging(&mut self, on: bool) {
         self.logging = on;
+    }
+
+    /// Enable or disable lossless-burst batching (default: enabled).
+    /// Disabling selects the per-segment reference path; both paths
+    /// produce identical [`NetEvent`] traces, statistics and logs — the
+    /// equivalence tests and the `perf_hotpath` bench verify this.
+    pub fn set_burst_batching(&mut self, on: bool) {
+        self.batching = on;
+    }
+
+    /// Internal simulator events processed since construction.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Take (consume) the event log of a connection; `None` when logging
@@ -194,6 +266,8 @@ impl NetSim {
             up_sent: 0,
             up_delivered: 0,
             rto_epoch: 0,
+            plan: None,
+            plan_generation: 0,
             log: self.logging.then(ConnLog::default),
         });
         self.queue.schedule(at, Ev::Open { conn: idx });
@@ -266,6 +340,20 @@ impl NetSim {
     // ------------------------------------------------------------------
 
     fn process(&mut self, now: SimTime, ev: Ev) {
+        self.events_processed += 1;
+        // Events that touch the sender while a burst plan is deferring
+        // its ACKs must see the exact reference state: flush first.
+        // (`RtoCheck` defers the flush until after its staleness test —
+        // any check that can pop mid-plan was armed before the burst's
+        // own rearm and is therefore stale on both paths.)
+        match ev {
+            Ev::ServerSend { conn, .. } | Ev::AckArrive { conn, .. }
+                if self.conns[conn].plan.is_some() =>
+            {
+                self.flush_plan(conn, now);
+            }
+            _ => {}
+        }
         match ev {
             Ev::Open { conn } => {
                 // First handshake leg: client → server.
@@ -325,6 +413,19 @@ impl NetSim {
                 self.rearm_rto(conn, now);
             }
             Ev::SegArrive { conn, start, end } => {
+                // A planned burst expects exactly its own segments, in
+                // order; anything else observing the wire mid-plan (a
+                // retransmission cannot — the plan precludes in-flight
+                // strangers — but be defensive) flushes back to the
+                // reference path.
+                let planned = match &self.conns[conn].plan {
+                    Some(p) if p.pending_segments.front() == Some(&(start, end)) => true,
+                    Some(_) => {
+                        self.flush_plan(conn, now);
+                        false
+                    }
+                    None => false,
+                };
                 let outcome = self.conns[conn].receiver.on_segment(start, end);
                 if outcome.newly_delivered > 0 {
                     self.out.push_back((
@@ -337,31 +438,71 @@ impl NetSim {
                 }
                 // ACK back to the server through the uplink.
                 let arrival = self.up_transmit(now, ACK_BYTES);
-                self.queue.schedule(
-                    arrival,
-                    Ev::AckArrive { conn, ack: outcome.ack, sack: outcome.sack },
-                );
-            }
-            Ev::AckArrive { conn, ack, sack } => {
-                self.conns[conn].sender.update_sack(sack);
-                self.conns[conn].sender.on_ack(ack, now);
-                let c = &mut self.conns[conn];
-                if let Some(log) = &mut c.log {
-                    log.push(
-                        now,
-                        ConnEvent::AckReceived {
-                            ack,
-                            cwnd: c.sender.cwnd_bytes(),
-                            in_flight: c.sender.in_flight(),
-                        },
+                if planned {
+                    // Record the ACK instead of scheduling it; the batch
+                    // event (scheduled here for the last segment, at the
+                    // same call position the reference would allocate its
+                    // AckArrive) replays all of them in order.
+                    let p = self.conns[conn].plan.as_mut().expect("plan routed");
+                    p.pending_segments.pop_front();
+                    p.acks.push_back((arrival, outcome.ack));
+                    let span_ok = arrival.since(p.created_at) <= MAX_BATCH_SPAN;
+                    let in_order = outcome.sack.as_slice().is_empty();
+                    debug_assert!(in_order, "planned burst produced SACK");
+                    if !span_ok || !in_order {
+                        self.flush_plan(conn, now);
+                    } else if self.conns[conn]
+                        .plan
+                        .as_ref()
+                        .is_some_and(|p| p.pending_segments.is_empty())
+                    {
+                        let generation = self.conns[conn].plan.as_ref().unwrap().generation;
+                        self.queue.schedule(arrival, Ev::AckBatch { conn, generation });
+                    }
+                } else {
+                    self.queue.schedule(
+                        arrival,
+                        Ev::AckArrive { conn, ack: outcome.ack, sack: outcome.sack },
                     );
                 }
-                self.pump(conn, now);
-                self.rearm_rto(conn, now);
+            }
+            Ev::AckBatch { conn, generation } => {
+                let live = self.conns[conn]
+                    .plan
+                    .as_ref()
+                    .is_some_and(|p| p.generation == generation);
+                if !live {
+                    return; // plan was flushed; the ACKs already replayed
+                }
+                let plan = self.conns[conn].plan.take().expect("checked live");
+                debug_assert!(plan.pending_segments.is_empty(), "batch before last segment");
+                let n = plan.acks.len();
+                for (k, (t, ack)) in plan.acks.into_iter().enumerate() {
+                    if k + 1 == n {
+                        // The last ACK fires at the batch's own time: run
+                        // the full reference ACK path.
+                        debug_assert_eq!(t, now, "batch scheduled at last ACK arrival");
+                        self.apply_ack(conn, now, ack, SackBlocks::default());
+                    } else {
+                        self.apply_deferred_ack(conn, t, ack);
+                    }
+                }
+            }
+            Ev::AckArrive { conn, ack, sack } => {
+                self.apply_ack(conn, now, ack, sack);
             }
             Ev::RtoCheck { conn, epoch } => {
                 if self.conns[conn].rto_epoch != epoch {
                     return; // superseded by a later (re)arm
+                }
+                // A live check during an active plan would act on the
+                // deferred sender state; restore exactness first. (Cannot
+                // happen — see the dispatch comment — but stay safe.)
+                if self.conns[conn].plan.is_some() {
+                    self.flush_plan(conn, now);
+                    if self.conns[conn].rto_epoch != epoch {
+                        return;
+                    }
                 }
                 if self.conns[conn].sender.on_rto() {
                     if let Some(log) = &mut self.conns[conn].log {
@@ -374,8 +515,99 @@ impl NetSim {
         }
     }
 
+    /// The full reference ACK path: SACK bookkeeping, cumulative ACK,
+    /// logging, window pump, RTO rearm.
+    fn apply_ack(&mut self, conn: usize, now: SimTime, ack: u64, sack: SackBlocks) {
+        self.conns[conn].sender.update_sack(sack);
+        self.conns[conn].sender.on_ack(ack, now);
+        let c = &mut self.conns[conn];
+        if let Some(log) = &mut c.log {
+            log.push(
+                now,
+                ConnEvent::AckReceived {
+                    ack,
+                    cwnd: c.sender.cwnd_bytes(),
+                    in_flight: c.sender.in_flight(),
+                },
+            );
+        }
+        self.pump(conn, now);
+        self.rearm_rto(conn, now);
+    }
+
+    /// Replay one deferred ACK with its original timestamp `t` (in the
+    /// past relative to the event being processed).
+    ///
+    /// Identical to [`NetSim::apply_ack`] under the burst preconditions:
+    /// the pump is a provable no-op (the sender stays app-limited with no
+    /// retransmission state until the batch's final ACK), and the rearm
+    /// reduces to its epoch bump — the reference's RtoCheck at `t + rto`
+    /// is guaranteed stale because the next ACK replays (and bumps the
+    /// epoch again) within the batch span, far inside the minimum RTO.
+    fn apply_deferred_ack(&mut self, conn: usize, t: SimTime, ack: u64) {
+        let c = &mut self.conns[conn];
+        c.sender.update_sack(SackBlocks::default());
+        c.sender.on_ack(ack, t);
+        if let Some(log) = &mut c.log {
+            log.push(
+                t,
+                ConnEvent::AckReceived {
+                    ack,
+                    cwnd: c.sender.cwnd_bytes(),
+                    in_flight: c.sender.in_flight(),
+                },
+            );
+        }
+        debug_assert!(
+            c.sender.next_segment().is_none(),
+            "deferred ACK must not open the send window"
+        );
+        c.rto_epoch += 1;
+    }
+
+    /// Deactivate a connection's burst plan, restoring the exact
+    /// reference state at `now`: deferred ACKs that have already arrived
+    /// (`t <= now`) are replayed immediately; later ones go back into
+    /// the event queue as ordinary `AckArrive` events at their exact
+    /// recorded times.
+    fn flush_plan(&mut self, conn: usize, now: SimTime) {
+        let Some(mut plan) = self.conns[conn].plan.take() else {
+            return;
+        };
+        let mut last_applied = None;
+        while let Some(&(t, ack)) = plan.acks.front() {
+            if t > now {
+                break;
+            }
+            plan.acks.pop_front();
+            self.apply_deferred_ack(conn, t, ack);
+            last_applied = Some(t);
+        }
+        if plan.acks.is_empty() && plan.pending_segments.is_empty() {
+            // The whole burst was already acknowledged: the reference's
+            // final ACK also re-armed the RTO at its own arrival time.
+            if let Some(t) = last_applied {
+                debug_assert!(self.conns[conn].sender.next_segment().is_none());
+                self.rearm_rto(conn, t);
+            }
+        }
+        for (t, ack) in plan.acks {
+            // In-order burst ACKs carry no SACK blocks (validated when
+            // they were recorded).
+            self.queue.schedule(t, Ev::AckArrive { conn, ack, sack: SackBlocks::default() });
+        }
+    }
+
     /// Transmit all segments the sender's window currently allows.
+    ///
+    /// When burst batching is on and the transmitted burst satisfies the
+    /// lossless-burst preconditions, a [`BurstPlan`] is installed so the
+    /// burst's ACKs coalesce into a single event (see `BurstPlan` docs).
     fn pump(&mut self, conn: usize, now: SimTime) {
+        // Candidate burst: fresh (non-retransmitted) segments actually
+        // handed to the link this pump, none dropped anywhere.
+        let mut burst: Vec<(u64, u64)> = Vec::new();
+        let mut clean = self.batching && self.conns[conn].plan.is_none();
         while let Some(seg) = self.conns[conn].sender.next_segment() {
             self.conns[conn].sender.mark_sent(seg, now);
             let cwnd = self.conns[conn].sender.cwnd_bytes();
@@ -394,21 +626,62 @@ impl NetSim {
                 if let Some(log) = &mut self.conns[conn].log {
                     log.push(now, ConnEvent::SegmentDropped { start: seg.start });
                 }
+                clean = false;
                 continue; // lost in the network
             }
             match self.downlink.offer(now, seg.wire_bytes()) {
                 Transmit::Delivered(arrival) => {
                     self.queue
                         .schedule(arrival, Ev::SegArrive { conn, start: seg.start, end: seg.end });
+                    if seg.retransmission {
+                        clean = false;
+                    } else {
+                        burst.push((seg.start, seg.end));
+                    }
                 }
                 Transmit::Dropped => {
                     // Drop-tail loss: sender finds out via dupacks/RTO.
                     if let Some(log) = &mut self.conns[conn].log {
                         log.push(now, ConnEvent::SegmentDropped { start: seg.start });
                     }
+                    clean = false;
                 }
             }
         }
+        if clean && burst.len() >= 2 && burst.len() <= MAX_BATCH_SEGMENTS {
+            self.maybe_install_plan(conn, now, burst);
+        }
+    }
+
+    /// Install a [`BurstPlan`] for `burst` if the connection is in the
+    /// provably-deferrable state: the burst is contiguous, it is the
+    /// *only* data in flight, the sender is application-limited with a
+    /// clean window, and the receiver sits exactly at the burst's first
+    /// byte with nothing buffered out-of-order. Under these conditions
+    /// every deferred ACK's pump is a no-op and its rearm reduces to an
+    /// epoch bump, so replaying the ACKs late is byte-identical.
+    fn maybe_install_plan(&mut self, conn: usize, now: SimTime, burst: Vec<(u64, u64)>) {
+        let c = &self.conns[conn];
+        let contiguous = burst.windows(2).all(|w| w[0].1 == w[1].0);
+        let (first_start, last_end) = (burst[0].0, burst[burst.len() - 1].1);
+        let sole_in_flight = c.sender.in_flight() == last_end - first_start;
+        let deferrable = contiguous
+            && sole_in_flight
+            && c.sender.app_limited()
+            && c.sender.window_quiescent()
+            && c.receiver.delivered() == first_start
+            && c.receiver.buffered() == 0;
+        if !deferrable {
+            return;
+        }
+        let c = &mut self.conns[conn];
+        c.plan_generation += 1;
+        c.plan = Some(BurstPlan {
+            pending_segments: burst.into_iter().collect(),
+            acks: VecDeque::new(),
+            generation: c.plan_generation,
+            created_at: now,
+        });
     }
 
     /// Reset the retransmission timer after any sender activity.

@@ -195,6 +195,25 @@ impl TcpSender {
         self.snd_una == self.app_limit
     }
 
+    /// Whether the sender is *application-limited*: everything the
+    /// application has written is already on the wire, so absent a
+    /// retransmission the next [`TcpSender::next_segment`] returns `None`.
+    pub(crate) fn app_limited(&self) -> bool {
+        self.snd_nxt >= self.app_limit
+    }
+
+    /// Whether the send path is in its clean fast-path state: no recovery
+    /// episode, no pending retransmission cursor, no SACKed holes, and no
+    /// duplicate-ACK count. This is the state a fully-acked in-order
+    /// exchange leaves behind; burst batching in `NetSim` requires it
+    /// before deferring ACK processing.
+    pub(crate) fn window_quiescent(&self) -> bool {
+        self.recovery.is_none()
+            && self.rtx.is_none()
+            && self.sacked.is_empty()
+            && self.dup_acks == 0
+    }
+
     /// Current congestion window in bytes.
     pub fn cwnd_bytes(&self) -> u64 {
         self.cwnd as u64

@@ -1,0 +1,74 @@
+//! Property-based test: the calendar `EventQueue` is observationally
+//! identical to a binary min-heap on `(time, seq)`.
+//!
+//! Feature-gated (`--features proptest`) because the external `proptest`
+//! crate cannot resolve offline; an always-on deterministic version of
+//! the same comparison lives in `event.rs` unit tests.
+
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use eyeorg_net::event::EventQueue;
+use eyeorg_net::SimTime;
+
+/// One step of the interleaved workload.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Schedule at watermark + the given offset (µs).
+    Schedule(u64),
+    Pop,
+    Peek,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u64..2_000).prop_map(Op::Schedule),          // near future / ties
+        1 => (0u64..40_000_000).prop_map(Op::Schedule),     // sparse far tail
+        3 => Just(Op::Pop),
+        1 => Just(Op::Peek),
+    ]
+}
+
+proptest! {
+    /// Any interleaving of schedules (including exact ties and far-out
+    /// tails), pops, and peeks produces the same `(time, payload)`
+    /// stream from the calendar queue as from the heap reference.
+    #[test]
+    fn calendar_matches_heap_order(ops in prop::collection::vec(op_strategy(), 1..600)) {
+        let mut cal: EventQueue<u64> = EventQueue::new();
+        let mut heap: BinaryHeap<Reverse<(SimTime, u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut payload = 0u64;
+        let mut now = 0u64;
+        for op in ops {
+            match op {
+                Op::Schedule(dt) => {
+                    let t = SimTime::from_micros(now + dt);
+                    cal.schedule(t, payload);
+                    heap.push(Reverse((t, seq, payload)));
+                    seq += 1;
+                    payload += 1;
+                }
+                Op::Pop => {
+                    let expect = heap.pop().map(|Reverse((t, _, p))| (t, p));
+                    let got = cal.pop();
+                    prop_assert_eq!(got, expect);
+                    if let Some((t, _)) = got {
+                        now = t.as_micros();
+                    }
+                }
+                Op::Peek => {
+                    let expect = heap.peek().map(|Reverse((t, _, _))| *t);
+                    prop_assert_eq!(cal.peek_time(), expect);
+                }
+            }
+            prop_assert_eq!(cal.len(), heap.len());
+        }
+        // Drain both completely; order must match to the last event.
+        while let Some(Reverse((t, _, p))) = heap.pop() {
+            prop_assert_eq!(cal.pop(), Some((t, p)));
+        }
+        prop_assert!(cal.is_empty());
+    }
+}

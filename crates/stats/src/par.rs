@@ -9,21 +9,29 @@
 //! only thing parallelism could perturb is *result order*, and the
 //! functions here pin that by index:
 //!
-//! * work items are claimed from a shared atomic counter by a fixed pool
-//!   of scoped threads;
-//! * each result lands in the pre-sized output slot of its item index;
-//! * `threads <= 1` short-circuits to a plain sequential iterator — the
-//!   exact code path the single-threaded implementation used.
+//! * work items are claimed in contiguous *chunks* from a shared atomic
+//!   counter by a fixed pool of scoped threads — one `fetch_add` per
+//!   chunk instead of per item keeps synchronisation off the per-item
+//!   path;
+//! * each worker buffers `(index, result)` pairs locally; the buffers
+//!   are merged into index order after the scope joins, so no per-slot
+//!   locks are taken at all;
+//! * the requested thread count is clamped to the machine's effective
+//!   parallelism (unless the caller pinned it via `EYEORG_THREADS`),
+//!   and a pool of 1 short-circuits to a plain sequential iterator —
+//!   the exact code path the single-threaded implementation used.
 //!
 //! The merged output is therefore identical for every thread count, and
-//! a 1-thread run *is* the old sequential run.
+//! an effective pool of 1 *is* the old sequential run. On a box where
+//! `available_parallelism` is 1 a request for "4 threads" no longer
+//! pays thread spawn + contention for zero speedup (the PR 1 bench
+//! showed 0.3–0.4× "speedups" exactly because of that).
 //!
-//! No external dependencies: plain `std::thread::scope`, `AtomicUsize`,
-//! and `Mutex`ed output slots (uncontended — each slot is locked exactly
-//! once).
+//! No external dependencies: plain `std::thread::scope` and
+//! `AtomicUsize`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 
 /// Number of worker threads to use when a caller asks for "automatic":
 /// the `EYEORG_THREADS` environment variable when set to a positive
@@ -33,14 +41,21 @@ use std::sync::{Mutex, OnceLock};
 pub fn default_threads() -> usize {
     static DEFAULT: OnceLock<usize> = OnceLock::new();
     *DEFAULT.get_or_init(|| {
-        if let Ok(v) = std::env::var("EYEORG_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                if n > 0 {
-                    return n;
-                }
-            }
+        if let Some(n) = env_thread_override() {
+            return n;
         }
         std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+    })
+}
+
+/// The `EYEORG_THREADS` override, if set to a positive integer.
+fn env_thread_override() -> Option<usize> {
+    static OVERRIDE: OnceLock<Option<usize>> = OnceLock::new();
+    *OVERRIDE.get_or_init(|| {
+        std::env::var("EYEORG_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
     })
 }
 
@@ -54,49 +69,84 @@ pub fn resolve_threads(knob: usize) -> usize {
     }
 }
 
+/// The pool size actually worth spawning for an explicit `threads`
+/// request: clamped to `available_parallelism` so that oversubscribing
+/// a small machine degrades to the sequential path instead of paying
+/// spawn + contention overhead for nothing. An explicit
+/// `EYEORG_THREADS` pin wins over the clamp (it is how the regression
+/// tests force multi-threaded execution on 1-core CI boxes).
+pub fn effective_pool(threads: usize) -> usize {
+    if env_thread_override().is_some() {
+        return threads;
+    }
+    let hw = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    threads.min(hw)
+}
+
+/// Chunk size for the shared work counter: large enough to amortise the
+/// `fetch_add`, small enough to keep the tail balanced when per-item
+/// cost is skewed (page loads vary ~5× across sites).
+fn chunk_size(n: usize, pool: usize) -> usize {
+    // Aim for ~4 chunks per worker, at least 1 item per chunk.
+    (n / (pool * 4)).max(1)
+}
+
 /// Map `f` over `0..n` on `threads` workers, returning results in index
 /// order. `f(i)` must depend only on `i` (and captured immutable state)
 /// — the usual shape is "derive the item's own seed from its index".
 ///
-/// With `threads <= 1` this is exactly `(0..n).map(f).collect()`.
+/// With an effective pool of 1 (requested, or clamped by the hardware)
+/// this is exactly `(0..n).map(f).collect()`.
 pub fn par_map_range<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    if threads <= 1 || n <= 1 {
+    let pool = effective_pool(threads).min(n);
+    if pool <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let chunk = chunk_size(n, pool);
     let next = AtomicUsize::new(0);
     let f = &f;
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
-            });
-        }
+    let mut per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..pool)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for i in start..(start + chunk).min(n) {
+                            out.push((i, f(i)));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
     });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker completed every claimed index")
-        })
-        .collect()
+    // Merge by index. Each index appears exactly once across the
+    // buffers; within a buffer indices are increasing, so a bucket
+    // scatter restores the full order without sorting.
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for buf in per_worker.drain(..) {
+        for (i, r) in buf {
+            debug_assert!(slots[i].is_none(), "index {i} produced twice");
+            slots[i] = Some(r);
+        }
+    }
+    slots.into_iter().map(|s| s.expect("every index claimed")).collect()
 }
 
 /// Map `f` over owned `items` on `threads` workers; `f` receives
 /// `(index, item)` and results come back in item order, byte-identical
 /// to the sequential run.
 ///
-/// With `threads <= 1` this is exactly
+/// With an effective pool of 1 this is exactly
 /// `items.into_iter().enumerate().map(|(i, x)| f(i, x)).collect()`.
 pub fn par_map_indexed<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
@@ -104,13 +154,18 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
-    if threads <= 1 || items.len() <= 1 {
+    let pool = effective_pool(threads).min(items.len());
+    if pool <= 1 || items.len() <= 1 {
         return items.into_iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
-    let cells: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
-    let f = &f;
+    // Hand each item to exactly one worker by index. The items vector
+    // itself is never shared mutably: each cell is taken once by the
+    // worker that claimed its index.
+    let cells: Vec<std::sync::Mutex<Option<T>>> =
+        items.into_iter().map(|x| std::sync::Mutex::new(Some(x))).collect();
     let cells_ref = &cells;
-    par_map_range(cells.len(), threads, move |i| {
+    let f = &f;
+    par_map_range(cells_ref.len(), threads, move |i| {
         let item = cells_ref[i]
             .lock()
             .expect("item cell poisoned")
@@ -159,8 +214,24 @@ mod tests {
     }
 
     #[test]
+    fn chunked_claiming_covers_every_index() {
+        // n not divisible by chunk or pool; every index must appear once.
+        for n in [2, 7, 63, 64, 65, 257] {
+            let got = par_map_range(n, 4, |i| i);
+            assert_eq!(got, (0..n).collect::<Vec<_>>(), "n={n}");
+        }
+    }
+
+    #[test]
     fn resolve_threads_zero_is_auto() {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn chunk_size_is_sane() {
+        assert_eq!(chunk_size(1, 4), 1);
+        assert_eq!(chunk_size(64, 4), 4);
+        assert!(chunk_size(1000, 2) >= 1);
     }
 }

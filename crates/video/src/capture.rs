@@ -7,11 +7,23 @@
 //! stream, so a campaign's 6,000 served videos cost memory proportional
 //! to their traces, not their pixels.
 
-use eyeorg_browser::{LoadTrace, PaintKind};
+use eyeorg_browser::{LoadTrace, PaintEvent, PaintKind};
 use eyeorg_net::{SimDuration, SimTime};
 use eyeorg_workload::Rect;
 
-use crate::frame::{appearance, Frame};
+use crate::frame::{appearance, Frame, BLANK};
+
+/// Appearance salt of a paint event: the paint kind plus the ad-creative
+/// generation (each rotation renders different pixels).
+pub(crate) fn paint_salt(p: &PaintEvent) -> u8 {
+    let kind = match p.kind {
+        PaintKind::DocumentBand => 1u8,
+        PaintKind::Image => 2,
+        PaintKind::Ad => 3,
+        PaintKind::Widget => 4,
+    };
+    kind + p.generation.wrapping_mul(16)
+}
 
 /// Default grid width (cells) for captured videos.
 pub const GRID_WIDTH: u32 = 64;
@@ -91,23 +103,67 @@ impl Video {
     /// Render the viewport at an arbitrary time.
     pub fn render_at(&self, t: SimTime) -> Frame {
         let mut f = Frame::blank(self.grid_w, self.grid_h);
-        let sx = f64::from(self.grid_w) / f64::from(self.trace.canvas_width.max(1));
-        let sy = f64::from(self.grid_h) / f64::from(self.trace.fold_y.max(1));
+        let (sx, sy) = self.scale();
         for p in self.trace.paints_until(t) {
             // Clip to the viewport.
             let Some(visible) = clip_to_fold(&p.rect, self.trace.fold_y) else { continue };
-            let salt = match p.kind {
-                PaintKind::DocumentBand => 1,
-                PaintKind::Image => 2,
-                PaintKind::Ad => 3,
-                PaintKind::Widget => 4,
-            };
-            // Each ad-creative generation renders differently — the
-            // pixels genuinely change when an ad rotates.
-            let salt = salt + p.generation.wrapping_mul(16);
-            f.fill_rect_scaled(&visible, sx, sy, appearance(p.resource.0, salt));
+            f.fill_rect_scaled(&visible, sx, sy, appearance(p.resource.0, paint_salt(p)));
         }
         f
+    }
+
+    /// Cells-per-pixel scale factors of the capture grid.
+    fn scale(&self) -> (f64, f64) {
+        (
+            f64::from(self.grid_w) / f64::from(self.trace.canvas_width.max(1)),
+            f64::from(self.grid_h) / f64::from(self.trace.fold_y.max(1)),
+        )
+    }
+
+    /// Visual completeness (`1 − diff_fraction` against the frame at
+    /// `final_t`) at each of the given nondecreasing instants, computed
+    /// in one incremental pass over the paint stream.
+    ///
+    /// Equivalent to `1.0 - self.render_at(t).diff_fraction(&self.
+    /// render_at(final_t))` per instant — the differing-cell count is
+    /// maintained as an integer across cell writes, so each value is
+    /// bit-identical to the full-grid comparison — but total cost is one
+    /// render plus the painted area, not `times.len()` renders.
+    ///
+    /// # Panics
+    /// Panics (debug only) when `times` is not sorted.
+    pub fn completeness_at_times(&self, times: &[SimTime], final_t: SimTime) -> Vec<f64> {
+        debug_assert!(times.windows(2).all(|w| w[0] <= w[1]), "times must be sorted");
+        let final_frame = self.render_at(final_t);
+        let fin = final_frame.cells();
+        let len = fin.len() as f64;
+        // Start from the blank frame: differing cells = painted cells of
+        // the final state.
+        let mut differing: i64 = fin.iter().filter(|&&c| c != BLANK).count() as i64;
+        let mut cur = Frame::blank(self.grid_w, self.grid_h);
+        let (sx, sy) = self.scale();
+        let paints = &self.trace.paints;
+        let mut paint_idx = 0;
+        let mut out = Vec::with_capacity(times.len());
+        for &t in times {
+            while paint_idx < paints.len() && paints[paint_idx].time <= t {
+                let p = &paints[paint_idx];
+                paint_idx += 1;
+                let Some(visible) = clip_to_fold(&p.rect, self.trace.fold_y) else { continue };
+                cur.fill_rect_scaled_traced(
+                    &visible,
+                    sx,
+                    sy,
+                    appearance(p.resource.0, paint_salt(p)),
+                    &mut |idx, old, new| {
+                        let f = fin[idx as usize];
+                        differing += i64::from(new != f) - i64::from(old != f);
+                    },
+                );
+            }
+            out.push(1.0 - differing as f64 / len);
+        }
+        out
     }
 
     /// The last frame (final appearance of the capture window).

@@ -8,17 +8,26 @@
 //! their values match, which is all that frame comparison (the 1 %
 //! rewind-frame helper, Fig. 3) and delta encoding need.
 
+use std::sync::Arc;
+
 use eyeorg_workload::Rect;
 
 /// Appearance value of unpainted page background (blank white page).
 pub const BLANK: u8 = 245;
 
 /// A downscaled viewport frame.
+///
+/// Cell storage is copy-on-write: `Clone` shares the underlying buffer
+/// via [`Arc`], and mutators detach it only when the frame is actually
+/// written while shared. A materialised timeline of `n` frames where
+/// only `k` intervals repaint therefore holds `k + 1` buffers, not `n`.
+/// `Arc`'s `Debug`/`PartialEq`/`Hash` all delegate to the inner vector,
+/// so fingerprints and comparisons are unchanged from a plain `Vec`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Frame {
     width: u32,
     height: u32,
-    cells: Vec<u8>,
+    cells: Arc<Vec<u8>>,
 }
 
 impl Frame {
@@ -28,7 +37,7 @@ impl Frame {
     /// Panics on a zero-sized grid.
     pub fn blank(width: u32, height: u32) -> Frame {
         assert!(width > 0 && height > 0, "frame grid must be non-empty");
-        Frame { width, height, cells: vec![BLANK; (width * height) as usize] }
+        Frame { width, height, cells: Arc::new(vec![BLANK; (width * height) as usize]) }
     }
 
     /// Build a frame from raw row-major cells.
@@ -38,7 +47,13 @@ impl Frame {
     pub fn from_cells(width: u32, height: u32, cells: Vec<u8>) -> Frame {
         assert!(width > 0 && height > 0, "frame grid must be non-empty");
         assert_eq!(cells.len(), (width * height) as usize, "cell count mismatch");
-        Frame { width, height, cells }
+        Frame { width, height, cells: Arc::new(cells) }
+    }
+
+    /// Whether two frames share the same cell buffer (their contents are
+    /// then trivially equal).
+    pub fn shares_cells(&self, other: &Frame) -> bool {
+        Arc::ptr_eq(&self.cells, &other.cells)
     }
 
     /// Grid width in cells.
@@ -69,19 +84,64 @@ impl Frame {
     /// scaled by `sx`, `sy` cells-per-pixel) with `value`. Regions outside
     /// the grid are clipped.
     pub fn fill_rect_scaled(&mut self, rect: &Rect, sx: f64, sy: f64, value: u8) {
+        let (x0, y0, x1, y1) = self.scaled_cell_bounds(rect, sx, sy);
+        if x0 >= x1 || y0 >= y1 {
+            return;
+        }
+        let width = self.width;
+        let cells = Arc::make_mut(&mut self.cells);
+        for y in y0..y1 {
+            for x in x0..x1 {
+                cells[(y * width + x) as usize] = value;
+            }
+        }
+    }
+
+    /// [`Frame::fill_rect_scaled`], reporting every cell whose value
+    /// actually changes as `(index, old, new)`. The resulting frame is
+    /// identical to the untraced fill (writing a cell its current value
+    /// is a no-op either way); the reported changes are exactly the
+    /// delta between the frame before and after this write, in row-major
+    /// order. This is what lets `FrameTimeline` maintain diff counts
+    /// incrementally instead of re-scanning full grids.
+    pub fn fill_rect_scaled_traced(
+        &mut self,
+        rect: &Rect,
+        sx: f64,
+        sy: f64,
+        value: u8,
+        on_change: &mut dyn FnMut(u32, u8, u8),
+    ) {
+        let (x0, y0, x1, y1) = self.scaled_cell_bounds(rect, sx, sy);
+        if x0 >= x1 || y0 >= y1 {
+            return;
+        }
+        let width = self.width;
+        let cells = Arc::make_mut(&mut self.cells);
+        for y in y0..y1 {
+            for x in x0..x1 {
+                let idx = y * width + x;
+                let old = cells[idx as usize];
+                if old != value {
+                    cells[idx as usize] = value;
+                    on_change(idx, old, value);
+                }
+            }
+        }
+    }
+
+    /// Clipped cell-coordinate bounds of `rect` scaled by `(sx, sy)`.
+    fn scaled_cell_bounds(&self, rect: &Rect, sx: f64, sy: f64) -> (u32, u32, u32, u32) {
         let x0 = (f64::from(rect.x) * sx).floor() as i64;
         let y0 = (f64::from(rect.y) * sy).floor() as i64;
         let x1 = (f64::from(rect.x + rect.w) * sx).ceil() as i64;
         let y1 = (f64::from(rect.y + rect.h) * sy).ceil() as i64;
-        let x0 = x0.clamp(0, i64::from(self.width)) as u32;
-        let y0 = y0.clamp(0, i64::from(self.height)) as u32;
-        let x1 = x1.clamp(0, i64::from(self.width)) as u32;
-        let y1 = y1.clamp(0, i64::from(self.height)) as u32;
-        for y in y0..y1 {
-            for x in x0..x1 {
-                self.cells[(y * self.width + x) as usize] = value;
-            }
-        }
+        (
+            x0.clamp(0, i64::from(self.width)) as u32,
+            y0.clamp(0, i64::from(self.height)) as u32,
+            x1.clamp(0, i64::from(self.width)) as u32,
+            y1.clamp(0, i64::from(self.height)) as u32,
+        )
     }
 
     /// Fraction of cells that differ between two frames of equal size
@@ -92,8 +152,11 @@ impl Frame {
     pub fn diff_fraction(&self, other: &Frame) -> f64 {
         assert_eq!(self.width, other.width, "frame widths differ");
         assert_eq!(self.height, other.height, "frame heights differ");
+        if Arc::ptr_eq(&self.cells, &other.cells) {
+            return 0.0; // shared buffer: zero differing cells, exactly
+        }
         let differing =
-            self.cells.iter().zip(&other.cells).filter(|(a, b)| a != b).count();
+            self.cells.iter().zip(other.cells.iter()).filter(|(a, b)| a != b).count();
         differing as f64 / self.cells.len() as f64
     }
 
@@ -112,17 +175,17 @@ impl Frame {
     pub fn side_by_side(&self, right: &Frame) -> Frame {
         assert_eq!(self.height, right.height, "frame heights differ");
         let w = self.width + 1 + right.width;
-        let mut out = Frame::blank(w, self.height);
+        let mut cells = vec![BLANK; (w * self.height) as usize];
         for y in 0..self.height {
             for x in 0..self.width {
-                out.cells[(y * w + x) as usize] = self.get(x, y);
+                cells[(y * w + x) as usize] = self.get(x, y);
             }
-            out.cells[(y * w + self.width) as usize] = 0; // divider
+            cells[(y * w + self.width) as usize] = 0; // divider
             for x in 0..right.width {
-                out.cells[(y * w + self.width + 1 + x) as usize] = right.get(x, y);
+                cells[(y * w + self.width + 1 + x) as usize] = right.get(x, y);
             }
         }
-        out
+        Frame::from_cells(w, self.height, cells)
     }
 }
 
@@ -203,5 +266,42 @@ mod tests {
     #[should_panic(expected = "widths differ")]
     fn diff_requires_same_size() {
         let _ = Frame::blank(2, 2).diff_fraction(&Frame::blank(3, 2));
+    }
+
+    #[test]
+    fn clones_share_cells_until_written() {
+        let mut a = Frame::blank(8, 8);
+        a.fill_rect_scaled(&Rect { x: 0, y: 0, w: 4, h: 4 }, 1.0, 1.0, 9);
+        let b = a.clone();
+        assert!(a.shares_cells(&b), "clone shares storage");
+        assert_eq!(a.diff_fraction(&b), 0.0);
+        // Writing the clone detaches it without touching the original.
+        let mut c = b.clone();
+        c.fill_rect_scaled(&Rect { x: 4, y: 4, w: 4, h: 4 }, 1.0, 1.0, 7);
+        assert!(!c.shares_cells(&b), "write detaches the buffer");
+        assert_eq!(b.get(4, 4), BLANK);
+        assert_eq!(c.get(4, 4), 7);
+    }
+
+    #[test]
+    fn traced_fill_reports_exact_changes() {
+        let mut plain = Frame::blank(6, 6);
+        let mut traced = Frame::blank(6, 6);
+        let rect = Rect { x: 1, y: 1, w: 3, h: 2 };
+        plain.fill_rect_scaled(&rect, 1.0, 1.0, 42);
+        let mut changes = Vec::new();
+        traced.fill_rect_scaled_traced(&rect, 1.0, 1.0, 42, &mut |i, o, n| {
+            changes.push((i, o, n));
+        });
+        assert_eq!(plain, traced, "traced fill produces the same frame");
+        assert_eq!(changes.len(), 6, "3x2 cells changed");
+        assert!(changes.iter().all(|&(_, o, n)| o == BLANK && n == 42));
+        // Re-filling with the same value changes nothing and reports nothing.
+        let mut again = Vec::new();
+        traced.fill_rect_scaled_traced(&rect, 1.0, 1.0, 42, &mut |i, o, n| {
+            again.push((i, o, n));
+        });
+        assert!(again.is_empty());
+        assert_eq!(plain, traced);
     }
 }

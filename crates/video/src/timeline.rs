@@ -11,23 +11,35 @@
 
 use std::collections::BTreeMap;
 
-use eyeorg_browser::PaintKind;
 use eyeorg_net::SimTime;
 
-use crate::capture::Video;
+use crate::capture::{paint_salt, Video};
 use crate::compare::SIMILARITY_THRESHOLD;
 use crate::frame::{appearance, Frame};
 
 /// All frames of a capture, materialised, plus memoised helper queries.
+///
+/// Frames are copy-on-write ([`Frame`] shares cell buffers via `Arc`),
+/// so intervals without paints cost a pointer clone, and the recorded
+/// per-interval *deltas* — each cell write as `(index, old, new)` — let
+/// rewind scans maintain a running differing-cell count instead of
+/// re-diffing full grids (see [`FrameTimeline::of`]).
 #[derive(Debug, Clone)]
 pub struct FrameTimeline {
     frames: Vec<Frame>,
+    /// `deltas[i]` is the sequence of cell writes transforming frame
+    /// `i - 1` into frame `i` (`deltas[0]`: blank into frame 0). Writes
+    /// chain per cell, so summing `(new != t) - (old != t)` over an
+    /// interval telescopes to the exact change in "cells differing from
+    /// `t`" across that interval.
+    deltas: Vec<Vec<(u32, u8, u8)>>,
     rewind_memo: BTreeMap<usize, usize>,
 }
 
 impl FrameTimeline {
     /// Materialise every frame of `video` by applying paints
-    /// incrementally between frame instants.
+    /// incrementally between frame instants. Total work is proportional
+    /// to painted area (cells actually written), not frames × grid.
     pub fn of(video: &Video) -> FrameTimeline {
         let n = video.frame_count();
         let trace = video.trace();
@@ -37,26 +49,28 @@ impl FrameTimeline {
         let sy = f64::from(h) / f64::from(trace.fold_y.max(1));
 
         let mut frames = Vec::with_capacity(n);
+        let mut deltas = Vec::with_capacity(n);
         let mut cur = Frame::blank(w, h);
         let mut paint_idx = 0;
         for i in 0..n {
             let t = video.frame_time(i);
+            let mut interval: Vec<(u32, u8, u8)> = Vec::new();
             while paint_idx < trace.paints.len() && trace.paints[paint_idx].time <= t {
                 let p = &trace.paints[paint_idx];
                 paint_idx += 1;
                 let Some(visible) = p.rect.above_fold(trace.fold_y) else { continue };
-                let salt = match p.kind {
-                    PaintKind::DocumentBand => 1u8,
-                    PaintKind::Image => 2,
-                    PaintKind::Ad => 3,
-                    PaintKind::Widget => 4,
-                };
-                let salt = salt + p.generation.wrapping_mul(16);
-                cur.fill_rect_scaled(&visible, sx, sy, appearance(p.resource.0, salt));
+                cur.fill_rect_scaled_traced(
+                    &visible,
+                    sx,
+                    sy,
+                    appearance(p.resource.0, paint_salt(p)),
+                    &mut |idx, old, new| interval.push((idx, old, new)),
+                );
             }
             frames.push(cur.clone());
+            deltas.push(interval);
         }
-        FrameTimeline { frames, rewind_memo: BTreeMap::new() }
+        FrameTimeline { frames, deltas, rewind_memo: BTreeMap::new() }
     }
 
     /// Number of frames.
@@ -130,13 +144,31 @@ impl FrameTimeline {
         }
     }
 
+    /// The rewind scan, incrementally: the reference semantics are "the
+    /// first `i` in `0..=chosen` with `diff_fraction(frame i, frame
+    /// chosen) <= threshold`". Rather than diffing each pair (O(chosen ×
+    /// grid)), walk *backwards* from `chosen` maintaining the exact count
+    /// of cells differing from the target — undoing one interval's
+    /// recorded writes adjusts the count by `(old != t) - (new != t)` per
+    /// write — and keep the earliest qualifying index. The counts are
+    /// integers, so `count / len` is bit-identical to what
+    /// `diff_fraction` computes on the full grids.
     fn compute_rewind(&self, chosen: usize) -> usize {
-        let target = &self.frames[chosen];
+        let target = self.frames[chosen].cells();
+        let len = target.len() as f64;
+        let mut differing: i64 = 0; // frame `chosen` vs itself
         let mut result = chosen;
-        for i in 0..=chosen {
-            if self.frames[i].diff_fraction(target) <= SIMILARITY_THRESHOLD {
-                result = i;
-                break;
+        for i in (0..=chosen).rev() {
+            // `differing` is now the count for frame `i` vs the target.
+            debug_assert!(differing >= 0);
+            if differing as f64 / len <= SIMILARITY_THRESHOLD {
+                result = i; // keep walking: earlier qualifying i wins
+            }
+            if i > 0 {
+                for &(idx, old, new) in &self.deltas[i] {
+                    let t = target[idx as usize];
+                    differing += i64::from(old != t) - i64::from(new != t);
+                }
             }
         }
         result

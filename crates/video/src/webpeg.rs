@@ -7,7 +7,7 @@
 //! selection.
 
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use eyeorg_browser::{load_page, BrowserConfig, LoadTrace};
 use eyeorg_net::SimDuration;
@@ -101,7 +101,7 @@ fn debug_fingerprint<T: std::fmt::Debug>(value: &T) -> u64 {
 /// during a capture).
 #[derive(Debug, Default)]
 pub struct CaptureCache {
-    map: Mutex<HashMap<CaptureKey, Video>>,
+    map: Mutex<HashMap<CaptureKey, Arc<Video>>>,
 }
 
 impl CaptureCache {
@@ -130,15 +130,19 @@ impl CaptureCache {
     /// when this exact configuration was captured before, otherwise
     /// captures (outside the lock — concurrent misses on *different*
     /// keys proceed in parallel; two racing misses on the same key do
-    /// redundant equal work and the second insert is a no-op) and
-    /// stores the result.
+    /// redundant equal work and the first insert wins, so every caller
+    /// sharing a key holds the *same* allocation) and stores the result.
+    ///
+    /// Hits hand out an [`Arc`] clone — a refcount bump, not a copy of
+    /// the trace — so stimulus builders can share one capture across an
+    /// entire campaign for free.
     pub fn capture_median(
         &self,
         site: &Website,
         browser: &BrowserConfig,
         seed: Seed,
         capture: &CaptureConfig,
-    ) -> Video {
+    ) -> Arc<Video> {
         let key = CaptureKey {
             site: debug_fingerprint(site),
             browser: debug_fingerprint(browser),
@@ -146,15 +150,16 @@ impl CaptureCache {
             seed: seed.value(),
         };
         if let Some(v) = self.map.lock().expect("capture cache poisoned").get(&key) {
-            return v.clone();
+            return Arc::clone(v);
         }
-        let video = capture_median(site, browser, seed, capture);
-        self.map
-            .lock()
-            .expect("capture cache poisoned")
-            .entry(key)
-            .or_insert_with(|| video.clone());
-        video
+        let video = Arc::new(capture_median(site, browser, seed, capture));
+        Arc::clone(
+            self.map
+                .lock()
+                .expect("capture cache poisoned")
+                .entry(key)
+                .or_insert(video),
+        )
     }
 }
 
@@ -217,6 +222,7 @@ mod tests {
         assert_eq!(cache.len(), 1);
         let second = cache.capture_median(&site, &browser, Seed(11), &cfg);
         assert_eq!(cache.len(), 1, "repeat key must not grow the cache");
+        assert!(Arc::ptr_eq(&first, &second), "hits share one allocation, no copy");
         assert_eq!(first.trace(), second.trace(), "cache must return the stored capture");
         // The cached video equals what an uncached capture produces.
         let direct = capture_median(&site, &browser, Seed(11), &cfg);

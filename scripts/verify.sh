@@ -10,4 +10,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 # Times the pipeline at 1/2/N threads and exits non-zero when any
 # thread count produces a campaign that differs from the 1-thread run.
 cargo run -q --release -p eyeorg-bench --bin perf_pipeline
+# Times the single-thread hot paths (batched TCP simulation, COW frame
+# timelines, incremental curves) against their in-process reference
+# implementations and exits non-zero on any output divergence.
+cargo run -q --release -p eyeorg-bench --bin perf_hotpath -- --smoke
 echo "verify: OK"
