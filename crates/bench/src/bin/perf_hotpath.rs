@@ -143,6 +143,9 @@ fn capture_stage(sites: &[Website], seed: Seed, optimised: bool) -> PipelineOutp
 }
 
 fn main() {
+    // Instrumentation on: the hot paths are timed with their counters
+    // live, so a counter that costs real throughput shows up here.
+    eyeorg_obs::enable();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (n_sites, net_objects, net_conns) = if smoke { (3, 24, 4) } else { (10, 96, 6) };
     let seed = Seed(2016).derive("perf-hotpath");

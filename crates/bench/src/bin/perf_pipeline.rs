@@ -33,6 +33,10 @@ struct StageTimes {
 }
 
 fn main() {
+    // Instrumentation on: the determinism gate below also compares the
+    // observability counters across thread counts, and the stage timings
+    // measure the enabled-path overhead the counters are allowed to cost.
+    eyeorg_obs::enable();
     let seed = Seed(2016).derive("perf-pipeline");
     let max_threads = default_threads().max(4);
     let mut counts = vec![1usize, 2, 4, max_threads];
@@ -47,11 +51,17 @@ fn main() {
     let mut baseline: Option<(String, String)> = None;
     let mut identical = true;
 
+    let mut counter_baseline: Option<String> = None;
+    let mut counters_identical = true;
     for &threads in &counts {
         // Cold captures every round: the shared cache would otherwise
         // answer the repeat rounds instantly and the comparison across
         // thread counts would time map lookups, not captures.
         shared_capture_cache().clear();
+        // Fresh counters per round so each round's totals are directly
+        // comparable: equal workload must yield equal counts at every
+        // thread count.
+        eyeorg_obs::reset();
         let t = Instant::now();
         let tl_stimuli = timeline_stimuli_threads(
             &sites,
@@ -99,6 +109,19 @@ fn main() {
                     identical = false;
                     eprintln!(
                         "DIVERGENCE: {threads}-thread campaign differs from 1-thread run"
+                    );
+                }
+            }
+        }
+        let counter_fp = eyeorg_obs::snapshot("perf-pipeline", threads).counter_fingerprint();
+        match &counter_baseline {
+            None => counter_baseline = Some(counter_fp),
+            Some(base) => {
+                if *base != counter_fp {
+                    identical = false;
+                    counters_identical = false;
+                    eprintln!(
+                        "DIVERGENCE: {threads}-thread observability counters differ from 1-thread run"
                     );
                 }
             }
@@ -165,7 +188,7 @@ fn main() {
         ));
     }
     let json = format!(
-        "{{\n  \"sites\": {SITES},\n  \"repeats\": {REPEATS},\n  \"participants\": {PARTICIPANTS},\n  \"available_parallelism\": {cpus},\n  \"corpus_secs\": {corpus_secs:.6},\n  \"timings\": [\n{rows}\n  ],\n  \"speedup_at_4_threads\": {{\"capture\": {capture_speedup:.3}, \"timeline\": {timeline_speedup:.3}, \"ab\": {ab_speedup:.3}, \"campaign\": {campaign_speedup:.3}}},\n  \"capture_cache\": {{\"cold_secs\": {cold_secs:.6}, \"warm_secs\": {warm_secs:.6}, \"speedup\": {cache_speedup:.3}}},\n  \"identical_across_thread_counts\": {identical}\n}}\n"
+        "{{\n  \"sites\": {SITES},\n  \"repeats\": {REPEATS},\n  \"participants\": {PARTICIPANTS},\n  \"available_parallelism\": {cpus},\n  \"corpus_secs\": {corpus_secs:.6},\n  \"timings\": [\n{rows}\n  ],\n  \"speedup_at_4_threads\": {{\"capture\": {capture_speedup:.3}, \"timeline\": {timeline_speedup:.3}, \"ab\": {ab_speedup:.3}, \"campaign\": {campaign_speedup:.3}}},\n  \"capture_cache\": {{\"cold_secs\": {cold_secs:.6}, \"warm_secs\": {warm_secs:.6}, \"speedup\": {cache_speedup:.3}}},\n  \"counters_identical_across_thread_counts\": {counters_identical},\n  \"identical_across_thread_counts\": {identical}\n}}\n"
     );
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write("results/BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");

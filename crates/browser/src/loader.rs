@@ -35,6 +35,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use eyeorg_http::{FetchEngine, FetchEvent, HttpConfig, OriginId, Priority, Protocol, Request, RequestId};
 use eyeorg_net::event::EventQueue;
+use eyeorg_obs::metrics as obs;
 use eyeorg_net::{DnsConfig, Resolver, SimDuration, SimTime};
 use eyeorg_stats::Seed;
 use eyeorg_workload::{Discovery, Rect, ResourceId, ResourceKind, Website};
@@ -100,6 +101,10 @@ struct Loader<'a> {
     tasks: EventQueue<Ev>,
     /// Main thread is busy until this instant.
     mt_free: SimTime,
+    /// Total main-thread CPU microseconds charged (adblock matching,
+    /// HTML parsing, JS execution). Observability only — not part of
+    /// [`LoadTrace`], so trace fingerprints are unchanged.
+    cpu_busy_us: u64,
     res: Vec<ResourceTrace>,
     req_map: BTreeMap<RequestId, ResourceId>,
     registered_origins: BTreeSet<u16>,
@@ -171,6 +176,7 @@ impl<'a> Loader<'a> {
             resolver,
             tasks,
             mt_free: SimTime::ZERO,
+            cpu_busy_us: 0,
             res: site.resources.iter().map(|r| ResourceTrace::empty(r.id)).collect(),
             req_map: BTreeMap::new(),
             registered_origins: BTreeSet::new(),
@@ -313,6 +319,7 @@ impl<'a> Loader<'a> {
             );
             let start = self.mt_free.max(t);
             self.mt_free = start + cost;
+            self.cpu_busy_us += cost.as_micros();
             ready_at = self.mt_free;
             if blocker.blocks(self.site, resource) {
                 self.res[rid.0 as usize].skipped = Some(SkipReason::BlockedByExtension);
@@ -550,6 +557,7 @@ impl<'a> Loader<'a> {
                 as u64;
         let start = self.mt_free.max(t);
         self.mt_free = start + SimDuration::from_micros(cost_us);
+        self.cpu_busy_us += cost_us;
         self.tasks.schedule(self.mt_free, Ev::ParseDone { upto: stop });
         self.parse_task_running = true;
     }
@@ -560,6 +568,7 @@ impl<'a> Loader<'a> {
             (bytes as f64 * self.cfg.cpu.js_exec_per_byte_us * self.cfg.device.cpu_factor) as u64;
         let start = self.mt_free.max(t);
         self.mt_free = start + SimDuration::from_micros(cost_us);
+        self.cpu_busy_us += cost_us;
         self.tasks.schedule(self.mt_free, Ev::ScriptExecuted(rid));
     }
 
@@ -699,6 +708,12 @@ impl<'a> Loader<'a> {
             page_height: self.site.page_height,
         };
         debug_assert_eq!(trace.check_invariants(), Ok(()));
+        obs::BROWSER_PAGE_LOADS.incr();
+        obs::BROWSER_RESOURCES_FETCHED
+            .add(trace.resources.iter().filter(|r| r.fetched()).count() as u64);
+        obs::BROWSER_PAINT_EVENTS.add(trace.paints.len() as u64);
+        obs::BROWSER_MAIN_THREAD_CPU_US.add(self.cpu_busy_us);
+        obs::BROWSER_LOAD_CPU_MS.record(self.cpu_busy_us / 1000);
         trace
     }
 }

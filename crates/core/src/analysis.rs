@@ -35,6 +35,14 @@ pub fn uplt_samples(
             *v = percentile_band(v, lo, hi);
         }
     }
+    if eyeorg_obs::enabled() {
+        // Zero-adds still materialise the label, so sites whose responses
+        // were all filtered out appear in the report with a 0 — the
+        // "silently vanished site" failure mode stays visible.
+        for (name, v) in campaign.stimuli_names.iter().zip(&per_video) {
+            eyeorg_obs::metrics::CORE_RETAINED_PER_SITE.add(name, v.len() as u64);
+        }
+    }
     per_video
 }
 

@@ -121,6 +121,7 @@ pub fn run_timeline_campaign(
     seed: Seed,
 ) -> TimelineCampaign {
     assert!(!stimuli.is_empty(), "campaign needs stimuli");
+    let _t = eyeorg_obs::phase_timer("core.timeline_campaign");
     let threads = resolve_threads(cfg.threads);
     let recruitment: Recruitment = service.recruit(seed.derive("recruit"), n_participants);
     // Hard rules first: the humanness gate turns scripts away before any
@@ -217,6 +218,13 @@ pub fn run_timeline_campaign(
             controls.extend(control);
         }
     }
+    if eyeorg_obs::enabled() {
+        // Row assembly is engine-independent (the parallel merge is
+        // order-pinned), so these totals are too.
+        let collected = rows.iter().filter(|r| r.response.is_some()).count() as u64;
+        eyeorg_obs::metrics::CORE_RESPONSES_COLLECTED.add(collected);
+        eyeorg_obs::metrics::CORE_RESPONSES_SKIPPED.add(rows.len() as u64 - collected);
+    }
     TimelineCampaign {
         stimuli_names: stimuli.iter().map(|s| s.name.clone()).collect(),
         videos: stimuli.into_iter().map(|s| s.video).collect(),
@@ -241,6 +249,7 @@ pub fn run_ab_campaign(
     seed: Seed,
 ) -> AbCampaign {
     assert!(!stimuli.is_empty(), "campaign needs stimuli");
+    let _t = eyeorg_obs::phase_timer("core.ab_campaign");
     let threads = resolve_threads(cfg.threads);
     let recruitment: Recruitment = service.recruit(seed.derive("recruit"), n_participants);
     let gate = crate::validation::captcha_gate(recruitment.participants);
@@ -293,6 +302,11 @@ pub fn run_ab_campaign(
     for (p_rows, control) in per_participant {
         rows.extend(p_rows);
         controls.extend(control);
+    }
+    if eyeorg_obs::enabled() {
+        let votes = rows.iter().filter(|r| r.verdict.is_some()).count() as u64;
+        eyeorg_obs::metrics::CORE_AB_VOTES.add(votes);
+        eyeorg_obs::metrics::CORE_AB_SKIPS.add(rows.len() as u64 - votes);
     }
     AbCampaign {
         stimuli_names: stimuli.iter().map(|s| s.name.clone()).collect(),

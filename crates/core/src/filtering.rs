@@ -177,8 +177,12 @@ fn run_pipeline(
             Some("control") => report.control += 1,
             Some(other) => unreachable!("unknown filter bucket {other}"),
             None => {
+                eyeorg_obs::metrics::CORE_PARTICIPANTS_KEPT.incr();
                 report.kept.insert(pi);
             }
+        }
+        if let Some(name) = caught.map(|f| f.name()) {
+            eyeorg_obs::metrics::CORE_FILTER_DROPS.add(name, 1);
         }
     }
     report

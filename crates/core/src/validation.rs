@@ -48,6 +48,8 @@ pub fn captcha_gate(participants: Vec<Participant>) -> GateReport {
             rejected += 1;
         }
     }
+    eyeorg_obs::metrics::CORE_GATE_ADMITTED.add(admitted.len() as u64);
+    eyeorg_obs::metrics::CORE_GATE_REJECTED.add(rejected as u64);
     GateReport { admitted, rejected }
 }
 

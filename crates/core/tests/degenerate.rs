@@ -1,0 +1,117 @@
+//! Regression tests for the degenerate analysis path: every response of
+//! a site (or the whole campaign) filtered away must degrade to "zero
+//! retained" — empty sample vectors, `None` aggregates, a renderable
+//! export — never a panic.
+
+use std::collections::BTreeSet;
+
+use eyeorg_browser::BrowserConfig;
+use eyeorg_core::prelude::*;
+use eyeorg_crowd::CrowdFlower;
+use eyeorg_stats::Seed;
+use eyeorg_video::CaptureConfig;
+use eyeorg_workload::alexa_like;
+
+fn quick_capture() -> CaptureConfig {
+    CaptureConfig { repeats: 2, ..CaptureConfig::default() }
+}
+
+fn mini_timeline(n_participants: usize, seed: u64) -> TimelineCampaign {
+    let sites = alexa_like(Seed(520), 4);
+    let stimuli = timeline_stimuli(&sites, &BrowserConfig::new(), &quick_capture(), Seed(521));
+    run_timeline_campaign(
+        stimuli,
+        &CrowdFlower,
+        n_participants,
+        &ExperimentConfig::default(),
+        Seed(seed),
+    )
+}
+
+/// A filter report that dropped everyone: the worst case of §4.3
+/// filtering, which a small campaign with strict thresholds can reach.
+fn everyone_dropped(campaign: &TimelineCampaign) -> FilterReport {
+    FilterReport {
+        engagement: campaign.participants.len(),
+        soft: 0,
+        control: 0,
+        kept: BTreeSet::new(),
+    }
+}
+
+#[test]
+fn analysis_survives_all_responses_filtered() {
+    let c = mini_timeline(12, 30);
+    let report = everyone_dropped(&c);
+    let n_sites = c.stimuli_names.len();
+
+    // Raw and banded sample selection: every site ends up empty, and
+    // the band filter must not choke on the empty inputs.
+    for band in [None, Some((25.0, 75.0)), Some((10.0, 90.0))] {
+        let samples = uplt_samples(&c, &report, band);
+        assert_eq!(samples.len(), n_sites);
+        assert!(samples.iter().all(Vec::is_empty), "no kept participant, no samples");
+
+        let means = mean_uplt(&c, &report, band);
+        assert_eq!(means, vec![None; n_sites], "empty sites aggregate to None");
+        let stdevs = uplt_stdev(&c, &report, band);
+        assert_eq!(stdevs, vec![None; n_sites]);
+    }
+
+    let components = eyeorg_core::analysis::uplt_components(&c, &report);
+    assert!(components.iter().all(|(a, b, h)| {
+        a.is_empty() && b.is_empty() && h.is_empty()
+    }));
+
+    // The export path renders rows with kept=false throughout.
+    let export = export_timeline("degenerate", &c, &report);
+    let json = to_json(&export);
+    let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    for row in v["rows"].as_array().expect("rows array") {
+        assert_eq!(row["kept"].as_bool(), Some(false));
+    }
+}
+
+#[test]
+fn single_site_with_zero_retained_degrades_not_panics() {
+    // Mixed case: keep some participants, but band-filter a site whose
+    // kept responses all sit at the extremes of an inverted band — the
+    // per-site vector is empty while others are not.
+    let c = mini_timeline(12, 31);
+    let report = filter_timeline(&c, &paper_pipeline());
+    // An inverted band keeps nothing anywhere — per-site zero retained.
+    let samples = uplt_samples(&c, &report, Some((75.0, 25.0)));
+    assert!(samples.iter().all(Vec::is_empty));
+    let means = mean_uplt(&c, &report, Some((75.0, 25.0)));
+    assert!(means.iter().all(Option::is_none));
+}
+
+#[test]
+fn ab_analysis_survives_all_votes_filtered() {
+    let sites = alexa_like(Seed(530), 3);
+    let stimuli =
+        protocol_ab_stimuli(&sites, &BrowserConfig::new(), &quick_capture(), Seed(531));
+    let c = run_ab_campaign(stimuli, &CrowdFlower, 10, &ExperimentConfig::default(), Seed(32));
+    let report = FilterReport {
+        engagement: c.participants.len(),
+        soft: 0,
+        control: 0,
+        kept: BTreeSet::new(),
+    };
+    let tallies = ab_tallies(&c, &report);
+    assert_eq!(tallies.len(), c.stimuli_names.len());
+    for t in &tallies {
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.agreement(), None, "no votes, no agreement");
+        assert_eq!(t.score(), None);
+        assert_eq!(t.nd_rate(), None);
+    }
+    // Δ-bucketed agreement over all-empty tallies: every bucket empty.
+    let deltas = vec![0.5; tallies.len()];
+    let med = agreement_by_delta(&tallies, &deltas, &[0.0, 1.0, 2.0]);
+    assert!(med.iter().all(Option::is_none));
+
+    let export = export_ab("degenerate-ab", &c, &report);
+    let json = to_json(&export);
+    assert!(serde_json::from_str::<serde_json::Value>(&json).is_ok());
+}

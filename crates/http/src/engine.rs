@@ -19,6 +19,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use eyeorg_net::event::EventQueue;
+use eyeorg_obs::metrics as obs;
 use eyeorg_net::{ConnId, NetEvent, NetSim, NetworkProfile, SimTime, TlsMode};
 use eyeorg_stats::Seed;
 
@@ -208,6 +209,7 @@ impl FetchEngine {
             Protocol::Http2 => {
                 if !self.origins.contains_key(&origin) {
                     let conn = self.net.open(at, self.cfg.tls);
+                    obs::HTTP_CONNS_OPENED.incr();
                     self.conn_map.insert(conn, origin);
                     self.origins.insert(
                         origin,
@@ -455,6 +457,12 @@ impl FetchEngine {
             let Some(q) = o.pop_assignable(now) else { break };
             let raw_header = self.recs[q.id.0 as usize].req.request_header_bytes;
             let c = &mut o.conns[idx];
+            obs::HTTP_H1_REQUESTS_ASSIGNED.incr();
+            if c.down_scheduled > 0 {
+                // The connection has already served response bytes:
+                // this assignment is persistent-connection reuse.
+                obs::HTTP_H1_CONNS_REUSED.incr();
+            }
             c.assign(q.id, raw_header);
             let conn = c.conn;
             self.net.client_send(conn, now, raw_header);
@@ -475,6 +483,7 @@ impl FetchEngine {
         let mut new_conns = Vec::new();
         while to_open > 0 {
             let conn = self.net.open(now, self.cfg.tls);
+            obs::HTTP_CONNS_OPENED.incr();
             new_conns.push(conn);
             to_open -= 1;
         }
@@ -540,6 +549,7 @@ impl FetchEngine {
                 let wire_header = o.hpack_down.encode(rec.req.response_header_bytes);
                 rec.resp_header_wire = wire_header;
                 let weight = rec.req.priority.h2_weight();
+                obs::HTTP_H2_STREAMS.incr();
                 o.sched.add_stream(H2SendStream::new(id, wire_header, rec.req.body_bytes, weight));
                 // Pushed streams ride along: they become ready with the
                 // parent (the server already knows it will send them).
@@ -564,6 +574,8 @@ impl FetchEngine {
                         o.hpack_down.encode(prec.req.response_header_bytes) + 16;
                     prec.resp_header_wire = wire_header;
                     let weight = prec.req.priority.h2_weight();
+                    obs::HTTP_H2_STREAMS.incr();
+                    obs::HTTP_H2_PUSHED_STREAMS.incr();
                     o.sched.add_stream(H2SendStream::new(
                         RequestId(pid),
                         wire_header,

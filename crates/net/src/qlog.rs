@@ -80,13 +80,44 @@ impl ConnLog {
 
     /// Serialise as JSON lines (one event per line), the friendliest
     /// format for ad-hoc inspection.
+    ///
+    /// **Infallible**: an enabled log must never abort a campaign, so
+    /// instead of routing through a serialiser whose error path would
+    /// have to `expect` (the pre-fix code panicked there by contract),
+    /// each line is written directly. Every field is an integer, bool,
+    /// or unit variant, so the output is total — and it matches serde's
+    /// externally-tagged JSON for `(u64, ConnEvent)` byte for byte (the
+    /// compat test below pins that), keeping existing line parsers
+    /// working.
     pub fn to_jsonl(&self) -> String {
+        use std::fmt::Write as _;
         let mut out = String::new();
         for (t, ev) in &self.events {
-            out.push_str(
-                &serde_json::to_string(&(t.as_micros(), ev)).expect("log serialisation"),
-            );
-            out.push('\n');
+            // Writing into a String cannot fail; discard the fmt::Result
+            // rather than re-introducing a panic path.
+            let _ = write!(out, "[{},", t.as_micros());
+            match ev {
+                ConnEvent::Established => out.push_str("\"Established\""),
+                ConnEvent::SegmentSent { start, len, retransmission, cwnd } => {
+                    let _ = write!(
+                        out,
+                        "{{\"SegmentSent\":{{\"start\":{start},\"len\":{len},\
+                         \"retransmission\":{retransmission},\"cwnd\":{cwnd}}}}}"
+                    );
+                }
+                ConnEvent::SegmentDropped { start } => {
+                    let _ = write!(out, "{{\"SegmentDropped\":{{\"start\":{start}}}}}");
+                }
+                ConnEvent::AckReceived { ack, cwnd, in_flight } => {
+                    let _ = write!(
+                        out,
+                        "{{\"AckReceived\":{{\"ack\":{ack},\"cwnd\":{cwnd},\
+                         \"in_flight\":{in_flight}}}}}"
+                    );
+                }
+                ConnEvent::Timeout => out.push_str("\"Timeout\""),
+            }
+            out.push_str("]\n");
         }
         out
     }
@@ -137,6 +168,58 @@ mod tests {
         let first = trace.first().expect("non-empty").1;
         let max = trace.iter().map(|&(_, c)| c).max().expect("non-empty");
         assert!(max > first, "cwnd must grow from IW: {first} -> {max}");
+    }
+
+    /// A synthetic log covering every [`ConnEvent`] variant, including
+    /// extreme field values.
+    fn all_variants_log() -> ConnLog {
+        let mut log = ConnLog::default();
+        log.push(SimTime::ZERO, ConnEvent::Established);
+        log.push(
+            SimTime::from_micros(1),
+            ConnEvent::SegmentSent { start: 0, len: 1460, retransmission: false, cwnd: 14600 },
+        );
+        log.push(
+            SimTime::from_micros(250),
+            ConnEvent::SegmentSent {
+                start: u64::MAX - 1460,
+                len: 1460,
+                retransmission: true,
+                cwnd: u64::MAX,
+            },
+        );
+        log.push(SimTime::from_micros(300), ConnEvent::SegmentDropped { start: 2920 });
+        log.push(
+            SimTime::from_micros(5000),
+            ConnEvent::AckReceived { ack: 4380, cwnd: 17520, in_flight: 0 },
+        );
+        log.push(SimTime::from_micros(u64::MAX), ConnEvent::Timeout);
+        log
+    }
+
+    #[test]
+    fn jsonl_matches_serde_encoding_for_every_variant() {
+        // The hand-rolled infallible writer must stay byte-compatible
+        // with the `(u64, ConnEvent)` serde encoding existing consumers
+        // parse.
+        let log = all_variants_log();
+        let jsonl = log.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), log.events.len());
+        for ((t, ev), line) in log.events.iter().zip(&lines) {
+            let reference =
+                serde_json::to_string(&(t.as_micros(), ev)).expect("reference encoder");
+            assert_eq!(*line, reference);
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrips_every_variant() {
+        let log = all_variants_log();
+        for (line, expected) in log.to_jsonl().lines().zip(&log.events) {
+            let (t, ev): (u64, ConnEvent) = serde_json::from_str(line).expect("valid line");
+            assert_eq!((t, ev), (expected.0.as_micros(), expected.1));
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@
 use eyeorg_stats::rng::Rng;
 use std::collections::VecDeque;
 
+use eyeorg_obs::metrics as obs;
 use eyeorg_stats::Seed;
 
 use crate::event::EventQueue;
@@ -341,6 +342,7 @@ impl NetSim {
 
     fn process(&mut self, now: SimTime, ev: Ev) {
         self.events_processed += 1;
+        obs::NET_EVENTS_PROCESSED.incr();
         // Events that touch the sender while a burst plan is deferring
         // its ACKs must see the exact reference state: flush first.
         // (`RtoCheck` defers the flush until after its staleness test —
@@ -574,6 +576,7 @@ impl NetSim {
         let Some(mut plan) = self.conns[conn].plan.take() else {
             return;
         };
+        obs::NET_BURST_FLUSHES.incr();
         let mut last_applied = None;
         while let Some(&(t, ack)) = plan.acks.front() {
             if t > now {
@@ -610,6 +613,10 @@ impl NetSim {
         let mut clean = self.batching && self.conns[conn].plan.is_none();
         while let Some(seg) = self.conns[conn].sender.next_segment() {
             self.conns[conn].sender.mark_sent(seg, now);
+            obs::NET_SEGMENTS_SENT.incr();
+            if seg.retransmission {
+                obs::NET_RETRANSMISSIONS.incr();
+            }
             let cwnd = self.conns[conn].sender.cwnd_bytes();
             if let Some(log) = &mut self.conns[conn].log {
                 log.push(
@@ -623,6 +630,7 @@ impl NetSim {
                 );
             }
             if self.loss.drops_next() {
+                obs::NET_DROPS_RANDOM_LOSS.incr();
                 if let Some(log) = &mut self.conns[conn].log {
                     log.push(now, ConnEvent::SegmentDropped { start: seg.start });
                 }
@@ -641,6 +649,7 @@ impl NetSim {
                 }
                 Transmit::Dropped => {
                     // Drop-tail loss: sender finds out via dupacks/RTO.
+                    obs::NET_DROPS_QUEUE.incr();
                     if let Some(log) = &mut self.conns[conn].log {
                         log.push(now, ConnEvent::SegmentDropped { start: seg.start });
                     }
@@ -674,6 +683,7 @@ impl NetSim {
         if !deferrable {
             return;
         }
+        obs::NET_BURSTS_BATCHED.incr();
         let c = &mut self.conns[conn];
         c.plan_generation += 1;
         c.plan = Some(BurstPlan {

@@ -52,7 +52,10 @@ pub use corr::{pearson, spearman};
 pub use ecdf::Ecdf;
 pub use hist::Histogram;
 pub use modes::{classify_shape, find_peaks, DistributionShape, ShapeParams};
-pub use par::{default_threads, effective_pool, par_map_indexed, par_map_range, resolve_threads};
+pub use par::{
+    default_threads, effective_pool, par_map_indexed, par_map_range, parse_thread_override,
+    resolve_threads, MAX_THREAD_OVERRIDE,
+};
 pub use quantile::{percentile, percentile_band};
 pub use rng::Rng;
 pub use seed::Seed;

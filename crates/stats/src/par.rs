@@ -48,14 +48,27 @@ pub fn default_threads() -> usize {
     })
 }
 
+/// Upper bound honoured for `EYEORG_THREADS`: far beyond any machine
+/// this workload targets, but low enough that a stray `999999999` in the
+/// environment cannot ask `std::thread::scope` for a billion workers.
+pub const MAX_THREAD_OVERRIDE: usize = 512;
+
+/// Parse an `EYEORG_THREADS`-style value. `None` for anything that is
+/// not a positive integer (empty, garbage, `0`); values above
+/// [`MAX_THREAD_OVERRIDE`] clamp to it. Whitespace is trimmed.
+pub fn parse_thread_override(raw: &str) -> Option<usize> {
+    let n = raw.trim().parse::<usize>().ok()?;
+    if n == 0 {
+        return None;
+    }
+    Some(n.min(MAX_THREAD_OVERRIDE))
+}
+
 /// The `EYEORG_THREADS` override, if set to a positive integer.
 fn env_thread_override() -> Option<usize> {
     static OVERRIDE: OnceLock<Option<usize>> = OnceLock::new();
     *OVERRIDE.get_or_init(|| {
-        std::env::var("EYEORG_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
+        std::env::var("EYEORG_THREADS").ok().as_deref().and_then(parse_thread_override)
     })
 }
 
@@ -226,6 +239,28 @@ mod tests {
     fn resolve_threads_zero_is_auto() {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn thread_override_parsing_rejects_and_clamps() {
+        // Plain positive integers pass through.
+        assert_eq!(parse_thread_override("1"), Some(1));
+        assert_eq!(parse_thread_override("8"), Some(8));
+        assert_eq!(parse_thread_override("  4\n"), Some(4));
+        // Zero means "no override", like an unset variable.
+        assert_eq!(parse_thread_override("0"), None);
+        // Garbage falls back instead of propagating a parse panic.
+        assert_eq!(parse_thread_override(""), None);
+        assert_eq!(parse_thread_override("two"), None);
+        assert_eq!(parse_thread_override("-3"), None);
+        assert_eq!(parse_thread_override("4.5"), None);
+        assert_eq!(parse_thread_override("8 workers"), None);
+        // Huge values clamp instead of requesting absurd pools; numbers
+        // beyond usize parse as errors and also fall back.
+        assert_eq!(parse_thread_override("999999999"), Some(MAX_THREAD_OVERRIDE));
+        assert_eq!(parse_thread_override(&"9".repeat(40)), None);
+        assert_eq!(parse_thread_override("512"), Some(512));
+        assert_eq!(parse_thread_override("513"), Some(512));
     }
 
     #[test]

@@ -29,6 +29,15 @@ pub fn percentile(sample: &[f64], p: f64) -> Option<f64> {
 /// Callers that evaluate many percentiles of the same sample should sort
 /// once and use this to avoid repeated `O(n log n)` work.
 ///
+/// `p` is clamped into `[0, 100]` (including NaN, which clamps to 0): a
+/// percentile below the minimum rank is the minimum, above the maximum
+/// rank the maximum. Callers that need out-of-range `p` *rejected*
+/// rather than saturated should use [`percentile`], which returns
+/// `None` there. (Before the clamp, `p > 100` computed a rank past the
+/// end of the slice and panicked on the index — while `p < 0` silently
+/// saturated to the minimum via the float→usize cast, an asymmetry this
+/// contract replaces.)
+///
 /// # Panics
 ///
 /// Panics if the sample is empty; sortedness is the caller's contract and
@@ -39,6 +48,7 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     if n == 1 {
         return sorted[0];
     }
+    let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
     let h = (n - 1) as f64 * p / 100.0;
     let lo = h.floor() as usize;
     let hi = h.ceil() as usize;
@@ -138,6 +148,49 @@ mod tests {
     fn full_band_keeps_everything() {
         let data = [4.0, 2.0, 2.0, 8.0];
         assert_eq!(percentile_band(&data, 0.0, 100.0), data.to_vec());
+    }
+
+    #[test]
+    fn sorted_boundaries_clamp_instead_of_panicking() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_sorted(&data, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&data, 100.0), 4.0);
+        // p just above 100 used to compute hi = ceil(3 * 100.0001/100)
+        // = 4 and index out of bounds; it must clamp to the maximum.
+        assert_eq!(percentile_sorted(&data, 100.0 + f64::EPSILON * 200.0), 4.0);
+        assert_eq!(percentile_sorted(&data, 150.0), 4.0);
+        assert_eq!(percentile_sorted(&data, f64::INFINITY), 4.0);
+        // Negative p clamps to the minimum (pre-clamp this held only by
+        // accident of the saturating float→usize cast).
+        assert_eq!(percentile_sorted(&data, -0.5), 1.0);
+        assert_eq!(percentile_sorted(&data, f64::NEG_INFINITY), 1.0);
+        assert_eq!(percentile_sorted(&data, f64::NAN), 1.0);
+    }
+
+    #[test]
+    fn sorted_two_element_sample() {
+        let data = [10.0, 20.0];
+        assert_eq!(percentile_sorted(&data, 0.0), 10.0);
+        assert_eq!(percentile_sorted(&data, 50.0), 15.0);
+        assert_eq!(percentile_sorted(&data, 100.0), 20.0);
+        assert_eq!(percentile_sorted(&data, 101.0), 20.0);
+        assert_eq!(percentile_sorted(&data, -1.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of empty sample")]
+    fn sorted_empty_still_panics() {
+        percentile_sorted(&[], 50.0);
+    }
+
+    #[test]
+    fn band_survives_out_of_range_edges() {
+        // percentile() keeps rejecting out-of-range p...
+        assert!(percentile(&[1.0, 2.0], 100.5).is_none());
+        // ...while band selection saturates: a >100 upper edge keeps the
+        // maximum, a negative lower edge keeps the minimum.
+        let data = [3.0, 1.0, 2.0];
+        assert_eq!(percentile_band(&data, -10.0, 200.0), data.to_vec());
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl Video {
         let grid_h = ((u64::from(GRID_WIDTH) * u64::from(trace.fold_y))
             / u64::from(trace.canvas_width.max(1)))
         .max(1) as u32;
-        Video { trace, fps, end, grid_w: GRID_WIDTH, grid_h }
+        let video = Video { trace, fps, end, grid_w: GRID_WIDTH, grid_h };
+        eyeorg_obs::metrics::VIDEO_CAPTURES.incr();
+        eyeorg_obs::metrics::VIDEO_FRAMES_PER_CAPTURE.record(video.frame_count() as u64);
+        video
     }
 
     /// The underlying trace.

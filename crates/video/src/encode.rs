@@ -133,6 +133,7 @@ fn rle_delta(prev: &Frame, cur: &Frame) -> Vec<DeltaRun> {
 /// Encode a captured video.
 pub fn encode(video: &Video) -> EncodedVideo {
     let n = video.frame_count();
+    eyeorg_obs::metrics::VIDEO_FRAMES_ENCODED.add(n as u64);
     let mut packets = Vec::with_capacity(n);
     let mut prev: Option<Frame> = None;
     for i in 0..n {

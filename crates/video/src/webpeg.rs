@@ -98,10 +98,15 @@ fn debug_fingerprint<T: std::fmt::Debug>(value: &T) -> u64 {
 /// study, which every blocker's A side repeats. Captures are pure, so a
 /// map lookup is transparent; the `Mutex` makes the cache usable from
 /// the parallel capture fan-out (held only around map access, never
-/// during a capture).
+/// during a capture). Each key maps to a per-key [`OnceLock`] cell, so
+/// concurrent requests for the *same* key compute exactly once (late
+/// arrivals block on the winner inside `get_or_init`) while misses on
+/// *different* keys proceed in parallel. That once-per-key guarantee
+/// also makes the hit/miss observability counters deterministic: misses
+/// equal the number of distinct keys regardless of thread interleaving.
 #[derive(Debug, Default)]
 pub struct CaptureCache {
-    map: Mutex<HashMap<CaptureKey, Arc<Video>>>,
+    map: Mutex<HashMap<CaptureKey, Arc<OnceLock<Arc<Video>>>>>,
 }
 
 impl CaptureCache {
@@ -128,10 +133,10 @@ impl CaptureCache {
 
     /// [`capture_median`] through the cache: returns the stored video
     /// when this exact configuration was captured before, otherwise
-    /// captures (outside the lock — concurrent misses on *different*
-    /// keys proceed in parallel; two racing misses on the same key do
-    /// redundant equal work and the first insert wins, so every caller
-    /// sharing a key holds the *same* allocation) and stores the result.
+    /// captures (outside the lock — the per-key cell serialises racing
+    /// misses on the same key so the capture runs exactly once, and
+    /// every caller sharing a key holds the *same* allocation) and
+    /// stores the result.
     ///
     /// Hits hand out an [`Arc`] clone — a refcount bump, not a copy of
     /// the trace — so stimulus builders can share one capture across an
@@ -149,17 +154,22 @@ impl CaptureCache {
             capture: debug_fingerprint(capture),
             seed: seed.value(),
         };
-        if let Some(v) = self.map.lock().expect("capture cache poisoned").get(&key) {
-            return Arc::clone(v);
+        let (cell, inserted) = {
+            let mut map = self.map.lock().expect("capture cache poisoned");
+            match map.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => (Arc::clone(e.get()), false),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    (Arc::clone(e.insert(Arc::new(OnceLock::new()))), true)
+                }
+            }
+        };
+        eyeorg_obs::metrics::VIDEO_CACHE_REQUESTS.incr();
+        if inserted {
+            eyeorg_obs::metrics::VIDEO_CACHE_MISSES.incr();
+        } else {
+            eyeorg_obs::metrics::VIDEO_CACHE_HITS.incr();
         }
-        let video = Arc::new(capture_median(site, browser, seed, capture));
-        Arc::clone(
-            self.map
-                .lock()
-                .expect("capture cache poisoned")
-                .entry(key)
-                .or_insert(video),
-        )
+        Arc::clone(cell.get_or_init(|| Arc::new(capture_median(site, browser, seed, capture))))
     }
 }
 

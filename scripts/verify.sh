@@ -14,4 +14,17 @@ cargo run -q --release -p eyeorg-bench --bin perf_pipeline
 # timelines, incremental curves) against their in-process reference
 # implementations and exits non-zero on any output divergence.
 cargo run -q --release -p eyeorg-bench --bin perf_hotpath -- --smoke
+# The observability layer's determinism contract: the counter section of
+# the run report must be byte-identical at 1 thread, 2 threads, and the
+# hardware default. The canonical results/RUN_report.json comes from the
+# final (auto-threaded) run.
+EYEORG_THREADS=1 cargo run -q --release -p eyeorg-bench --bin run_report -- \
+    --out results/RUN_report.json --fingerprint-out results/.RUN_fp_1
+EYEORG_THREADS=2 cargo run -q --release -p eyeorg-bench --bin run_report -- \
+    --out results/RUN_report.json --fingerprint-out results/.RUN_fp_2
+cargo run -q --release -p eyeorg-bench --bin run_report -- \
+    --out results/RUN_report.json --fingerprint-out results/.RUN_fp_auto
+cmp results/.RUN_fp_1 results/.RUN_fp_2
+cmp results/.RUN_fp_1 results/.RUN_fp_auto
+rm -f results/.RUN_fp_1 results/.RUN_fp_2 results/.RUN_fp_auto
 echo "verify: OK"

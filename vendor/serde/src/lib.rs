@@ -152,6 +152,12 @@ impl<T: Serialize> Serialize for [T] {
     }
 }
 
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
 impl<A: Serialize, B: Serialize> Serialize for (A, B) {
     fn to_value(&self) -> Value {
         Value::Array(vec![self.0.to_value(), self.1.to_value()])
@@ -235,6 +241,16 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         let items = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
         items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let pairs = v.as_object().ok_or_else(|| DeError::expected("object", v))?;
+        pairs
+            .iter()
+            .map(|(k, x)| Ok((k.clone(), V::from_value(x).map_err(|e| e.in_field(k))?)))
+            .collect()
     }
 }
 
