@@ -140,6 +140,7 @@ pub fn to_har(trace: &LoadTrace, site: &Website) -> Har {
         .map(|r| {
             let res = &site.resources[r.id.0 as usize];
             let origin = &site.origins[res.origin.0 as usize];
+            // lint:allow(D4): the iterator filtered on submitted.is_some() just above
             let submitted = r.submitted.expect("filtered on submitted");
             let headers = r.headers;
             let completed = r.completed;
@@ -192,6 +193,7 @@ pub fn to_har(trace: &LoadTrace, site: &Website) -> Har {
 
 /// Serialise the HAR as pretty JSON.
 pub fn to_har_json(trace: &LoadTrace, site: &Website) -> String {
+    // lint:allow(D4): the HAR tree is plain structs, strings, and integers; serialisation cannot fail
     serde_json::to_string_pretty(&to_har(trace, site)).expect("HAR serialisation cannot fail")
 }
 

@@ -178,6 +178,7 @@ pub fn export_ab(label: &str, campaign: &AbCampaign, report: &FilterReport) -> A
 
 /// Serialise an export as pretty JSON (the release format).
 pub fn to_json<T: Serialize>(export: &T) -> String {
+    // lint:allow(D4): exports are plain structs of numbers and strings; serialisation cannot fail
     serde_json::to_string_pretty(export).expect("export serialisation cannot fail")
 }
 

@@ -21,6 +21,7 @@ pub fn response_timeline(
     assert!(width >= 10, "timeline too narrow");
     assert!(max_secs > 0.0, "timeline needs a positive span");
     let hist = Histogram::with_bins(responses, 0.0, max_secs, width)
+        // lint:allow(D4): width and max_secs were asserted valid above, so binning succeeds
         .expect("validated parameters");
     let peak = hist.counts().iter().copied().max().unwrap_or(0).max(1);
     const LEVELS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];

@@ -228,6 +228,7 @@ impl FetchEngine {
                         }),
                     );
                 }
+                // lint:allow(D4): the entry was inserted just above when absent
                 let OriginState::H2(o) = self.origins.get_mut(&origin).expect("just inserted")
                 else {
                     unreachable!("protocol fixed per engine")
@@ -294,10 +295,12 @@ impl FetchEngine {
                 (Some(n), Some(t)) => t <= n,
             };
             if timer_first {
+                // lint:allow(D4): timer_first is only true when tim_t is Some
                 let t = tim_t.expect("timer_first implies a timer");
                 if t > limit {
                     return None;
                 }
+                // lint:allow(D4): a timer was peeked above, so the timer queue is non-empty
                 let (t, ev) = self.timers.pop().expect("peeked non-empty");
                 self.handle_timer(t, ev);
             } else {
@@ -384,13 +387,16 @@ impl FetchEngine {
     fn handle_net(&mut self, now: SimTime, ev: NetEvent) {
         match ev {
             NetEvent::Established { conn } => {
+                // lint:allow(D4): conn_map gains an entry at connect time, before any event for the connection
                 let origin = *self.conn_map.get(&conn).expect("unknown connection");
+                // lint:allow(D4): origins gains an entry before any connection to it is opened
                 match self.origins.get_mut(&origin).expect("origin exists") {
                     OriginState::H1(o) => {
                         let c = o
                             .conns
                             .iter_mut()
                             .find(|c| c.conn == conn)
+                            // lint:allow(D4): the connection was added to the pool when it was opened
                             .expect("conn in pool");
                         c.established = true;
                     }
@@ -401,14 +407,17 @@ impl FetchEngine {
                 self.try_assign(origin, now);
             }
             NetEvent::RequestDelivered { conn, total_bytes } => {
+                // lint:allow(D4): conn_map gains an entry at connect time, before any event for the connection
                 let origin = *self.conn_map.get(&conn).expect("unknown connection");
                 let mut ready: Vec<RequestId> = Vec::new();
+                // lint:allow(D4): origins gains an entry before any connection to it is opened
                 match self.origins.get_mut(&origin).expect("origin exists") {
                     OriginState::H1(o) => {
                         let c = o
                             .conns
                             .iter_mut()
                             .find(|c| c.conn == conn)
+                            // lint:allow(D4): the connection was added to the pool when it was opened
                             .expect("conn in pool");
                         if let Some(id) = c.request_arrived(total_bytes) {
                             if self.recs[id.0 as usize].timing.request_at_server.is_none() {
@@ -435,6 +444,7 @@ impl FetchEngine {
                 }
             }
             NetEvent::Delivered { conn, total_bytes } => {
+                // lint:allow(D4): conn_map gains an entry at connect time, before any event for the connection
                 let origin = *self.conn_map.get(&conn).expect("unknown connection");
                 self.on_down_delivered(origin, conn, total_bytes, now);
             }
@@ -525,8 +535,10 @@ impl FetchEngine {
 
     fn response_ready(&mut self, id: RequestId, now: SimTime) {
         let origin = self.recs[id.0 as usize].req.origin;
+        // lint:allow(D4): every request's origin was registered when the request was submitted
         match self.origins.get_mut(&origin).expect("origin exists") {
             OriginState::H1(o) => {
+                // lint:allow(D4): an H1 response only becomes ready after the request was assigned a connection
                 let idx = self.recs[id.0 as usize].h1_conn.expect("assigned connection");
                 let rec = &mut self.recs[id.0 as usize];
                 let header = rec.req.response_header_bytes;
@@ -604,8 +616,10 @@ impl FetchEngine {
     }
 
     fn on_down_delivered(&mut self, origin: OriginId, conn: ConnId, total: u64, now: SimTime) {
+        // lint:allow(D4): origins gains an entry before any connection to it is opened
         match self.origins.get_mut(&origin).expect("origin exists") {
             OriginState::H1(o) => {
+                // lint:allow(D4): the connection was added to the pool when it was opened
                 let c = o.conns.iter_mut().find(|c| c.conn == conn).expect("conn in pool");
                 let events = c.on_delivered(total);
                 let mut freed = false;

@@ -115,6 +115,7 @@ impl H1Conn {
     /// Panics if no request is in service or a response is already in
     /// flight.
     pub fn response_scheduled(&mut self, header_bytes: u64, body_bytes: u64) -> RequestId {
+        // lint:allow(D4): documented panic: calling without a request in service is a protocol-logic error
         let id = self.in_service.expect("response without a request in service");
         assert!(self.current.is_none(), "response already in flight");
         let header_end = self.down_scheduled + header_bytes;

@@ -1,0 +1,947 @@
+//! `eyeorg-lint`: determinism & concurrency static analysis for the
+//! Eyeorg workspace.
+//!
+//! The platform's contract (DESIGN.md §3) is that campaign output and
+//! observability counter fingerprints are **byte-identical at any
+//! thread count**. `scripts/verify.sh` checks that after the fact by
+//! diffing run outputs; this crate enforces it at the source level, so
+//! a nondeterminism hazard fails the build instead of surviving until
+//! it happens to reproduce on some machine.
+//!
+//! Five rules, each mapped to a way the contract has historically been
+//! broken in systems like this:
+//!
+//! * **D1** — no `HashMap`/`HashSet` in fingerprinted crates (net,
+//!   http, browser, video, core, stats, metrics, crowd, workload).
+//!   Hash iteration order is seeded per-process; any order that escapes
+//!   into output breaks byte-identity. Use `BTreeMap`/`BTreeSet`.
+//! * **D2** — no `Instant::now`/`SystemTime` outside `eyeorg-obs`
+//!   timing internals and `crates/bench`. Fingerprinted values must be
+//!   pure functions of the workload and its seeds, never of the clock.
+//! * **D3** — no `Ordering::*` atomics outside `eyeorg-obs`. Ad-hoc
+//!   atomics are exactly where thread-count-dependent behaviour hides;
+//!   the few legitimate uses carry an order-independence proof in a
+//!   waiver.
+//! * **D4** — no `unwrap()`/`expect()` in library (non-test,
+//!   non-bench, non-binary) code without a waiver stating the invariant
+//!   that rules the panic out.
+//! * **D5** — no `thread::spawn`/`thread::scope` outside
+//!   `eyeorg-stats::par`. All parallelism goes through the
+//!   deterministic index-pinned engine.
+//!
+//! Any finding can be waived inline:
+//!
+//! ```text
+//! // lint:allow(D4): Ecdf::new rejects empty samples, so `sorted` is non-empty
+//! let hi = *self.sorted.last().expect("non-empty");
+//! ```
+//!
+//! A waiver on its own comment line covers the **next** line; a waiver
+//! in a trailing comment covers its **own** line. The reason is
+//! mandatory, and a waiver that never suppresses a finding is itself an
+//! error — stale waivers rot into blanket exemptions otherwise.
+//!
+//! The analysis is deliberately not a full parser: a line-oriented
+//! lexer strips string literals (including multi-line and raw strings),
+//! `//` and nested `/* */` comments, and char literals (disambiguated
+//! from lifetimes), tracks brace depth to delimit `#[cfg(test)]`
+//! regions, and then matches word-bounded patterns on what remains.
+//! That is enough to be exact on this codebase while keeping the crate
+//! hermetic: no `syn`, no external dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates whose output feeds the campaign / counter fingerprints; D1
+/// applies to every source line in these, test code included.
+pub const FINGERPRINTED_CRATES: &[&str] =
+    &["net", "http", "browser", "video", "core", "stats", "metrics", "crowd", "workload"];
+
+/// The five determinism & concurrency rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// No `HashMap`/`HashSet` in fingerprinted crates.
+    D1,
+    /// No wall-clock reads outside `eyeorg-obs` / `crates/bench`.
+    D2,
+    /// No `Ordering::*` atomics outside `eyeorg-obs`.
+    D3,
+    /// No `unwrap()`/`expect()` in library code without a waiver.
+    D4,
+    /// No `thread::spawn`/`thread::scope` outside `eyeorg-stats::par`.
+    D5,
+}
+
+/// All rules, in reporting order.
+pub const ALL_RULES: [Rule; 5] = [Rule::D1, Rule::D2, Rule::D3, Rule::D4, Rule::D5];
+
+impl Rule {
+    /// The short code used in diagnostics and waivers (`D1`..`D5`).
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::D4 => "D4",
+            Rule::D5 => "D5",
+        }
+    }
+
+    /// Parse a waiver rule name.
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s {
+            "D1" => Some(Rule::D1),
+            "D2" => Some(Rule::D2),
+            "D3" => Some(Rule::D3),
+            "D4" => Some(Rule::D4),
+            "D5" => Some(Rule::D5),
+            _ => None,
+        }
+    }
+
+    /// Word-bounded patterns whose presence on a code line trips the rule.
+    fn needles(self) -> &'static [&'static str] {
+        match self {
+            Rule::D1 => &["HashMap", "HashSet", "hash_map::", "hash_set::"],
+            Rule::D2 => &["Instant::now", "SystemTime"],
+            Rule::D3 => &[
+                "Ordering::Relaxed",
+                "Ordering::Acquire",
+                "Ordering::Release",
+                "Ordering::AcqRel",
+                "Ordering::SeqCst",
+            ],
+            Rule::D4 => &[".unwrap()", ".expect("],
+            Rule::D5 => &["thread::spawn", "thread::scope"],
+        }
+    }
+
+    /// Why a hit is a determinism/concurrency hazard.
+    fn message(self) -> &'static str {
+        match self {
+            Rule::D1 => {
+                "HashMap/HashSet in a fingerprinted crate: hash iteration order is \
+                 per-process and breaks byte-identical output; use BTreeMap/BTreeSet \
+                 or waive with proof that the order never escapes"
+            }
+            Rule::D2 => {
+                "wall-clock read outside eyeorg-obs/bench: fingerprinted values must \
+                 be pure functions of the workload and its seeds, never of the clock"
+            }
+            Rule::D3 => {
+                "raw atomic ordering outside eyeorg-obs: ad-hoc atomics are where \
+                 thread-count-dependent behaviour hides; route through eyeorg-obs or \
+                 waive with an order-independence proof"
+            }
+            Rule::D4 => {
+                "unwrap()/expect() in library code: return Result/Option, or waive \
+                 stating the invariant that rules the panic out"
+            }
+            Rule::D5 => {
+                "thread::spawn/scope outside eyeorg-stats::par: all parallelism must \
+                 go through the deterministic index-pinned engine"
+            }
+        }
+    }
+}
+
+/// How a source file is classified for rule applicability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMeta {
+    /// Workspace-relative path, used in diagnostics.
+    pub display_path: String,
+    /// Crate short name (`net`, `stats`, ... or `root` for the
+    /// top-level `eyeorg` package).
+    pub crate_name: String,
+    /// Whether the file lives under a `tests/` directory (integration
+    /// tests: D4/D5 do not apply).
+    pub in_tests_dir: bool,
+    /// Whether the file is a binary entry point or example
+    /// (`src/bin/`, `src/main.rs`, `examples/`): not library code, so
+    /// D4 does not apply.
+    pub is_entrypoint: bool,
+    /// Whether this is `crates/stats/src/par.rs`, the one module
+    /// allowed to spawn threads (D5 exemption).
+    pub is_par_module: bool,
+}
+
+impl FileMeta {
+    /// Classify a workspace-relative path (`/`-separated).
+    pub fn classify(rel_path: &str) -> FileMeta {
+        let components: Vec<&str> = rel_path.split('/').collect();
+        let crate_name = match components.first() {
+            Some(&"crates") if components.len() > 1 => components[1].to_owned(),
+            _ => "root".to_owned(),
+        };
+        let in_tests_dir = components.contains(&"tests");
+        let is_entrypoint = components.iter().any(|c| *c == "bin" || *c == "examples")
+            || components.last() == Some(&"main.rs");
+        FileMeta {
+            display_path: rel_path.to_owned(),
+            crate_name,
+            in_tests_dir,
+            is_entrypoint,
+            is_par_module: rel_path == "crates/stats/src/par.rs",
+        }
+    }
+
+    /// Whether `rule` applies to a line of this file; `in_test_code` is
+    /// true inside `#[cfg(test)]` regions.
+    fn applies(&self, rule: Rule, in_test_code: bool) -> bool {
+        let test_code = in_test_code || self.in_tests_dir;
+        match rule {
+            Rule::D1 => FINGERPRINTED_CRATES.contains(&self.crate_name.as_str()),
+            Rule::D2 => self.crate_name != "obs" && self.crate_name != "bench",
+            Rule::D3 => self.crate_name != "obs",
+            Rule::D4 => self.crate_name != "bench" && !test_code && !self.is_entrypoint,
+            Rule::D5 => !self.is_par_module && !test_code,
+        }
+    }
+}
+
+/// One finding, pointing at a file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Diagnostic code: a rule code, `unused-waiver`, or `bad-waiver`.
+    pub code: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.code, self.message)
+    }
+}
+
+/// Outcome of linting a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, ordered by (path, line).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files: usize,
+    /// Number of waivers that suppressed a finding.
+    pub waivers_used: usize,
+}
+
+impl Report {
+    /// True when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+// --- lexer -----------------------------------------------------------
+
+/// Cross-line lexer state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LexState {
+    /// Plain code.
+    Normal,
+    /// Inside a (nesting) block comment, with current depth.
+    Block(u32),
+    /// Inside a `"..."` string literal (they may span lines).
+    Str,
+    /// Inside a raw string literal with this many `#`s.
+    RawStr(u8),
+}
+
+/// A source line after lexing: code with strings/comments blanked out,
+/// plus the text of a trailing `//` comment when present.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ScrubbedLine {
+    code: String,
+    comment: Option<String>,
+}
+
+/// Strips comments, strings, and char literals from source lines while
+/// carrying state across lines.
+#[derive(Debug)]
+struct Scrubber {
+    state: LexState,
+}
+
+impl Scrubber {
+    fn new() -> Scrubber {
+        Scrubber { state: LexState::Normal }
+    }
+
+    /// Process one line (no trailing newline).
+    fn scrub(&mut self, line: &str) -> ScrubbedLine {
+        let chars: Vec<char> = line.chars().collect();
+        let mut code = String::with_capacity(line.len());
+        let mut comment = None;
+        let mut i = 0;
+        while i < chars.len() {
+            match self.state {
+                LexState::Block(depth) => {
+                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        self.state = if depth > 1 {
+                            LexState::Block(depth - 1)
+                        } else {
+                            LexState::Normal
+                        };
+                        code.push_str("  ");
+                        i += 2;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        self.state = LexState::Block(depth + 1);
+                        code.push_str("  ");
+                        i += 2;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                LexState::Str => {
+                    if chars[i] == '\\' {
+                        code.push_str("  ");
+                        i += 2;
+                    } else {
+                        if chars[i] == '"' {
+                            self.state = LexState::Normal;
+                        }
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                LexState::RawStr(hashes) => {
+                    if chars[i] == '"' && Self::hashes_follow(&chars, i + 1, hashes) {
+                        self.state = LexState::Normal;
+                        i += 1 + hashes as usize;
+                        for _ in 0..=hashes {
+                            code.push(' ');
+                        }
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                LexState::Normal => {
+                    let c = chars[i];
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        comment = Some(chars[i + 2..].iter().collect());
+                        break;
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        self.state = LexState::Block(1);
+                        code.push_str("  ");
+                        i += 2;
+                    } else if c == '"' {
+                        self.state = LexState::Str;
+                        code.push(' ');
+                        i += 1;
+                    } else if (c == 'r' || c == 'b') && Self::raw_prefix(&chars, i).is_some() {
+                        // r"...", r#"..."#, br"...", b"..." raw/byte strings.
+                        if let Some((skip, hashes, raw)) = Self::raw_prefix(&chars, i) {
+                            self.state =
+                                if raw { LexState::RawStr(hashes) } else { LexState::Str };
+                            for _ in 0..skip {
+                                code.push(' ');
+                            }
+                            i += skip;
+                        }
+                    } else if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+                        // Byte char literal b'x': delegate to char logic.
+                        code.push(' ');
+                        i += 1;
+                    } else if c == '\'' {
+                        i = Self::char_or_lifetime(&chars, i, &mut code);
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        ScrubbedLine { code, comment }
+    }
+
+    /// Whether `count` `#` characters start at `from`.
+    fn hashes_follow(chars: &[char], from: usize, count: u8) -> bool {
+        (0..count as usize).all(|k| chars.get(from + k) == Some(&'#'))
+    }
+
+    /// If a raw or byte string starts at `i`, returns
+    /// `(prefix_len_including_quote, hashes, is_raw)`.
+    fn raw_prefix(chars: &[char], i: usize) -> Option<(usize, u8, bool)> {
+        let mut j = i;
+        if chars.get(j) == Some(&'b') {
+            j += 1;
+        }
+        let raw = chars.get(j) == Some(&'r');
+        if raw {
+            j += 1;
+        }
+        let mut hashes = 0u8;
+        while chars.get(j + hashes as usize) == Some(&'#') && hashes < 255 {
+            hashes += 1;
+        }
+        let j = j + hashes as usize;
+        if chars.get(j) != Some(&'"') {
+            return None; // raw identifier (r#type) or plain `b`/`r` code
+        }
+        if !raw && hashes > 0 {
+            return None;
+        }
+        // Plain b"..." is handled here too (raw=false, hashes=0); a bare
+        // "..." never reaches this function.
+        if !raw && chars.get(i) != Some(&'b') {
+            return None;
+        }
+        Some((j - i + 1, hashes, raw))
+    }
+
+    /// Disambiguate a `'` at `i`: consume a char literal (blanked) or a
+    /// lifetime tick. Returns the next index.
+    fn char_or_lifetime(chars: &[char], i: usize, code: &mut String) -> usize {
+        if chars.get(i + 1) == Some(&'\\') {
+            // Escaped char literal: scan to the closing quote.
+            let mut j = i + 1;
+            while j < chars.len() {
+                if chars[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if chars[j] == '\'' {
+                    break;
+                }
+                j += 1;
+            }
+            let end = (j + 1).min(chars.len());
+            for _ in i..end {
+                code.push(' ');
+            }
+            end
+        } else if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'') {
+            // 'x' — any single-char literal.
+            code.push_str("   ");
+            i + 3
+        } else {
+            // Lifetime tick ('a, 'static, <'_>).
+            code.push('\'');
+            i + 1
+        }
+    }
+}
+
+// --- waivers ---------------------------------------------------------
+
+/// Marker that introduces a waiver inside a `//` comment.
+const WAIVER_MARKER: &str = "lint:allow(";
+
+#[derive(Debug)]
+struct Waiver {
+    rule: Rule,
+    declared_line: usize,
+    used: bool,
+}
+
+/// Parse a waiver out of a comment, if the marker is present.
+/// `Some(Err(msg))` means the marker is there but malformed.
+fn parse_waiver(comment: &str) -> Option<Result<Rule, String>> {
+    let idx = comment.find(WAIVER_MARKER)?;
+    let rest = &comment[idx + WAIVER_MARKER.len()..];
+    let close = match rest.find(')') {
+        Some(c) => c,
+        None => return Some(Err("malformed waiver: missing `)`".to_owned())),
+    };
+    let rule = match Rule::parse(rest[..close].trim()) {
+        Some(r) => r,
+        None => {
+            return Some(Err(format!(
+                "unknown rule `{}` in waiver (expected D1..D5)",
+                rest[..close].trim()
+            )))
+        }
+    };
+    let after = &rest[close + 1..];
+    let reason = match after.strip_prefix(':') {
+        Some(r) => r.trim(),
+        None => return Some(Err("malformed waiver: expected `): <reason>`".to_owned())),
+    };
+    if reason.is_empty() {
+        return Some(Err(format!(
+            "waiver for {} has no reason: state the invariant that makes it safe",
+            rule.code()
+        )));
+    }
+    Some(Ok(rule))
+}
+
+// --- per-file analysis -----------------------------------------------
+
+/// Whether `needle` occurs in `hay` bounded by non-identifier chars.
+fn find_word(hay: &str, needle: &str) -> bool {
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let abs = start + pos;
+        let before_ok = !needle.starts_with(ident)
+            || !hay[..abs].chars().next_back().is_some_and(ident);
+        let after_ok = !needle.ends_with(ident)
+            || !hay[abs + needle.len()..].chars().next().is_some_and(ident);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + needle.len();
+    }
+    false
+}
+
+/// Whether a scrubbed line carries a live `#[cfg(test)]` (and not
+/// `#[cfg(not(test))]`), and at which byte offset.
+fn cfg_test_pos(code: &str) -> Option<usize> {
+    let pos = code.find("cfg(test)")?;
+    if code[..pos].ends_with("not(") {
+        return None;
+    }
+    Some(pos)
+}
+
+/// Lint one file's source text.
+pub fn lint_source(meta: &FileMeta, source: &str) -> Report {
+    let mut scrubber = Scrubber::new();
+    let mut diagnostics = Vec::new();
+    let mut waivers: Vec<Waiver> = Vec::new();
+    // Target line (1-based) → indices into `waivers`.
+    let mut covered: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    let mut waivers_used = 0usize;
+
+    let mut depth: i64 = 0;
+    let mut pending_test = false;
+    let mut test_region: Option<i64> = None;
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let scrubbed = scrubber.scrub(raw_line);
+
+        // Register any waiver before checking this line's rules, so a
+        // trailing waiver can cover its own line. Doc comments (`///`,
+        // `//!`) are documentation, not directives — a waiver quoted in
+        // one must not take effect.
+        let plain_comment = scrubbed
+            .comment
+            .as_deref()
+            .filter(|c| !c.starts_with('/') && !c.starts_with('!'));
+        if let Some(parsed) = plain_comment.and_then(parse_waiver) {
+            match parsed {
+                Ok(rule) => {
+                    let target = if scrubbed.code.trim().is_empty() {
+                        line_no + 1 // standalone comment: covers the next line
+                    } else {
+                        line_no // trailing comment: covers its own line
+                    };
+                    covered.entry(target).or_default().push(waivers.len());
+                    waivers.push(Waiver { rule, declared_line: line_no, used: false });
+                }
+                Err(msg) => diagnostics.push(Diagnostic {
+                    path: meta.display_path.clone(),
+                    line: line_no,
+                    code: "bad-waiver".to_owned(),
+                    message: msg,
+                }),
+            }
+        }
+
+        // Track `#[cfg(test)]` regions by brace depth. The attribute
+        // arms `pending_test`; the next `{` opens the region, a `;`
+        // first (e.g. `#[cfg(test)] use ...;`) cancels it.
+        let attr_pos = cfg_test_pos(&scrubbed.code);
+        let mut line_is_test = test_region.is_some();
+        for (byte_pos, c) in scrubbed.code.char_indices() {
+            if attr_pos == Some(byte_pos) {
+                pending_test = true;
+            }
+            match c {
+                '{' => {
+                    if pending_test && test_region.is_none() {
+                        test_region = Some(depth);
+                        pending_test = false;
+                        line_is_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_region == Some(depth) {
+                        test_region = None;
+                    }
+                }
+                ';' if test_region.is_none() => {
+                    pending_test = false;
+                }
+                _ => {}
+            }
+        }
+
+        for rule in ALL_RULES {
+            if !meta.applies(rule, line_is_test) {
+                continue;
+            }
+            if !rule.needles().iter().any(|n| find_word(&scrubbed.code, n)) {
+                continue;
+            }
+            let waived = covered.get(&line_no).and_then(|idxs| {
+                idxs.iter().copied().find(|&w| waivers[w].rule == rule && !waivers[w].used)
+            });
+            match waived {
+                Some(w) => {
+                    waivers[w].used = true;
+                    waivers_used += 1;
+                }
+                None => diagnostics.push(Diagnostic {
+                    path: meta.display_path.clone(),
+                    line: line_no,
+                    code: rule.code().to_owned(),
+                    message: rule.message().to_owned(),
+                }),
+            }
+        }
+    }
+
+    for waiver in &waivers {
+        if !waiver.used {
+            diagnostics.push(Diagnostic {
+                path: meta.display_path.clone(),
+                line: waiver.declared_line,
+                code: "unused-waiver".to_owned(),
+                message: format!(
+                    "waiver for {} never suppressed a finding: remove it (stale \
+                     waivers rot into blanket exemptions)",
+                    waiver.rule.code()
+                ),
+            });
+        }
+    }
+
+    diagnostics.sort_by(|a, b| (a.line, &a.code).cmp(&(b.line, &b.code)));
+    Report { diagnostics, files: 1, waivers_used }
+}
+
+// --- workspace walking -----------------------------------------------
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "results"];
+
+/// Workspace-relative path prefixes excluded from scanning. The lint
+/// fixtures intentionally violate every rule.
+const SKIP_PREFIXES: &[&str] = &["crates/lint/tests/fixtures"];
+
+/// Collect every `.rs` file under `root` (sorted, workspace-relative).
+fn collect_sources(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let rel = match path.strip_prefix(root) {
+                Ok(r) => r.to_string_lossy().replace('\\', "/"),
+                Err(_) => continue,
+            };
+            if path.is_dir() {
+                if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                    continue;
+                }
+                if SKIP_PREFIXES.iter().any(|p| rel == *p) {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push((rel, path));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lint every Rust source in the workspace rooted at `root`.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    let sources = collect_sources(root)?;
+    report.files = sources.len();
+    for (rel, path) in sources {
+        let text = std::fs::read_to_string(&path)?;
+        let meta = FileMeta::classify(&rel);
+        let file_report = lint_source(&meta, &text);
+        report.diagnostics.extend(file_report.diagnostics);
+        report.waivers_used += file_report.waivers_used;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(path: &str) -> FileMeta {
+        FileMeta::classify(path)
+    }
+
+    fn codes(meta: &FileMeta, src: &str) -> Vec<String> {
+        lint_source(meta, src).diagnostics.into_iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn classify_paths() {
+        let m = meta("crates/net/src/event.rs");
+        assert_eq!(m.crate_name, "net");
+        assert!(!m.in_tests_dir && !m.is_entrypoint && !m.is_par_module);
+        assert!(meta("crates/stats/src/par.rs").is_par_module);
+        assert!(meta("crates/core/tests/determinism.rs").in_tests_dir);
+        assert!(meta("crates/bench/src/bin/perf_pipeline.rs").is_entrypoint);
+        assert!(meta("crates/lint/src/main.rs").is_entrypoint);
+        assert!(meta("examples/quickstart.rs").is_entrypoint);
+        assert_eq!(meta("src/lib.rs").crate_name, "root");
+    }
+
+    #[test]
+    fn scrubber_blanks_strings_and_comments() {
+        let mut s = Scrubber::new();
+        let out = s.scrub(r#"let x = "HashMap"; // HashMap in comment"#);
+        assert!(!out.code.contains("HashMap"));
+        assert_eq!(out.comment.as_deref(), Some(" HashMap in comment"));
+
+        let out = s.scrub("let y = 1; /* HashMap */ let z = 2;");
+        assert!(!out.code.contains("HashMap"));
+        assert!(out.code.contains("let z = 2;"));
+    }
+
+    #[test]
+    fn scrubber_handles_nested_and_multiline_block_comments() {
+        let mut s = Scrubber::new();
+        let a = s.scrub("code(); /* outer /* inner */ still comment");
+        assert!(a.code.contains("code();"));
+        assert!(!a.code.contains("still"));
+        let b = s.scrub("HashMap here */ after();");
+        assert!(!b.code.contains("HashMap"));
+        assert!(b.code.contains("after();"));
+    }
+
+    #[test]
+    fn scrubber_handles_multiline_and_raw_strings() {
+        let mut s = Scrubber::new();
+        let a = s.scrub(r#"let x = "line one"#);
+        assert!(!a.code.contains("line one"));
+        let b = s.scrub(r#"HashMap still string" + code()"#);
+        assert!(!b.code.contains("HashMap"));
+        assert!(b.code.contains("code()"));
+
+        let mut s = Scrubber::new();
+        let c = s.scrub(r##"let r = r#"HashMap "quoted" inside"# ; done()"##);
+        assert!(!c.code.contains("HashMap"));
+        assert!(c.code.contains("done()"));
+    }
+
+    #[test]
+    fn scrubber_distinguishes_chars_and_lifetimes() {
+        let mut s = Scrubber::new();
+        let a = s.scrub(r"let q = '\''; let l: &'static str = x; let c = '{';");
+        assert!(a.code.contains("'static"));
+        assert!(!a.code.contains('{'), "char literal contents are blanked: {}", a.code);
+        let b = s.scrub("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(b.code.contains("<'a>"));
+        assert_eq!(b.code.matches('{').count(), 1);
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(find_word("use std::collections::HashMap;", "HashMap"));
+        assert!(!find_word("struct MyHashMapLike;", "HashMap"));
+        assert!(!find_word("let x = v.unwrap_or(3);", ".unwrap()"));
+        assert!(find_word("let x = v.unwrap();", ".unwrap()"));
+        assert!(find_word("a.load(Ordering::Relaxed)", "Ordering::Relaxed"));
+        assert!(!find_word("cmp::Ordering::Less", "Ordering::Relaxed"));
+        assert!(find_word("std::thread::spawn(f)", "thread::spawn"));
+    }
+
+    #[test]
+    fn d1_trips_only_in_fingerprinted_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(codes(&meta("crates/net/src/sim.rs"), src), vec!["D1"]);
+        assert!(codes(&meta("crates/obs/src/lib.rs"), src).is_empty());
+        assert!(codes(&meta("crates/lint/src/lib.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn d2_exempts_obs_and_bench() {
+        let src = "let t = Instant::now();\n";
+        assert_eq!(codes(&meta("crates/video/src/frame.rs"), src), vec!["D2"]);
+        assert!(codes(&meta("crates/obs/src/lib.rs"), src).is_empty());
+        assert!(codes(&meta("crates/bench/src/lib.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn d4_exempts_tests_benches_and_entrypoints() {
+        let src = "let v = x.unwrap();\nlet w = y.expect(\"set\");\n";
+        assert_eq!(codes(&meta("crates/core/src/analysis.rs"), src), vec!["D4", "D4"]);
+        assert!(codes(&meta("crates/core/tests/determinism.rs"), src).is_empty());
+        assert!(codes(&meta("crates/bench/src/lib.rs"), src).is_empty());
+        assert!(codes(&meta("crates/bench/src/bin/run_report.rs"), src).is_empty());
+        assert!(codes(&meta("examples/quickstart.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_is_exempt_from_d4_but_not_d1() {
+        let src = "\
+pub fn f() -> u32 { 1 }
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    #[test]
+    fn t() {
+        let v = Some(1).unwrap();
+        let _ = v;
+    }
+}
+";
+        // D4 inside cfg(test) is fine; the HashMap still trips D1.
+        assert_eq!(codes(&meta("crates/net/src/sim.rs"), src), vec!["D1"]);
+        // After the test module the exemption must end.
+        let src2 = format!("{src}\nfn late() {{ Some(1).unwrap(); }}\n");
+        assert_eq!(codes(&meta("crates/net/src/sim.rs"), &src2), vec!["D1", "D4"]);
+    }
+
+    #[test]
+    fn cfg_not_test_does_not_open_a_region() {
+        let src = "\
+#[cfg(not(test))]
+fn f() {
+    let v = Some(1).unwrap();
+}
+";
+        assert_eq!(codes(&meta("crates/net/src/sim.rs"), src), vec!["D4"]);
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_does_not_latch() {
+        let src = "\
+#[cfg(test)]
+use std::cell::Cell;
+
+fn f() {
+    let v = Some(1).unwrap();
+}
+";
+        assert_eq!(codes(&meta("crates/net/src/sim.rs"), src), vec!["D4"]);
+    }
+
+    #[test]
+    fn standalone_waiver_covers_next_line_and_is_consumed() {
+        let src = "\
+// lint:allow(D4): the map is populated for every key at construction
+let v = m.get(&k).unwrap();
+";
+        let r = lint_source(&meta("crates/core/src/analysis.rs"), src);
+        assert!(r.is_clean(), "diagnostics: {:?}", r.diagnostics);
+        assert_eq!(r.waivers_used, 1);
+    }
+
+    #[test]
+    fn trailing_waiver_covers_its_own_line() {
+        let src =
+            "let v = m.get(&k).unwrap(); // lint:allow(D4): populated at construction\n";
+        let r = lint_source(&meta("crates/core/src/analysis.rs"), src);
+        assert!(r.is_clean(), "diagnostics: {:?}", r.diagnostics);
+        assert_eq!(r.waivers_used, 1);
+    }
+
+    #[test]
+    fn waiver_for_wrong_rule_does_not_suppress() {
+        let src = "\
+// lint:allow(D2): wrong rule entirely
+let v = m.get(&k).unwrap();
+";
+        let r = lint_source(&meta("crates/core/src/analysis.rs"), src);
+        let codes: Vec<&str> = r.diagnostics.iter().map(|d| d.code.as_str()).collect();
+        assert_eq!(codes, vec!["unused-waiver", "D4"]);
+    }
+
+    #[test]
+    fn unused_waiver_is_an_error() {
+        let src = "// lint:allow(D4): nothing below ever trips\nlet x = 1;\n";
+        let r = lint_source(&meta("crates/core/src/analysis.rs"), src);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].code, "unused-waiver");
+        assert_eq!(r.diagnostics[0].line, 1);
+    }
+
+    #[test]
+    fn waiver_without_reason_or_with_bad_rule_is_rejected() {
+        let r = lint_source(
+            &meta("crates/core/src/analysis.rs"),
+            "// lint:allow(D4):\nlet v = x.unwrap();\n",
+        );
+        let codes: Vec<&str> = r.diagnostics.iter().map(|d| d.code.as_str()).collect();
+        assert_eq!(codes, vec!["bad-waiver", "D4"]);
+
+        let r = lint_source(
+            &meta("crates/core/src/analysis.rs"),
+            "// lint:allow(D9): no such rule\nlet x = 1;\n",
+        );
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].code, "bad-waiver");
+    }
+
+    #[test]
+    fn one_waiver_covers_one_line_only() {
+        let src = "\
+// lint:allow(D4): covers only the next line
+let a = x.unwrap();
+let b = y.unwrap();
+";
+        let r = lint_source(&meta("crates/core/src/analysis.rs"), src);
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].line, 3);
+    }
+
+    #[test]
+    fn patterns_in_strings_and_comments_do_not_trip() {
+        let src = r#"
+let msg = "never use Instant::now in fingerprinted code";
+// HashMap is spelled out here, and .unwrap() too
+/* thread::spawn in a block comment */
+let re = r"Ordering::Relaxed";
+"#;
+        let r = lint_source(&meta("crates/net/src/sim.rs"), src);
+        assert!(r.is_clean(), "diagnostics: {:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn waiver_quoted_in_doc_comment_is_inert() {
+        let src = "\
+//! Example: `// lint:allow(D4): some reason`
+/// And again: // lint:allow(D1): quoted
+pub fn f() -> u32 {
+    1
+}
+";
+        let r = lint_source(&meta("crates/core/src/analysis.rs"), src);
+        assert!(r.is_clean(), "diagnostics: {:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn d3_and_d5_exemptions() {
+        let atomics = "x.store(1, Ordering::SeqCst);\n";
+        assert_eq!(codes(&meta("crates/stats/src/par.rs"), atomics), vec!["D3"]);
+        assert!(codes(&meta("crates/obs/src/lib.rs"), atomics).is_empty());
+
+        let spawn = "std::thread::scope(|s| { s.spawn(f); });\n";
+        assert!(codes(&meta("crates/stats/src/par.rs"), spawn).is_empty());
+        assert_eq!(codes(&meta("crates/video/src/frame.rs"), spawn), vec!["D5"]);
+        // Test code may spawn threads (concurrency tests do).
+        assert!(codes(&meta("crates/obs/tests/racing.rs"), spawn).is_empty());
+    }
+}

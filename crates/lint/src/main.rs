@@ -1,0 +1,66 @@
+//! `lint` — run the determinism & concurrency rules over the workspace.
+//!
+//! Usage: `cargo run -p eyeorg-lint [-- --root PATH]`
+//!
+//! Exits 0 on a clean tree, 1 with `file:line: [rule] message`
+//! diagnostics when anything trips, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("lint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("lint: unknown flag {other} (usage: lint [--root PATH])");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // `cargo run` executes from the invoker's directory; when that is
+    // not the workspace root (no `crates/` beside us), fall back to the
+    // root this crate was built from.
+    if !root.join("crates").is_dir() {
+        if let Some(manifest) = option_env!("CARGO_MANIFEST_DIR") {
+            let candidate = PathBuf::from(manifest).join("../..");
+            if candidate.join("crates").is_dir() {
+                root = candidate;
+            }
+        }
+    }
+
+    let report = match eyeorg_lint::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    if report.is_clean() {
+        println!(
+            "lint: clean — {} files scanned, {} waiver(s) honoured",
+            report.files, report.waivers_used
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "lint: {} finding(s) in {} files scanned ({} waiver(s) honoured)",
+            report.diagnostics.len(),
+            report.files,
+            report.waivers_used
+        );
+        ExitCode::FAILURE
+    }
+}

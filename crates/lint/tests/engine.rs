@@ -1,0 +1,94 @@
+//! Integration tests: run the rule engine over the fixture corpus.
+//!
+//! Every rule has three fixtures under `tests/fixtures/`: a known-bad
+//! file that must trip, a waived file that must pass with the waiver
+//! consumed, and a file whose waiver no longer suppresses anything and
+//! must therefore fail. The fixtures are excluded from the workspace
+//! scan (`SKIP_PREFIXES`) precisely because they violate on purpose.
+
+use std::path::Path;
+
+use eyeorg_lint::{lint_source, scan_workspace, FileMeta, Report};
+
+/// Lint a fixture as though it lived in a fingerprinted library crate,
+/// where every rule applies.
+fn lint_fixture(name: &str) -> Report {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    let meta = FileMeta::classify(&format!("crates/net/src/{name}"));
+    lint_source(&meta, &source)
+}
+
+fn codes(report: &Report) -> Vec<&str> {
+    report.diagnostics.iter().map(|d| d.code.as_str()).collect()
+}
+
+#[test]
+fn bad_fixtures_trip_their_rule() {
+    for rule in ["D1", "D2", "D3", "D4", "D5"] {
+        let report = lint_fixture(&format!("{}_bad.rs", rule.to_lowercase()));
+        assert!(!report.is_clean(), "{rule} bad fixture must trip");
+        assert!(
+            codes(&report).iter().all(|c| *c == rule),
+            "{rule} bad fixture tripped foreign codes: {:?}",
+            report.diagnostics
+        );
+    }
+}
+
+#[test]
+fn bad_fixture_diagnostics_carry_line_numbers() {
+    let report = lint_fixture("d1_bad.rs");
+    let lines: Vec<usize> = report.diagnostics.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![3, 6], "one finding per violating line: {:?}", report.diagnostics);
+    assert!(report.diagnostics[0].path.ends_with("d1_bad.rs"));
+}
+
+#[test]
+fn waived_fixtures_pass_and_consume_the_waiver() {
+    for rule in ["d1", "d2", "d3", "d4", "d5"] {
+        let report = lint_fixture(&format!("{rule}_waived.rs"));
+        assert!(
+            report.is_clean(),
+            "{rule} waived fixture must be clean, got {:?}",
+            report.diagnostics
+        );
+        assert_eq!(report.waivers_used, 1, "{rule} waiver must be consumed");
+    }
+}
+
+#[test]
+fn unused_waivers_are_findings() {
+    for rule in ["d1", "d2", "d3", "d4", "d5"] {
+        let report = lint_fixture(&format!("{rule}_unused_waiver.rs"));
+        assert_eq!(
+            codes(&report),
+            vec!["unused-waiver"],
+            "{rule} stale waiver must be reported: {:?}",
+            report.diagnostics
+        );
+        assert_eq!(report.waivers_used, 0);
+    }
+}
+
+#[test]
+fn malformed_waivers_are_findings() {
+    let report = lint_fixture("bad_waiver.rs");
+    assert_eq!(codes(&report), vec!["bad-waiver", "bad-waiver"], "{:?}", report.diagnostics);
+    let lines: Vec<usize> = report.diagnostics.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![3, 8]);
+}
+
+/// The gate the CI pass enforces: the real tree is clean. Keeping this
+/// as a test means `cargo test` alone catches a regression even when
+/// the lint binary is not run.
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = scan_workspace(&root).expect("workspace readable");
+    assert!(report.files > 50, "scan must cover the tree, saw {} files", report.files);
+    let rendered: Vec<String> =
+        report.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert!(report.is_clean(), "workspace lint findings:\n{}", rendered.join("\n"));
+}

@@ -1,0 +1,11 @@
+//! Malformed waivers: unknown rule, and a waiver with no reason.
+
+// lint:allow(D9): no such rule exists
+pub fn nine() -> u32 {
+    9
+}
+
+// lint:allow(D4):
+pub fn empty_reason(line: &str) -> &str {
+    line.split_whitespace().next().unwrap_or("")
+}

@@ -1,0 +1,11 @@
+//! D1 trip: hash collections in a fingerprinted crate.
+
+use std::collections::HashMap;
+
+pub fn count(words: &[&str]) -> usize {
+    let mut seen: HashMap<&str, u32> = HashMap::new();
+    for w in words {
+        *seen.entry(w).or_insert(0) += 1;
+    }
+    seen.len()
+}

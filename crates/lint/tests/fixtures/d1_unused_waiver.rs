@@ -1,0 +1,12 @@
+//! D1 unused waiver: the line below is already clean.
+
+// lint:allow(D1): stale excuse left over from a refactor
+use std::collections::BTreeMap;
+
+pub fn count(words: &[&str]) -> usize {
+    let mut seen: BTreeMap<&str, u32> = BTreeMap::new();
+    for w in words {
+        *seen.entry(w).or_insert(0) += 1;
+    }
+    seen.len()
+}

@@ -1,0 +1,12 @@
+//! D1 waived: the iteration order never reaches any output.
+
+pub fn sorted_counts(words: &[&str]) -> Vec<(String, u32)> {
+    // lint:allow(D1): counts are drained into a sorted Vec before anything reads them
+    let mut seen = std::collections::HashMap::new();
+    for w in words {
+        *seen.entry(w.to_string()).or_insert(0u32) += 1;
+    }
+    let mut out: Vec<(String, u32)> = seen.into_iter().collect();
+    out.sort();
+    out
+}

@@ -1,0 +1,7 @@
+//! D2 trip: wall-clock time outside the observability layer.
+
+pub fn elapsed_micros<R>(f: impl FnOnce() -> R) -> (R, u128) {
+    let t0 = std::time::Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_micros())
+}

@@ -1,0 +1,6 @@
+//! D2 unused waiver: simulated time needs no exemption.
+
+// lint:allow(D2): left behind after the port to SimTime
+pub fn add_micros(now_micros: u64, delta: u64) -> u64 {
+    now_micros + delta
+}

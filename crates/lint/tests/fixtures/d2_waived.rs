@@ -1,0 +1,9 @@
+//! D2 waived: the reading feeds a log line, never a simulation value.
+
+pub fn log_duration<R>(f: impl FnOnce() -> R) -> R {
+    // lint:allow(D2): wall time is printed for the operator and discarded; nothing deterministic reads it
+    let t0 = std::time::Instant::now();
+    let r = f();
+    eprintln!("took {:?}", t0.elapsed());
+    r
+}

@@ -1,0 +1,9 @@
+//! D3 trip: raw atomic orderings outside the observability layer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static TICKS: AtomicU64 = AtomicU64::new(0);
+
+pub fn tick() -> u64 {
+    TICKS.fetch_add(1, Ordering::SeqCst)
+}

@@ -1,0 +1,7 @@
+//! D3 unused waiver: no atomics below.
+
+// lint:allow(D3): vestigial waiver from a removed fast path
+pub fn bump(counter: &mut u64) -> u64 {
+    *counter += 1;
+    *counter
+}

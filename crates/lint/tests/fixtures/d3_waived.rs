@@ -1,0 +1,10 @@
+//! D3 waived: the counter is monotonic scratch state, never output.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static SCRATCH: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() -> u64 {
+    // lint:allow(D3): relaxed increments only feed a debug gauge; no ordering reaches results
+    SCRATCH.fetch_add(1, Ordering::Relaxed)
+}

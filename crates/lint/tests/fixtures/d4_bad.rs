@@ -1,0 +1,5 @@
+//! D4 trip: a bare unwrap in library code.
+
+pub fn first_word(line: &str) -> &str {
+    line.split_whitespace().next().unwrap()
+}

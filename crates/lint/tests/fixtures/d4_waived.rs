@@ -1,0 +1,7 @@
+//! D4 waived: the panic is ruled out by a guard the compiler cannot see.
+
+pub fn midpoint(sorted: &[u64]) -> u64 {
+    assert!(!sorted.is_empty(), "midpoint of empty slice");
+    // lint:allow(D4): the assert above guarantees at least one element
+    *sorted.get(sorted.len() / 2).expect("non-empty slice has a midpoint")
+}

@@ -1,0 +1,5 @@
+//! D5 trip: ad-hoc thread spawning outside the parallel map.
+
+pub fn background(work: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(work);
+}

@@ -1,0 +1,6 @@
+//! D5 unused waiver: the work runs inline.
+
+// lint:allow(D5): kept by mistake when the spawn was inlined
+pub fn run(work: impl FnOnce()) {
+    work();
+}

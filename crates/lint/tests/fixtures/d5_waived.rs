@@ -1,0 +1,10 @@
+//! D5 waived: a scoped helper that merges in deterministic order.
+
+pub fn both<A: Send, B: Send>(a: impl FnOnce() -> A + Send, b: impl FnOnce() -> B + Send) -> (A, B) {
+    // lint:allow(D5): two fixed tasks joined in declaration order; no schedule-dependent merge
+    std::thread::scope(|s| {
+        let ha = s.spawn(a);
+        let rb = b();
+        (ha.join().unwrap_or_else(|e| std::panic::resume_unwind(e)), rb)
+    })
+}

@@ -232,6 +232,7 @@ impl<E> EventQueue<E> {
                 }
             }
         }
+        // lint:allow(D4): callers checked len > 0, so some bucket holds an event
         let m = best.expect("len > 0 but no event found");
         self.cursor.set(self.slot_floor(m.time.as_micros()));
         self.min_cache.set(Some(m));
@@ -253,7 +254,9 @@ impl<E> EventQueue<E> {
             self.buckets = (0..target).map(|_| Vec::new()).collect();
         }
         if !all.is_empty() {
+            // lint:allow(D4): `all` is non-empty, so min exists
             let min_t = all.iter().map(|e| e.time.as_micros()).min().unwrap();
+            // lint:allow(D4): `all` is non-empty, so max exists
             let max_t = all.iter().map(|e| e.time.as_micros()).max().unwrap();
             let gap = (max_t - min_t) / all.len() as u64;
             // Width = mean gap rounded up to a power of two, clamped to
@@ -346,7 +349,7 @@ mod tests {
     /// The reference semantics: a plain binary heap on `(time, seq)`.
     struct HeapRef<E> {
         heap: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64)>>,
-        payloads: std::collections::HashMap<u64, E>,
+        payloads: std::collections::BTreeMap<u64, E>,
         next_seq: u64,
     }
 
@@ -354,7 +357,7 @@ mod tests {
         fn new() -> Self {
             HeapRef {
                 heap: std::collections::BinaryHeap::new(),
-                payloads: std::collections::HashMap::new(),
+                payloads: std::collections::BTreeMap::new(),
                 next_seq: 0,
             }
         }

@@ -325,6 +325,7 @@ impl NetSim {
             if self.queue.peek_time()? > limit {
                 return None;
             }
+            // lint:allow(D4): peek_time returned Some, so the queue is non-empty
             let (now, ev) = self.queue.pop().expect("peeked non-empty");
             self.process(now, ev);
         }
@@ -445,6 +446,7 @@ impl NetSim {
                     // event (scheduled here for the last segment, at the
                     // same call position the reference would allocate its
                     // AckArrive) replays all of them in order.
+                    // lint:allow(D4): planned is true only for connections that carry an ACK plan
                     let p = self.conns[conn].plan.as_mut().expect("plan routed");
                     p.pending_segments.pop_front();
                     p.acks.push_back((arrival, outcome.ack));
@@ -458,6 +460,7 @@ impl NetSim {
                         .as_ref()
                         .is_some_and(|p| p.pending_segments.is_empty())
                     {
+                        // lint:allow(D4): the is_some_and guard on this branch established the plan exists
                         let generation = self.conns[conn].plan.as_ref().unwrap().generation;
                         self.queue.schedule(arrival, Ev::AckBatch { conn, generation });
                     }
@@ -476,6 +479,7 @@ impl NetSim {
                 if !live {
                     return; // plan was flushed; the ACKs already replayed
                 }
+                // lint:allow(D4): live was checked just above: a plan with this generation is present
                 let plan = self.conns[conn].plan.take().expect("checked live");
                 debug_assert!(plan.pending_segments.is_empty(), "batch before last segment");
                 let n = plan.acks.len();

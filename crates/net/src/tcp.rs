@@ -343,6 +343,7 @@ impl TcpSender {
         let mut covered = 0u64;
         let span = end - start;
         for s in overlapping {
+            // lint:allow(D4): the key came from the overlapping scan of this same map
             let e = self.sacked.remove(&s).expect("key just observed");
             covered += e.min(end).saturating_sub(s.max(start));
             start = start.min(s);
@@ -501,6 +502,7 @@ impl TcpSender {
             // the burst's own serialisation as queueing; demand a
             // substantial standing queue (half the base RTT, ≥8 ms)
             // before exiting, or slow start stops far below the BDP.
+            // lint:allow(D4): min_rtt was set from this very sample a few lines above
             let base = self.min_rtt.expect("just set").as_micros();
             let threshold = base + (base / 2).max(8_000);
             if sample.as_micros() > threshold {
@@ -522,6 +524,7 @@ impl TcpSender {
             }
         }
         let rto = SimDuration::from_micros(
+            // lint:allow(D4): srtt was set in the branch above before the RTO is computed
             self.srtt.expect("just set").as_micros() + 4 * self.rttvar.as_micros().max(1_000),
         );
         self.rto = rto.max(MIN_RTO).min(MAX_RTO);
@@ -647,6 +650,7 @@ impl TcpReceiver {
                 .range(..=start)
                 .next_back()
                 .map(|(&s, &e)| (s, e))
+                // lint:allow(D4): the insert above guarantees a stored range starting at or before start
                 .expect("range containing the segment exists");
             let others: Vec<(u64, u64)> =
                 self.ooo.iter().map(|(&s, &e)| (s, e)).filter(|r| *r != recent).collect();
@@ -694,6 +698,7 @@ impl TcpReceiver {
             .map(|(&s, _)| s)
             .collect();
         for s in overlapping {
+            // lint:allow(D4): the key came from the overlapping scan of this same map
             let e = self.ooo.remove(&s).expect("key just observed");
             start = start.min(s);
             end = end.max(e);

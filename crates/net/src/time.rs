@@ -63,6 +63,7 @@ impl SimTime {
         SimDuration(
             self.0
                 .checked_sub(earlier.0)
+                // lint:allow(D4): documented panic: simulation time never runs backwards
                 .expect("SimTime::since: earlier instant is in the future"),
         )
     }
@@ -139,6 +140,7 @@ impl SimDuration {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
+        // lint:allow(D4): documented panic: a SimTime past the u64 horizon is a logic error
         SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
     }
 }
@@ -152,6 +154,7 @@ impl AddAssign<SimDuration> for SimTime {
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
+        // lint:allow(D4): documented panic: duration overflow is a logic error, not recoverable state
         SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
     }
 }
@@ -159,6 +162,7 @@ impl Add for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
+        // lint:allow(D4): documented panic: duration underflow is a logic error, not recoverable state
         SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
     }
 }

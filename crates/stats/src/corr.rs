@@ -49,7 +49,7 @@ pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
 pub fn ranks(sample: &[f64]) -> Vec<f64> {
     let n = sample.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| sample[a].partial_cmp(&sample[b]).expect("finite values"));
+    idx.sort_by(|&a, &b| sample[a].total_cmp(&sample[b]));
     let mut out = vec![0.0; n];
     let mut i = 0;
     while i < n {

@@ -24,7 +24,7 @@ impl Ecdf {
             return None;
         }
         let mut sorted = sample.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        sorted.sort_by(f64::total_cmp);
         Some(Ecdf { sorted })
     }
 
@@ -80,6 +80,7 @@ impl Ecdf {
             return Vec::new();
         }
         let lo = self.sorted[0];
+        // lint:allow(D4): Ecdf::new rejects empty samples, so `sorted` is never empty
         let hi = *self.sorted.last().expect("non-empty");
         if k == 1 || hi == lo {
             return vec![(hi, self.eval(hi))];
@@ -99,6 +100,7 @@ impl Ecdf {
 
     /// Maximum observation.
     pub fn max(&self) -> f64 {
+        // lint:allow(D4): Ecdf::new rejects empty samples, so `sorted` is never empty
         *self.sorted.last().expect("non-empty")
     }
 

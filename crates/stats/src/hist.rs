@@ -42,8 +42,9 @@ impl Histogram {
             return None;
         }
         let mut sorted = sample.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        sorted.sort_by(f64::total_cmp);
         let lo = sorted[0];
+        // lint:allow(D4): guarded by the is_empty early return above
         let hi = *sorted.last().expect("non-empty");
         if hi == lo {
             // All values identical: one bin around the value.

@@ -54,7 +54,7 @@ pub use hist::Histogram;
 pub use modes::{classify_shape, find_peaks, DistributionShape, ShapeParams};
 pub use par::{
     default_threads, effective_pool, par_map_indexed, par_map_range, parse_thread_override,
-    resolve_threads, MAX_THREAD_OVERRIDE,
+    resolve_threads, set_chaos_seed, MAX_THREAD_OVERRIDE,
 };
 pub use quantile::{percentile, percentile_band};
 pub use rng::Rng;

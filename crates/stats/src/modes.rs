@@ -92,7 +92,7 @@ pub fn find_peaks(
     }
 
     // Greedy suppression: keep tallest first, drop anything too close.
-    candidates.sort_by(|a, b| b.height.partial_cmp(&a.height).expect("finite heights"));
+    candidates.sort_by(|a, b| b.height.total_cmp(&a.height));
     let mut kept: Vec<Peak> = Vec::new();
     for c in candidates {
         if kept.iter().all(|k| c.bin.abs_diff(k.bin) >= min_separation_bins) {

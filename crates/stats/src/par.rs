@@ -30,8 +30,53 @@
 //! No external dependencies: plain `std::thread::scope` and
 //! `AtomicUsize`.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
+
+// --- seeded interleaving chaos (race-exerciser support) ---------------
+//
+// The `stress` binary in `crates/lint` re-runs the campaign engine under
+// permuted thread schedules: with a non-zero chaos seed every worker
+// sprinkles seed-derived `yield_now` calls through its claim/execute
+// loop, perturbing which worker claims which chunk and when. The merged
+// output must not change — results are pinned by index — so any
+// divergence under chaos is a real interleaving bug, caught on stable
+// without a race detector.
+
+/// Process-wide chaos seed; `0` disables injection (the default, and
+/// the only value production paths ever see).
+static CHAOS_SEED: AtomicU64 = AtomicU64::new(0);
+
+/// Install a chaos seed for seeded-interleaving stress runs (`0` turns
+/// injection back off). Schedules are a pure function of
+/// `(seed, worker, step)`, so a given seed perturbs thread timing
+/// reproducibly enough to name in a bug report.
+pub fn set_chaos_seed(seed: u64) {
+    // lint:allow(D3): store/load only gate test-time yield injection; no data flows through this atomic into any fingerprinted output
+    CHAOS_SEED.store(seed, Ordering::Relaxed);
+}
+
+/// Yield 0–3 times based on the chaos seed, this worker, and its local
+/// step counter. A single relaxed load when chaos is off.
+#[inline]
+fn chaos_yield(worker: usize, step: &mut u64) {
+    // lint:allow(D3): store/load only gate test-time yield injection; no data flows through this atomic into any fingerprinted output
+    let seed = CHAOS_SEED.load(Ordering::Relaxed);
+    if seed == 0 {
+        return;
+    }
+    *step += 1;
+    // splitmix64-style mix of (seed, worker, step).
+    let mut z = seed
+        ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ step.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    for _ in 0..(z & 3) {
+        std::thread::yield_now();
+    }
+}
 
 /// Number of worker threads to use when a caller asks for "automatic":
 /// the `EYEORG_THREADS` environment variable when set to a positive
@@ -124,15 +169,20 @@ where
     let f = &f;
     let mut per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..pool)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|worker| {
+                let next = &next;
+                scope.spawn(move || {
                     let mut out: Vec<(usize, R)> = Vec::new();
+                    let mut chaos_step = 0u64;
                     loop {
+                        chaos_yield(worker, &mut chaos_step);
+                        // lint:allow(D3): relaxed chunk claiming only permutes which worker computes which index; results are merged back in index order below, so no claim order reaches any output
                         let start = next.fetch_add(chunk, Ordering::Relaxed);
                         if start >= n {
                             break;
                         }
                         for i in start..(start + chunk).min(n) {
+                            chaos_yield(worker, &mut chaos_step);
                             out.push((i, f(i)));
                         }
                     }
@@ -140,7 +190,11 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            // lint:allow(D4): a panicking work item must propagate, not be swallowed into a partial result
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
     // Merge by index. Each index appears exactly once across the
     // buffers; within a buffer indices are increasing, so a bucket
@@ -152,6 +206,7 @@ where
             slots[i] = Some(r);
         }
     }
+    // lint:allow(D4): the chunked claim loop visits every index in 0..n exactly once, so every slot is filled
     slots.into_iter().map(|s| s.expect("every index claimed")).collect()
 }
 
@@ -181,8 +236,11 @@ where
     par_map_range(cells_ref.len(), threads, move |i| {
         let item = cells_ref[i]
             .lock()
-            .expect("item cell poisoned")
+            // A poisoned cell still holds a valid Option; panics in `f`
+            // propagate through the worker join, not through the lock.
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .take()
+            // lint:allow(D4): par_map_range hands each index to exactly one worker, so the cell is taken exactly once
             .expect("each index claimed once");
         f(i, item)
     })

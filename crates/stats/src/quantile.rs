@@ -20,7 +20,7 @@ pub fn percentile(sample: &[f64], p: f64) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = sample.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    sorted.sort_by(f64::total_cmp);
     Some(percentile_sorted(&sorted, p))
 }
 
@@ -73,7 +73,7 @@ pub fn percentile_band(sample: &[f64], lo_pct: f64, hi_pct: f64) -> Vec<f64> {
         return Vec::new();
     }
     let mut sorted: Vec<f64> = sample.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    sorted.sort_by(f64::total_cmp);
     let lo = percentile_sorted(&sorted, lo_pct.clamp(0.0, 100.0));
     let hi = percentile_sorted(&sorted, hi_pct.clamp(0.0, 100.0));
     sample.iter().copied().filter(|&v| v >= lo && v <= hi).collect()
@@ -85,7 +85,7 @@ pub fn iqr(sample: &[f64]) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = sample.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    sorted.sort_by(f64::total_cmp);
     Some(percentile_sorted(&sorted, 75.0) - percentile_sorted(&sorted, 25.0))
 }
 

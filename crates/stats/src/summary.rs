@@ -56,6 +56,7 @@ impl Summary {
             max = max.max(v);
         }
         let median = crate::quantile::percentile(sample, 50.0)
+            // lint:allow(D4): sample was checked non-empty with p=50 in range, so percentile is Some
             .expect("non-empty finite sample has a median");
         Some(Summary {
             n,

@@ -70,6 +70,7 @@ impl EncodedVideo {
         let key = (0..=i)
             .rev()
             .find(|&k| matches!(self.packets[k], Packet::Key(_)))
+            // lint:allow(D4): the encoder always emits packet 0 as a keyframe
             .expect("stream starts with a keyframe");
         let mut cells = match &self.packets[key] {
             Packet::Key(runs) => {

@@ -6,7 +6,7 @@
 //! state per load (a new seeded loader), repeated loads, median
 //! selection.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use eyeorg_browser::{load_page, BrowserConfig, LoadTrace};
@@ -71,7 +71,7 @@ pub fn capture_median(
 /// four values — the browser fingerprint covers the network profile,
 /// protocol, and ad-blocker settings via its `Debug` form — so equal
 /// keys always map to bit-identical videos.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct CaptureKey {
     site: u64,
     browser: u64,
@@ -104,9 +104,14 @@ fn debug_fingerprint<T: std::fmt::Debug>(value: &T) -> u64 {
 /// *different* keys proceed in parallel. That once-per-key guarantee
 /// also makes the hit/miss observability counters deterministic: misses
 /// equal the number of distinct keys regardless of thread interleaving.
+///
+/// The map is a `BTreeMap` rather than a hash map: iteration order is
+/// part of the workspace's determinism contract (rule D1), and the cache
+/// stays small enough (one entry per distinct capture configuration)
+/// that the asymptotic difference is irrelevant.
 #[derive(Debug, Default)]
 pub struct CaptureCache {
-    map: Mutex<HashMap<CaptureKey, Arc<OnceLock<Arc<Video>>>>>,
+    map: Mutex<BTreeMap<CaptureKey, Arc<OnceLock<Arc<Video>>>>>,
 }
 
 impl CaptureCache {
@@ -117,7 +122,7 @@ impl CaptureCache {
 
     /// Number of cached captures.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("capture cache poisoned").len()
+        self.map.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
     }
 
     /// Whether the cache holds no captures.
@@ -128,7 +133,7 @@ impl CaptureCache {
     /// Drop every cached capture (used by benchmarks that must time
     /// cold captures).
     pub fn clear(&self) {
-        self.map.lock().expect("capture cache poisoned").clear();
+        self.map.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
     }
 
     /// [`capture_median`] through the cache: returns the stored video
@@ -155,10 +160,10 @@ impl CaptureCache {
             seed: seed.value(),
         };
         let (cell, inserted) = {
-            let mut map = self.map.lock().expect("capture cache poisoned");
+            let mut map = self.map.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             match map.entry(key) {
-                std::collections::hash_map::Entry::Occupied(e) => (Arc::clone(e.get()), false),
-                std::collections::hash_map::Entry::Vacant(e) => {
+                std::collections::btree_map::Entry::Occupied(e) => (Arc::clone(e.get()), false),
+                std::collections::btree_map::Entry::Vacant(e) => {
                     (Arc::clone(e.insert(Arc::new(OnceLock::new()))), true)
                 }
             }

@@ -7,6 +7,15 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+# Determinism/concurrency static analysis (rules D1-D5, DESIGN.md §3e):
+# exits non-zero with path:line diagnostics on any unwaived finding.
+cargo run -q --release -p eyeorg-lint --bin lint
+# Seeded-interleaving race exerciser: the campaign pipeline and the
+# capture cache's per-key OnceLock cells must produce identical digests
+# and counters at 1/2/4 threads under adversarial yield schedules. The
+# explicit EYEORG_THREADS pin bypasses the hardware clamp so real
+# multi-thread pools run even on 1-core CI boxes.
+EYEORG_THREADS=4 cargo run -q --release -p eyeorg-lint --bin stress
 # Times the pipeline at 1/2/N threads and exits non-zero when any
 # thread count produces a campaign that differs from the 1-thread run.
 cargo run -q --release -p eyeorg-bench --bin perf_pipeline
