@@ -8,7 +8,7 @@
 
 use eyeorg_core::analysis::{uplt_components, uplt_stdev};
 use eyeorg_core::filtering::{
-    filter_timeline, paper_pipeline, ActionsFilter, ControlFilter, FocusFilter, ParticipantFilter,
+    filter_timeline, paper_pipeline, ActionsFilter, ControlFilter, FilterPipeline, FocusFilter,
     SoftRuleFilter,
 };
 use eyeorg_stats::Summary;
@@ -23,7 +23,7 @@ fn main() {
     // ---- 1. filter-pipeline ablation -----------------------------------
     out.push_str("=== Ablation 1: drop one §4.3 filter at a time ===\n");
     out.push_str("pipeline                  kept  mean-stdev(s)\n");
-    let variants: Vec<(&str, Vec<Box<dyn ParticipantFilter>>)> = vec![
+    let variants: Vec<(&str, FilterPipeline)> = vec![
         ("full pipeline", paper_pipeline()),
         ("no actions filter", vec![
             Box::new(FocusFilter::default()),

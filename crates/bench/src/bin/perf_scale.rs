@@ -1,0 +1,259 @@
+//! Scale harness for the streaming sharded campaign engine.
+//!
+//! Two modes:
+//!
+//! * `--smoke` — small configuration used by `scripts/verify.sh` and CI:
+//!   runs the materializing engine once and the streaming engine across
+//!   several shard sizes, and **exits non-zero** when any digest or
+//!   observability-counter fingerprint diverges. With
+//!   `--fingerprint-out PATH` it also writes the streaming fingerprints
+//!   so the caller can `cmp` runs at different `EYEORG_THREADS`.
+//! * full (default) — the headline measurement: a 1,000,000-participant
+//!   × 20-stimulus timeline campaign through the streaming engine in
+//!   bounded memory, the materializing engine at a capped crowd size for
+//!   the throughput comparison, and gates on (a) shard-size invariance,
+//!   (b) retained-bytes boundedness (independent of `n` once the
+//!   sketches spill), and (c) a ≥10x participants/sec advantage for the
+//!   streaming engine. Writes `results/BENCH_scale.json`.
+//!
+//! Memory is reported two ways: the digest's own retained-bytes
+//! accounting (exact, hardware-independent) and the process peak-RSS
+//! proxy from `/proc/self/status` (`VmHWM`, Linux-only, informational).
+
+use std::time::Instant;
+
+use eyeorg_bench::campaigns::capture_browser;
+use eyeorg_core::prelude::*;
+use eyeorg_crowd::CrowdFlower;
+use eyeorg_stats::Seed;
+use eyeorg_video::CaptureConfig;
+use eyeorg_workload::alexa_like;
+
+const FULL_PARTICIPANTS: usize = 1_000_000;
+const FULL_SITES: usize = 20;
+const BOUND_PROBE_PARTICIPANTS: usize = 100_000;
+const MATERIALIZING_CAP: usize = 20_000;
+const FULL_SHARD: usize = 8192;
+const ALT_SHARD: usize = 4096;
+
+const SMOKE_SITES: usize = 4;
+const SMOKE_PARTICIPANTS: usize = 400;
+
+/// Peak resident set size in bytes (`VmHWM`), or 0 where unavailable.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+fn stimuli(sites: usize, repeats: usize, seed: Seed) -> Vec<TimelineStimulus> {
+    let corpus = alexa_like(seed.derive("sites"), sites);
+    let capture = CaptureConfig { repeats, ..CaptureConfig::default() };
+    timeline_stimuli(&corpus, &capture_browser(), &capture, seed.derive("capture"))
+}
+
+fn stream_run(
+    stimuli: &[TimelineStimulus],
+    n: usize,
+    seed: Seed,
+    shard: usize,
+) -> (TimelineDigest, f64) {
+    eyeorg_obs::reset();
+    let cfg = ExperimentConfig::default();
+    let t = Instant::now();
+    let digest = stream_timeline_campaign(
+        stimuli,
+        &CrowdFlower,
+        n,
+        &cfg,
+        &paper_pipeline(),
+        seed,
+        &StreamConfig { shard_size: shard, ..StreamConfig::default() },
+    );
+    (digest, t.elapsed().as_secs_f64())
+}
+
+fn materializing_run(
+    stimuli: &[TimelineStimulus],
+    n: usize,
+    seed: Seed,
+) -> (TimelineDigest, f64) {
+    eyeorg_obs::reset();
+    let cfg = ExperimentConfig::default();
+    let t = Instant::now();
+    let campaign = run_timeline_campaign(stimuli.to_vec(), &CrowdFlower, n, &cfg, seed);
+    let report = filter_timeline(&campaign, &paper_pipeline());
+    let digest = digest_timeline(&campaign, &report, n, &DigestParams::default());
+    (digest, t.elapsed().as_secs_f64())
+}
+
+fn smoke(fp_out: Option<String>) {
+    let seed = Seed(2016).derive("perf-scale-smoke");
+    let stimuli = stimuli(SMOKE_SITES, 2, seed);
+    let n = SMOKE_PARTICIPANTS;
+
+    let (reference, mat_secs) = materializing_run(&stimuli, n, seed.derive("run"));
+    let reference_fp = reference.fingerprint();
+    let reference_counters = eyeorg_obs::snapshot("scale-smoke", 0).counter_fingerprint();
+
+    let mut identical = true;
+    let mut streaming_fp = String::new();
+    let mut streaming_counters = String::new();
+    for shard in [64usize, 128, n + 1] {
+        let (digest, secs) = stream_run(&stimuli, n, seed.derive("run"), shard);
+        let fp = digest.fingerprint();
+        let counters = eyeorg_obs::snapshot("scale-smoke", 0).counter_fingerprint();
+        if fp != reference_fp {
+            identical = false;
+            eprintln!("DIVERGENCE: shard={shard} digest differs from materializing engine");
+        }
+        if counters != reference_counters {
+            identical = false;
+            eprintln!("DIVERGENCE: shard={shard} counters differ from materializing engine");
+        }
+        println!("smoke shard={shard:>4}: {secs:.3}s (materializing {mat_secs:.3}s)");
+        streaming_fp = fp;
+        streaming_counters = counters;
+    }
+
+    if let Some(path) = fp_out {
+        // Digest + counter fingerprints of the streaming run; callers
+        // compare this file byte-for-byte across EYEORG_THREADS values.
+        let contents = format!("{streaming_fp}\n{streaming_counters}\n");
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(dir).expect("create fingerprint dir");
+        }
+        std::fs::write(&path, contents).expect("write fingerprint file");
+        println!("wrote {path}");
+    }
+
+    if !identical {
+        eprintln!("FAIL: streaming engine diverged from materializing engine");
+        std::process::exit(1);
+    }
+    println!("smoke OK: streaming == materializing across shard sizes");
+}
+
+fn full() {
+    let seed = Seed(2016).derive("perf-scale");
+    let stimuli = stimuli(FULL_SITES, 3, seed);
+
+    // Headline streaming run: a million participants, bounded memory.
+    let (full_digest, full_secs) =
+        stream_run(&stimuli, FULL_PARTICIPANTS, seed.derive("run"), FULL_SHARD);
+    let streaming_pps = FULL_PARTICIPANTS as f64 / full_secs;
+    let full_retained = full_digest.retained_bytes();
+    println!(
+        "streaming  n={FULL_PARTICIPANTS} shard={FULL_SHARD}: {full_secs:.2}s \
+         ({streaming_pps:.0} participants/sec, digest {full_retained} bytes)"
+    );
+
+    // Shard-size invariance gate at full scale.
+    let (alt_digest, alt_secs) =
+        stream_run(&stimuli, FULL_PARTICIPANTS, seed.derive("run"), ALT_SHARD);
+    let mut identical = true;
+    if alt_digest.fingerprint() != full_digest.fingerprint() {
+        identical = false;
+        eprintln!("DIVERGENCE: shard={ALT_SHARD} digest differs from shard={FULL_SHARD}");
+    }
+    println!("streaming  n={FULL_PARTICIPANTS} shard={ALT_SHARD}: {alt_secs:.2}s");
+
+    // Boundedness gate: once every sketch has spilled, the digest's
+    // retained bytes are a constant — the same at 100k and 1M.
+    let (probe_digest, _) =
+        stream_run(&stimuli, BOUND_PROBE_PARTICIPANTS, seed.derive("run"), FULL_SHARD);
+    let probe_retained = probe_digest.retained_bytes();
+    let bounded = full_retained <= probe_retained;
+    if !bounded {
+        eprintln!(
+            "FAIL: retained bytes grew with n ({probe_retained} at \
+             n={BOUND_PROBE_PARTICIPANTS} vs {full_retained} at n={FULL_PARTICIPANTS})"
+        );
+    }
+
+    // Throughput comparison: the materializing engine at a capped crowd
+    // size (its row-retention and per-participant row scans make the
+    // full million impractical — which is the point of this PR).
+    let (mat_digest, mat_secs) =
+        materializing_run(&stimuli, MATERIALIZING_CAP, seed.derive("run"));
+    let materializing_pps = MATERIALIZING_CAP as f64 / mat_secs;
+    let speedup = streaming_pps / materializing_pps;
+    println!(
+        "materializing n={MATERIALIZING_CAP}: {mat_secs:.2}s \
+         ({materializing_pps:.0} participants/sec) -> streaming speedup {speedup:.1}x"
+    );
+    // Equivalence spot-check at the capped size too.
+    let (mat_check, _) = stream_run(&stimuli, MATERIALIZING_CAP, seed.derive("run"), FULL_SHARD);
+    if mat_check.fingerprint() != mat_digest.fingerprint() {
+        identical = false;
+        eprintln!("DIVERGENCE: streaming digest differs from materializing at n={MATERIALIZING_CAP}");
+    }
+
+    let peak_rss = peak_rss_bytes();
+    let cpus = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let speedup_ok = speedup >= 10.0;
+    if !speedup_ok {
+        eprintln!("FAIL: streaming speedup {speedup:.1}x is below the 10x gate");
+    }
+
+    let json = format!(
+        "{{\n  \"participants\": {FULL_PARTICIPANTS},\n  \"stimuli\": {FULL_SITES},\n  \
+         \"shard_size\": {FULL_SHARD},\n  \"alt_shard_size\": {ALT_SHARD},\n  \
+         \"available_parallelism\": {cpus},\n  \
+         \"streaming_secs\": {full_secs:.6},\n  \
+         \"streaming_participants_per_sec\": {streaming_pps:.1},\n  \
+         \"alt_shard_secs\": {alt_secs:.6},\n  \
+         \"materializing_participants\": {MATERIALIZING_CAP},\n  \
+         \"materializing_secs\": {mat_secs:.6},\n  \
+         \"materializing_participants_per_sec\": {materializing_pps:.1},\n  \
+         \"speedup\": {speedup:.2},\n  \
+         \"digest_retained_bytes\": {full_retained},\n  \
+         \"digest_retained_bytes_at_{BOUND_PROBE_PARTICIPANTS}\": {probe_retained},\n  \
+         \"retained_bytes_bounded\": {bounded},\n  \
+         \"peak_rss_bytes\": {peak_rss},\n  \
+         \"speedup_gate_10x\": {speedup_ok},\n  \
+         \"identical_across_shard_sizes\": {identical}\n}}\n"
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_scale.json", &json).expect("write BENCH_scale.json");
+    println!("wrote results/BENCH_scale.json");
+
+    if !identical || !bounded || !speedup_ok {
+        eprintln!("FAIL: scale gates not met");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    eyeorg_obs::enable();
+    let mut smoke_mode = false;
+    let mut fp_out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke_mode = true,
+            "--fingerprint-out" => {
+                fp_out = Some(args.next().expect("--fingerprint-out needs a path"));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke_mode {
+        smoke(fp_out);
+    } else {
+        full();
+    }
+}

@@ -110,6 +110,24 @@ impl AbTally {
         self.a + self.b + self.nd
     }
 
+    /// Fold one verdict in.
+    pub fn record(&mut self, v: AbVerdict) {
+        match v {
+            AbVerdict::AFaster => self.a += 1,
+            AbVerdict::BFaster => self.b += 1,
+            AbVerdict::NoDifference => self.nd += 1,
+        }
+    }
+
+    /// Fold another shard's tally for the same stimulus in. Integer
+    /// adds are exact and associative, so the streaming engine's merge
+    /// reproduces the materializing tally byte for byte.
+    pub fn merge(&mut self, other: &AbTally) {
+        self.a += other.a;
+        self.b += other.b;
+        self.nd += other.nd;
+    }
+
     /// Agreement: the fraction of votes matching the most popular answer
     /// (§4.2: "independent of what that answer is").
     pub fn agreement(&self) -> Option<f64> {
@@ -151,12 +169,7 @@ pub fn ab_tallies(campaign: &AbCampaign, report: &FilterReport) -> Vec<AbTally> 
             continue;
         }
         let Some(v) = row.verdict else { continue };
-        let t = &mut tallies[row.stimulus];
-        match v {
-            AbVerdict::AFaster => t.a += 1,
-            AbVerdict::BFaster => t.b += 1,
-            AbVerdict::NoDifference => t.nd += 1,
-        }
+        tallies[row.stimulus].record(v);
     }
     tallies
 }

@@ -7,6 +7,13 @@
 //! recruitment, stimulus assignment, per-video behaviour instrumentation,
 //! response generation, and control questions — producing the raw data
 //! the validation (§4) and analysis (§5) layers consume.
+//!
+//! This is the **materializing** engine: every showing is retained as a
+//! row, which row-level consumers (viz, dataset export, ablations) need
+//! but which makes memory grow with the crowd. Campaigns that only need
+//! the aggregate digest should use [`crate::stream`], the sharded
+//! streaming engine — byte-identical results (pinned by the
+//! `streaming_equivalence` tests) in memory proportional to a shard.
 
 use std::sync::Arc;
 

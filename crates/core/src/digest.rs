@@ -1,0 +1,453 @@
+//! Campaign digests: bounded-memory summaries of a campaign's results.
+//!
+//! A digest is everything the analysis/report layer reads from a
+//! campaign, folded into the mergeable accumulators of
+//! `eyeorg_stats::stream` instead of retained rows: per-stimulus
+//! `UserPerceivedPLT` moments + fixed-bin histogram + quantile sketch,
+//! behaviour moments over every admitted participant, filter/control
+//! tallies, and the recruitment economics. Two construction paths exist
+//! and are pinned byte-identical by the `streaming_equivalence` tests:
+//!
+//! * [`digest_timeline`] / [`digest_ab`] fold a **materialized**
+//!   campaign plus its filter report — the small-campaign path, exact
+//!   by construction;
+//! * `stream::stream_timeline_campaign` / `stream::stream_ab_campaign`
+//!   build the same digest shard by shard without ever materializing
+//!   the rows.
+//!
+//! Equality of digests is compared through [`TimelineDigest::fingerprint`]
+//! (the canonical `Debug` rendering of the full accumulator state), so
+//! "equal" means bit-equal accumulators, not approximately equal
+//! statistics.
+
+use eyeorg_stats::{Histogram, Moments, QuantileSketch};
+
+use crate::analysis::AbTally;
+use crate::campaign::{AbCampaign, TimelineCampaign};
+use crate::filtering::{FilterReport, FilterTally};
+
+/// Accumulator sizing shared by both digest construction paths. The
+/// parameters are part of the digest's identity: comparing digests
+/// built with different params is meaningless (the sketch merge would
+/// reject it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DigestParams {
+    /// Bins of the per-stimulus UPLT histogram (over `[0, duration]`).
+    pub hist_bins: usize,
+    /// Bins of the quantile sketch once spilled.
+    pub sketch_bins: usize,
+    /// Observations per stimulus below which the sketch stays exact
+    /// (small campaigns keep today's figure outputs unchanged).
+    pub exact_cap: usize,
+}
+
+impl Default for DigestParams {
+    fn default() -> Self {
+        DigestParams { hist_bins: 64, sketch_bins: 512, exact_cap: 2048 }
+    }
+}
+
+/// Per-stimulus UPLT accumulators (kept participants only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StimulusDigest {
+    /// Stimulus name.
+    pub name: String,
+    /// Moments of the submitted `UserPerceivedPLT` (seconds).
+    pub uplt: Moments,
+    /// Fixed-bin response histogram over `[0, video duration]`.
+    pub hist: Histogram,
+    /// Quantile sketch over the same range (exact below the cap).
+    pub sketch: QuantileSketch,
+}
+
+/// A positive, finite value span for a stimulus's accumulators; videos
+/// always have positive duration, but a degenerate capture must not be
+/// able to panic the digest.
+fn value_span(duration_secs: f64) -> f64 {
+    if duration_secs.is_finite() && duration_secs > 0.0 {
+        duration_secs
+    } else {
+        1.0
+    }
+}
+
+fn fixed_hist(hi: f64, bins: usize) -> Histogram {
+    match Histogram::empty(0.0, value_span(hi), bins.max(1)) {
+        Some(h) => h,
+        // Unreachable by construction (positive finite span, ≥1 bin);
+        // the unit fallback keeps this total without panicking.
+        None => fixed_hist(1.0, 1),
+    }
+}
+
+fn fixed_sketch(hi: f64, bins: usize, cap: usize) -> QuantileSketch {
+    match QuantileSketch::new(0.0, value_span(hi), bins.max(1), cap) {
+        Some(s) => s,
+        None => fixed_sketch(1.0, 1, cap),
+    }
+}
+
+impl StimulusDigest {
+    /// Empty accumulators for one stimulus of the given duration.
+    pub fn new(name: &str, duration_secs: f64, params: &DigestParams) -> StimulusDigest {
+        StimulusDigest {
+            name: name.to_owned(),
+            uplt: Moments::new(),
+            hist: fixed_hist(duration_secs, params.hist_bins),
+            sketch: fixed_sketch(duration_secs, params.sketch_bins, params.exact_cap),
+        }
+    }
+
+    /// Fold one kept response (submitted UPLT, seconds).
+    pub fn push(&mut self, uplt_secs: f64) {
+        self.uplt.push(uplt_secs);
+        self.hist.record(uplt_secs);
+        self.sketch.push(uplt_secs);
+    }
+
+    /// Kept responses folded so far.
+    pub fn retained(&self) -> u64 {
+        self.sketch.count()
+    }
+
+    /// Fold another shard's accumulators for the *same* stimulus in.
+    pub fn merge(&mut self, other: &StimulusDigest) {
+        assert_eq!(self.name, other.name, "digest merge across stimuli");
+        self.uplt.merge(&other.uplt);
+        assert!(self.hist.merge(&other.hist), "histogram config mismatch");
+        assert!(self.sketch.merge(&other.sketch), "sketch config mismatch");
+    }
+
+    /// Bytes retained by this stimulus's accumulators (the scale
+    /// bench's peak-RSS proxy). Bounded by the construction parameters,
+    /// never by the response count.
+    pub fn retained_bytes(&self) -> usize {
+        std::mem::size_of::<StimulusDigest>()
+            + self.name.capacity()
+            + std::mem::size_of_val(self.hist.counts())
+            + self.sketch.retained_bytes()
+    }
+
+    /// Mean UPLT within a percentile band of this stimulus's responses
+    /// (`None` band = plain mean). Exact — identical to
+    /// `analysis::mean_uplt` — while the sketch holds the sample;
+    /// beyond the cap the band edges come from the sketch (±1 bin
+    /// width) and the mean is a bin-mass-weighted approximation.
+    pub fn banded_mean(&self, band: Option<(f64, f64)>) -> Option<f64> {
+        let Some((lo_pct, hi_pct)) = band else { return self.uplt.mean() };
+        if let Some(values) = self.sketch.exact_values() {
+            let kept = eyeorg_stats::percentile_band(values, lo_pct, hi_pct);
+            if kept.is_empty() {
+                return None;
+            }
+            let mut m = Moments::new();
+            for v in kept {
+                m.push(v);
+            }
+            return m.mean();
+        }
+        let lo = self.sketch.quantile(lo_pct)?;
+        let hi = self.sketch.quantile(hi_pct)?;
+        let (mut mass, mut weighted) = (0.0f64, 0.0f64);
+        let width = self.hist.bin_width();
+        for (i, &c) in self.hist.counts().iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let center = self.hist.bin_center(i);
+            if center + width / 2.0 < lo || center - width / 2.0 > hi {
+                continue;
+            }
+            mass += f64::from(c);
+            weighted += f64::from(c) * center;
+        }
+        (mass > 0.0).then(|| weighted / mass)
+    }
+}
+
+/// Behaviour moments over every admitted participant (the unfiltered
+/// view §4.2 analyses — the streaming counterpart of
+/// `analysis::behavior_points`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BehaviorDigest {
+    /// Minutes on site (videos + instructions).
+    pub minutes_on_site: Moments,
+    /// Total play/pause/seek actions.
+    pub actions: Moments,
+    /// Total seconds out of focus.
+    pub out_of_focus_secs: Moments,
+    /// Largest single-video load time, seconds.
+    pub max_video_load_secs: Moments,
+}
+
+impl BehaviorDigest {
+    /// Fold one participant's aggregates in.
+    pub fn push(&mut self, point: &crate::analysis::BehaviorPoint) {
+        self.minutes_on_site.push(point.minutes_on_site);
+        self.actions.push(f64::from(point.actions));
+        self.out_of_focus_secs.push(point.out_of_focus_secs);
+        self.max_video_load_secs.push(point.max_video_load_secs);
+    }
+
+    /// Fold another shard's moments in.
+    pub fn merge(&mut self, other: &BehaviorDigest) {
+        self.minutes_on_site.merge(&other.minutes_on_site);
+        self.actions.merge(&other.actions);
+        self.out_of_focus_secs.merge(&other.out_of_focus_secs);
+        self.max_video_load_secs.merge(&other.max_video_load_secs);
+    }
+}
+
+/// Control-question outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ControlTally {
+    /// Controls answered correctly.
+    pub passed: u64,
+    /// Controls failed.
+    pub failed: u64,
+}
+
+impl ControlTally {
+    /// Fold one outcome in.
+    pub fn record(&mut self, passed: bool) {
+        if passed {
+            self.passed += 1;
+        } else {
+            self.failed += 1;
+        }
+    }
+
+    /// Fold another shard's tally in.
+    pub fn merge(&mut self, other: &ControlTally) {
+        self.passed += other.passed;
+        self.failed += other.failed;
+    }
+}
+
+/// Bounded-memory summary of a timeline campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineDigest {
+    /// Per-stimulus accumulators, in stimulus order.
+    pub stimuli: Vec<StimulusDigest>,
+    /// Participants the recruitment drive targeted.
+    pub recruited: u64,
+    /// Participants past the humanness gate.
+    pub admitted: u64,
+    /// Participants turned away at the gate.
+    pub rejected: u64,
+    /// Recruitment economics.
+    pub recruitment_cost_usd: f64,
+    /// Wall time to hit the recruitment target, seconds.
+    pub recruitment_duration_secs: f64,
+    /// Responses collected (non-skipped showings, kept or not).
+    pub responses_collected: u64,
+    /// Showings the participant skipped.
+    pub responses_skipped: u64,
+    /// Behaviour moments over every admitted participant.
+    pub behavior: BehaviorDigest,
+    /// §4.3 filter outcomes.
+    pub filters: FilterTally,
+    /// Control-question outcomes.
+    pub controls: ControlTally,
+}
+
+impl TimelineDigest {
+    /// Canonical rendering of the full accumulator state. Equal strings
+    /// ⇔ bit-equal digests; this is what the equivalence tests and the
+    /// scale bench's divergence gate compare.
+    pub fn fingerprint(&self) -> String {
+        format!("{self:?}")
+    }
+
+    /// Crowd UPLT per stimulus (optionally band-filtered), the Fig. 7
+    /// quantity. See [`StimulusDigest::banded_mean`] for exactness.
+    pub fn mean_uplt(&self, band: Option<(f64, f64)>) -> Vec<Option<f64>> {
+        self.stimuli.iter().map(|s| s.banded_mean(band)).collect()
+    }
+
+    /// Bytes retained by the whole digest — what one shard (and the
+    /// final merge) holds instead of the materialized row set.
+    pub fn retained_bytes(&self) -> usize {
+        std::mem::size_of::<TimelineDigest>()
+            + self.stimuli.iter().map(StimulusDigest::retained_bytes).sum::<usize>()
+    }
+}
+
+/// Bounded-memory summary of an A/B campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbDigest {
+    /// Per-stimulus vote tallies (kept participants only) plus
+    /// presentation counts over all admitted participants.
+    pub stimuli: Vec<AbStimulusDigest>,
+    /// Participants the recruitment drive targeted.
+    pub recruited: u64,
+    /// Participants past the humanness gate.
+    pub admitted: u64,
+    /// Participants turned away at the gate.
+    pub rejected: u64,
+    /// Recruitment economics.
+    pub recruitment_cost_usd: f64,
+    /// Wall time to hit the recruitment target, seconds.
+    pub recruitment_duration_secs: f64,
+    /// Votes cast (non-skipped showings, kept or not).
+    pub votes_cast: u64,
+    /// Showings skipped.
+    pub votes_skipped: u64,
+    /// Behaviour moments over every admitted participant.
+    pub behavior: BehaviorDigest,
+    /// §4.3 filter outcomes.
+    pub filters: FilterTally,
+    /// Control-question outcomes.
+    pub controls: ControlTally,
+}
+
+/// Per-stimulus A/B accumulators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbStimulusDigest {
+    /// Stimulus name.
+    pub name: String,
+    /// Vote tally over kept participants.
+    pub tally: AbTally,
+    /// Showings to admitted participants (kept or not).
+    pub shows: u64,
+    /// Of those, showings with A on the left.
+    pub a_left_shows: u64,
+}
+
+impl AbStimulusDigest {
+    /// Empty accumulators for one stimulus.
+    pub fn new(name: &str) -> AbStimulusDigest {
+        AbStimulusDigest { name: name.to_owned(), tally: AbTally::default(), shows: 0, a_left_shows: 0 }
+    }
+
+    /// Fold another shard's accumulators for the same stimulus in.
+    pub fn merge(&mut self, other: &AbStimulusDigest) {
+        assert_eq!(self.name, other.name, "digest merge across stimuli");
+        self.tally.merge(&other.tally);
+        self.shows += other.shows;
+        self.a_left_shows += other.a_left_shows;
+    }
+}
+
+impl AbDigest {
+    /// Canonical rendering of the full accumulator state (see
+    /// [`TimelineDigest::fingerprint`]).
+    pub fn fingerprint(&self) -> String {
+        format!("{self:?}")
+    }
+
+    /// Vote tallies in stimulus order (the `analysis::ab_tallies`
+    /// quantity).
+    pub fn tallies(&self) -> Vec<AbTally> {
+        self.stimuli.iter().map(|s| s.tally).collect()
+    }
+}
+
+/// Fold a materialized timeline campaign (plus its filter report) into
+/// a digest.
+///
+/// `recruited` is the original drive target (the campaign only retains
+/// admitted participants). The caller must have produced `report` with
+/// exactly one `filter_timeline` run over this campaign — the digest
+/// does not re-run the filters, so the obs counter totals line up with
+/// one streaming run of the same configuration.
+pub fn digest_timeline(
+    campaign: &TimelineCampaign,
+    report: &FilterReport,
+    recruited: usize,
+    params: &DigestParams,
+) -> TimelineDigest {
+    let mut stimuli: Vec<StimulusDigest> = campaign
+        .stimuli_names
+        .iter()
+        .zip(&campaign.videos)
+        .map(|(name, video)| StimulusDigest::new(name, video.duration().as_secs_f64(), params))
+        .collect();
+    let mut collected = 0u64;
+    let mut skipped = 0u64;
+    for row in &campaign.rows {
+        match row.response {
+            Some(resp) => {
+                collected += 1;
+                if report.kept.contains(&row.participant) {
+                    stimuli[row.stimulus].push(resp.submitted.as_secs_f64());
+                }
+            }
+            None => skipped += 1,
+        }
+    }
+    if eyeorg_obs::enabled() {
+        // Mirror of `analysis::uplt_samples`: zero-adds still
+        // materialise the label, so fully-filtered sites stay visible.
+        for s in &stimuli {
+            eyeorg_obs::metrics::CORE_RETAINED_PER_SITE.add(&s.name, s.retained());
+        }
+    }
+    let mut behavior = BehaviorDigest::default();
+    for point in crate::analysis::behavior_points(campaign) {
+        behavior.push(&point);
+    }
+    let mut controls = ControlTally::default();
+    for c in &campaign.controls {
+        controls.record(c.passed);
+    }
+    TimelineDigest {
+        stimuli,
+        recruited: recruited as u64,
+        admitted: campaign.participants.len() as u64,
+        rejected: (recruited - campaign.participants.len()) as u64,
+        recruitment_cost_usd: campaign.recruitment_cost_usd,
+        recruitment_duration_secs: campaign.recruitment_duration_secs,
+        responses_collected: collected,
+        responses_skipped: skipped,
+        behavior,
+        filters: FilterTally::of_report(report),
+        controls,
+    }
+}
+
+/// Fold a materialized A/B campaign (plus its filter report) into a
+/// digest. Same contract as [`digest_timeline`].
+pub fn digest_ab(campaign: &AbCampaign, report: &FilterReport, recruited: usize) -> AbDigest {
+    let mut stimuli: Vec<AbStimulusDigest> =
+        campaign.stimuli_names.iter().map(|n| AbStimulusDigest::new(n)).collect();
+    let mut cast = 0u64;
+    let mut skipped = 0u64;
+    for row in &campaign.rows {
+        let s = &mut stimuli[row.stimulus];
+        s.shows += 1;
+        if row.a_left {
+            s.a_left_shows += 1;
+        }
+        match row.verdict {
+            Some(v) => {
+                cast += 1;
+                if report.kept.contains(&row.participant) {
+                    s.tally.record(v);
+                }
+            }
+            None => skipped += 1,
+        }
+    }
+    let mut behavior = BehaviorDigest::default();
+    for point in crate::analysis::ab_behavior_points(campaign) {
+        behavior.push(&point);
+    }
+    let mut controls = ControlTally::default();
+    for c in &campaign.controls {
+        controls.record(c.passed);
+    }
+    AbDigest {
+        stimuli,
+        recruited: recruited as u64,
+        admitted: campaign.participants.len() as u64,
+        rejected: (recruited - campaign.participants.len()) as u64,
+        recruitment_cost_usd: campaign.recruitment_cost_usd,
+        recruitment_duration_secs: campaign.recruitment_duration_secs,
+        votes_cast: cast,
+        votes_skipped: skipped,
+        behavior,
+        filters: FilterTally::of_report(report),
+        controls,
+    }
+}

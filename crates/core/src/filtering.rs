@@ -143,9 +143,78 @@ impl FilterReport {
     }
 }
 
+/// A filter pipeline: boxed filters applied in order. The `Send + Sync`
+/// bounds let the streaming engine evaluate the same pipeline from
+/// shard workers (every filter here is a plain `Copy` struct).
+pub type FilterPipeline = Vec<Box<dyn ParticipantFilter + Send + Sync>>;
+
+/// Bucket a participant lands in after the §4.3 pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterDecision {
+    /// Dropped by an engagement filter (actions or focus).
+    Engagement,
+    /// Dropped by the soft rule.
+    Soft,
+    /// Dropped by a failed control question.
+    Control,
+    /// Responses kept.
+    Kept,
+}
+
+/// Streaming-friendly filter outcome counts: [`FilterReport`] minus the
+/// materialized kept-index set, so a shard can carry it in O(1) memory
+/// and merge by integer addition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FilterTally {
+    /// Participants dropped by the engagement filters (actions + focus).
+    pub engagement: u64,
+    /// Participants dropped by the soft rule.
+    pub soft: u64,
+    /// Participants dropped by control questions.
+    pub control: u64,
+    /// Participants whose responses are kept.
+    pub kept: u64,
+}
+
+impl FilterTally {
+    /// Fold one decision in.
+    pub fn record(&mut self, d: FilterDecision) {
+        match d {
+            FilterDecision::Engagement => self.engagement += 1,
+            FilterDecision::Soft => self.soft += 1,
+            FilterDecision::Control => self.control += 1,
+            FilterDecision::Kept => self.kept += 1,
+        }
+    }
+
+    /// Fold another shard's tally in (exact integer adds).
+    pub fn merge(&mut self, other: &FilterTally) {
+        self.engagement += other.engagement;
+        self.soft += other.soft;
+        self.control += other.control;
+        self.kept += other.kept;
+    }
+
+    /// Total dropped.
+    pub fn dropped(&self) -> u64 {
+        self.engagement + self.soft + self.control
+    }
+
+    /// The counts a materializing [`FilterReport`] reduces to — the
+    /// overlap the streaming-equivalence tests compare.
+    pub fn of_report(report: &FilterReport) -> FilterTally {
+        FilterTally {
+            engagement: report.engagement as u64,
+            soft: report.soft as u64,
+            control: report.control as u64,
+            kept: report.kept.len() as u64,
+        }
+    }
+}
+
 /// The paper's default pipeline, in its order. A participant is
 /// attributed to the *first* filter that catches them.
-pub fn paper_pipeline() -> Vec<Box<dyn ParticipantFilter>> {
+pub fn paper_pipeline() -> FilterPipeline {
     vec![
         Box::new(ActionsFilter::default()),
         Box::new(FocusFilter::default()),
@@ -154,11 +223,37 @@ pub fn paper_pipeline() -> Vec<Box<dyn ParticipantFilter>> {
     ]
 }
 
+/// Run the pipeline over one participant and bump the filter counters.
+///
+/// Both engines funnel through this: the materializing [`filter_timeline`]
+/// per retained participant, the streaming engine inline per shard — which
+/// is what keeps their `counter_fingerprint`s byte-identical.
+pub fn decide(
+    filters: &[Box<dyn ParticipantFilter + Send + Sync>],
+    sessions: &[VideoSession],
+    controls: &[&ControlRow],
+) -> FilterDecision {
+    let caught = filters.iter().find(|f| f.drops(sessions, controls));
+    let decision = match caught.map(|f| f.name()) {
+        Some("engagement") => FilterDecision::Engagement,
+        Some("soft") => FilterDecision::Soft,
+        Some("control") => FilterDecision::Control,
+        Some(other) => unreachable!("unknown filter bucket {other}"),
+        None => FilterDecision::Kept,
+    };
+    if let Some(name) = caught.map(|f| f.name()) {
+        eyeorg_obs::metrics::CORE_FILTER_DROPS.add(name, 1);
+    } else {
+        eyeorg_obs::metrics::CORE_PARTICIPANTS_KEPT.incr();
+    }
+    decision
+}
+
 fn run_pipeline(
     n_participants: usize,
     sessions_of: impl Fn(usize) -> Vec<VideoSession>,
     controls: &[ControlRow],
-    filters: &[Box<dyn ParticipantFilter>],
+    filters: &[Box<dyn ParticipantFilter + Send + Sync>],
 ) -> FilterReport {
     let mut report = FilterReport {
         engagement: 0,
@@ -170,19 +265,13 @@ fn run_pipeline(
         let sessions = sessions_of(pi);
         let ctrl: Vec<&ControlRow> =
             controls.iter().filter(|c| c.participant == pi).collect();
-        let caught = filters.iter().find(|f| f.drops(&sessions, &ctrl));
-        match caught.map(|f| f.name()) {
-            Some("engagement") => report.engagement += 1,
-            Some("soft") => report.soft += 1,
-            Some("control") => report.control += 1,
-            Some(other) => unreachable!("unknown filter bucket {other}"),
-            None => {
-                eyeorg_obs::metrics::CORE_PARTICIPANTS_KEPT.incr();
+        match decide(filters, &sessions, &ctrl) {
+            FilterDecision::Engagement => report.engagement += 1,
+            FilterDecision::Soft => report.soft += 1,
+            FilterDecision::Control => report.control += 1,
+            FilterDecision::Kept => {
                 report.kept.insert(pi);
             }
-        }
-        if let Some(name) = caught.map(|f| f.name()) {
-            eyeorg_obs::metrics::CORE_FILTER_DROPS.add(name, 1);
         }
     }
     report
@@ -191,7 +280,7 @@ fn run_pipeline(
 /// Apply the filter pipeline to a timeline campaign.
 pub fn filter_timeline(
     campaign: &TimelineCampaign,
-    filters: &[Box<dyn ParticipantFilter>],
+    filters: &[Box<dyn ParticipantFilter + Send + Sync>],
 ) -> FilterReport {
     run_pipeline(
         campaign.participants.len(),
@@ -202,7 +291,10 @@ pub fn filter_timeline(
 }
 
 /// Apply the filter pipeline to an A/B campaign.
-pub fn filter_ab(campaign: &AbCampaign, filters: &[Box<dyn ParticipantFilter>]) -> FilterReport {
+pub fn filter_ab(
+    campaign: &AbCampaign,
+    filters: &[Box<dyn ParticipantFilter + Send + Sync>],
+) -> FilterReport {
     run_pipeline(
         campaign.participants.len(),
         |pi| crate::campaign::ab_sessions_of(&campaign.rows, pi),

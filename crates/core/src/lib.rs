@@ -11,7 +11,13 @@
 //!   assignment, randomised A/B presentation order, control insertion.
 //! * [`builders`] — webpeg capture pipelines for the three campaign
 //!   types (PLT timeline, H1-vs-H2 A/B, ad-blocker A/B).
-//! * [`campaign`] — recruitment + serving + response collection.
+//! * [`campaign`] — recruitment + serving + response collection (the
+//!   materializing engine: full rows retained for row-level analysis).
+//! * [`stream`] — the streaming, sharded engine: the same seeded
+//!   pipeline folded shard-by-shard into bounded-memory digests —
+//!   byte-identical results, memory proportional to a shard.
+//! * [`digest`] — mergeable campaign digests and the materializing
+//!   folds that pin the two engines to each other.
 //! * [`validation`] — §3.3's hard rules: the humanness (captcha) gate.
 //! * [`filtering`] — the §4.3 validation pipeline: engagement (actions &
 //!   focus), soft rules, control questions, wisdom-of-the-crowd bands.
@@ -59,9 +65,11 @@ pub mod analysis;
 pub mod builders;
 pub mod campaign;
 pub mod dataset;
+pub mod digest;
 pub mod experiment;
 pub mod filtering;
 pub mod report;
+pub mod stream;
 pub mod validation;
 pub mod viz;
 
@@ -79,12 +87,16 @@ pub mod prelude {
         run_ab_campaign, run_timeline_campaign, AbCampaign, AbRow, AbVerdict, ControlRow,
         TimelineCampaign, TimelineRow,
     };
+    pub use crate::digest::{
+        digest_ab, digest_timeline, AbDigest, DigestParams, TimelineDigest,
+    };
     pub use crate::experiment::{AbStimulus, ExperimentConfig, TimelineStimulus};
     pub use crate::filtering::{
-        filter_ab, filter_timeline, paper_pipeline, wisdom_band, FilterReport,
-        ParticipantFilter,
+        filter_ab, filter_timeline, paper_pipeline, wisdom_band, FilterDecision, FilterPipeline,
+        FilterReport, FilterTally, ParticipantFilter,
     };
     pub use crate::dataset::{crowd_uplt_from_dataset, read_ab, read_timeline, scores_from_dataset};
     pub use crate::report::{export_ab, export_timeline, render_table1, table1_row, to_json};
-    pub use crate::validation::{captcha_gate, GateReport};
+    pub use crate::stream::{stream_ab_campaign, stream_timeline_campaign, StreamConfig};
+    pub use crate::validation::{captcha_admits, captcha_gate, GateReport};
 }

@@ -1,0 +1,422 @@
+//! The streaming, sharded campaign engine.
+//!
+//! `campaign::run_timeline_campaign` materializes every showing before
+//! the filter/analysis layers touch it, so memory grows with the crowd
+//! and the row-scanning filters go quadratic. This module runs the same
+//! seeded per-participant generation **shard by shard**: the participant
+//! range is split into fixed-size shards, each shard worker regenerates
+//! its participants from the campaign seed (`generate_one` is
+//! index-addressed, so no participant list is ever materialized), runs
+//! the gate → assignment → behaviour → perception → filter pipeline
+//! inline, and folds the results into the mergeable accumulators of
+//! [`crate::digest`]. Shards execute via `par_map_range` and merge in
+//! shard-index order; since every accumulator's state is
+//! multiset-determined, the digest — and the obs `counter_fingerprint` —
+//! is byte-identical at any thread count and any shard size, and equal
+//! to the materializing path's digest (pinned by the
+//! `streaming_equivalence` tests).
+//!
+//! ## The admitted-index pre-pass
+//!
+//! Stimulus assignment is keyed by the participant's *admitted* index
+//! (the count of gate-admitted participants before them), which depends
+//! on every earlier gate decision. A shard can't know its base offset
+//! locally, so the engine runs two passes: pass 1 counts gate
+//! admissions per shard (pure — `validation::captcha_admits` draws only
+//! from the participant's own seed stream and bumps nothing), a
+//! sequential prefix sum turns the counts into per-shard bases, and
+//! pass 2 generates, serves, filters, and folds with those bases. The
+//! regeneration cost is two cheap participant draws per index — far
+//! below one video session.
+
+use eyeorg_crowd::{behavior, timeline_control_passes, timeline_response_shared, AbAnswer,
+    RecruitmentService, TestKind};
+use eyeorg_stats::{par_map_range, resolve_threads, Seed};
+use eyeorg_video::FrameTimeline;
+
+use crate::analysis::BehaviorPoint;
+use crate::campaign::{AbVerdict, ControlRow};
+use crate::digest::{
+    AbDigest, AbStimulusDigest, BehaviorDigest, ControlTally, DigestParams, StimulusDigest,
+    TimelineDigest,
+};
+use crate::experiment::{a_on_left, assign, AbStimulus, ExperimentConfig, TimelineStimulus};
+use crate::filtering::{decide, FilterDecision, FilterTally, ParticipantFilter};
+
+/// Sharding configuration for the streaming engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Participants per shard. Memory is proportional to this (plus
+    /// the fixed accumulator footprint), never to the crowd size.
+    pub shard_size: usize,
+    /// Accumulator sizing (must match the digest it is compared with).
+    pub params: DigestParams,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig { shard_size: 4096, params: DigestParams::default() }
+    }
+}
+
+/// One shard's fold of a timeline campaign.
+struct TlShard {
+    stimuli: Vec<StimulusDigest>,
+    behavior: BehaviorDigest,
+    filters: FilterTally,
+    controls: ControlTally,
+    admitted: u64,
+    rejected: u64,
+    collected: u64,
+    skipped: u64,
+}
+
+/// Run a timeline campaign through the streaming engine: `n`
+/// participants from `service`, gated, served, filtered by `filters`,
+/// and folded into a [`TimelineDigest`] — without materializing rows.
+///
+/// Byte-identical to `run_timeline_campaign` + `filter_timeline` +
+/// `digest_timeline` on the same inputs (digest *and* counter
+/// fingerprint), at any thread count and shard size.
+pub fn stream_timeline_campaign(
+    stimuli: &[TimelineStimulus],
+    service: &dyn RecruitmentService,
+    n_participants: usize,
+    cfg: &ExperimentConfig,
+    filters: &[Box<dyn ParticipantFilter + Send + Sync>],
+    seed: Seed,
+    sc: &StreamConfig,
+) -> TimelineDigest {
+    assert!(!stimuli.is_empty(), "campaign needs stimuli");
+    let _t = eyeorg_obs::phase_timer("core.stream_timeline");
+    let threads = resolve_threads(cfg.threads);
+    let shard = sc.shard_size.max(1);
+    let shards = n_participants.div_ceil(shard);
+    let pop = service.population();
+    let recruit_seed = seed.derive("recruit");
+    let assign_seed = seed.derive("timeline");
+
+    // Pass 1: gate admissions per shard (pure; no counters).
+    let bases = admitted_bases(shards, shard, n_participants, threads, &pop, recruit_seed);
+
+    // Shared read-only frame timelines, as in the parallel engine.
+    let frames: Vec<FrameTimeline> = par_map_range(stimuli.len(), threads, |si| {
+        let mut tl = FrameTimeline::of(&stimuli[si].video);
+        tl.precompute_rewinds();
+        tl
+    });
+
+    // Pass 2: generate, serve, filter, fold.
+    let folds: Vec<TlShard> = par_map_range(shards, threads, |s| {
+        let lo = s * shard;
+        let hi = (lo + shard).min(n_participants);
+        let mut fold = TlShard {
+            stimuli: stimuli
+                .iter()
+                .map(|st| {
+                    StimulusDigest::new(&st.name, st.video.duration().as_secs_f64(), &sc.params)
+                })
+                .collect(),
+            behavior: BehaviorDigest::default(),
+            filters: FilterTally::default(),
+            controls: ControlTally::default(),
+            admitted: 0,
+            rejected: 0,
+            collected: 0,
+            skipped: 0,
+        };
+        let mut pi = bases[s];
+        for i in lo..hi {
+            let p = pop.generate_one(recruit_seed, i as u64);
+            if !crate::validation::captcha_admits(&p) {
+                fold.rejected += 1;
+                continue;
+            }
+            let my_pi = pi;
+            pi += 1;
+            fold.admitted += 1;
+            let picks =
+                assign(assign_seed, my_pi, stimuli.len(), cfg.videos_per_participant);
+            let mut sessions = Vec::with_capacity(picks.len());
+            let mut responses: Vec<(usize, f64)> = Vec::with_capacity(picks.len());
+            for &si in &picks {
+                let label = format!("tl-{si}");
+                let video = &stimuli[si].video;
+                let session = behavior::video_session(video, &p, TestKind::Timeline, &label);
+                if session.skipped {
+                    fold.skipped += 1;
+                } else {
+                    let resp = timeline_response_shared(video, &frames[si], &p, &label);
+                    fold.collected += 1;
+                    responses.push((si, resp.submitted.as_secs_f64()));
+                }
+                sessions.push(session);
+            }
+            let control = cfg.with_controls.then(|| {
+                let passed = timeline_control_passes(&p, &format!("tl-{}", picks[0]));
+                ControlRow { participant: my_pi as usize, passed }
+            });
+            if let Some(c) = &control {
+                fold.controls.record(c.passed);
+            }
+            let ctrl_refs: Vec<&ControlRow> = control.iter().collect();
+            let d = decide(filters, &sessions, &ctrl_refs);
+            fold.filters.record(d);
+            if d == FilterDecision::Kept {
+                for &(si, secs) in &responses {
+                    fold.stimuli[si].push(secs);
+                }
+            }
+            fold.behavior.push(&behavior_point_of(my_pi as usize, &sessions, &p));
+        }
+        bump_shard_counters(&fold);
+        fold
+    });
+
+    // Order-pinned merge (the accumulators are multiset-determined, so
+    // the pinning is belt-and-braces on top of exact associativity).
+    let mut digest = TimelineDigest {
+        stimuli: stimuli
+            .iter()
+            .map(|st| StimulusDigest::new(&st.name, st.video.duration().as_secs_f64(), &sc.params))
+            .collect(),
+        recruited: n_participants as u64,
+        admitted: 0,
+        rejected: 0,
+        recruitment_cost_usd: service.cost_per_participant() * n_participants as f64,
+        recruitment_duration_secs: if n_participants == 0 {
+            0.0
+        } else {
+            service.arrival(n_participants - 1).as_secs_f64()
+        },
+        responses_collected: 0,
+        responses_skipped: 0,
+        behavior: BehaviorDigest::default(),
+        filters: FilterTally::default(),
+        controls: ControlTally::default(),
+    };
+    for fold in &folds {
+        for (acc, shard_acc) in digest.stimuli.iter_mut().zip(&fold.stimuli) {
+            acc.merge(shard_acc);
+        }
+        digest.behavior.merge(&fold.behavior);
+        digest.filters.merge(&fold.filters);
+        digest.controls.merge(&fold.controls);
+        digest.admitted += fold.admitted;
+        digest.rejected += fold.rejected;
+        digest.responses_collected += fold.collected;
+        digest.responses_skipped += fold.skipped;
+    }
+    digest
+}
+
+fn bump_shard_counters(fold: &TlShard) {
+    eyeorg_obs::metrics::CORE_GATE_ADMITTED.add(fold.admitted);
+    eyeorg_obs::metrics::CORE_GATE_REJECTED.add(fold.rejected);
+    eyeorg_obs::metrics::CORE_RESPONSES_COLLECTED.add(fold.collected);
+    eyeorg_obs::metrics::CORE_RESPONSES_SKIPPED.add(fold.skipped);
+    if eyeorg_obs::enabled() {
+        // Zero-adds materialise the per-site label, mirroring the
+        // materializing path (`digest_timeline`).
+        for s in &fold.stimuli {
+            eyeorg_obs::metrics::CORE_RETAINED_PER_SITE.add(&s.name, s.retained());
+        }
+    }
+}
+
+/// One shard's fold of an A/B campaign.
+struct AbShard {
+    stimuli: Vec<AbStimulusDigest>,
+    behavior: BehaviorDigest,
+    filters: FilterTally,
+    controls: ControlTally,
+    admitted: u64,
+    rejected: u64,
+    cast: u64,
+    skipped: u64,
+}
+
+/// Run an A/B campaign through the streaming engine. Byte-identical to
+/// `run_ab_campaign` + `filter_ab` + `digest_ab` on the same inputs.
+pub fn stream_ab_campaign(
+    stimuli: &[AbStimulus],
+    service: &dyn RecruitmentService,
+    n_participants: usize,
+    cfg: &ExperimentConfig,
+    filters: &[Box<dyn ParticipantFilter + Send + Sync>],
+    seed: Seed,
+    sc: &StreamConfig,
+) -> AbDigest {
+    assert!(!stimuli.is_empty(), "campaign needs stimuli");
+    let _t = eyeorg_obs::phase_timer("core.stream_ab");
+    let threads = resolve_threads(cfg.threads);
+    let shard = sc.shard_size.max(1);
+    let shards = n_participants.div_ceil(shard);
+    let pop = service.population();
+    let recruit_seed = seed.derive("recruit");
+    let assign_seed = seed.derive("ab-assign");
+    let side_seed = seed.derive("ab-side");
+
+    let bases = admitted_bases(shards, shard, n_participants, threads, &pop, recruit_seed);
+
+    let folds: Vec<AbShard> = par_map_range(shards, threads, |s| {
+        let lo = s * shard;
+        let hi = (lo + shard).min(n_participants);
+        let mut fold = AbShard {
+            stimuli: stimuli.iter().map(|st| AbStimulusDigest::new(&st.name)).collect(),
+            behavior: BehaviorDigest::default(),
+            filters: FilterTally::default(),
+            controls: ControlTally::default(),
+            admitted: 0,
+            rejected: 0,
+            cast: 0,
+            skipped: 0,
+        };
+        let mut pi = bases[s];
+        for i in lo..hi {
+            let p = pop.generate_one(recruit_seed, i as u64);
+            if !crate::validation::captcha_admits(&p) {
+                fold.rejected += 1;
+                continue;
+            }
+            let my_pi = pi;
+            pi += 1;
+            fold.admitted += 1;
+            let picks = assign(assign_seed, my_pi, stimuli.len(), cfg.videos_per_participant);
+            let mut sessions = Vec::with_capacity(picks.len());
+            let mut verdicts: Vec<(usize, AbVerdict)> = Vec::with_capacity(picks.len());
+            for &si in &picks {
+                let label = format!("ab-{si}");
+                let a_left = a_on_left(side_seed, my_pi, si);
+                let st = &stimuli[si];
+                let longer = if st.a.duration() >= st.b.duration() { &st.a } else { &st.b };
+                let session = behavior::video_session(longer, &p, TestKind::Ab, &label);
+                let acc = &mut fold.stimuli[si];
+                acc.shows += 1;
+                if a_left {
+                    acc.a_left_shows += 1;
+                }
+                if session.skipped {
+                    fold.skipped += 1;
+                } else {
+                    let (left, right) = if a_left { (&st.a, &st.b) } else { (&st.b, &st.a) };
+                    let answer = eyeorg_crowd::ab_response(left, right, &p, &label);
+                    fold.cast += 1;
+                    verdicts.push((
+                        si,
+                        match (answer, a_left) {
+                            (AbAnswer::NoDifference, _) => AbVerdict::NoDifference,
+                            (AbAnswer::Left, true) | (AbAnswer::Right, false) => {
+                                AbVerdict::AFaster
+                            }
+                            (AbAnswer::Left, false) | (AbAnswer::Right, true) => {
+                                AbVerdict::BFaster
+                            }
+                        },
+                    ));
+                }
+                sessions.push(session);
+            }
+            let control = cfg.with_controls.then(|| {
+                let ctrl = picks[0];
+                let (_, passed) =
+                    eyeorg_crowd::ab_control(&stimuli[ctrl].a, &p, &format!("ab-{ctrl}"));
+                ControlRow { participant: my_pi as usize, passed }
+            });
+            if let Some(c) = &control {
+                fold.controls.record(c.passed);
+            }
+            let ctrl_refs: Vec<&ControlRow> = control.iter().collect();
+            let d = decide(filters, &sessions, &ctrl_refs);
+            fold.filters.record(d);
+            if d == FilterDecision::Kept {
+                for &(si, v) in &verdicts {
+                    fold.stimuli[si].tally.record(v);
+                }
+            }
+            fold.behavior.push(&behavior_point_of(my_pi as usize, &sessions, &p));
+        }
+        eyeorg_obs::metrics::CORE_GATE_ADMITTED.add(fold.admitted);
+        eyeorg_obs::metrics::CORE_GATE_REJECTED.add(fold.rejected);
+        eyeorg_obs::metrics::CORE_AB_VOTES.add(fold.cast);
+        eyeorg_obs::metrics::CORE_AB_SKIPS.add(fold.skipped);
+        fold
+    });
+
+    let mut digest = AbDigest {
+        stimuli: stimuli.iter().map(|st| AbStimulusDigest::new(&st.name)).collect(),
+        recruited: n_participants as u64,
+        admitted: 0,
+        rejected: 0,
+        recruitment_cost_usd: service.cost_per_participant() * n_participants as f64,
+        recruitment_duration_secs: if n_participants == 0 {
+            0.0
+        } else {
+            service.arrival(n_participants - 1).as_secs_f64()
+        },
+        votes_cast: 0,
+        votes_skipped: 0,
+        behavior: BehaviorDigest::default(),
+        filters: FilterTally::default(),
+        controls: ControlTally::default(),
+    };
+    for fold in &folds {
+        for (acc, shard_acc) in digest.stimuli.iter_mut().zip(&fold.stimuli) {
+            acc.merge(shard_acc);
+        }
+        digest.behavior.merge(&fold.behavior);
+        digest.filters.merge(&fold.filters);
+        digest.controls.merge(&fold.controls);
+        digest.admitted += fold.admitted;
+        digest.rejected += fold.rejected;
+        digest.votes_cast += fold.cast;
+        digest.votes_skipped += fold.skipped;
+    }
+    digest
+}
+
+/// Pass 1 of both engines: gate admissions per shard, prefix-summed
+/// into each shard's base admitted index.
+fn admitted_bases(
+    shards: usize,
+    shard: usize,
+    n_participants: usize,
+    threads: usize,
+    pop: &eyeorg_crowd::PopulationProfile,
+    recruit_seed: Seed,
+) -> Vec<u64> {
+    let per_shard: Vec<u64> = par_map_range(shards, threads, |s| {
+        let lo = s * shard;
+        let hi = (lo + shard).min(n_participants);
+        (lo..hi)
+            .filter(|&i| {
+                crate::validation::captcha_admits(&pop.generate_one(recruit_seed, i as u64))
+            })
+            .count() as u64
+    });
+    let mut bases = Vec::with_capacity(shards);
+    let mut acc = 0u64;
+    for &a in &per_shard {
+        bases.push(acc);
+        acc += a;
+    }
+    bases
+}
+
+fn behavior_point_of(
+    participant: usize,
+    sessions: &[eyeorg_crowd::VideoSession],
+    p: &eyeorg_crowd::Participant,
+) -> BehaviorPoint {
+    let total = eyeorg_crowd::total_time_on_site(sessions, p);
+    BehaviorPoint {
+        participant,
+        minutes_on_site: total.as_secs_f64() / 60.0,
+        actions: sessions.iter().map(|s| s.actions()).sum(),
+        out_of_focus_secs: sessions.iter().map(|s| s.out_of_focus.as_secs_f64()).sum(),
+        max_video_load_secs: sessions
+            .iter()
+            .map(|s| s.video_load.as_secs_f64())
+            .fold(0.0, f64::max),
+    }
+}

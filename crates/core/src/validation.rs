@@ -31,18 +31,29 @@ pub struct GateReport {
     pub rejected: usize,
 }
 
+/// Whether one participant passes the "I'm not a robot" gate.
+///
+/// Pure and side-effect free (the decision draws only from the
+/// participant's own derived seed stream), so the sharded streaming
+/// engine can evaluate it in its counting pre-pass without touching the
+/// obs counters; [`captcha_gate`] applies it to a whole cohort and
+/// reports totals.
+pub fn captcha_admits(p: &Participant) -> bool {
+    let mut rng = Rng::seed_from_u64(p.seed.derive("captcha").value());
+    let pass_rate = if p.class == ParticipantClass::Bot {
+        BOT_PASS_RATE
+    } else {
+        HUMAN_PASS_RATE
+    };
+    rng.random_bool(pass_rate)
+}
+
 /// Apply the "I'm not a robot" gate to a recruited cohort.
 pub fn captcha_gate(participants: Vec<Participant>) -> GateReport {
     let mut admitted = Vec::with_capacity(participants.len());
     let mut rejected = 0;
     for p in participants {
-        let mut rng = Rng::seed_from_u64(p.seed.derive("captcha").value());
-        let pass_rate = if p.class == ParticipantClass::Bot {
-            BOT_PASS_RATE
-        } else {
-            HUMAN_PASS_RATE
-        };
-        if rng.random_bool(pass_rate) {
+        if captcha_admits(&p) {
             admitted.push(p);
         } else {
             rejected += 1;

@@ -1,0 +1,154 @@
+//! Streaming-vs-materializing equivalence: the sharded engine must
+//! reproduce the materializing engine's digest **byte for byte** — for
+//! every crowd size, every shard size (including shards larger than the
+//! crowd), and every thread count. Counter-fingerprint equivalence
+//! lives in `streaming_counters.rs` (its own process, because the obs
+//! registry is global).
+
+use std::sync::OnceLock;
+
+use eyeorg_browser::BrowserConfig;
+use eyeorg_core::prelude::*;
+use eyeorg_crowd::CrowdFlower;
+use eyeorg_stats::Seed;
+use eyeorg_video::CaptureConfig;
+use eyeorg_workload::alexa_like;
+
+fn capture() -> CaptureConfig {
+    CaptureConfig { repeats: 2, ..CaptureConfig::default() }
+}
+
+fn tl_stimuli() -> &'static Vec<TimelineStimulus> {
+    static STIMULI: OnceLock<Vec<TimelineStimulus>> = OnceLock::new();
+    STIMULI.get_or_init(|| {
+        let sites = alexa_like(Seed(951), 4);
+        timeline_stimuli(&sites, &BrowserConfig::new(), &capture(), Seed(952))
+    })
+}
+
+fn ab_stimuli() -> &'static Vec<AbStimulus> {
+    static STIMULI: OnceLock<Vec<AbStimulus>> = OnceLock::new();
+    STIMULI.get_or_init(|| {
+        let sites = alexa_like(Seed(961), 4);
+        protocol_ab_stimuli(&sites, &BrowserConfig::new(), &capture(), Seed(962))
+    })
+}
+
+fn cfg(threads: usize) -> ExperimentConfig {
+    ExperimentConfig { threads, ..ExperimentConfig::default() }
+}
+
+fn stream_cfg(shard_size: usize) -> StreamConfig {
+    StreamConfig { shard_size, ..StreamConfig::default() }
+}
+
+#[test]
+fn timeline_streaming_matches_materializing_across_n_and_shard_sizes() {
+    let stimuli = tl_stimuli();
+    for n in [1usize, 7, 100, 1000] {
+        let campaign =
+            run_timeline_campaign(stimuli.clone(), &CrowdFlower, n, &cfg(0), Seed(970));
+        let report = filter_timeline(&campaign, &paper_pipeline());
+        let reference =
+            digest_timeline(&campaign, &report, n, &DigestParams::default()).fingerprint();
+        for shard in [1usize, 16, 64, n + 1] {
+            let digest = stream_timeline_campaign(
+                stimuli,
+                &CrowdFlower,
+                n,
+                &cfg(0),
+                &paper_pipeline(),
+                Seed(970),
+                &stream_cfg(shard),
+            );
+            assert_eq!(digest.fingerprint(), reference, "n={n} shard={shard}");
+            // The filter report's counts are part of the digest, but
+            // pin the overlap explicitly too.
+            assert_eq!(digest.filters, FilterTally::of_report(&report), "n={n} shard={shard}");
+        }
+    }
+}
+
+#[test]
+fn ab_streaming_matches_materializing_across_n_and_shard_sizes() {
+    let stimuli = ab_stimuli();
+    for n in [1usize, 7, 100, 1000] {
+        let campaign = run_ab_campaign(stimuli.clone(), &CrowdFlower, n, &cfg(0), Seed(980));
+        let report = filter_ab(&campaign, &paper_pipeline());
+        let reference = digest_ab(&campaign, &report, n).fingerprint();
+        for shard in [1usize, 64, n + 1] {
+            let digest = stream_ab_campaign(
+                stimuli,
+                &CrowdFlower,
+                n,
+                &cfg(0),
+                &paper_pipeline(),
+                Seed(980),
+                &stream_cfg(shard),
+            );
+            assert_eq!(digest.fingerprint(), reference, "n={n} shard={shard}");
+            assert_eq!(digest.filters, FilterTally::of_report(&report), "n={n} shard={shard}");
+        }
+    }
+}
+
+#[test]
+fn streaming_digest_identical_across_thread_counts() {
+    let stimuli = tl_stimuli();
+    let reference = stream_timeline_campaign(
+        stimuli,
+        &CrowdFlower,
+        300,
+        &cfg(1),
+        &paper_pipeline(),
+        Seed(990),
+        &stream_cfg(32),
+    )
+    .fingerprint();
+    for threads in [2usize, 4, 0] {
+        let digest = stream_timeline_campaign(
+            stimuli,
+            &CrowdFlower,
+            300,
+            &cfg(threads),
+            &paper_pipeline(),
+            Seed(990),
+            &stream_cfg(32),
+        );
+        assert_eq!(digest.fingerprint(), reference, "threads={threads}");
+    }
+}
+
+#[test]
+fn streaming_digest_band_means_match_analysis_at_small_n() {
+    // Below the sketch cap the digest's banded means must be *exactly*
+    // the figure pipeline's numbers (`analysis::mean_uplt`) — the
+    // "exact small-n fallback keeps figure outputs unchanged" claim.
+    let stimuli = tl_stimuli();
+    let n = 200;
+    let campaign = run_timeline_campaign(stimuli.clone(), &CrowdFlower, n, &cfg(0), Seed(995));
+    let report = filter_timeline(&campaign, &paper_pipeline());
+    let digest = stream_timeline_campaign(
+        stimuli,
+        &CrowdFlower,
+        n,
+        &cfg(0),
+        &paper_pipeline(),
+        Seed(995),
+        &StreamConfig::default(),
+    );
+    for band in [None, Some((25.0, 75.0)), Some((10.0, 90.0))] {
+        let expected = eyeorg_core::analysis::mean_uplt(&campaign, &report, band);
+        let got = digest.mean_uplt(band);
+        assert_eq!(expected.len(), got.len());
+        for (si, (e, g)) in expected.iter().zip(&got).enumerate() {
+            match (e, g) {
+                (None, None) => {}
+                (Some(e), Some(g)) => {
+                    assert!((e - g).abs() < 1e-9, "band {band:?} site {si}: {e} vs {g}")
+                }
+                _ => panic!("band {band:?} site {si}: {e:?} vs {g:?}"),
+            }
+        }
+    }
+}

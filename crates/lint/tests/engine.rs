@@ -80,6 +80,30 @@ fn malformed_waivers_are_findings() {
     assert_eq!(lines, vec![3, 8]);
 }
 
+/// The streaming accumulator modules (PR 5) feed digest fingerprints
+/// directly, so D1 must apply to each of them — a hash collection
+/// sneaking into an accumulator would make shard merges order-seeded.
+#[test]
+fn streaming_accumulator_modules_are_d1_covered() {
+    let bad = "use std::collections::HashMap;\n\
+               pub fn tally(xs: &[u32]) -> usize {\n\
+                   let mut m: HashMap<u32, u32> = HashMap::new();\n\
+                   for x in xs { *m.entry(*x).or_insert(0) += 1; }\n\
+                   m.len()\n\
+               }\n";
+    for path in
+        ["crates/stats/src/stream.rs", "crates/core/src/digest.rs", "crates/core/src/stream.rs"]
+    {
+        let meta = FileMeta::classify(path);
+        let report = lint_source(&meta, bad);
+        assert!(
+            codes(&report).contains(&"D1"),
+            "{path} must be under D1 coverage, got {:?}",
+            report.diagnostics
+        );
+    }
+}
+
 /// The gate the CI pass enforces: the real tree is clean. Keeping this
 /// as a test means `cargo test` alone catches a regression even when
 /// the lint binary is not run.

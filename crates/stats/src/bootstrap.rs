@@ -35,8 +35,12 @@ impl XorShift {
         x
     }
 
+    /// Uniform index in `[0, n)` via the Lehmer high-product mapping
+    /// `(next · n) >> 64`: unlike `next % n`, whose low-value bias scales
+    /// with `n`, the multiply spreads the full 64-bit draw evenly across
+    /// the `n` buckets (residual bias ≤ n/2⁶⁴, unmeasurable here).
     fn below(&mut self, n: usize) -> usize {
-        (self.next() % n as u64) as usize
+        (((self.next() as u128) * (n as u128)) >> 64) as usize
     }
 }
 
@@ -69,12 +73,15 @@ pub fn bootstrap_ci(
             stats.push(v);
         }
     }
-    if stats.len() < resamples / 2 {
+    if stats.is_empty() || stats.len() < resamples / 2 {
         return None;
     }
+    // Sort the resample statistics once; both CI bounds read the same
+    // sorted vector (percentile() would re-sort it per bound).
+    stats.sort_by(f64::total_cmp);
     let alpha = (1.0 - level) / 2.0;
-    let lo = crate::quantile::percentile(&stats, alpha * 100.0)?;
-    let hi = crate::quantile::percentile(&stats, (1.0 - alpha) * 100.0)?;
+    let lo = crate::quantile::percentile_sorted(&stats, alpha * 100.0);
+    let hi = crate::quantile::percentile_sorted(&stats, (1.0 - alpha) * 100.0);
     Some(ConfidenceInterval { lo, point, hi, level })
 }
 
@@ -106,14 +113,15 @@ pub fn bootstrap_pearson_ci(
             stats.push(r);
         }
     }
-    if stats.len() < resamples / 2 {
+    if stats.is_empty() || stats.len() < resamples / 2 {
         return None;
     }
+    stats.sort_by(f64::total_cmp);
     let alpha = (1.0 - level) / 2.0;
     Some(ConfidenceInterval {
-        lo: crate::quantile::percentile(&stats, alpha * 100.0)?,
+        lo: crate::quantile::percentile_sorted(&stats, alpha * 100.0),
         point,
-        hi: crate::quantile::percentile(&stats, (1.0 - alpha) * 100.0)?,
+        hi: crate::quantile::percentile_sorted(&stats, (1.0 - alpha) * 100.0),
         level,
     })
 }
@@ -161,6 +169,26 @@ mod tests {
         assert!(ci.point > 0.9);
         assert!(ci.lo > 0.8, "strong correlation, tight lower bound: {ci:?}");
         assert!(ci.lo <= ci.point && ci.point <= ci.hi);
+    }
+
+    #[test]
+    fn index_draws_stay_in_range_and_spread_evenly() {
+        // The Lehmer high-product mapping must hit every bucket of a
+        // small n roughly uniformly and never produce an out-of-range
+        // index (the old `% n` draw was biased toward low indices for
+        // n not dividing 2^64; at these n the bias is tiny but the
+        // range contract is what the resampler relies on).
+        let mut rng = XorShift(Seed(9).derive("bootstrap").value() | 1);
+        let n = 10;
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            let i = rng.below(n);
+            assert!(i < n);
+            counts[i] += 1;
+        }
+        for &c in &counts {
+            assert!((700..=1300).contains(&c), "{counts:?}");
+        }
     }
 
     #[test]

@@ -62,6 +62,39 @@ impl Histogram {
         Histogram::with_bins(sample, lo, hi, bins)
     }
 
+    /// An empty histogram over `[lo, hi]` with `bins` equal-width bins —
+    /// the streaming-accumulator constructor ([`Histogram::with_bins`]
+    /// minus the eager fill). Returns `None` under the same conditions.
+    pub fn empty(lo: f64, hi: f64, bins: usize) -> Option<Histogram> {
+        Histogram::with_bins(&[], lo, hi, bins)
+    }
+
+    /// Record one observation (out-of-range and non-finite values count
+    /// toward [`Histogram::outside`], exactly as batch construction does).
+    pub fn record(&mut self, v: f64) {
+        self.add(v);
+    }
+
+    /// Fold another histogram's counts into this one. Integer bin adds
+    /// are exact and associative, so any merge tree over the same
+    /// observations yields identical counts — the property the sharded
+    /// campaign engine's order-pinned merge relies on. Returns `false`
+    /// (leaving `self` untouched) when the binning configurations differ.
+    #[must_use]
+    pub fn merge(&mut self, other: &Histogram) -> bool {
+        if self.lo.to_bits() != other.lo.to_bits()
+            || self.hi.to_bits() != other.hi.to_bits()
+            || self.counts.len() != other.counts.len()
+        {
+            return false;
+        }
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.outside += other.outside;
+        true
+    }
+
     fn add(&mut self, v: f64) {
         if !v.is_finite() || v < self.lo || v > self.hi {
             self.outside += 1;
@@ -181,6 +214,32 @@ mod tests {
         let h = Histogram::auto(&sample).unwrap();
         assert!(h.counts().len() >= 4 && h.counts().len() <= 64, "{}", h.counts().len());
         assert_eq!(h.total(), 1000);
+    }
+
+    #[test]
+    fn merge_matches_batch_construction() {
+        let all = [0.1, 0.5, 1.0, 1.5, 1.9, -0.5, 2.5];
+        let batch = Histogram::with_bins(&all, 0.0, 2.0, 4).unwrap();
+        let mut left = Histogram::empty(0.0, 2.0, 4).unwrap();
+        let mut right = Histogram::empty(0.0, 2.0, 4).unwrap();
+        for &v in &all[..3] {
+            left.record(v);
+        }
+        for &v in &all[3..] {
+            right.record(v);
+        }
+        assert!(left.merge(&right));
+        assert_eq!(left, batch);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_binning() {
+        let mut a = Histogram::empty(0.0, 2.0, 4).unwrap();
+        let b = Histogram::empty(0.0, 2.0, 8).unwrap();
+        let c = Histogram::empty(0.0, 3.0, 4).unwrap();
+        assert!(!a.merge(&b));
+        assert!(!a.merge(&c));
+        assert_eq!(a, Histogram::empty(0.0, 2.0, 4).unwrap());
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //! * [`hist`] — histograms with fixed-width and Freedman–Diaconis binning.
 //! * [`modes`] — peak detection and distribution-shape classification
 //!   (tight-unimodal / spread-unimodal / multimodal, as in Fig. 9).
+//! * [`stream`] — streaming, mergeable accumulators (exact fixed-point
+//!   moments, bounded deterministic quantile sketch) for the sharded
+//!   campaign engine.
 //! * [`bootstrap`] — seeded bootstrap confidence intervals.
 //! * [`seed`] — deterministic seed derivation used across the workspace.
 //! * [`rng`] — the workspace's internal seeded generator (xoshiro256++).
@@ -45,6 +48,7 @@ pub mod par;
 pub mod quantile;
 pub mod rng;
 pub mod seed;
+pub mod stream;
 pub mod summary;
 
 pub use bootstrap::{bootstrap_ci, bootstrap_pearson_ci, ConfidenceInterval};
@@ -59,4 +63,5 @@ pub use par::{
 pub use quantile::{percentile, percentile_band};
 pub use rng::Rng;
 pub use seed::Seed;
+pub use stream::{Moments, QuantileSketch};
 pub use summary::Summary;

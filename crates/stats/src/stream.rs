@@ -1,0 +1,538 @@
+//! Streaming, mergeable accumulators for the sharded campaign engine.
+//!
+//! The materializing campaign pipeline retains every showing before
+//! analysis, so memory grows with the crowd. The streaming engine
+//! (`eyeorg-core`'s `stream` module) instead folds each participant
+//! shard into the accumulators here and merges shards; for that to keep
+//! the workspace's determinism contract — byte-identical results at any
+//! thread count *and any shard size* — every accumulator's final state
+//! must be a pure function of the multiset of observations, independent
+//! of push order and merge-tree shape.
+//!
+//! * [`Moments`] carries **exact fixed-point integer sums** rather than
+//!   floating Welford state: integer addition is associative, so Chan's
+//!   pairwise combine is exact and the mean/variance read-outs (computed
+//!   once, at query time, from the integer state) cannot depend on how
+//!   the sample was sharded. Classic floating Welford/Chan merging would
+//!   drift by rounding order and break the byte-identical contract.
+//! * [`QuantileSketch`] is exact below a construction-time cap (small
+//!   campaigns keep today's figure outputs unchanged) and degrades to
+//!   fixed-bin counts over a known value range beyond it, with the error
+//!   bounded by one bin width. Spilling depends only on the total count,
+//!   so the final state is again multiset-determined.
+//! * Mergeable fixed-bin histograms live in [`crate::hist`]
+//!   ([`crate::Histogram::merge`]).
+
+use crate::quantile::percentile_sorted;
+
+/// Fixed-point scale for [`Moments`]: values are quantized to `2⁻³²`
+/// before summation (sub-nanosecond resolution for second-valued
+/// inputs), squares likewise.
+const SCALE: f64 = 4_294_967_296.0; // 2^32
+
+/// Largest representable magnitude for [`Moments::push`]: `2²⁰` (≈ 1.05
+/// million — about 12 days in seconds, far beyond any campaign
+/// quantity). The bound keeps the per-item quantized square below
+/// `2⁷²`, so the `i128` running sum cannot overflow before `2⁵⁵` items.
+pub const MOMENTS_MAX_ABS: f64 = 1_048_576.0; // 2^20
+
+/// Streaming sample moments with an exact, associative merge.
+///
+/// Internally the accumulator holds `Σ round(v·2³²)` and
+/// `Σ round(v²·2³²)` as `i128` plus exact `min`/`max`; mean, variance,
+/// and standard deviation are derived at query time. Two `Moments` over
+/// disjoint sub-samples merge into exactly the state a single pass over
+/// the union would produce — the property the sharded campaign engine's
+/// byte-identical contract is built on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Moments {
+    n: u64,
+    qsum: i128,
+    qsumsq: i128,
+    min: f64,
+    max: f64,
+    /// Non-finite or out-of-magnitude observations, counted but not
+    /// folded (campaign quantities never hit this; it exists so a bug
+    /// upstream surfaces as a visible count, not silent NaN poisoning).
+    rejected: u64,
+}
+
+impl Default for Moments {
+    fn default() -> Self {
+        Moments::new()
+    }
+}
+
+impl Moments {
+    /// An empty accumulator.
+    pub fn new() -> Moments {
+        Moments {
+            n: 0,
+            qsum: 0,
+            qsumsq: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            rejected: 0,
+        }
+    }
+
+    /// Fold one observation.
+    pub fn push(&mut self, v: f64) {
+        if !v.is_finite() || v.abs() > MOMENTS_MAX_ABS {
+            self.rejected += 1;
+            return;
+        }
+        self.n += 1;
+        self.qsum += (v * SCALE).round() as i128;
+        self.qsumsq += (v * v * SCALE).round() as i128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another accumulator's state into this one (Chan-style
+    /// combine, exact because the carried sums are integers).
+    pub fn merge(&mut self, other: &Moments) {
+        self.n += other.n;
+        self.qsum += other.qsum;
+        self.qsumsq += other.qsumsq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.rejected += other.rejected;
+    }
+
+    /// Accepted observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Observations rejected as non-finite or out of magnitude.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Sample mean (`None` when empty). Accurate to the `2⁻³²`
+    /// quantization — far below anything the reports print.
+    pub fn mean(&self) -> Option<f64> {
+        if self.n == 0 {
+            return None;
+        }
+        Some(self.qsum as f64 / SCALE / self.n as f64)
+    }
+
+    /// Unbiased (n−1) sample variance; `None` with fewer than two
+    /// observations.
+    pub fn variance(&self) -> Option<f64> {
+        if self.n < 2 {
+            return None;
+        }
+        let n = self.n as f64;
+        let sum = self.qsum as f64 / SCALE;
+        let sumsq = self.qsumsq as f64 / SCALE;
+        Some(((sumsq - sum * sum / n) / (n - 1.0)).max(0.0))
+    }
+
+    /// Sample standard deviation.
+    pub fn stdev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Smallest accepted observation.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest accepted observation.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+/// A bounded, deterministic quantile sketch.
+///
+/// Below `exact_cap` total observations the sketch keeps the sorted
+/// sample itself and [`QuantileSketch::quantile`] is **exact** — the
+/// same linear-interpolation percentile the figure pipeline computes
+/// today, so small-campaign outputs are unchanged. Past the cap it
+/// spills to fixed-width bin counts over the construction-time value
+/// range; quantile queries then interpolate within a bin and the error
+/// is bounded by one bin width ([`QuantileSketch::max_error`]).
+///
+/// Both representations, and the spill decision itself, depend only on
+/// the multiset of observations and the construction parameters — never
+/// on push order or merge-tree shape — so shard-size and thread-count
+/// sweeps produce byte-identical sketches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    lo: f64,
+    hi: f64,
+    bins: usize,
+    exact_cap: usize,
+    /// Sorted sample while in exact mode; drained on spill.
+    exact: Vec<f64>,
+    /// Bin counts once spilled; empty in exact mode.
+    counts: Vec<u64>,
+    spilled: bool,
+    min: f64,
+    max: f64,
+    n: u64,
+    /// Non-finite observations, counted but not folded.
+    rejected: u64,
+}
+
+impl QuantileSketch {
+    /// A sketch over the value range `[lo, hi]` with `bins` equal-width
+    /// bins once spilled, exact up to `exact_cap` observations. Returns
+    /// `None` when `bins == 0` or the range is empty or non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize, exact_cap: usize) -> Option<QuantileSketch> {
+        if bins == 0 || !lo.is_finite() || !hi.is_finite() || hi <= lo {
+            return None;
+        }
+        Some(QuantileSketch {
+            lo,
+            hi,
+            bins,
+            exact_cap,
+            exact: Vec::new(),
+            counts: Vec::new(),
+            spilled: false,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            n: 0,
+            rejected: 0,
+        })
+    }
+
+    /// Fold one observation. Out-of-range values clamp to the nearest
+    /// bin once spilled (their exact value still drives `min`/`max`).
+    pub fn push(&mut self, v: f64) {
+        if !v.is_finite() {
+            self.rejected += 1;
+            return;
+        }
+        self.n += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if self.spilled {
+            self.bin_record(v);
+            return;
+        }
+        let at = self.exact.partition_point(|x| x.total_cmp(&v).is_lt());
+        self.exact.insert(at, v);
+        if self.exact.len() > self.exact_cap {
+            self.spill();
+        }
+    }
+
+    fn spill(&mut self) {
+        self.counts = vec![0; self.bins];
+        self.spilled = true;
+        let exact = std::mem::take(&mut self.exact);
+        for v in exact {
+            self.bin_record(v);
+        }
+    }
+
+    fn bin_record(&mut self, v: f64) {
+        let width = (self.hi - self.lo) / self.bins as f64;
+        let clamped = v.clamp(self.lo, self.hi);
+        let idx = (((clamped - self.lo) / width) as usize).min(self.bins - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Fold another sketch into this one. Returns `false` (leaving
+    /// `self` untouched) when the construction parameters differ.
+    #[must_use]
+    pub fn merge(&mut self, other: &QuantileSketch) -> bool {
+        if self.lo.to_bits() != other.lo.to_bits()
+            || self.hi.to_bits() != other.hi.to_bits()
+            || self.bins != other.bins
+            || self.exact_cap != other.exact_cap
+        {
+            return false;
+        }
+        self.n += other.n;
+        self.rejected += other.rejected;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        if !self.spilled && !other.spilled && self.exact.len() + other.exact.len() <= self.exact_cap
+        {
+            self.exact.extend_from_slice(&other.exact);
+            self.exact.sort_by(f64::total_cmp);
+            return true;
+        }
+        if !self.spilled {
+            self.spill();
+        }
+        if other.spilled {
+            for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+                *c += o;
+            }
+        } else {
+            for &v in &other.exact {
+                self.bin_record(v);
+            }
+        }
+        true
+    }
+
+    /// Folded observations (rejected non-finite values excluded).
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Non-finite observations, counted but not folded.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Whether the sketch still holds the exact sample.
+    pub fn is_exact(&self) -> bool {
+        !self.spilled
+    }
+
+    /// The sorted sample, while in exact mode.
+    pub fn exact_values(&self) -> Option<&[f64]> {
+        (!self.spilled).then_some(self.exact.as_slice())
+    }
+
+    /// Worst-case absolute error of [`QuantileSketch::quantile`]: zero
+    /// in exact mode, one bin width once spilled.
+    pub fn max_error(&self) -> f64 {
+        if self.spilled {
+            (self.hi - self.lo) / self.bins as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Smallest folded observation.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest folded observation.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// The `p`-th percentile (0–100, clamped). Exact below the cap
+    /// (same interpolation as [`crate::quantile::percentile_sorted`]);
+    /// within one bin width of the true value once spilled. `None` when
+    /// empty.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        if self.n == 0 {
+            return None;
+        }
+        if !self.spilled {
+            return Some(percentile_sorted(&self.exact, p));
+        }
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
+        // The extrema are tracked exactly even once binned.
+        if p == 0.0 {
+            return Some(self.min);
+        }
+        if p == 100.0 {
+            return Some(self.max);
+        }
+        let rank = (self.n - 1) as f64 * p / 100.0;
+        let width = (self.hi - self.lo) / self.bins as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if rank < (cum + c) as f64 {
+                // Spread the bin's mass evenly across its width; the
+                // half-count offset centres a lone observation.
+                let frac = ((rank - cum as f64 + 0.5) / c as f64).clamp(0.0, 1.0);
+                let v = self.lo + width * (i as f64 + frac);
+                return Some(v.clamp(self.min, self.max));
+            }
+            cum += c;
+        }
+        Some(self.max)
+    }
+
+    /// Bytes retained by this sketch (the peak-RSS proxy the scale
+    /// bench reports): heap buffers plus the struct itself.
+    pub fn retained_bytes(&self) -> usize {
+        std::mem::size_of::<QuantileSketch>()
+            + self.exact.capacity() * std::mem::size_of::<f64>()
+            + self.counts.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::Summary;
+
+    fn sample(n: usize) -> Vec<f64> {
+        // Deterministic, irregular, includes ties and near-boundary
+        // values.
+        (0..n).map(|i| ((i * 7919) % 1000) as f64 / 100.0).collect()
+    }
+
+    #[test]
+    fn moments_match_summary() {
+        let data = sample(500);
+        let mut m = Moments::new();
+        for &v in &data {
+            m.push(v);
+        }
+        let s = Summary::of(&data).unwrap();
+        assert_eq!(m.count(), 500);
+        assert!((m.mean().unwrap() - s.mean).abs() < 1e-6);
+        assert!((m.stdev().unwrap() - s.stdev).abs() < 1e-6);
+        assert_eq!(m.min().unwrap(), s.min);
+        assert_eq!(m.max().unwrap(), s.max);
+    }
+
+    #[test]
+    fn moments_merge_is_exact_for_any_split() {
+        let data = sample(1000);
+        let mut whole = Moments::new();
+        for &v in &data {
+            whole.push(v);
+        }
+        for split in [1, 7, 250, 999] {
+            let (a, b) = data.split_at(split);
+            let mut left = Moments::new();
+            let mut right = Moments::new();
+            for &v in a {
+                left.push(v);
+            }
+            for &v in b {
+                right.push(v);
+            }
+            left.merge(&right);
+            // Bit-exact state equality, not approximate agreement: the
+            // digest fingerprint depends on it.
+            assert_eq!(format!("{left:?}"), format!("{whole:?}"), "split {split}");
+        }
+    }
+
+    #[test]
+    fn moments_reject_pathological_values() {
+        let mut m = Moments::new();
+        m.push(f64::NAN);
+        m.push(f64::INFINITY);
+        m.push(MOMENTS_MAX_ABS * 2.0);
+        m.push(1.0);
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.rejected(), 3);
+        assert_eq!(m.mean(), Some(1.0));
+    }
+
+    #[test]
+    fn moments_degenerate_cases() {
+        let m = Moments::new();
+        assert_eq!(m.mean(), None);
+        assert_eq!(m.variance(), None);
+        assert_eq!(m.min(), None);
+        let mut one = Moments::new();
+        one.push(3.0);
+        assert_eq!(one.mean(), Some(3.0));
+        assert_eq!(one.variance(), None);
+    }
+
+    #[test]
+    fn sketch_exact_mode_matches_percentile() {
+        let data = sample(100);
+        let mut sk = QuantileSketch::new(0.0, 10.0, 64, 512).unwrap();
+        for &v in &data {
+            sk.push(v);
+        }
+        assert!(sk.is_exact());
+        assert_eq!(sk.max_error(), 0.0);
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+            assert_eq!(sk.quantile(p), crate::quantile::percentile(&data, p), "p={p}");
+        }
+    }
+
+    #[test]
+    fn sketch_spills_past_cap_with_bounded_error() {
+        let data = sample(5000);
+        let mut sk = QuantileSketch::new(0.0, 10.0, 128, 256).unwrap();
+        for &v in &data {
+            sk.push(v);
+        }
+        assert!(!sk.is_exact());
+        let err = sk.max_error();
+        assert!(err > 0.0);
+        for p in [1.0, 25.0, 50.0, 75.0, 99.0] {
+            let exact = crate::quantile::percentile(&data, p).unwrap();
+            let approx = sk.quantile(p).unwrap();
+            assert!((approx - exact).abs() <= err, "p={p}: {approx} vs {exact} (±{err})");
+        }
+        // Extrema are tracked exactly even once binned.
+        assert_eq!(sk.quantile(0.0), Some(0.0));
+        assert_eq!(sk.min(), crate::quantile::percentile(&data, 0.0));
+        assert_eq!(sk.max(), crate::quantile::percentile(&data, 100.0));
+    }
+
+    #[test]
+    fn sketch_state_is_multiset_determined() {
+        // Same observations through different shardings and merge
+        // orders → byte-identical sketch state, in both regimes.
+        for (n, cap) in [(200usize, 512usize), (5000, 256)] {
+            let data = sample(n);
+            let mut whole = QuantileSketch::new(0.0, 10.0, 64, cap).unwrap();
+            for &v in &data {
+                whole.push(v);
+            }
+            for chunk in [1usize, 16, 64, n + 1] {
+                let mut merged = QuantileSketch::new(0.0, 10.0, 64, cap).unwrap();
+                for part in data.chunks(chunk) {
+                    let mut shard = QuantileSketch::new(0.0, 10.0, 64, cap).unwrap();
+                    for &v in part {
+                        shard.push(v);
+                    }
+                    assert!(merged.merge(&shard));
+                }
+                assert_eq!(
+                    format!("{merged:?}"),
+                    format!("{whole:?}"),
+                    "n={n} cap={cap} chunk={chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_merge_rejects_mismatched_configs() {
+        let mut a = QuantileSketch::new(0.0, 10.0, 64, 256).unwrap();
+        let b = QuantileSketch::new(0.0, 10.0, 32, 256).unwrap();
+        let c = QuantileSketch::new(0.0, 9.0, 64, 256).unwrap();
+        let d = QuantileSketch::new(0.0, 10.0, 64, 128).unwrap();
+        assert!(!a.merge(&b));
+        assert!(!a.merge(&c));
+        assert!(!a.merge(&d));
+        assert_eq!(a.count(), 0);
+    }
+
+    #[test]
+    fn sketch_rejects_bad_configs_and_nan() {
+        assert!(QuantileSketch::new(0.0, 10.0, 0, 16).is_none());
+        assert!(QuantileSketch::new(1.0, 1.0, 4, 16).is_none());
+        assert!(QuantileSketch::new(0.0, f64::NAN, 4, 16).is_none());
+        let mut sk = QuantileSketch::new(0.0, 1.0, 4, 16).unwrap();
+        sk.push(f64::NAN);
+        assert_eq!(sk.count(), 0);
+        assert_eq!(sk.rejected(), 1);
+        assert_eq!(sk.quantile(50.0), None);
+    }
+
+    #[test]
+    fn sketch_retained_bytes_bounded_by_cap_and_bins() {
+        let mut sk = QuantileSketch::new(0.0, 10.0, 128, 256).unwrap();
+        for &v in &sample(100_000) {
+            sk.push(v);
+        }
+        // Once spilled the footprint is bins-bound, not n-bound.
+        let bound = std::mem::size_of::<QuantileSketch>()
+            + (256 + 1) * std::mem::size_of::<f64>()
+            + 2 * 128 * std::mem::size_of::<u64>();
+        assert!(sk.retained_bytes() <= bound, "{}", sk.retained_bytes());
+    }
+}

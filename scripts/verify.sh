@@ -36,4 +36,19 @@ cargo run -q --release -p eyeorg-bench --bin run_report -- \
 cmp results/.RUN_fp_1 results/.RUN_fp_2
 cmp results/.RUN_fp_1 results/.RUN_fp_auto
 rm -f results/.RUN_fp_1 results/.RUN_fp_2 results/.RUN_fp_auto
+# Streaming sharded engine divergence gate: the smoke run exits non-zero
+# when any shard size produces a digest or counter fingerprint that
+# differs from the materializing engine, and the written fingerprints
+# must be byte-identical at 1 thread, 2 threads, and the hardware
+# default. (The full 1M-participant measurement is `perf_scale` with no
+# flags; it writes results/BENCH_scale.json.)
+EYEORG_THREADS=1 cargo run -q --release -p eyeorg-bench --bin perf_scale -- \
+    --smoke --fingerprint-out results/.SCALE_fp_1
+EYEORG_THREADS=2 cargo run -q --release -p eyeorg-bench --bin perf_scale -- \
+    --smoke --fingerprint-out results/.SCALE_fp_2
+cargo run -q --release -p eyeorg-bench --bin perf_scale -- \
+    --smoke --fingerprint-out results/.SCALE_fp_auto
+cmp results/.SCALE_fp_1 results/.SCALE_fp_2
+cmp results/.SCALE_fp_1 results/.SCALE_fp_auto
+rm -f results/.SCALE_fp_1 results/.SCALE_fp_2 results/.SCALE_fp_auto
 echo "verify: OK"
