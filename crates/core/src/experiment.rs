@@ -80,10 +80,29 @@ pub fn assign(
     n_stimuli: usize,
     per_participant: usize,
 ) -> Vec<usize> {
+    let mut picks = Vec::new();
+    assign_into(seed, participant_idx, n_stimuli, per_participant, &mut picks);
+    picks
+}
+
+/// [`assign`] into a caller-owned buffer (cleared first) — the flat
+/// engine reuses one buffer per shard worker, so assignment allocates
+/// nothing after warm-up. Contents are identical to [`assign`].
+///
+/// # Panics
+/// Panics when `n_stimuli` is zero.
+pub fn assign_into(
+    seed: Seed,
+    participant_idx: u64,
+    n_stimuli: usize,
+    per_participant: usize,
+    picks: &mut Vec<usize>,
+) {
     assert!(n_stimuli > 0, "no stimuli to assign");
     let k = per_participant.min(n_stimuli);
     let start = (participant_idx as usize * k) % n_stimuli;
-    let mut picks: Vec<usize> = (0..k).map(|j| (start + j) % n_stimuli).collect();
+    picks.clear();
+    picks.extend((0..k).map(|j| (start + j) % n_stimuli));
     // Shuffle the presentation order deterministically.
     let mut rng =
         Rng::seed_from_u64(seed.derive_index("assign", participant_idx).value());
@@ -91,7 +110,6 @@ pub fn assign(
         let j = rng.random_range(0..=i);
         picks.swap(i, j);
     }
-    picks
 }
 
 /// For A/B tests: whether stimulus `pair_idx` is shown to this

@@ -1,0 +1,517 @@
+//! The flat data-plane campaign engine: SoA batching + arena scratch.
+//!
+//! [`crate::stream`] already bounds memory by folding shard-by-shard,
+//! but its inner loop is still *participant-at-a-time*: every row
+//! re-derives per-stimulus constants (frame clock, ready moments,
+//! session profile), formats the per-stimulus labels, and allocates
+//! fresh `Vec`s for picks, sessions, and responses. This module runs
+//! the identical seeded pipeline in **structure-of-arrays** form:
+//!
+//! 1. All per-stimulus constants are hoisted into *planes* (one
+//!    [`TlPlane`]/[`AbPlane`] per stimulus) built once per campaign:
+//!    precomputed labels, [`TimelineStimulusProfile`], [`SessionProfile`],
+//!    and the full rewind table — the inner loop never touches a
+//!    `Video` again.
+//! 2. Each shard works out of a reusable **arena** ([`TlScratch`]/
+//!    [`AbScratch`]) owned by its worker thread (via
+//!    [`par_map_range_scratch`]): flat per-cell arrays for personas,
+//!    picks, sessions, votes, and the per-stimulus row index. After
+//!    the first shard warms the capacities up, the inner loop
+//!    allocates nothing.
+//! 3. Within a shard the work runs **stimulus-blocked**: pass A draws
+//!    personas and gates them, pass B assigns stimuli and builds the
+//!    per-stimulus cell index, pass C serves all showings of stimulus
+//!    0, then all of stimulus 1, … (one plane's constants stay hot),
+//!    pass D answers the control questions, and pass E walks rows in
+//!    ascending order folding filters, votes, and behaviour into the
+//!    same shard accumulators the streaming engine uses.
+//!
+//! ## Why the digest stays byte-identical
+//!
+//! Every random draw in the pipeline comes from an RNG seeded by
+//! `persona.seed` ⊕ a per-stimulus label — never from a shared stream —
+//! so *call order across (participant, stimulus) cells is immaterial*:
+//! reordering pass C by stimulus instead of by participant reads the
+//! exact same bits. What does carry order is the push sequence into
+//! each accumulator, and pass E replays it exactly as the streaming
+//! engine does: rows ascending, slots in presentation order. Counters
+//! (gate, responses, filters, controls) are pure totals. The
+//! `streaming_equivalence` and `streaming_counters` tests pin both
+//! engines to each other across shard sizes and thread counts.
+
+use eyeorg_crowd::{
+    ab_control_flat, judge_pair_flat, timeline_control_passes_flat, timeline_response_flat,
+    total_time_on_site_persona, video_session_profiled, AbAnswer, Persona, RecruitmentService,
+    SessionProfile, TestKind, TimelineStimulusProfile, VideoSession,
+};
+use eyeorg_stats::{par_map_range, par_map_range_scratch, resolve_threads, Seed};
+use eyeorg_video::FrameTimeline;
+
+use crate::analysis::BehaviorPoint;
+use crate::campaign::{AbVerdict, ControlRow};
+use crate::digest::{AbDigest, TimelineDigest};
+use crate::experiment::{a_on_left, assign_into, AbStimulus, ExperimentConfig, TimelineStimulus};
+use crate::filtering::{decide, FilterDecision, ParticipantFilter};
+use crate::stream::{
+    admitted_bases, merge_ab_shards, merge_tl_shards, AbShard, StreamConfig, TlShard,
+};
+use crate::validation::captcha_admits_persona;
+
+/// Per-stimulus constants of a timeline campaign, hoisted out of the
+/// inner loop: the response model's profile, the behaviour model's
+/// profile, both labels, and the full rewind table.
+struct TlPlane {
+    label: String,
+    ctrl_label: String,
+    profile: TimelineStimulusProfile,
+    session: SessionProfile,
+    rewinds: Vec<usize>,
+}
+
+impl TlPlane {
+    fn of(si: usize, st: &TimelineStimulus) -> TlPlane {
+        let mut tl = FrameTimeline::of(&st.video);
+        tl.precompute_rewinds();
+        TlPlane {
+            label: format!("tl-{si}"),
+            ctrl_label: format!("ctrl-tl-{si}"),
+            profile: TimelineStimulusProfile::of(&st.video),
+            session: SessionProfile::of(&st.video, TestKind::Timeline),
+            rewinds: tl.rewind_table(),
+        }
+    }
+}
+
+/// One worker's reusable arena: flat per-row / per-cell arrays (a
+/// *cell* is `row * k + slot`). Cleared and refilled per shard; after
+/// the first shard the capacities are warm and the shard loop
+/// allocates nothing.
+struct TlScratch {
+    /// Admitted personas, one per row.
+    personas: Vec<Persona>,
+    /// Assigned stimulus per cell.
+    picks: Vec<u32>,
+    /// [`assign_into`] staging buffer.
+    pick_buf: Vec<usize>,
+    /// Session per cell (filled out of row order by pass C).
+    sessions: Vec<Option<VideoSession>>,
+    /// Submitted response per cell (valid where `voted`).
+    votes: Vec<f64>,
+    /// Whether the cell produced a response (not skipped).
+    voted: Vec<bool>,
+    /// Per-stimulus list of cells, the pass-C iteration order.
+    stim_rows: Vec<Vec<u32>>,
+    /// Contiguous per-row session slice handed to the filters.
+    row_buf: Vec<VideoSession>,
+}
+
+impl TlScratch {
+    fn new(n_stimuli: usize) -> TlScratch {
+        TlScratch {
+            personas: Vec::new(),
+            picks: Vec::new(),
+            pick_buf: Vec::new(),
+            sessions: Vec::new(),
+            votes: Vec::new(),
+            voted: Vec::new(),
+            stim_rows: (0..n_stimuli).map(|_| Vec::new()).collect(),
+            row_buf: Vec::new(),
+        }
+    }
+
+    /// Reset row state for a new shard, keeping every capacity.
+    fn reset(&mut self) {
+        self.personas.clear();
+        self.picks.clear();
+        self.sessions.clear();
+        self.votes.clear();
+        self.voted.clear();
+        for rows in &mut self.stim_rows {
+            rows.clear();
+        }
+    }
+
+    /// Grow the per-cell arrays to `cells` entries.
+    fn size_cells(&mut self, cells: usize) {
+        self.picks.resize(cells, 0);
+        self.sessions.resize(cells, None);
+        self.votes.resize(cells, 0.0);
+        self.voted.resize(cells, false);
+    }
+}
+
+/// Run a timeline campaign through the flat data-plane engine.
+///
+/// Byte-identical to [`crate::stream::stream_timeline_campaign`] on the
+/// same inputs — digest *and* obs counter fingerprint — at any shard
+/// size and thread count (pinned by the `streaming_equivalence` tests).
+pub fn flat_timeline_campaign(
+    stimuli: &[TimelineStimulus],
+    service: &dyn RecruitmentService,
+    n_participants: usize,
+    cfg: &ExperimentConfig,
+    filters: &[Box<dyn ParticipantFilter + Send + Sync>],
+    seed: Seed,
+    sc: &StreamConfig,
+) -> TimelineDigest {
+    assert!(!stimuli.is_empty(), "campaign needs stimuli");
+    let _t = eyeorg_obs::phase_timer("core.flat_timeline");
+    let threads = resolve_threads(cfg.threads);
+    let shard = sc.shard_size.max(1);
+    let shards = n_participants.div_ceil(shard);
+    let pop = service.population();
+    let recruit_seed = seed.derive("recruit");
+    let assign_seed = seed.derive("timeline");
+    let k = cfg.videos_per_participant.min(stimuli.len());
+
+    // Pass 1 (same as the streaming engine): admitted-index bases.
+    let bases = admitted_bases(shards, shard, n_participants, threads, &pop, recruit_seed);
+
+    // Hoist all per-stimulus constants into planes, in parallel.
+    let planes: Vec<TlPlane> =
+        par_map_range(stimuli.len(), threads, |si| TlPlane::of(si, &stimuli[si]));
+
+    // Pass 2: stimulus-blocked shard folds out of per-worker arenas.
+    let folds: Vec<TlShard> = par_map_range_scratch(
+        shards,
+        threads,
+        || TlScratch::new(stimuli.len()),
+        |arena, s| {
+            let lo = s * shard;
+            let hi = (lo + shard).min(n_participants);
+            let mut fold = TlShard::new(stimuli, &sc.params);
+            arena.reset();
+
+            // Pass A: personas + humanness gate.
+            for i in lo..hi {
+                let p = pop.generate_persona(recruit_seed, i as u64);
+                if captcha_admits_persona(&p) {
+                    arena.personas.push(p);
+                } else {
+                    fold.rejected += 1;
+                }
+            }
+            let rows = arena.personas.len();
+            fold.admitted = rows as u64;
+            arena.size_cells(rows * k);
+
+            // Pass B: assignment + per-stimulus cell index.
+            for row in 0..rows {
+                let my_pi = bases[s] + row as u64;
+                assign_into(assign_seed, my_pi, stimuli.len(), cfg.videos_per_participant,
+                    &mut arena.pick_buf);
+                for (slot, &si) in arena.pick_buf.iter().enumerate() {
+                    let cell = row * k + slot;
+                    arena.picks[cell] = si as u32;
+                    arena.stim_rows[si].push(cell as u32);
+                }
+            }
+
+            // Pass C: serve stimulus-blocked — one plane's constants
+            // (profile, rewind table, labels) stay hot across all of
+            // its showings in the shard.
+            for (si, plane) in planes.iter().enumerate() {
+                for &cell in &arena.stim_rows[si] {
+                    let cell = cell as usize;
+                    let p = &arena.personas[cell / k];
+                    let session =
+                        video_session_profiled(&plane.session, p, TestKind::Timeline, &plane.label);
+                    if session.skipped {
+                        fold.skipped += 1;
+                    } else {
+                        let resp = timeline_response_flat(&plane.profile, &plane.rewinds, p,
+                            &plane.label);
+                        fold.collected += 1;
+                        arena.votes[cell] = resp.submitted.as_secs_f64();
+                        arena.voted[cell] = true;
+                    }
+                    arena.sessions[cell] = Some(session);
+                }
+            }
+
+            // Passes D+E: controls, filters, and the order-pinned fold
+            // — rows ascending, slots in presentation order, exactly
+            // the streaming engine's push sequence.
+            for row in 0..rows {
+                let my_pi = bases[s] + row as u64;
+                let base = row * k;
+                arena.row_buf.clear();
+                arena.row_buf.extend(
+                    // lint:allow(D4): pass C fills every cell — each (row, slot) belongs to exactly one stim_rows bucket
+                    arena.sessions[base..base + k].iter().map(|o| o.expect("cell served")),
+                );
+                let control = cfg.with_controls.then(|| {
+                    let ctrl = arena.picks[base] as usize;
+                    let passed =
+                        timeline_control_passes_flat(&arena.personas[row], &planes[ctrl].ctrl_label);
+                    ControlRow { participant: my_pi as usize, passed }
+                });
+                if let Some(c) = &control {
+                    fold.controls.record(c.passed);
+                }
+                let ctrl_arr;
+                let ctrl_refs: &[&ControlRow] = if let Some(c) = &control {
+                    ctrl_arr = [c];
+                    &ctrl_arr
+                } else {
+                    &[]
+                };
+                let d = decide(filters, &arena.row_buf, ctrl_refs);
+                fold.filters.record(d);
+                if d == FilterDecision::Kept {
+                    for slot in 0..k {
+                        if arena.voted[base + slot] {
+                            fold.stimuli[arena.picks[base + slot] as usize]
+                                .push(arena.votes[base + slot]);
+                        }
+                    }
+                }
+                fold.behavior.push(&behavior_point_persona(
+                    my_pi as usize,
+                    &arena.row_buf,
+                    &arena.personas[row],
+                ));
+            }
+            crate::stream::bump_shard_counters(&fold);
+            fold
+        },
+    );
+
+    merge_tl_shards(stimuli, service, n_participants, &sc.params, &folds)
+}
+
+/// Per-stimulus constants of an A/B campaign: the label, both sides'
+/// ready moments under every readiness criterion, and the behaviour
+/// profile of the longer capture (what the participant must sit
+/// through).
+struct AbPlane {
+    label: String,
+    ready_a: eyeorg_crowd::ReadyTimes,
+    ready_b: eyeorg_crowd::ReadyTimes,
+    session: SessionProfile,
+}
+
+impl AbPlane {
+    fn of(si: usize, st: &AbStimulus) -> AbPlane {
+        let longer = if st.a.duration() >= st.b.duration() { &st.a } else { &st.b };
+        AbPlane {
+            label: format!("ab-{si}"),
+            ready_a: eyeorg_crowd::ReadyTimes::of(&st.a),
+            ready_b: eyeorg_crowd::ReadyTimes::of(&st.b),
+            session: SessionProfile::of(longer, TestKind::Ab),
+        }
+    }
+}
+
+/// [`TlScratch`]'s A/B twin: verdicts instead of slider votes.
+struct AbScratch {
+    personas: Vec<Persona>,
+    picks: Vec<u32>,
+    pick_buf: Vec<usize>,
+    sessions: Vec<Option<VideoSession>>,
+    verdicts: Vec<AbVerdict>,
+    voted: Vec<bool>,
+    stim_rows: Vec<Vec<u32>>,
+    row_buf: Vec<VideoSession>,
+}
+
+impl AbScratch {
+    fn new(n_stimuli: usize) -> AbScratch {
+        AbScratch {
+            personas: Vec::new(),
+            picks: Vec::new(),
+            pick_buf: Vec::new(),
+            sessions: Vec::new(),
+            verdicts: Vec::new(),
+            voted: Vec::new(),
+            stim_rows: (0..n_stimuli).map(|_| Vec::new()).collect(),
+            row_buf: Vec::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.personas.clear();
+        self.picks.clear();
+        self.sessions.clear();
+        self.verdicts.clear();
+        self.voted.clear();
+        for rows in &mut self.stim_rows {
+            rows.clear();
+        }
+    }
+
+    fn size_cells(&mut self, cells: usize) {
+        self.picks.resize(cells, 0);
+        self.sessions.resize(cells, None);
+        self.verdicts.resize(cells, AbVerdict::NoDifference);
+        self.voted.resize(cells, false);
+    }
+}
+
+/// Run an A/B campaign through the flat data-plane engine.
+/// Byte-identical to [`crate::stream::stream_ab_campaign`] on the same
+/// inputs.
+pub fn flat_ab_campaign(
+    stimuli: &[AbStimulus],
+    service: &dyn RecruitmentService,
+    n_participants: usize,
+    cfg: &ExperimentConfig,
+    filters: &[Box<dyn ParticipantFilter + Send + Sync>],
+    seed: Seed,
+    sc: &StreamConfig,
+) -> AbDigest {
+    assert!(!stimuli.is_empty(), "campaign needs stimuli");
+    let _t = eyeorg_obs::phase_timer("core.flat_ab");
+    let threads = resolve_threads(cfg.threads);
+    let shard = sc.shard_size.max(1);
+    let shards = n_participants.div_ceil(shard);
+    let pop = service.population();
+    let recruit_seed = seed.derive("recruit");
+    let assign_seed = seed.derive("ab-assign");
+    let side_seed = seed.derive("ab-side");
+    let k = cfg.videos_per_participant.min(stimuli.len());
+
+    let bases = admitted_bases(shards, shard, n_participants, threads, &pop, recruit_seed);
+
+    let planes: Vec<AbPlane> =
+        par_map_range(stimuli.len(), threads, |si| AbPlane::of(si, &stimuli[si]));
+
+    let folds: Vec<AbShard> = par_map_range_scratch(
+        shards,
+        threads,
+        || AbScratch::new(stimuli.len()),
+        |arena, s| {
+            let lo = s * shard;
+            let hi = (lo + shard).min(n_participants);
+            let mut fold = AbShard::new(stimuli);
+            arena.reset();
+
+            for i in lo..hi {
+                let p = pop.generate_persona(recruit_seed, i as u64);
+                if captcha_admits_persona(&p) {
+                    arena.personas.push(p);
+                } else {
+                    fold.rejected += 1;
+                }
+            }
+            let rows = arena.personas.len();
+            fold.admitted = rows as u64;
+            arena.size_cells(rows * k);
+
+            for row in 0..rows {
+                let my_pi = bases[s] + row as u64;
+                assign_into(assign_seed, my_pi, stimuli.len(), cfg.videos_per_participant,
+                    &mut arena.pick_buf);
+                for (slot, &si) in arena.pick_buf.iter().enumerate() {
+                    let cell = row * k + slot;
+                    arena.picks[cell] = si as u32;
+                    arena.stim_rows[si].push(cell as u32);
+                }
+            }
+
+            for (si, plane) in planes.iter().enumerate() {
+                let acc = &mut fold.stimuli[si];
+                for &cell in &arena.stim_rows[si] {
+                    let cell = cell as usize;
+                    let row = cell / k;
+                    let my_pi = bases[s] + row as u64;
+                    let p = &arena.personas[row];
+                    let a_left = a_on_left(side_seed, my_pi, si);
+                    let session =
+                        video_session_profiled(&plane.session, p, TestKind::Ab, &plane.label);
+                    acc.shows += 1;
+                    if a_left {
+                        acc.a_left_shows += 1;
+                    }
+                    if session.skipped {
+                        fold.skipped += 1;
+                    } else {
+                        let (l, r) = if a_left {
+                            (plane.ready_a.get(p.readiness), plane.ready_b.get(p.readiness))
+                        } else {
+                            (plane.ready_b.get(p.readiness), plane.ready_a.get(p.readiness))
+                        };
+                        let answer = judge_pair_flat(l, r, p, &plane.label);
+                        fold.cast += 1;
+                        arena.verdicts[cell] = match (answer, a_left) {
+                            (AbAnswer::NoDifference, _) => AbVerdict::NoDifference,
+                            (AbAnswer::Left, true) | (AbAnswer::Right, false) => AbVerdict::AFaster,
+                            (AbAnswer::Left, false) | (AbAnswer::Right, true) => AbVerdict::BFaster,
+                        };
+                        arena.voted[cell] = true;
+                    }
+                    arena.sessions[cell] = Some(session);
+                }
+            }
+
+            for row in 0..rows {
+                let my_pi = bases[s] + row as u64;
+                let base = row * k;
+                arena.row_buf.clear();
+                arena.row_buf.extend(
+                    // lint:allow(D4): pass C fills every cell — each (row, slot) belongs to exactly one stim_rows bucket
+                    arena.sessions[base..base + k].iter().map(|o| o.expect("cell served")),
+                );
+                let control = cfg.with_controls.then(|| {
+                    let ctrl = arena.picks[base] as usize;
+                    let p = &arena.personas[row];
+                    let (_, passed) = ab_control_flat(
+                        planes[ctrl].ready_a.get(p.readiness),
+                        p,
+                        &planes[ctrl].label,
+                    );
+                    ControlRow { participant: my_pi as usize, passed }
+                });
+                if let Some(c) = &control {
+                    fold.controls.record(c.passed);
+                }
+                let ctrl_arr;
+                let ctrl_refs: &[&ControlRow] = if let Some(c) = &control {
+                    ctrl_arr = [c];
+                    &ctrl_arr
+                } else {
+                    &[]
+                };
+                let d = decide(filters, &arena.row_buf, ctrl_refs);
+                fold.filters.record(d);
+                if d == FilterDecision::Kept {
+                    for slot in 0..k {
+                        if arena.voted[base + slot] {
+                            fold.stimuli[arena.picks[base + slot] as usize]
+                                .tally
+                                .record(arena.verdicts[base + slot]);
+                        }
+                    }
+                }
+                fold.behavior.push(&behavior_point_persona(
+                    my_pi as usize,
+                    &arena.row_buf,
+                    &arena.personas[row],
+                ));
+            }
+            fold.bump_counters();
+            fold
+        },
+    );
+
+    merge_ab_shards(stimuli, service, n_participants, &folds)
+}
+
+/// [`crate::stream`]'s behaviour point, from a trait-core persona.
+fn behavior_point_persona(
+    participant: usize,
+    sessions: &[VideoSession],
+    p: &Persona,
+) -> BehaviorPoint {
+    let total = total_time_on_site_persona(sessions, p);
+    BehaviorPoint {
+        participant,
+        minutes_on_site: total.as_secs_f64() / 60.0,
+        actions: sessions.iter().map(|s| s.actions()).sum(),
+        out_of_focus_secs: sessions.iter().map(|s| s.out_of_focus.as_secs_f64()).sum(),
+        max_video_load_secs: sessions
+            .iter()
+            .map(|s| s.video_load.as_secs_f64())
+            .fold(0.0, f64::max),
+    }
+}

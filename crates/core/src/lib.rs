@@ -16,6 +16,10 @@
 //! * [`stream`] — the streaming, sharded engine: the same seeded
 //!   pipeline folded shard-by-shard into bounded-memory digests —
 //!   byte-identical results, memory proportional to a shard.
+//! * [`flat`] — the flat data-plane engine: the streaming pipeline in
+//!   structure-of-arrays form (per-stimulus planes, per-worker arena
+//!   scratch, stimulus-blocked inner loop) — byte-identical digests,
+//!   allocation-free inner loop.
 //! * [`digest`] — mergeable campaign digests and the materializing
 //!   folds that pin the two engines to each other.
 //! * [`validation`] — §3.3's hard rules: the humanness (captcha) gate.
@@ -68,6 +72,7 @@ pub mod dataset;
 pub mod digest;
 pub mod experiment;
 pub mod filtering;
+pub mod flat;
 pub mod report;
 pub mod stream;
 pub mod validation;
@@ -97,6 +102,7 @@ pub mod prelude {
     };
     pub use crate::dataset::{crowd_uplt_from_dataset, read_ab, read_timeline, scores_from_dataset};
     pub use crate::report::{export_ab, export_timeline, render_table1, table1_row, to_json};
+    pub use crate::flat::{flat_ab_campaign, flat_timeline_campaign};
     pub use crate::stream::{stream_ab_campaign, stream_timeline_campaign, StreamConfig};
     pub use crate::validation::{captcha_admits, captcha_gate, GateReport};
 }

@@ -59,16 +59,37 @@ impl Default for StreamConfig {
     }
 }
 
-/// One shard's fold of a timeline campaign.
-struct TlShard {
-    stimuli: Vec<StimulusDigest>,
-    behavior: BehaviorDigest,
-    filters: FilterTally,
-    controls: ControlTally,
-    admitted: u64,
-    rejected: u64,
-    collected: u64,
-    skipped: u64,
+/// One shard's fold of a timeline campaign. Shared with the flat
+/// engine (`crate::flat`), which fills the same accumulators from its
+/// column passes.
+pub(crate) struct TlShard {
+    pub(crate) stimuli: Vec<StimulusDigest>,
+    pub(crate) behavior: BehaviorDigest,
+    pub(crate) filters: FilterTally,
+    pub(crate) controls: ControlTally,
+    pub(crate) admitted: u64,
+    pub(crate) rejected: u64,
+    pub(crate) collected: u64,
+    pub(crate) skipped: u64,
+}
+
+impl TlShard {
+    /// An empty shard fold sized for `stimuli`.
+    pub(crate) fn new(stimuli: &[TimelineStimulus], params: &DigestParams) -> TlShard {
+        TlShard {
+            stimuli: stimuli
+                .iter()
+                .map(|st| StimulusDigest::new(&st.name, st.video.duration().as_secs_f64(), params))
+                .collect(),
+            behavior: BehaviorDigest::default(),
+            filters: FilterTally::default(),
+            controls: ControlTally::default(),
+            admitted: 0,
+            rejected: 0,
+            collected: 0,
+            skipped: 0,
+        }
+    }
 }
 
 /// Run a timeline campaign through the streaming engine: `n`
@@ -110,21 +131,7 @@ pub fn stream_timeline_campaign(
     let folds: Vec<TlShard> = par_map_range(shards, threads, |s| {
         let lo = s * shard;
         let hi = (lo + shard).min(n_participants);
-        let mut fold = TlShard {
-            stimuli: stimuli
-                .iter()
-                .map(|st| {
-                    StimulusDigest::new(&st.name, st.video.duration().as_secs_f64(), &sc.params)
-                })
-                .collect(),
-            behavior: BehaviorDigest::default(),
-            filters: FilterTally::default(),
-            controls: ControlTally::default(),
-            admitted: 0,
-            rejected: 0,
-            collected: 0,
-            skipped: 0,
-        };
+        let mut fold = TlShard::new(stimuli, &sc.params);
         let mut pi = bases[s];
         for i in lo..hi {
             let p = pop.generate_one(recruit_seed, i as u64);
@@ -173,12 +180,24 @@ pub fn stream_timeline_campaign(
         fold
     });
 
-    // Order-pinned merge (the accumulators are multiset-determined, so
-    // the pinning is belt-and-braces on top of exact associativity).
+    merge_tl_shards(stimuli, service, n_participants, &sc.params, &folds)
+}
+
+/// Order-pinned merge of timeline shard folds into the final digest
+/// (the accumulators are multiset-determined, so the pinning is
+/// belt-and-braces on top of exact associativity). Shared by the
+/// streaming and flat engines.
+pub(crate) fn merge_tl_shards(
+    stimuli: &[TimelineStimulus],
+    service: &dyn RecruitmentService,
+    n_participants: usize,
+    params: &DigestParams,
+    folds: &[TlShard],
+) -> TimelineDigest {
     let mut digest = TimelineDigest {
         stimuli: stimuli
             .iter()
-            .map(|st| StimulusDigest::new(&st.name, st.video.duration().as_secs_f64(), &sc.params))
+            .map(|st| StimulusDigest::new(&st.name, st.video.duration().as_secs_f64(), params))
             .collect(),
         recruited: n_participants as u64,
         admitted: 0,
@@ -195,7 +214,7 @@ pub fn stream_timeline_campaign(
         filters: FilterTally::default(),
         controls: ControlTally::default(),
     };
-    for fold in &folds {
+    for fold in folds {
         for (acc, shard_acc) in digest.stimuli.iter_mut().zip(&fold.stimuli) {
             acc.merge(shard_acc);
         }
@@ -210,7 +229,7 @@ pub fn stream_timeline_campaign(
     digest
 }
 
-fn bump_shard_counters(fold: &TlShard) {
+pub(crate) fn bump_shard_counters(fold: &TlShard) {
     eyeorg_obs::metrics::CORE_GATE_ADMITTED.add(fold.admitted);
     eyeorg_obs::metrics::CORE_GATE_REJECTED.add(fold.rejected);
     eyeorg_obs::metrics::CORE_RESPONSES_COLLECTED.add(fold.collected);
@@ -224,16 +243,40 @@ fn bump_shard_counters(fold: &TlShard) {
     }
 }
 
-/// One shard's fold of an A/B campaign.
-struct AbShard {
-    stimuli: Vec<AbStimulusDigest>,
-    behavior: BehaviorDigest,
-    filters: FilterTally,
-    controls: ControlTally,
-    admitted: u64,
-    rejected: u64,
-    cast: u64,
-    skipped: u64,
+/// One shard's fold of an A/B campaign. Shared with the flat engine.
+pub(crate) struct AbShard {
+    pub(crate) stimuli: Vec<AbStimulusDigest>,
+    pub(crate) behavior: BehaviorDigest,
+    pub(crate) filters: FilterTally,
+    pub(crate) controls: ControlTally,
+    pub(crate) admitted: u64,
+    pub(crate) rejected: u64,
+    pub(crate) cast: u64,
+    pub(crate) skipped: u64,
+}
+
+impl AbShard {
+    /// An empty shard fold sized for `stimuli`.
+    pub(crate) fn new(stimuli: &[AbStimulus]) -> AbShard {
+        AbShard {
+            stimuli: stimuli.iter().map(|st| AbStimulusDigest::new(&st.name)).collect(),
+            behavior: BehaviorDigest::default(),
+            filters: FilterTally::default(),
+            controls: ControlTally::default(),
+            admitted: 0,
+            rejected: 0,
+            cast: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Bump the A/B engine's obs counters from this shard's totals.
+    pub(crate) fn bump_counters(&self) {
+        eyeorg_obs::metrics::CORE_GATE_ADMITTED.add(self.admitted);
+        eyeorg_obs::metrics::CORE_GATE_REJECTED.add(self.rejected);
+        eyeorg_obs::metrics::CORE_AB_VOTES.add(self.cast);
+        eyeorg_obs::metrics::CORE_AB_SKIPS.add(self.skipped);
+    }
 }
 
 /// Run an A/B campaign through the streaming engine. Byte-identical to
@@ -262,16 +305,7 @@ pub fn stream_ab_campaign(
     let folds: Vec<AbShard> = par_map_range(shards, threads, |s| {
         let lo = s * shard;
         let hi = (lo + shard).min(n_participants);
-        let mut fold = AbShard {
-            stimuli: stimuli.iter().map(|st| AbStimulusDigest::new(&st.name)).collect(),
-            behavior: BehaviorDigest::default(),
-            filters: FilterTally::default(),
-            controls: ControlTally::default(),
-            admitted: 0,
-            rejected: 0,
-            cast: 0,
-            skipped: 0,
-        };
+        let mut fold = AbShard::new(stimuli);
         let mut pi = bases[s];
         for i in lo..hi {
             let p = pop.generate_one(recruit_seed, i as u64);
@@ -336,13 +370,21 @@ pub fn stream_ab_campaign(
             }
             fold.behavior.push(&behavior_point_of(my_pi as usize, &sessions, &p));
         }
-        eyeorg_obs::metrics::CORE_GATE_ADMITTED.add(fold.admitted);
-        eyeorg_obs::metrics::CORE_GATE_REJECTED.add(fold.rejected);
-        eyeorg_obs::metrics::CORE_AB_VOTES.add(fold.cast);
-        eyeorg_obs::metrics::CORE_AB_SKIPS.add(fold.skipped);
+        fold.bump_counters();
         fold
     });
 
+    merge_ab_shards(stimuli, service, n_participants, &folds)
+}
+
+/// Order-pinned merge of A/B shard folds into the final digest. Shared
+/// by the streaming and flat engines.
+pub(crate) fn merge_ab_shards(
+    stimuli: &[AbStimulus],
+    service: &dyn RecruitmentService,
+    n_participants: usize,
+    folds: &[AbShard],
+) -> AbDigest {
     let mut digest = AbDigest {
         stimuli: stimuli.iter().map(|st| AbStimulusDigest::new(&st.name)).collect(),
         recruited: n_participants as u64,
@@ -360,7 +402,7 @@ pub fn stream_ab_campaign(
         filters: FilterTally::default(),
         controls: ControlTally::default(),
     };
-    for fold in &folds {
+    for fold in folds {
         for (acc, shard_acc) in digest.stimuli.iter_mut().zip(&fold.stimuli) {
             acc.merge(shard_acc);
         }
@@ -377,7 +419,7 @@ pub fn stream_ab_campaign(
 
 /// Pass 1 of both engines: gate admissions per shard, prefix-summed
 /// into each shard's base admitted index.
-fn admitted_bases(
+pub(crate) fn admitted_bases(
     shards: usize,
     shard: usize,
     n_participants: usize,
@@ -390,7 +432,8 @@ fn admitted_bases(
         let hi = (lo + shard).min(n_participants);
         (lo..hi)
             .filter(|&i| {
-                crate::validation::captcha_admits(&pop.generate_one(recruit_seed, i as u64))
+                let (pseed, class) = pop.generate_gate(recruit_seed, i as u64);
+                crate::validation::captcha_admits_gate(pseed, class)
             })
             .count() as u64
     });
@@ -403,7 +446,7 @@ fn admitted_bases(
     bases
 }
 
-fn behavior_point_of(
+pub(crate) fn behavior_point_of(
     participant: usize,
     sessions: &[eyeorg_crowd::VideoSession],
     p: &eyeorg_crowd::Participant,

@@ -10,7 +10,7 @@
 //! why the *after-the-fact* filters of §4.3 only ever see human
 //! pathologies (sloppiness, distraction), not automation.
 
-use eyeorg_crowd::{Participant, ParticipantClass};
+use eyeorg_crowd::{Participant, ParticipantClass, Persona};
 use eyeorg_stats::rng::Rng;
 
 /// Pass probability of the humanness check for a real person (misfires
@@ -39,8 +39,24 @@ pub struct GateReport {
 /// obs counters; [`captcha_gate`] applies it to a whole cohort and
 /// reports totals.
 pub fn captcha_admits(p: &Participant) -> bool {
-    let mut rng = Rng::seed_from_u64(p.seed.derive("captcha").value());
-    let pass_rate = if p.class == ParticipantClass::Bot {
+    captcha_admits_persona(&p.persona())
+}
+
+/// [`captcha_admits`] from a trait-core [`Persona`] — what the flat
+/// engine's gate column evaluates (the decision reads only the seed and
+/// the class, both of which the persona carries).
+pub fn captcha_admits_persona(p: &Persona) -> bool {
+    captcha_admits_gate(p.seed, p.class)
+}
+
+/// [`captcha_admits`] from just the gate-relevant traits — the derived
+/// participant seed and the class, i.e. what
+/// `PopulationProfile::generate_gate` draws. The counting pre-passes of
+/// the sharded engines evaluate this without generating a persona (or
+/// the materializing path's per-participant country `String`).
+pub fn captcha_admits_gate(seed: eyeorg_stats::Seed, class: ParticipantClass) -> bool {
+    let mut rng = Rng::seed_from_u64(seed.derive("captcha").value());
+    let pass_rate = if class == ParticipantClass::Bot {
         BOT_PASS_RATE
     } else {
         HUMAN_PASS_RATE
@@ -100,6 +116,19 @@ mod tests {
         let pop = PopulationProfile::trusted().generate(Seed(2), 500);
         let report = captcha_gate(pop);
         assert!(report.rejected <= 8, "rejected {}", report.rejected);
+    }
+
+    #[test]
+    fn gate_only_draw_matches_full_generation() {
+        // The pre-pass shortcut (class-only draw) must agree with the
+        // full participant path for every index, on both pools.
+        for pop in [PopulationProfile::paid(), PopulationProfile::trusted()] {
+            for i in 0..2000u64 {
+                let full = captcha_admits(&pop.generate_one(Seed(9), i));
+                let (pseed, class) = pop.generate_gate(Seed(9), i);
+                assert_eq!(captcha_admits_gate(pseed, class), full, "i={i}");
+            }
+        }
     }
 
     #[test]

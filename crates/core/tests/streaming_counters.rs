@@ -48,6 +48,19 @@ fn counter_fingerprints_match_across_engines_shards_and_threads() {
             );
             let got = eyeorg_obs::snapshot("tl", threads).counter_fingerprint();
             assert_eq!(got, reference, "timeline shard={shard} threads={threads}");
+
+            eyeorg_obs::reset();
+            let _ = flat_timeline_campaign(
+                &tl,
+                &CrowdFlower,
+                n,
+                &cfg(threads),
+                &paper_pipeline(),
+                Seed(820),
+                &StreamConfig { shard_size: shard, ..StreamConfig::default() },
+            );
+            let got = eyeorg_obs::snapshot("tl-flat", threads).counter_fingerprint();
+            assert_eq!(got, reference, "flat timeline shard={shard} threads={threads}");
         }
     }
 
@@ -72,6 +85,19 @@ fn counter_fingerprints_match_across_engines_shards_and_threads() {
             );
             let got = eyeorg_obs::snapshot("ab", threads).counter_fingerprint();
             assert_eq!(got, reference, "ab shard={shard} threads={threads}");
+
+            eyeorg_obs::reset();
+            let _ = flat_ab_campaign(
+                &ab,
+                &CrowdFlower,
+                n,
+                &cfg(threads),
+                &paper_pipeline(),
+                Seed(830),
+                &StreamConfig { shard_size: shard, ..StreamConfig::default() },
+            );
+            let got = eyeorg_obs::snapshot("ab-flat", threads).counter_fingerprint();
+            assert_eq!(got, reference, "flat ab shard={shard} threads={threads}");
         }
     }
 }

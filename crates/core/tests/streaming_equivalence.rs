@@ -120,6 +120,76 @@ fn streaming_digest_identical_across_thread_counts() {
 }
 
 #[test]
+fn flat_timeline_matches_streaming_across_n_shards_and_threads() {
+    let stimuli = tl_stimuli();
+    for n in [1usize, 7, 100, 1000] {
+        let reference = stream_timeline_campaign(
+            stimuli,
+            &CrowdFlower,
+            n,
+            &cfg(0),
+            &paper_pipeline(),
+            Seed(970),
+            &stream_cfg(64),
+        )
+        .fingerprint();
+        for shard in [1usize, 16, 64, n + 1] {
+            for threads in [1usize, 2, 0] {
+                let digest = flat_timeline_campaign(
+                    stimuli,
+                    &CrowdFlower,
+                    n,
+                    &cfg(threads),
+                    &paper_pipeline(),
+                    Seed(970),
+                    &stream_cfg(shard),
+                );
+                assert_eq!(
+                    digest.fingerprint(),
+                    reference,
+                    "n={n} shard={shard} threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn flat_ab_matches_streaming_across_n_shards_and_threads() {
+    let stimuli = ab_stimuli();
+    for n in [1usize, 7, 100, 1000] {
+        let reference = stream_ab_campaign(
+            stimuli,
+            &CrowdFlower,
+            n,
+            &cfg(0),
+            &paper_pipeline(),
+            Seed(980),
+            &stream_cfg(64),
+        )
+        .fingerprint();
+        for shard in [1usize, 16, 64, n + 1] {
+            for threads in [1usize, 2, 0] {
+                let digest = flat_ab_campaign(
+                    stimuli,
+                    &CrowdFlower,
+                    n,
+                    &cfg(threads),
+                    &paper_pipeline(),
+                    Seed(980),
+                    &stream_cfg(shard),
+                );
+                assert_eq!(
+                    digest.fingerprint(),
+                    reference,
+                    "n={n} shard={shard} threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn streaming_digest_band_means_match_analysis_at_small_n() {
     // Below the sketch cap the digest's banded means must be *exactly*
     // the figure pipeline's numbers (`analysis::mean_uplt`) — the

@@ -12,7 +12,7 @@ use eyeorg_net::SimTime;
 use eyeorg_video::Video;
 use eyeorg_stats::rng::Rng;
 
-use crate::participant::{Participant, ParticipantClass};
+use crate::participant::{Participant, ParticipantClass, Persona};
 use crate::perception::true_ready_time;
 
 /// The three allowed answers (a hard rule: participants must pick one).
@@ -59,7 +59,19 @@ pub fn judge_pair(
     participant: &Participant,
     label: &str,
 ) -> AbAnswer {
-    let mut rng = judge_rng(participant, label);
+    judge_pair_flat(left_ready, right_ready, &participant.persona(), label)
+}
+
+/// [`judge_pair`] from a trait-core [`Persona`] — the batch engine's
+/// entry point (ready moments come from precomputed per-stimulus
+/// tables). Bit-identical to [`judge_pair`] for matching inputs.
+pub fn judge_pair_flat(
+    left_ready: SimTime,
+    right_ready: SimTime,
+    participant: &Persona,
+    label: &str,
+) -> AbAnswer {
+    let mut rng = judge_rng(participant.seed, label);
     if rng.random_bool(lapse_rate(participant.class)) {
         return match rng.random_range(0..3u8) {
             0 => AbAnswer::Left,
@@ -105,13 +117,20 @@ pub fn ab_response(
 /// is [`AbAnswer::Left`].
 pub fn ab_control(video: &Video, participant: &Participant, label: &str) -> (AbAnswer, bool) {
     let ready = true_ready_time(video, participant.readiness);
+    ab_control_flat(ready, &participant.persona(), label)
+}
+
+/// [`ab_control`] with the control video's ready moment (under this
+/// participant's criterion) already extracted — the batch engine reads
+/// it from a per-stimulus table instead of rescanning the paint stream.
+pub fn ab_control_flat(ready: SimTime, participant: &Persona, label: &str) -> (AbAnswer, bool) {
     let delayed = ready + eyeorg_net::SimDuration::from_secs(3);
-    let answer = judge_pair(ready, delayed, participant, label);
+    let answer = judge_pair_flat(ready, delayed, participant, label);
     (answer, answer == AbAnswer::Left)
 }
 
-fn judge_rng(participant: &Participant, label: &str) -> Rng {
-    Rng::seed_from_u64(participant.seed.derive("abjudge").derive(label).value())
+fn judge_rng(seed: eyeorg_stats::Seed, label: &str) -> Rng {
+    Rng::seed_from_u64(seed.derive("abjudge").derive(label).value())
 }
 
 #[cfg(test)]

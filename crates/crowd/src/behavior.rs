@@ -20,7 +20,7 @@ use eyeorg_net::{SimDuration, SimTime};
 use eyeorg_video::{preload_time, Video};
 use eyeorg_stats::rng::Rng;
 
-use crate::participant::{Participant, ParticipantClass, ParticipantType};
+use crate::participant::{Participant, ParticipantClass, ParticipantType, Persona};
 
 /// The experiment type the behaviour differs across.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +59,27 @@ impl VideoSession {
     }
 }
 
+/// Per-`(video, kind)` constants of the behaviour model, precomputed so
+/// the campaign engines pay the frame-count arithmetic once per stimulus
+/// instead of once per response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionProfile {
+    /// Wall duration of the capture, seconds.
+    pub dur_secs: f64,
+    /// Download size of what the participant must fetch for this test.
+    pub bytes: u64,
+}
+
+impl SessionProfile {
+    /// Extract the behaviour constants for one stimulus.
+    pub fn of(video: &Video, kind: TestKind) -> SessionProfile {
+        SessionProfile {
+            dur_secs: video.duration().as_secs_f64(),
+            bytes: video_bytes_estimate(video, kind),
+        }
+    }
+}
+
 /// Simulate the behaviour of one participant on one video.
 pub fn video_session(
     video: &Video,
@@ -66,9 +87,26 @@ pub fn video_session(
     kind: TestKind,
     video_label: &str,
 ) -> VideoSession {
-    let mut rng = behavior_rng(participant, video_label);
-    let bytes = video_bytes_estimate(video, kind);
-    let video_load = preload_time(bytes, participant.bandwidth_bps);
+    video_session_profiled(
+        &SessionProfile::of(video, kind),
+        &participant.persona(),
+        kind,
+        video_label,
+    )
+}
+
+/// [`video_session`] against precomputed per-stimulus constants and a
+/// trait-core [`Persona`] — the flat campaign engine's entry point.
+/// Bit-identical to [`video_session`] for matching inputs (the wrapper
+/// above *is* this function).
+pub fn video_session_profiled(
+    profile: &SessionProfile,
+    participant: &Persona,
+    kind: TestKind,
+    video_label: &str,
+) -> VideoSession {
+    let mut rng = behavior_rng(participant.seed, video_label);
+    let video_load = preload_time(profile.bytes, participant.bandwidth_bps);
 
     // --- skipping (soft-rule violation) --------------------------------
     let skip_p = match (participant.ptype, participant.class) {
@@ -144,7 +182,7 @@ pub fn video_session(
     };
 
     // --- time accounting --------------------------------------------------
-    let dur = video.duration().as_secs_f64();
+    let dur = profile.dur_secs;
     let interaction_time = match kind {
         TestKind::Timeline => {
             // Scrubbing: repeated passes over the video plus a per-seek
@@ -195,7 +233,12 @@ fn video_bytes_estimate(video: &Video, kind: TestKind) -> u64 {
 
 /// Time spent reading the instructions before the first video.
 pub fn instruction_time(participant: &Participant) -> SimDuration {
-    let mut rng = behavior_rng(participant, "instructions");
+    instruction_time_persona(&participant.persona())
+}
+
+/// [`instruction_time`] from a trait-core [`Persona`].
+pub fn instruction_time_persona(participant: &Persona) -> SimDuration {
+    let mut rng = behavior_rng(participant.seed, "instructions");
     let secs = match participant.class {
         ParticipantClass::Diligent => rng.random_range(20.0..60.0),
         ParticipantClass::Average => rng.random_range(12.0..40.0),
@@ -207,14 +250,22 @@ pub fn instruction_time(participant: &Participant) -> SimDuration {
     SimDuration::from_secs_f64(secs)
 }
 
-fn behavior_rng(participant: &Participant, label: &str) -> Rng {
-    Rng::seed_from_u64(participant.seed.derive("behavior").derive(label).value())
+fn behavior_rng(seed: eyeorg_stats::Seed, label: &str) -> Rng {
+    Rng::seed_from_u64(seed.derive("behavior").derive(label).value())
 }
 
 /// A participant's total time across their assigned videos (the Fig. 4a
 /// "time spent on site" statistic).
 pub fn total_time_on_site(sessions: &[VideoSession], participant: &Participant) -> SimDuration {
-    let mut total = instruction_time(participant);
+    total_time_on_site_persona(sessions, &participant.persona())
+}
+
+/// [`total_time_on_site`] from a trait-core [`Persona`].
+pub fn total_time_on_site_persona(
+    sessions: &[VideoSession],
+    participant: &Persona,
+) -> SimDuration {
+    let mut total = instruction_time_persona(participant);
     for s in sessions {
         total = total + s.time_spent;
     }

@@ -31,14 +31,19 @@ pub mod participant;
 pub mod perception;
 pub mod service;
 
-pub use abjudge::{ab_control, ab_response, judge_pair, AbAnswer};
-pub use behavior::{total_time_on_site, video_session, TestKind, VideoSession};
+pub use abjudge::{ab_control, ab_control_flat, ab_response, judge_pair, judge_pair_flat, AbAnswer};
+pub use behavior::{
+    total_time_on_site, total_time_on_site_persona, video_session, video_session_profiled,
+    SessionProfile, TestKind, VideoSession,
+};
 pub use participant::{
-    Gender, Participant, ParticipantClass, ParticipantType, PopulationProfile, ReadinessCriterion,
+    Gender, Participant, ParticipantClass, ParticipantType, Persona, PopulationProfile,
+    ReadinessCriterion,
 };
 pub use perception::{
-    timeline_control_passes, timeline_response, timeline_response_cached,
-    timeline_response_shared, true_ready_time, TimelineResponse,
+    timeline_control_passes, timeline_control_passes_flat, timeline_response,
+    timeline_response_cached, timeline_response_flat, timeline_response_shared, true_ready_time,
+    ReadyTimes, TimelineResponse, TimelineStimulusProfile,
 };
 pub use service::{CrowdFlower, Microworkers, Recruitment, RecruitmentService, TrustedChannel};
 

@@ -100,6 +100,55 @@ impl Participant {
     pub fn rng(&self, label: &str) -> Rng {
         Rng::seed_from_u64(self.seed.derive(label).value())
     }
+
+    /// The allocation-free trait view of this participant (everything the
+    /// behaviour/perception/judgment models consume). The flat campaign
+    /// engine generates [`Persona`]s directly; this accessor lets the
+    /// row-materialising paths share the exact same model entry points.
+    pub fn persona(&self) -> Persona {
+        Persona {
+            id: self.id,
+            ptype: self.ptype,
+            class: self.class,
+            tech_savvy: self.tech_savvy,
+            bandwidth_bps: self.bandwidth_bps,
+            readiness: self.readiness,
+            perception_noise: self.perception_noise,
+            overshoot: self.overshoot,
+            seed: self.seed,
+        }
+    }
+}
+
+/// The `Copy` trait-core of a [`Participant`]: every field the response
+/// models draw on, none of the reporting-only ones (gender, country).
+///
+/// The flat campaign engine regenerates shards of these into plain
+/// arrays; keeping the struct `Copy` (no `String` country) is what lets
+/// a shard's persona column live in reusable scratch without per-row
+/// allocation. Draw-compatible with [`Participant`]: for the same pool,
+/// seed and index, `generate_persona(..)` and `generate_one(..).persona()`
+/// are identical, field for field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Persona {
+    /// Unique id within a campaign.
+    pub id: u64,
+    /// Pool.
+    pub ptype: ParticipantType,
+    /// Latent phenotype.
+    pub class: ParticipantClass,
+    /// Self-assessed technical ability, 1–5.
+    pub tech_savvy: u8,
+    /// The participant's own downlink.
+    pub bandwidth_bps: u64,
+    /// Interpretation of "ready to use".
+    pub readiness: ReadinessCriterion,
+    /// Multiplicative perception noise (lognormal sigma).
+    pub perception_noise: f64,
+    /// Tendency to overshoot with the slider before the helper corrects.
+    pub overshoot: f64,
+    /// Private RNG stream seed.
+    pub seed: Seed,
 }
 
 /// Mixing weights and trait ranges for a pool.
@@ -178,12 +227,54 @@ impl PopulationProfile {
 
     /// Generate the `i`-th participant of this pool.
     pub fn generate_one(&self, seed: Seed, i: u64) -> Participant {
+        let (persona, gender, country) = self.draw_traits(seed, i);
+        Participant {
+            id: i,
+            ptype: self.ptype,
+            class: persona.class,
+            gender,
+            country: country.to_owned(),
+            tech_savvy: persona.tech_savvy,
+            bandwidth_bps: persona.bandwidth_bps,
+            readiness: persona.readiness,
+            perception_noise: persona.perception_noise,
+            overshoot: persona.overshoot,
+            seed: persona.seed,
+        }
+    }
+
+    /// Generate only the trait-core of the `i`-th participant — the
+    /// allocation-free path the flat campaign engine regenerates shards
+    /// through. Identical draws to [`generate_one`](Self::generate_one)
+    /// (the reporting-only gender/country draws still happen, their
+    /// results are just not materialised), so the two stay in lockstep
+    /// on every downstream RNG stream.
+    pub fn generate_persona(&self, seed: Seed, i: u64) -> Persona {
+        self.draw_traits(seed, i).0
+    }
+
+    /// The gate-relevant slice of participant `i`: the derived seed and
+    /// the class (the trait stream's *first* draw). The humanness gate
+    /// reads nothing else, so the sharded engines' counting pre-passes
+    /// can skip the remaining trait draws entirely — every skipped draw
+    /// lives on the participant's isolated `"traits"` stream, so a later
+    /// full regeneration via [`generate_one`](Self::generate_one) or
+    /// [`generate_persona`](Self::generate_persona) replays the
+    /// identical sequence.
+    pub fn generate_gate(&self, seed: Seed, i: u64) -> (Seed, ParticipantClass) {
+        let pseed = seed.derive_index("participant", i);
+        let mut rng = Rng::seed_from_u64(pseed.derive("traits").value());
+        (pseed, pick_weighted(&mut rng, &self.class_mix))
+    }
+
+    /// The single draw sequence behind both generation paths.
+    fn draw_traits(&self, seed: Seed, i: u64) -> (Persona, Gender, &'static str) {
         let pseed = seed.derive_index("participant", i);
         let mut rng = Rng::seed_from_u64(pseed.derive("traits").value());
         let class = pick_weighted(&mut rng, &self.class_mix);
         let gender =
             if rng.random_bool(self.male_fraction) { Gender::Male } else { Gender::Female };
-        let country = pick_weighted(&mut rng, &self.countries).to_owned();
+        let country = pick_weighted(&mut rng, &self.countries);
         let tech_savvy = rng.random_range(1..=5u8);
         // Worker downlinks: log-uniform 0.5–30 Mbit/s — 2016 crowd
         // workers cluster in regions where sub-2 Mbit/s lines were
@@ -212,19 +303,21 @@ impl PopulationProfile {
             }
             ParticipantClass::Frenetic => (rng.random_range(0.10..0.2), rng.random_range(0.05..0.2)),
         };
-        Participant {
-            id: i,
-            ptype: self.ptype,
-            class,
+        (
+            Persona {
+                id: i,
+                ptype: self.ptype,
+                class,
+                tech_savvy,
+                bandwidth_bps,
+                readiness,
+                perception_noise,
+                overshoot,
+                seed: pseed,
+            },
             gender,
             country,
-            tech_savvy,
-            bandwidth_bps,
-            readiness,
-            perception_noise,
-            overshoot,
-            seed: pseed,
-        }
+        )
     }
 }
 
@@ -244,6 +337,17 @@ fn pick_weighted<T: Copy>(rng: &mut Rng, mix: &[(T, f64)]) -> T {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn persona_generation_matches_full_generation() {
+        for pool in [PopulationProfile::paid(), PopulationProfile::trusted()] {
+            for i in 0..200 {
+                let full = pool.generate_one(Seed(77), i);
+                let persona = pool.generate_persona(Seed(77), i);
+                assert_eq!(full.persona(), persona, "pool {:?} index {i}", pool.ptype);
+            }
+        }
+    }
 
     #[test]
     fn generation_deterministic() {

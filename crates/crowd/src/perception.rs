@@ -17,7 +17,7 @@ use eyeorg_net::SimTime;
 use eyeorg_video::{FrameTimeline, Video};
 use eyeorg_stats::rng::Rng;
 
-use crate::participant::{Participant, ParticipantClass, ReadinessCriterion};
+use crate::participant::{Participant, ParticipantClass, Persona, ReadinessCriterion};
 
 /// The moment a page becomes "ready" under a given criterion, extracted
 /// from the capture's viewport-visible paint stream.
@@ -71,6 +71,105 @@ pub fn true_ready_time(video: &Video, criterion: ReadinessCriterion) -> SimTime 
             SimTime::ZERO
         }
     }
+}
+
+/// The ready moment under each of the three criteria, extracted once per
+/// video so batch engines index by criterion instead of rescanning the
+/// paint stream per response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadyTimes {
+    /// [`ReadinessCriterion::MainContent`].
+    pub main_content: SimTime,
+    /// [`ReadinessCriterion::AllContent`].
+    pub all_content: SimTime,
+    /// [`ReadinessCriterion::FirstImpression`].
+    pub first_impression: SimTime,
+}
+
+impl ReadyTimes {
+    /// Extract all three ready moments from one capture.
+    pub fn of(video: &Video) -> ReadyTimes {
+        ReadyTimes {
+            main_content: true_ready_time(video, ReadinessCriterion::MainContent),
+            all_content: true_ready_time(video, ReadinessCriterion::AllContent),
+            first_impression: true_ready_time(video, ReadinessCriterion::FirstImpression),
+        }
+    }
+
+    /// The ready moment for one criterion.
+    pub fn get(&self, criterion: ReadinessCriterion) -> SimTime {
+        match criterion {
+            ReadinessCriterion::MainContent => self.main_content,
+            ReadinessCriterion::AllContent => self.all_content,
+            ReadinessCriterion::FirstImpression => self.first_impression,
+        }
+    }
+}
+
+/// Frame clock of a capture: everything the slider math needs, without
+/// the capture itself. Mirrors `Video::frame_time`/`frame_index_at`
+/// exactly (same integer arithmetic, same clamping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FrameClock {
+    dur_us: u64,
+    step_us: u64,
+    frame_count: usize,
+}
+
+impl FrameClock {
+    fn of(video: &Video) -> FrameClock {
+        FrameClock {
+            dur_us: video.duration().as_micros().max(1),
+            step_us: 1_000_000 / u64::from(video.fps()),
+            frame_count: video.frame_count(),
+        }
+    }
+
+    fn frame_index_at(&self, t: SimTime) -> usize {
+        ((t.as_micros() / self.step_us) as usize).min(self.frame_count - 1)
+    }
+
+    fn frame_time(&self, i: usize) -> SimTime {
+        SimTime::from_micros(i.min(self.frame_count - 1) as u64 * self.step_us)
+    }
+
+    fn quantize(&self, t: SimTime) -> SimTime {
+        self.frame_time(self.frame_index_at(t))
+    }
+}
+
+/// Per-stimulus constants of the timeline response model — the ready
+/// moments, the first-visible floor, and the frame clock — extracted
+/// once so the flat campaign engine's inner loop touches no `Video`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineStimulusProfile {
+    clock: FrameClock,
+    ready: ReadyTimes,
+    first_visible_us: f64,
+}
+
+impl TimelineStimulusProfile {
+    /// Extract the response-model constants for one capture.
+    pub fn of(video: &Video) -> TimelineStimulusProfile {
+        TimelineStimulusProfile {
+            clock: FrameClock::of(video),
+            ready: ReadyTimes::of(video),
+            first_visible_us: first_visible_us(video),
+        }
+    }
+}
+
+/// Time of the first viewport-visible paint, in µs (the floor below
+/// which no coherent participant reports "ready").
+fn first_visible_us(video: &Video) -> f64 {
+    let fold = video.trace().fold_y;
+    video
+        .trace()
+        .paints
+        .iter()
+        .find(|p| p.rect.above_fold(fold).is_some())
+        .map(|p| p.time.as_micros() as f64)
+        .unwrap_or(0.0)
 }
 
 /// One timeline-test interaction, end to end.
@@ -137,8 +236,55 @@ fn timeline_response_with(
     participant: &Participant,
     video_label: &str,
 ) -> TimelineResponse {
-    let mut rng = response_rng(participant, video_label);
-    let dur_us = video.duration().as_micros().max(1);
+    let clock = FrameClock::of(video);
+    // Ready moment and first-visible floor are looked up lazily: the
+    // clicker/bot branch never consults them, and eagerly extracting all
+    // three criteria would triple this path's paint-stream scans.
+    timeline_response_core(
+        &clock,
+        &mut |criterion| (true_ready_time(video, criterion), first_visible_us(video)),
+        rewind,
+        &participant.persona(),
+        video_label,
+    )
+}
+
+/// [`timeline_response`] against fully precomputed per-stimulus
+/// constants and a flat rewind table — the batch engine's inner-loop
+/// entry point: no `Video`, no timeline, no allocation. Bit-identical
+/// to [`timeline_response_shared`] for matching inputs (both funnel
+/// into the same core).
+///
+/// `rewinds[i]` must be the rewind suggestion for frame `i`
+/// (`FrameTimeline::rewind_table`).
+pub fn timeline_response_flat(
+    profile: &TimelineStimulusProfile,
+    rewinds: &[usize],
+    participant: &Persona,
+    video_label: &str,
+) -> TimelineResponse {
+    timeline_response_core(
+        &profile.clock,
+        &mut |criterion| (profile.ready.get(criterion), profile.first_visible_us),
+        &mut |i| rewinds[i],
+        participant,
+        video_label,
+    )
+}
+
+/// The single implementation behind every timeline-response entry point.
+/// `ready_of(criterion)` returns the true ready moment under `criterion`
+/// plus the first-visible floor in µs; it is only consulted on the
+/// coherent-participant branch.
+fn timeline_response_core(
+    clock: &FrameClock,
+    ready_of: &mut dyn FnMut(ReadinessCriterion) -> (SimTime, f64),
+    rewind: &mut dyn FnMut(usize) -> usize,
+    participant: &Persona,
+    video_label: &str,
+) -> TimelineResponse {
+    let mut rng = response_rng(participant.seed, video_label);
+    let dur_us = clock.dur_us;
 
     if matches!(participant.class, ParticipantClass::RandomClicker | ParticipantClass::Bot)
         && rng.random_bool(if participant.class == ParticipantClass::Bot { 1.0 } else { 0.6 })
@@ -151,10 +297,10 @@ fn timeline_response_with(
         } else {
             SimTime::from_micros(rng.random_range(0..dur_us))
         };
-        let slider = quantize(video, t);
+        let slider = clock.quantize(t);
         // Blindly accepts whatever the helper proposes.
-        let helper_frame = rewind(video.frame_index_at(slider));
-        let helper = video.frame_time(helper_frame);
+        let helper_frame = rewind(clock.frame_index_at(slider));
+        let helper = clock.frame_time(helper_frame);
         return TimelineResponse {
             perceived: t,
             slider,
@@ -164,21 +310,13 @@ fn timeline_response_with(
         };
     }
 
-    let ready = true_ready_time(video, participant.readiness);
+    let (ready, first_visible) = ready_of(participant.readiness);
     // Multiplicative perception noise (Weber-like: error scales with the
     // magnitude being judged).
     let z: f64 = crate::dist_normal(&mut rng);
     // Participants are *watching* the video: no one coherent reports
     // "ready" on a frame where nothing has appeared yet, so perception
     // is floored at the first viewport-visible paint.
-    let fold = video.trace().fold_y;
-    let first_visible = video
-        .trace()
-        .paints
-        .iter()
-        .find(|p| p.rect.above_fold(fold).is_some())
-        .map(|p| p.time.as_micros() as f64)
-        .unwrap_or(0.0);
     let perceived_us = (ready.as_micros() as f64
         * (participant.perception_noise * z).exp())
     .max(first_visible);
@@ -187,10 +325,10 @@ fn timeline_response_with(
     // the helper pull them back.
     let overshoot_frac = participant.overshoot * rng.random_range(0.3..1.0);
     let slider_us = (perceived_us * (1.0 + overshoot_frac)).min(dur_us as f64);
-    let slider = quantize(video, SimTime::from_micros(slider_us as u64));
+    let slider = clock.quantize(SimTime::from_micros(slider_us as u64));
 
-    let helper_frame = rewind(video.frame_index_at(slider));
-    let helper = video.frame_time(helper_frame);
+    let helper_frame = rewind(clock.frame_index_at(slider));
+    let helper = clock.frame_time(helper_frame);
 
     // Acceptance: participants accept the rewind when it does not
     // contradict their internal ready moment by much.
@@ -217,7 +355,14 @@ fn timeline_response_with(
 /// proposed as the rewind; §3.3): `true` = the participant correctly
 /// kept their own choice.
 pub fn timeline_control_passes(participant: &Participant, video_label: &str) -> bool {
-    let mut rng = response_rng(participant, &format!("ctrl-{video_label}"));
+    timeline_control_passes_flat(&participant.persona(), &format!("ctrl-{video_label}"))
+}
+
+/// [`timeline_control_passes`] with the derived control label (the
+/// `"ctrl-"`-prefixed video label) already built — the batch engine
+/// precomputes the string once per stimulus instead of once per row.
+pub fn timeline_control_passes_flat(participant: &Persona, ctrl_label: &str) -> bool {
+    let mut rng = response_rng(participant.seed, ctrl_label);
     let reject_p = match participant.class {
         ParticipantClass::Diligent => 0.995,
         ParticipantClass::Average => 0.98,
@@ -229,14 +374,8 @@ pub fn timeline_control_passes(participant: &Participant, video_label: &str) -> 
     rng.random_bool(reject_p)
 }
 
-fn quantize(video: &Video, t: SimTime) -> SimTime {
-    video.frame_time(video.frame_index_at(t))
-}
-
-fn response_rng(participant: &Participant, label: &str) -> Rng {
-    Rng::seed_from_u64(
-        participant.seed.derive("perception").derive(label).value(),
-    )
+fn response_rng(seed: eyeorg_stats::Seed, label: &str) -> Rng {
+    Rng::seed_from_u64(seed.derive("perception").derive(label).value())
 }
 
 #[cfg(test)]
@@ -252,6 +391,25 @@ mod tests {
         let site = generate_site(Seed(30), 0, SiteClass::News);
         let trace = load_page(&site, &BrowserConfig::new(), Seed(30));
         Video::capture(trace, 10, SimDuration::from_secs(5))
+    }
+
+    #[test]
+    fn flat_profile_path_matches_shared_path() {
+        let v = video();
+        let mut tl = FrameTimeline::of(&v);
+        tl.precompute_rewinds();
+        let table = tl.rewind_table();
+        let profile = TimelineStimulusProfile::of(&v);
+        let pop = PopulationProfile::paid().generate(Seed(66), 150);
+        for p in &pop {
+            let shared = timeline_response_shared(&v, &tl, p, "tl-3");
+            let flat = timeline_response_flat(&profile, &table, &p.persona(), "tl-3");
+            assert_eq!(shared, flat, "class {:?}", p.class);
+            assert_eq!(
+                timeline_control_passes(p, "tl-3"),
+                timeline_control_passes_flat(&p.persona(), "ctrl-tl-3"),
+            );
+        }
     }
 
     #[test]

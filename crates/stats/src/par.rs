@@ -210,6 +210,77 @@ where
     slots.into_iter().map(|s| s.expect("every index claimed")).collect()
 }
 
+/// [`par_map_range`] with per-worker scratch: each worker calls `make`
+/// once and threads the resulting state through every item it claims.
+/// The flat campaign engine uses this as its shard *arena* — reusable
+/// `Vec` capacity that makes the per-shard inner loop allocation-free.
+///
+/// Determinism contract: `f(scratch, i)`'s *result* must depend only on
+/// `i` (and captured immutable state) — the scratch is for allocation
+/// reuse, never for carrying data between items. Which items share a
+/// scratch varies with scheduling, so any result-visible leakage would
+/// be nondeterministic; callers must clear per-item state at the top of
+/// `f`, exactly as if the scratch were freshly `make()`d.
+///
+/// With an effective pool of 1 this is one `make()` followed by
+/// `(0..n).map(|i| f(&mut scratch, i)).collect()` — the maximal-reuse
+/// sequential path.
+pub fn par_map_range_scratch<S, R, M, F>(n: usize, threads: usize, make: M, f: F) -> Vec<R>
+where
+    R: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    let pool = effective_pool(threads).min(n);
+    if pool <= 1 || n <= 1 {
+        let mut scratch = make();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
+    }
+    let chunk = chunk_size(n, pool);
+    let next = AtomicUsize::new(0);
+    let make = &make;
+    let f = &f;
+    let mut per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..pool)
+            .map(|worker| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut scratch = make();
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    let mut chaos_step = 0u64;
+                    loop {
+                        chaos_yield(worker, &mut chaos_step);
+                        // lint:allow(D3): relaxed chunk claiming only permutes which worker computes which index; results are merged back in index order below, so no claim order reaches any output
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for i in start..(start + chunk).min(n) {
+                            chaos_yield(worker, &mut chaos_step);
+                            out.push((i, f(&mut scratch, i)));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            // lint:allow(D4): a panicking work item must propagate, not be swallowed into a partial result
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for buf in per_worker.drain(..) {
+        for (i, r) in buf {
+            debug_assert!(slots[i].is_none(), "index {i} produced twice");
+            slots[i] = Some(r);
+        }
+    }
+    // lint:allow(D4): the chunked claim loop visits every index in 0..n exactly once, so every slot is filled
+    slots.into_iter().map(|s| s.expect("every index claimed")).collect()
+}
+
 /// Map `f` over owned `items` on `threads` workers; `f` receives
 /// `(index, item)` and results come back in item order, byte-identical
 /// to the sequential run.
@@ -262,6 +333,31 @@ mod tests {
         for threads in [2, 3, 4, 8] {
             assert_eq!(par_map_range(64, threads, work), seq, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn scratch_map_matches_plain_map_at_any_thread_count() {
+        let work = |scratch: &mut Vec<u64>, i: usize| {
+            // Per-item state is cleared at the top, as the contract
+            // requires; the scratch only donates its capacity.
+            scratch.clear();
+            let mut rng = crate::rng::Rng::seed_from_u64(Seed(11).derive_index("s", i as u64).value());
+            for _ in 0..50 {
+                scratch.push(rng.next_u64());
+            }
+            scratch.iter().fold(0u64, |a, &x| a.wrapping_add(x))
+        };
+        let plain = par_map_range(97, 1, |i| work(&mut Vec::new(), i));
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(
+                par_map_range_scratch(97, threads, Vec::new, work),
+                plain,
+                "threads={threads}"
+            );
+        }
+        // Degenerate sizes.
+        assert_eq!(par_map_range_scratch(0, 4, Vec::<u8>::new, |_, i| i), Vec::<usize>::new());
+        assert_eq!(par_map_range_scratch(1, 4, Vec::<u8>::new, |_, i| i * 3), vec![0]);
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! Bitpacked companion planes for frame grids.
+//!
+//! A [`Frame`](crate::Frame) stores one byte per cell; the quantities the
+//! platform actually aggregates over grids are *predicates* on cells —
+//! "differs from the final frame", "is painted" — i.e. one bit per cell.
+//! This module packs those predicates into `u64` words (64 cells per
+//! word) so the hot comparisons become word-parallel popcount loops:
+//!
+//! * [`count_diff_bytes`] / [`count_ne_bytes`] — SWAR byte-equality
+//!   scans that never materialise a plane (what `diff_fraction` and
+//!   `painted_fraction` run on);
+//! * [`BitGrid`] — a materialised plane with O(1) bit updates and a
+//!   popcount-total, which `completeness_at_times` maintains
+//!   incrementally across the paint stream.
+//!
+//! All counts are exact integers, so every fraction computed from them
+//! is bit-identical to the scalar byte-scan it replaces (pinned by the
+//! property tests in `tests/bitplane_properties.rs`).
+
+/// High bit of each byte lane.
+const HI: u64 = 0x8080_8080_8080_8080;
+/// Low seven bits of each byte lane.
+const LO7: u64 = 0x7f7f_7f7f_7f7f_7f7f;
+
+/// Per-byte nonzero mask: the high bit of each byte of the result is set
+/// iff the corresponding byte of `x` is nonzero (classic SWAR: adding
+/// `0x7f` to a byte's low 7 bits carries into the high bit exactly when
+/// those bits are nonzero; OR-ing `x` back in catches `0x80`).
+#[inline]
+fn nonzero_byte_mask(x: u64) -> u64 {
+    (((x & LO7) + LO7) | x) & HI
+}
+
+/// Number of bytes that differ between two equal-length slices, counted
+/// eight lanes at a time (XOR → per-byte nonzero mask → popcount).
+///
+/// # Panics
+/// Panics when the slice lengths differ.
+pub fn count_diff_bytes(a: &[u8], b: &[u8]) -> u64 {
+    assert_eq!(a.len(), b.len(), "slice lengths differ");
+    let mut chunks_a = a.chunks_exact(8);
+    let mut chunks_b = b.chunks_exact(8);
+    let mut count = 0u64;
+    for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+        // lint:allow(D4): chunks_exact(8) yields exactly 8 bytes
+        let wa = u64::from_le_bytes(ca.try_into().expect("8-byte chunk"));
+        // lint:allow(D4): chunks_exact(8) yields exactly 8 bytes
+        let wb = u64::from_le_bytes(cb.try_into().expect("8-byte chunk"));
+        count += u64::from(nonzero_byte_mask(wa ^ wb).count_ones());
+    }
+    for (&xa, &xb) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        count += u64::from(xa != xb);
+    }
+    count
+}
+
+/// Number of bytes not equal to `value`, counted eight lanes at a time.
+pub fn count_ne_bytes(cells: &[u8], value: u8) -> u64 {
+    let splat = u64::from_le_bytes([value; 8]);
+    let mut chunks = cells.chunks_exact(8);
+    let mut count = 0u64;
+    for c in chunks.by_ref() {
+        // lint:allow(D4): chunks_exact(8) yields exactly 8 bytes
+        let w = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        count += u64::from(nonzero_byte_mask(w ^ splat).count_ones());
+    }
+    for &x in chunks.remainder() {
+        count += u64::from(x != value);
+    }
+    count
+}
+
+/// A bitpacked cell predicate: one bit per grid cell, 64 cells per
+/// word, bit `i % 64` of word `i / 64` for cell `i` in row-major order.
+/// Trailing bits past the cell count are always zero, so
+/// [`count_ones`](Self::count_ones) is exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitGrid {
+    words: Vec<u64>,
+    cells: usize,
+}
+
+impl BitGrid {
+    /// An all-zero plane over `cells` cells.
+    pub fn zeros(cells: usize) -> BitGrid {
+        BitGrid { words: vec![0; cells.div_ceil(64)], cells }
+    }
+
+    /// Number of cells covered.
+    pub fn len(&self) -> usize {
+        self.cells
+    }
+
+    /// Whether the plane covers zero cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells == 0
+    }
+
+    /// The packed words (last word's trailing bits are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Bit for cell `i`.
+    ///
+    /// # Panics
+    /// Panics out of range.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.cells, "cell {i} out of range ({} cells)", self.cells);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set cell `i`'s bit to `value`.
+    ///
+    /// # Panics
+    /// Panics out of range.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.cells, "cell {i} out of range ({} cells)", self.cells);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Total set bits — one popcount per word, no per-cell scan.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+}
+
+/// Pack "differs" bits for two equal-length cell buffers: bit `i` is set
+/// iff `a[i] != b[i]`. Built eight lanes at a time via the SWAR nonzero
+/// mask compressed to a movemask.
+///
+/// # Panics
+/// Panics when the slice lengths differ.
+pub fn packed_diff(a: &[u8], b: &[u8]) -> BitGrid {
+    assert_eq!(a.len(), b.len(), "slice lengths differ");
+    let mut grid = BitGrid::zeros(a.len());
+    pack_nonzero(a.iter().zip(b).map(|(&x, &y)| x ^ y), &mut grid);
+    grid
+}
+
+/// Pack "not equal to `value`" bits for a cell buffer: bit `i` is set
+/// iff `cells[i] != value` (with `value = BLANK` this is the painted
+/// plane).
+pub fn packed_ne(cells: &[u8], value: u8) -> BitGrid {
+    let mut grid = BitGrid::zeros(cells.len());
+    pack_nonzero(cells.iter().map(|&x| x ^ value), &mut grid);
+    grid
+}
+
+/// Fill `grid` from a per-cell byte stream: bit `i` set iff byte `i` is
+/// nonzero. Eight input bytes become eight plane bits per step via the
+/// SWAR mask and a multiply-based movemask.
+fn pack_nonzero(bytes: impl Iterator<Item = u8>, grid: &mut BitGrid) {
+    let mut buf = [0u8; 8];
+    let mut filled = 0usize;
+    let mut cell = 0usize;
+    for x in bytes {
+        buf[filled] = x;
+        filled += 1;
+        if filled == 8 {
+            let mask = nonzero_byte_mask(u64::from_le_bytes(buf));
+            // Compress the per-byte high bits to 8 contiguous bits, byte
+            // 0 → bit 0 (the multiply gathers each lane's high bit into
+            // the top byte in lane order).
+            let bits = ((mask >> 7).wrapping_mul(0x0102_0408_1020_4080) >> 56) & 0xff;
+            grid.words[cell / 64] |= bits << (cell % 64);
+            cell += 8;
+            filled = 0;
+        }
+    }
+    for (j, &x) in buf[..filled].iter().enumerate() {
+        if x != 0 {
+            grid.words[(cell + j) / 64] |= 1u64 << ((cell + j) % 64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swar_counts_match_scalar_on_simple_patterns() {
+        let a = [1u8, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
+        let mut b = a;
+        b[0] = 0;
+        b[7] = 0;
+        b[10] = 0;
+        assert_eq!(count_diff_bytes(&a, &b), 3);
+        assert_eq!(count_diff_bytes(&a, &a), 0);
+        assert_eq!(count_ne_bytes(&a, 3), 10);
+        assert_eq!(count_ne_bytes(&[], 3), 0);
+    }
+
+    #[test]
+    fn bitgrid_set_get_count() {
+        let mut g = BitGrid::zeros(130); // spans three words
+        assert_eq!(g.count_ones(), 0);
+        g.set(0, true);
+        g.set(63, true);
+        g.set(64, true);
+        g.set(129, true);
+        assert_eq!(g.count_ones(), 4);
+        assert!(g.get(63) && g.get(64) && !g.get(65));
+        g.set(63, false);
+        assert_eq!(g.count_ones(), 3);
+    }
+
+    #[test]
+    fn packed_planes_match_scalar_bits() {
+        let a: Vec<u8> = (0..100).map(|i| (i * 7 % 251) as u8).collect();
+        let b: Vec<u8> = (0..100).map(|i| (i * 13 % 256) as u8).collect();
+        let diff = packed_diff(&a, &b);
+        let ne = packed_ne(&a, 42);
+        for i in 0..100 {
+            assert_eq!(diff.get(i), a[i] != b[i], "diff bit {i}");
+            assert_eq!(ne.get(i), a[i] != 42, "ne bit {i}");
+        }
+        assert_eq!(diff.count_ones(), count_diff_bytes(&a, &b));
+        assert_eq!(ne.count_ones(), count_ne_bytes(&a, 42));
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn diff_count_requires_equal_lengths() {
+        let _ = count_diff_bytes(&[1, 2], &[1, 2, 3]);
+    }
+}

@@ -11,7 +11,7 @@ use eyeorg_browser::{LoadTrace, PaintEvent, PaintKind};
 use eyeorg_net::{SimDuration, SimTime};
 use eyeorg_workload::Rect;
 
-use crate::frame::{appearance, Frame, BLANK};
+use crate::frame::{appearance, Frame};
 
 /// Appearance salt of a paint event: the paint kind plus the ad-creative
 /// generation (each rotation renders different pixels).
@@ -128,10 +128,12 @@ impl Video {
     /// in one incremental pass over the paint stream.
     ///
     /// Equivalent to `1.0 - self.render_at(t).diff_fraction(&self.
-    /// render_at(final_t))` per instant — the differing-cell count is
-    /// maintained as an integer across cell writes, so each value is
-    /// bit-identical to the full-grid comparison — but total cost is one
-    /// render plus the painted area, not `times.len()` renders.
+    /// render_at(final_t))` per instant — a bitpacked "differs from the
+    /// final frame" plane ([`crate::bitplane::BitGrid`]) is maintained
+    /// across cell writes and popcounted at each sample instant, so each
+    /// value is bit-identical to the full-grid comparison — but total
+    /// cost is one render plus the painted area, not `times.len()`
+    /// renders.
     ///
     /// # Panics
     /// Panics (debug only) when `times` is not sorted.
@@ -140,9 +142,9 @@ impl Video {
         let final_frame = self.render_at(final_t);
         let fin = final_frame.cells();
         let len = fin.len() as f64;
-        // Start from the blank frame: differing cells = painted cells of
-        // the final state.
-        let mut differing: i64 = fin.iter().filter(|&&c| c != BLANK).count() as i64;
+        // Start from the blank frame: the cells differing from the final
+        // state are exactly its painted cells.
+        let mut diff_plane = final_frame.painted_plane();
         let mut cur = Frame::blank(self.grid_w, self.grid_h);
         let (sx, sy) = self.scale();
         let paints = &self.trace.paints;
@@ -158,13 +160,12 @@ impl Video {
                     sx,
                     sy,
                     appearance(p.resource.0, paint_salt(p)),
-                    &mut |idx, old, new| {
-                        let f = fin[idx as usize];
-                        differing += i64::from(new != f) - i64::from(old != f);
+                    &mut |idx, _old, new| {
+                        diff_plane.set(idx as usize, new != fin[idx as usize]);
                     },
                 );
             }
-            out.push(1.0 - differing as f64 / len);
+            out.push(1.0 - diff_plane.count_ones() as f64 / len);
         }
         out
     }

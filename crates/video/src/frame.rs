@@ -12,6 +12,8 @@ use std::sync::Arc;
 
 use eyeorg_workload::Rect;
 
+use crate::bitplane::{count_diff_bytes, count_ne_bytes, packed_diff, packed_ne, BitGrid};
+
 /// Appearance value of unpainted page background (blank white page).
 pub const BLANK: u8 = 245;
 
@@ -145,7 +147,10 @@ impl Frame {
     }
 
     /// Fraction of cells that differ between two frames of equal size
-    /// (the paper's "pixel-by-pixel comparison").
+    /// (the paper's "pixel-by-pixel comparison"). The count runs eight
+    /// cells per step (SWAR byte comparison + popcount); the integer
+    /// result — and therefore the fraction — is identical to a per-cell
+    /// scan.
     ///
     /// # Panics
     /// Panics when the dimensions differ.
@@ -155,16 +160,32 @@ impl Frame {
         if Arc::ptr_eq(&self.cells, &other.cells) {
             return 0.0; // shared buffer: zero differing cells, exactly
         }
-        let differing =
-            self.cells.iter().zip(other.cells.iter()).filter(|(a, b)| a != b).count();
-        differing as f64 / self.cells.len() as f64
+        count_diff_bytes(&self.cells, &other.cells) as f64 / self.cells.len() as f64
     }
 
     /// Fraction of cells that are not blank (used to synthesise the
-    /// nearly-blank control frame check).
+    /// nearly-blank control frame check). Word-parallel like
+    /// [`diff_fraction`](Self::diff_fraction).
     pub fn painted_fraction(&self) -> f64 {
-        let painted = self.cells.iter().filter(|&&c| c != BLANK).count();
-        painted as f64 / self.cells.len() as f64
+        count_ne_bytes(&self.cells, BLANK) as f64 / self.cells.len() as f64
+    }
+
+    /// The bitpacked "differs from `other`" plane: bit `i` set iff cell
+    /// `i` differs. Popcount of the plane equals the differing-cell
+    /// count behind [`diff_fraction`](Self::diff_fraction).
+    ///
+    /// # Panics
+    /// Panics when the dimensions differ.
+    pub fn diff_plane(&self, other: &Frame) -> BitGrid {
+        assert_eq!(self.width, other.width, "frame widths differ");
+        assert_eq!(self.height, other.height, "frame heights differ");
+        packed_diff(&self.cells, &other.cells)
+    }
+
+    /// The bitpacked "painted" plane: bit `i` set iff cell `i` is not
+    /// [`BLANK`].
+    pub fn painted_plane(&self) -> BitGrid {
+        packed_ne(&self.cells, BLANK)
     }
 
     /// Concatenate two frames side by side (for A/B splices), separated

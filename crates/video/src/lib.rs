@@ -9,6 +9,8 @@
 //! This crate is that machinery over the simulated browser:
 //!
 //! * [`frame`] — downscaled viewport frames with pixel-level comparison.
+//! * [`bitplane`] — bitpacked cell predicates (one `u64` word per 64
+//!   cells) behind the word-parallel comparison loops.
 //! * [`capture`] — [`capture::Video`]: lazy frame rendering from a load
 //!   trace; visual-completeness queries.
 //! * [`webpeg`] — repeat-5-keep-median capture orchestration.
@@ -26,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitplane;
 pub mod capture;
 pub mod compare;
 pub mod encode;
@@ -35,8 +38,12 @@ pub mod splice;
 pub mod timeline;
 pub mod webpeg;
 
+pub use bitplane::BitGrid;
 pub use capture::Video;
-pub use compare::{control_frame, earliest_similar_frame, rewind_suggestion, SIMILARITY_THRESHOLD};
+pub use compare::{
+    control_frame, earliest_similar_frame, rewind_suggestion, EarliestSimilarTable,
+    SIMILARITY_THRESHOLD,
+};
 pub use encode::{encode, EncodedVideo};
 pub use frame::Frame;
 pub use player::{preload_time, PlaybackResult, PlaybackSim};

@@ -130,6 +130,15 @@ impl FrameTimeline {
         }
     }
 
+    /// The whole rewind memo as a flat `table[chosen] -> rewind` vector
+    /// (answers from the memo when present, recomputed otherwise). The
+    /// batch campaign engine carries this table instead of the timeline:
+    /// a rewind lookup becomes one bounds-checked index, with no
+    /// `BTreeMap` walk on the per-response path.
+    pub fn rewind_table(&self) -> Vec<usize> {
+        (0..self.frames.len()).map(|chosen| self.rewind_at(chosen)).collect()
+    }
+
     /// [`precompute_rewinds`](Self::precompute_rewinds) with the scans
     /// spread over `threads` workers (`0` = automatic). Entries already
     /// memoised are kept; the table is identical to the sequential fill
@@ -154,6 +163,13 @@ impl FrameTimeline {
     /// integers, so `count / len` is bit-identical to what
     /// `diff_fraction` computes on the full grids.
     fn compute_rewind(&self, chosen: usize) -> usize {
+        self.compute_rewind_threshold(chosen, SIMILARITY_THRESHOLD)
+    }
+
+    /// [`compute_rewind`](Self::compute_rewind) at an arbitrary
+    /// similarity threshold (`compare::EarliestSimilarTable` builds its
+    /// per-video tables through this).
+    pub(crate) fn compute_rewind_threshold(&self, chosen: usize, threshold: f64) -> usize {
         let target = self.frames[chosen].cells();
         let len = target.len() as f64;
         let mut differing: i64 = 0; // frame `chosen` vs itself
@@ -161,7 +177,7 @@ impl FrameTimeline {
         for i in (0..=chosen).rev() {
             // `differing` is now the count for frame `i` vs the target.
             debug_assert!(differing >= 0);
-            if differing as f64 / len <= SIMILARITY_THRESHOLD {
+            if differing as f64 / len <= threshold {
                 result = i; // keep walking: earlier qualifying i wins
             }
             if i > 0 {
@@ -224,6 +240,20 @@ mod tests {
             assert_eq!(precomputed.rewind_at(chosen), reference, "precomputed, frame {chosen}");
             assert_eq!(par.rewind_at(chosen), reference, "parallel precompute, frame {chosen}");
         }
+    }
+
+    #[test]
+    fn rewind_table_matches_per_frame_lookups() {
+        let v = video();
+        let mut tl = FrameTimeline::of(&v);
+        tl.precompute_rewinds();
+        let table = tl.rewind_table();
+        assert_eq!(table.len(), tl.len());
+        for (chosen, &entry) in table.iter().enumerate() {
+            assert_eq!(entry, tl.rewind_at(chosen), "frame {chosen}");
+        }
+        // Cold (un-memoised) tables answer identically.
+        assert_eq!(FrameTimeline::of(&v).rewind_table(), table);
     }
 
     #[test]

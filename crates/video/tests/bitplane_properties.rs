@@ -1,0 +1,143 @@
+//! Property tests pinning the bitpacked plane primitives to scalar
+//! per-cell references. Everything here is seeded and hermetic: grids
+//! come from `eyeorg_stats::rng` draws or from captured page loads, so
+//! a failure reproduces byte-for-byte.
+//!
+//! The claims under test (from `bitplane`'s module docs): every SWAR /
+//! popcount count is an *exact integer* equal to the naive byte scan —
+//! at any length (not just multiples of the 8-byte lane or 64-bit word),
+//! on all-blank and all-painted edges, and when maintained incrementally
+//! across a paint stream (`Video::completeness_at_times`).
+
+use eyeorg_browser::{load_page, BrowserConfig};
+use eyeorg_net::SimDuration;
+use eyeorg_stats::rng::Rng;
+use eyeorg_stats::Seed;
+use eyeorg_video::bitplane::{count_diff_bytes, count_ne_bytes, packed_diff, packed_ne};
+use eyeorg_video::frame::BLANK;
+use eyeorg_video::Video;
+use eyeorg_workload::{generate_site, SiteClass};
+
+/// Naive per-cell differing count — the reference the word-parallel
+/// loops must reproduce exactly.
+fn scalar_diff(a: &[u8], b: &[u8]) -> u64 {
+    a.iter().zip(b).filter(|(x, y)| x != y).count() as u64
+}
+
+fn scalar_ne(cells: &[u8], value: u8) -> u64 {
+    cells.iter().filter(|&&x| x != value).count() as u64
+}
+
+/// `len` random cells over a small alphabet (collisions must be common,
+/// or the diff predicates degenerate to "always true").
+fn random_cells(rng: &mut Rng, len: usize) -> Vec<u8> {
+    (0..len).map(|_| rng.random_range(0..4u8) * 63).collect()
+}
+
+#[test]
+fn packed_counts_match_scalar_on_random_grids_at_awkward_lengths() {
+    // Lengths straddling every boundary that matters: the 8-byte SWAR
+    // lane, the 64-cell word, and multiples of neither.
+    let lengths =
+        [0usize, 1, 7, 8, 9, 63, 64, 65, 100, 127, 128, 130, 192, 1000, 4095, 4096, 4097];
+    for trial in 0..8u64 {
+        let mut rng = Rng::seed_from_u64(Seed(4242).derive_index("trial", trial).value());
+        for &len in &lengths {
+            let a = random_cells(&mut rng, len);
+            let b = random_cells(&mut rng, len);
+
+            assert_eq!(count_diff_bytes(&a, &b), scalar_diff(&a, &b), "diff len={len}");
+            let plane = packed_diff(&a, &b);
+            assert_eq!(plane.len(), len);
+            assert_eq!(plane.count_ones(), scalar_diff(&a, &b), "plane count len={len}");
+            for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                assert_eq!(plane.get(i), x != y, "diff bit {i} len={len}");
+            }
+
+            let value = rng.random_range(0..4u8) * 63;
+            assert_eq!(count_ne_bytes(&a, value), scalar_ne(&a, value), "ne len={len}");
+            let plane = packed_ne(&a, value);
+            assert_eq!(plane.count_ones(), scalar_ne(&a, value), "ne count len={len}");
+            for (i, &x) in a.iter().enumerate() {
+                assert_eq!(plane.get(i), x != value, "ne bit {i} len={len}");
+            }
+        }
+    }
+}
+
+#[test]
+fn trailing_word_bits_stay_zero_at_non_multiple_of_64_widths() {
+    // `count_ones` is a straight popcount over the words, so the packing
+    // paths must never set bits past the cell count.
+    let mut rng = Rng::seed_from_u64(Seed(77).derive("trailing").value());
+    for &len in &[1usize, 63, 65, 100, 130, 4097] {
+        let a = random_cells(&mut rng, len);
+        let b = random_cells(&mut rng, len);
+        for grid in [packed_diff(&a, &b), packed_ne(&a, 0)] {
+            let tail = len % 64;
+            if tail != 0 {
+                let last = *grid.words().last().expect("non-empty grid");
+                assert_eq!(last >> tail, 0, "trailing bits set at len={len}");
+            }
+        }
+    }
+}
+
+#[test]
+fn all_blank_and_all_painted_edges() {
+    for &len in &[1usize, 64, 100, 4097] {
+        let blank = vec![BLANK; len];
+        let painted: Vec<u8> = (0..len).map(|i| (i % 7) as u8).collect(); // never BLANK
+
+        // All-blank: zero painted cells, zero diff against itself.
+        assert_eq!(count_ne_bytes(&blank, BLANK), 0);
+        assert_eq!(packed_ne(&blank, BLANK).count_ones(), 0);
+        assert_eq!(count_diff_bytes(&blank, &blank), 0);
+
+        // All-painted: every cell differs from blank.
+        assert_eq!(count_ne_bytes(&painted, BLANK), len as u64);
+        assert_eq!(packed_ne(&painted, BLANK).count_ones(), len as u64);
+        assert_eq!(count_diff_bytes(&painted, &blank), len as u64);
+        assert_eq!(packed_diff(&painted, &blank).count_ones(), len as u64);
+    }
+    // The degenerate empty plane.
+    assert_eq!(count_diff_bytes(&[], &[]), 0);
+    assert!(packed_ne(&[], BLANK).is_empty());
+}
+
+fn video(seed: u64) -> Video {
+    let site = generate_site(Seed(seed), 0, SiteClass::Blog);
+    let trace = load_page(&site, &BrowserConfig::new(), Seed(seed));
+    Video::capture(trace, 10, SimDuration::from_secs(3))
+}
+
+#[test]
+fn frame_fractions_match_per_cell_scan_on_captured_frames() {
+    let v = video(31);
+    let last = v.final_frame();
+    for i in 0..v.frame_count() {
+        let f = v.frame(i);
+        let cells = f.cells();
+        let expected = scalar_diff(cells, last.cells()) as f64 / cells.len() as f64;
+        assert_eq!(f.diff_fraction(&last), expected, "frame {i}");
+        let expected = scalar_ne(cells, BLANK) as f64 / cells.len() as f64;
+        assert_eq!(f.painted_fraction(), expected, "frame {i}");
+    }
+}
+
+#[test]
+fn incremental_completeness_matches_per_instant_renders() {
+    // The bitplane maintained across the paint stream must agree with
+    // rendering each instant from scratch and diffing full grids.
+    let v = video(32);
+    let final_t = v.frame_time(v.frame_count() - 1);
+    let times: Vec<_> = (0..v.frame_count()).map(|i| v.frame_time(i)).collect();
+    let got = v.completeness_at_times(&times, final_t);
+    let final_frame = v.render_at(final_t);
+    for (i, (&t, &g)) in times.iter().zip(&got).enumerate() {
+        let expected = 1.0 - v.render_at(t).diff_fraction(&final_frame);
+        assert_eq!(g, expected, "instant {i}");
+    }
+    // Completeness against the final frame ends at exactly 1.
+    assert_eq!(*got.last().expect("non-empty curve"), 1.0);
+}

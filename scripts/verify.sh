@@ -36,12 +36,14 @@ cargo run -q --release -p eyeorg-bench --bin run_report -- \
 cmp results/.RUN_fp_1 results/.RUN_fp_2
 cmp results/.RUN_fp_1 results/.RUN_fp_auto
 rm -f results/.RUN_fp_1 results/.RUN_fp_2 results/.RUN_fp_auto
-# Streaming sharded engine divergence gate: the smoke run exits non-zero
-# when any shard size produces a digest or counter fingerprint that
-# differs from the materializing engine, and the written fingerprints
-# must be byte-identical at 1 thread, 2 threads, and the hardware
-# default. (The full 1M-participant measurement is `perf_scale` with no
-# flags; it writes results/BENCH_scale.json.)
+# Campaign-engine divergence gate: the smoke run exits non-zero when the
+# streaming engine (any shard size) or the flat data-plane engine (any
+# shard size x thread knob) produces a digest or counter fingerprint
+# that differs from the materializing engine, and the written
+# fingerprints — streaming and flat, digests and counters — must be
+# byte-identical at 1 thread, 2 threads, and the hardware default. (The
+# full 1M-participant measurement is `perf_scale` with no flags; it
+# writes results/BENCH_scale.json with the flat-vs-streaming floor.)
 EYEORG_THREADS=1 cargo run -q --release -p eyeorg-bench --bin perf_scale -- \
     --smoke --fingerprint-out results/.SCALE_fp_1
 EYEORG_THREADS=2 cargo run -q --release -p eyeorg-bench --bin perf_scale -- \
