@@ -195,8 +195,9 @@ fn main() {
         optimised.frames, optimised.secs, reference.secs
     );
 
+    let env = eyeorg_bench::env_metadata_json();
     let json = format!(
-        "{{\n  \"smoke\": {smoke},\n  \"sites\": {n_sites},\n  \"net\": {{\"conns\": {net_conns}, \"objects\": {net_objects}, \"batched_secs\": {net_secs:.6}, \"reference_secs\": {ref_secs:.6}, \"events_processed\": {net_events}, \"events_processed_reference\": {ref_events}, \"event_reduction\": {event_reduction:.3}, \"events_per_sec\": {events_per_sec:.0}, \"segments_per_sec\": {segments_per_sec:.0}}},\n  \"capture\": {{\"optimised_secs\": {:.6}, \"reference_secs\": {:.6}, \"frames\": {}, \"frames_per_sec\": {frames_per_sec:.0}, \"speedup\": {capture_speedup:.3}}},\n  \"target_speedup\": 2.0,\n  \"target_met\": {},\n  \"identical_to_reference\": {}\n}}\n",
+        "{{\n  \"smoke\": {smoke},\n  \"sites\": {n_sites},\n  {env},\n  \"net\": {{\"conns\": {net_conns}, \"objects\": {net_objects}, \"batched_secs\": {net_secs:.6}, \"reference_secs\": {ref_secs:.6}, \"events_processed\": {net_events}, \"events_processed_reference\": {ref_events}, \"event_reduction\": {event_reduction:.3}, \"events_per_sec\": {events_per_sec:.0}, \"segments_per_sec\": {segments_per_sec:.0}}},\n  \"capture\": {{\"optimised_secs\": {:.6}, \"reference_secs\": {:.6}, \"frames\": {}, \"frames_per_sec\": {frames_per_sec:.0}, \"speedup\": {capture_speedup:.3}}},\n  \"target_speedup\": 2.0,\n  \"target_met\": {},\n  \"identical_to_reference\": {}\n}}\n",
         optimised.secs,
         reference.secs,
         optimised.frames,

@@ -336,7 +336,6 @@ fn full() {
     }
 
     let peak_rss = peak_rss_bytes();
-    let cpus = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
     let speedup_ok = speedup >= 10.0;
     if !speedup_ok {
         eprintln!("FAIL: streaming speedup {speedup:.1}x is below the 10x gate");
@@ -349,10 +348,11 @@ fn full() {
         );
     }
 
+    let env = eyeorg_bench::env_metadata_json();
     let json = format!(
         "{{\n  \"participants\": {FULL_PARTICIPANTS},\n  \"stimuli\": {FULL_SITES},\n  \
          \"shard_size\": {FULL_SHARD},\n  \"alt_shard_size\": {ALT_SHARD},\n  \
-         \"available_parallelism\": {cpus},\n  \
+         {env},\n  \
          \"streaming_secs\": {full_secs:.6},\n  \
          \"streaming_participants_per_sec\": {streaming_pps:.1},\n  \
          \"flat_secs\": {flat_secs:.6},\n  \

@@ -1,0 +1,301 @@
+//! The adaptive early-stopping campaign driver (VidPlat-style pruning).
+//!
+//! DESIGN.md §3g measured the per-participant cost floor: ~70% of
+//! campaign time is the seeded behavioural model both engines must run
+//! draw-for-draw, so the next order-of-magnitude win is doing *fewer
+//! participants*. VidPlat's headline idea does exactly that for
+//! crowdsourced QoE: stop recruiting for a stimulus once its estimate
+//! has converged. The mergeable accumulators of [`crate::digest`] are
+//! the substrate — a stimulus's confidence half-width is a pure
+//! read-out of its multiset-determined digest state.
+//!
+//! ## How recruitment proceeds
+//!
+//! Participants are processed in index order in fixed-size **epochs**
+//! ([`AdaptiveConfig::epoch`]). Within an epoch the work is sharded and
+//! parallelised exactly like the streaming/flat engines; at the epoch
+//! **barrier** the epoch's shard folds are merged (shard order) into a
+//! cumulative fold, and the stopping rule runs on that merged state:
+//! a live stimulus stops when its UPLT confidence half-width — the max
+//! of the [`Moments`](eyeorg_stats::stream::Moments) mean-CI half-width
+//! and the sketch-resolution-aware median interval from
+//! [`QuantileSketch::quantile_ci`](eyeorg_stats::stream::QuantileSketch::quantile_ci)
+//! — is at most `epsilon` (subject to `min_n`), or unconditionally at
+//! `max_n`. The campaign ends when every stimulus has stopped or the
+//! participant budget is exhausted.
+//!
+//! ## Why the output is byte-identical across executions
+//!
+//! Decisions are taken **only at barriers**, on state that is a pure
+//! function of (seed, config, processed index range, mask): shard folds
+//! merge in shard order, every accumulator is multiset-determined, and
+//! the mask consumed by an epoch is fixed before the epoch starts. So
+//! the decision sequence — and with it every digest and counter
+//! fingerprint — is invariant under shard size, thread count, and the
+//! PR 4 chaos-seed exerciser (pinned by `adaptive_stopping` tests and
+//! the `perf_adaptive` gates).
+//!
+//! ## Why live digests equal the truncated full run
+//!
+//! Mask semantics (shared by [`crate::stream::tl_fold_range`] and the
+//! flat engine's column passes):
+//!
+//! * a served participant runs **all** assigned sessions, the control,
+//!   the filters, and the behaviour push exactly as the full run —
+//!   stopped stimuli are still *served*, their responses are just not
+//!   *pushed* — so no participant-level outcome ever depends on another
+//!   stimulus's stop decision;
+//! * pushes go only to live stimuli, so a live stimulus's digest equals
+//!   the full run's digest truncated at its own stop epoch;
+//! * a participant is **pruned** (never trait-generated or served —
+//!   that is the saving) only when *every* assigned stimulus has
+//!   stopped, and still consumes their admitted index so later
+//!   assignments match the full run.
+//!
+//! A consequence worth naming: each stimulus's stop decision depends
+//! only on its own truncated-full-run digest, so decisions are
+//! monotone in `epsilon` and independent of the rest of the mask.
+//! With `epsilon = 0` and `max_n = 0` no rule can fire, nothing is
+//! pruned, and the driver is byte-identical — digest *and* counter
+//! fingerprint — to the plain streaming engine.
+
+use eyeorg_crowd::RecruitmentService;
+use eyeorg_stats::{resolve_threads, Seed};
+
+use crate::digest::{StimulusDigest, TimelineDigest};
+use crate::experiment::{AdaptiveConfig, ExperimentConfig, TimelineStimulus};
+use crate::filtering::ParticipantFilter;
+use crate::flat::{flat_tl_epoch, FlatTlCtx};
+use crate::stream::{merge_tl_shards, stream_tl_epoch, tl_frames, StreamConfig, TlCtx, TlShard};
+
+/// Critical value for the stopping rule's confidence intervals (~95%
+/// two-sided normal). A fixed constant, not a knob: epsilon is the
+/// tuning surface, and a fixed z keeps decision fingerprints
+/// comparable across runs.
+pub const ADAPTIVE_Z: f64 = 1.96;
+
+/// Which engine executes the epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptiveBackend {
+    /// Participant-at-a-time shard folds ([`crate::stream`]).
+    Streaming,
+    /// Structure-of-arrays column passes ([`crate::flat`]).
+    Flat,
+}
+
+/// Why a stimulus stopped recruiting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// Confidence half-width dropped to `epsilon` or below.
+    Converged,
+    /// Hit the `max_n` kept-response cap.
+    MaxN,
+}
+
+/// One stopping decision, in the order taken. The `Debug` rendering of
+/// the decision list is the run's decision fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StopDecision {
+    /// 1-based epoch barrier at which the decision fired.
+    pub epoch: u64,
+    /// Stimulus index.
+    pub stimulus: usize,
+    /// Stimulus name (for reports).
+    pub name: String,
+    /// Kept responses at the barrier.
+    pub retained: u64,
+    /// Confidence half-width at the barrier (infinite when `max_n`
+    /// fired before a half-width was computable).
+    pub half_width: f64,
+    /// Which rule fired.
+    pub cause: StopCause,
+}
+
+/// The result of an adaptive campaign.
+#[derive(Debug)]
+pub struct AdaptiveOutcome {
+    /// The final digest over every pushed response. `recruited`, cost,
+    /// and duration reflect the participants actually processed (the
+    /// point of stopping early), not the offered budget.
+    pub digest: TimelineDigest,
+    /// The offered participant budget.
+    pub budget: u64,
+    /// Participant indices actually processed (recruitment stops at the
+    /// epoch barrier after the last stimulus stops).
+    pub recruited: u64,
+    /// Gate-admitted participants pruned mid-run because every assigned
+    /// stimulus had stopped.
+    pub pruned: u64,
+    /// Epoch barriers evaluated.
+    pub epochs: u64,
+    /// Stopping decisions, in the order taken.
+    pub decisions: Vec<StopDecision>,
+    /// Per stimulus: the epoch barrier it stopped at (`None` = ran to
+    /// budget exhaustion).
+    pub stopped_at: Vec<Option<u64>>,
+}
+
+impl AdaptiveOutcome {
+    /// Participants never simulated: the unrecruited budget tail plus
+    /// mid-run pruned participants.
+    pub fn participants_saved(&self) -> u64 {
+        self.budget - self.recruited + self.pruned
+    }
+
+    /// Canonical rendering of the decision sequence; byte-identical
+    /// across shard sizes, thread counts, and chaos seeds.
+    pub fn decision_fingerprint(&self) -> String {
+        format!("{:?}", self.decisions)
+    }
+}
+
+/// The stopping rule's half-width for one stimulus: the max of the
+/// mean-CI half-width and half the sketch-resolution-aware median
+/// interval, both at [`ADAPTIVE_Z`]. `None` until two responses are
+/// kept (no variance estimate).
+pub fn stop_half_width(d: &StimulusDigest) -> Option<f64> {
+    let (mlo, mhi) = d.uplt.mean_ci(ADAPTIVE_Z)?;
+    let (qlo, qhi) = d.sketch.quantile_ci(50.0, ADAPTIVE_Z)?;
+    Some(((mhi - mlo) / 2.0).max((qhi - qlo) / 2.0))
+}
+
+/// Evaluate the stopping rule for one live stimulus at a barrier.
+fn should_stop(d: &StimulusDigest, ac: &AdaptiveConfig) -> Option<(StopCause, f64)> {
+    let n = d.retained();
+    if ac.max_n > 0 && n >= ac.max_n {
+        return Some((StopCause::MaxN, stop_half_width(d).unwrap_or(f64::INFINITY)));
+    }
+    if ac.epsilon > 0.0 && n >= ac.min_n {
+        if let Some(hw) = stop_half_width(d) {
+            if hw <= ac.epsilon {
+                return Some((StopCause::Converged, hw));
+            }
+        }
+    }
+    None
+}
+
+/// Run a timeline campaign adaptively: up to `budget` participants from
+/// `service`, in `ac.epoch`-sized epochs, stopping each stimulus as its
+/// confidence half-width reaches `ac.epsilon` (see the module docs for
+/// the exact semantics and the determinism argument).
+///
+/// With an inactive config (`epsilon = 0`, `max_n = 0`) this is
+/// byte-identical to [`crate::stream::stream_timeline_campaign`] /
+/// [`crate::flat::flat_timeline_campaign`] on the same inputs, digest
+/// and counter fingerprint alike.
+#[allow(clippy::too_many_arguments)] // mirrors the engine entry points it wraps
+pub fn adaptive_timeline_campaign(
+    stimuli: &[TimelineStimulus],
+    service: &dyn RecruitmentService,
+    budget: usize,
+    cfg: &ExperimentConfig,
+    filters: &[Box<dyn ParticipantFilter + Send + Sync>],
+    seed: Seed,
+    sc: &StreamConfig,
+    ac: &AdaptiveConfig,
+    backend: AdaptiveBackend,
+) -> AdaptiveOutcome {
+    assert!(!stimuli.is_empty(), "campaign needs stimuli");
+    let _t = eyeorg_obs::phase_timer("core.adaptive_timeline");
+    let threads = resolve_threads(cfg.threads);
+    let shard = sc.shard_size.max(1);
+    match backend {
+        AdaptiveBackend::Streaming => {
+            let pop = service.population();
+            let frames = tl_frames(stimuli, threads);
+            let ctx = TlCtx {
+                stimuli,
+                frames: &frames,
+                pop: &pop,
+                cfg,
+                filters,
+                recruit_seed: seed.derive("recruit"),
+                assign_seed: seed.derive("timeline"),
+                params: sc.params,
+            };
+            drive(stimuli, service, budget, sc, ac, |lo, hi, base, live| {
+                stream_tl_epoch(&ctx, lo, hi, threads, shard, base, live)
+            })
+        }
+        AdaptiveBackend::Flat => {
+            let ctx = FlatTlCtx::new(stimuli, service, cfg, filters, seed, sc.params, threads);
+            drive(stimuli, service, budget, sc, ac, |lo, hi, base, live| {
+                flat_tl_epoch(&ctx, lo, hi, threads, shard, base, live)
+            })
+        }
+    }
+}
+
+/// The backend-agnostic epoch loop: recruit an epoch, merge its folds
+/// in shard order, evaluate the stopping rule at the barrier, repeat.
+fn drive<F>(
+    stimuli: &[TimelineStimulus],
+    service: &dyn RecruitmentService,
+    budget: usize,
+    sc: &StreamConfig,
+    ac: &AdaptiveConfig,
+    mut run_epoch: F,
+) -> AdaptiveOutcome
+where
+    F: FnMut(usize, usize, u64, &[bool]) -> (Vec<TlShard>, u64),
+{
+    let epoch = ac.epoch.max(1);
+    let active = ac.is_active();
+    let n_stim = stimuli.len();
+    let mut live = vec![true; n_stim];
+    let mut acc = TlShard::new(stimuli, &sc.params);
+    let mut admitted_so_far = 0u64;
+    let mut processed = 0usize;
+    let mut epochs_run = 0u64;
+    let mut decisions: Vec<StopDecision> = Vec::new();
+    let mut stopped_at: Vec<Option<u64>> = vec![None; n_stim];
+
+    while processed < budget && live.iter().any(|&l| l) {
+        let lo = processed;
+        let hi = (lo + epoch).min(budget);
+        let (folds, range_admitted) = run_epoch(lo, hi, admitted_so_far, &live);
+        for fold in &folds {
+            acc.merge_from(fold);
+        }
+        admitted_so_far += range_admitted;
+        processed = hi;
+        epochs_run += 1;
+        if active {
+            eyeorg_obs::metrics::ADAPTIVE_EPOCHS.incr();
+            for si in 0..n_stim {
+                if !live[si] {
+                    continue;
+                }
+                if let Some((cause, half_width)) = should_stop(&acc.stimuli[si], ac) {
+                    live[si] = false;
+                    stopped_at[si] = Some(epochs_run);
+                    eyeorg_obs::metrics::ADAPTIVE_STIMULI_STOPPED.incr();
+                    decisions.push(StopDecision {
+                        epoch: epochs_run,
+                        stimulus: si,
+                        name: acc.stimuli[si].name.clone(),
+                        retained: acc.stimuli[si].retained(),
+                        half_width,
+                        cause,
+                    });
+                }
+            }
+        }
+    }
+    // The never-recruited budget tail is also a saving (mid-run pruning
+    // was already counted shard by shard). Zero when inactive.
+    eyeorg_obs::metrics::ADAPTIVE_PARTICIPANTS_SAVED.add((budget - processed) as u64);
+
+    let pruned = acc.pruned;
+    let digest = merge_tl_shards(stimuli, service, processed, &sc.params, std::slice::from_ref(&acc));
+    AdaptiveOutcome {
+        digest,
+        budget: budget as u64,
+        recruited: processed as u64,
+        pruned,
+        epochs: epochs_run,
+        decisions,
+        stopped_at,
+    }
+}

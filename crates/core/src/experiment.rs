@@ -67,6 +67,50 @@ impl Default for ExperimentConfig {
     }
 }
 
+/// Knobs for the adaptive early-stopping campaign driver
+/// (`crate::adaptive`, DESIGN.md §3h): recruitment proceeds in
+/// fixed-size epochs, and at each epoch barrier a stimulus whose UPLT
+/// confidence half-width has dropped below `epsilon` stops recruiting.
+///
+/// Every decision is taken on order-pinned merged state at a barrier, so
+/// the decision sequence — and everything downstream of it — is
+/// byte-identical across shard sizes, thread counts, and chaos seeds.
+/// With `epsilon = 0` and `max_n = 0` no rule can ever fire and the
+/// adaptive engine is byte-identical to the plain streaming engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Participants recruited between stopping evaluations. Values `< 1`
+    /// are treated as 1. Smaller epochs stop closer to the ideal
+    /// sequential boundary but evaluate (cheap) barriers more often.
+    pub epoch: usize,
+    /// Target confidence half-width, in seconds, on each stimulus's
+    /// user-perceived load time; `<= 0` disables convergence stopping.
+    pub epsilon: f64,
+    /// Kept responses a stimulus must have before convergence stopping
+    /// may fire (guards the early-n regime where intervals are
+    /// untrustworthy — a 1-sample interval has width zero).
+    pub min_n: u64,
+    /// Hard cap on kept responses per stimulus; `0` = unbounded. A
+    /// stimulus stops at the first barrier where it has at least this
+    /// many kept responses even if `epsilon` is unmet.
+    pub max_n: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig { epoch: 8192, epsilon: 0.0, min_n: 256, max_n: 0 }
+    }
+}
+
+impl AdaptiveConfig {
+    /// Whether any stopping rule is in force. When `false` the adaptive
+    /// driver degenerates to the streaming engine (and records none of
+    /// the `adaptive.*` counters, keeping fingerprints identical).
+    pub fn is_active(&self) -> bool {
+        self.epsilon > 0.0 || self.max_n > 0
+    }
+}
+
 /// Assign stimuli to a participant: a seeded draw of
 /// `videos_per_participant` distinct indices, load-balanced so every
 /// stimulus collects a near-equal number of showings across the campaign.

@@ -52,8 +52,10 @@ use crate::campaign::{AbVerdict, ControlRow};
 use crate::digest::{AbDigest, TimelineDigest};
 use crate::experiment::{a_on_left, assign_into, AbStimulus, ExperimentConfig, TimelineStimulus};
 use crate::filtering::{decide, FilterDecision, ParticipantFilter};
+use crate::digest::DigestParams;
 use crate::stream::{
-    admitted_bases, merge_ab_shards, merge_tl_shards, AbShard, StreamConfig, TlShard,
+    admitted_bases, admitted_bases_range, merge_ab_shards, merge_tl_shards, AbShard, StreamConfig,
+    TlShard,
 };
 use crate::validation::captcha_admits_persona;
 
@@ -87,8 +89,13 @@ impl TlPlane {
 /// the first shard the capacities are warm and the shard loop
 /// allocates nothing.
 struct TlScratch {
-    /// Admitted personas, one per row.
+    /// Served personas, one per row.
     personas: Vec<Persona>,
+    /// Admitted index per row. Equal to `shard base + row` under an
+    /// all-live mask; under an adaptive mask, pruned participants still
+    /// consume admitted indices, so rows are a *subset* of the admitted
+    /// sequence and carry their index explicitly.
+    row_pi: Vec<u64>,
     /// Assigned stimulus per cell.
     picks: Vec<u32>,
     /// [`assign_into`] staging buffer.
@@ -109,6 +116,7 @@ impl TlScratch {
     fn new(n_stimuli: usize) -> TlScratch {
         TlScratch {
             personas: Vec::new(),
+            row_pi: Vec::new(),
             picks: Vec::new(),
             pick_buf: Vec::new(),
             sessions: Vec::new(),
@@ -122,6 +130,7 @@ impl TlScratch {
     /// Reset row state for a new shard, keeping every capacity.
     fn reset(&mut self) {
         self.personas.clear();
+        self.row_pi.clear();
         self.picks.clear();
         self.sessions.clear();
         self.votes.clear();
@@ -138,6 +147,239 @@ impl TlScratch {
         self.votes.resize(cells, 0.0);
         self.voted.resize(cells, false);
     }
+}
+
+/// The flat timeline engine's shared read-only campaign state: planes,
+/// population, seeds, and config, bundled so the one-shot campaign
+/// entry point and the adaptive epoch driver run the same column
+/// passes. Mask semantics match [`crate::stream::tl_fold_range`]:
+/// serve-all-picks, push-only-live, prune-whole-participants.
+pub(crate) struct FlatTlCtx<'a> {
+    stimuli: &'a [TimelineStimulus],
+    planes: Vec<TlPlane>,
+    pop: eyeorg_crowd::PopulationProfile,
+    cfg: &'a ExperimentConfig,
+    filters: &'a [Box<dyn ParticipantFilter + Send + Sync>],
+    recruit_seed: Seed,
+    assign_seed: Seed,
+    params: DigestParams,
+    k: usize,
+}
+
+impl<'a> FlatTlCtx<'a> {
+    /// Hoist all per-stimulus constants into planes, in parallel.
+    pub(crate) fn new(
+        stimuli: &'a [TimelineStimulus],
+        service: &dyn RecruitmentService,
+        cfg: &'a ExperimentConfig,
+        filters: &'a [Box<dyn ParticipantFilter + Send + Sync>],
+        seed: Seed,
+        params: DigestParams,
+        threads: usize,
+    ) -> FlatTlCtx<'a> {
+        FlatTlCtx {
+            stimuli,
+            planes: par_map_range(stimuli.len(), threads, |si| TlPlane::of(si, &stimuli[si])),
+            pop: service.population(),
+            cfg,
+            filters,
+            recruit_seed: seed.derive("recruit"),
+            assign_seed: seed.derive("timeline"),
+            params,
+            k: cfg.videos_per_participant.min(stimuli.len()),
+        }
+    }
+
+    fn new_scratch(&self) -> TlScratch {
+        TlScratch::new(self.stimuli.len())
+    }
+
+    /// Fold participant indices `[lo, hi)` with admitted-index base
+    /// `base` under the per-stimulus `live` mask — the stimulus-blocked
+    /// column passes, replaying exactly the streaming engine's draw and
+    /// push sequences.
+    fn fold_range(
+        &self,
+        arena: &mut TlScratch,
+        lo: usize,
+        hi: usize,
+        base: u64,
+        live: &[bool],
+    ) -> TlShard {
+        let all_live = live.iter().all(|&l| l);
+        let k = self.k;
+        let mut fold = TlShard::new(self.stimuli, &self.params);
+        arena.reset();
+
+        // Pass A: humanness gate (and, under an adaptive mask, whole-
+        // participant pruning); one persona per *served* row. Pruned
+        // participants still consume their admitted index — that keeps
+        // every later participant's assignment equal to the full run's.
+        let mut admitted_in_shard = 0u64;
+        for i in lo..hi {
+            if all_live {
+                let p = self.pop.generate_persona(self.recruit_seed, i as u64);
+                if captcha_admits_persona(&p) {
+                    arena.row_pi.push(base + admitted_in_shard);
+                    admitted_in_shard += 1;
+                    arena.personas.push(p);
+                } else {
+                    fold.rejected += 1;
+                }
+            } else {
+                // Gate with the cheap two-draw pre-pass; trait-generate
+                // only participants that will actually be served.
+                let (pseed, class) = self.pop.generate_gate(self.recruit_seed, i as u64);
+                if !crate::validation::captcha_admits_gate(pseed, class) {
+                    fold.rejected += 1;
+                    continue;
+                }
+                let my_pi = base + admitted_in_shard;
+                admitted_in_shard += 1;
+                assign_into(
+                    self.assign_seed,
+                    my_pi,
+                    self.stimuli.len(),
+                    self.cfg.videos_per_participant,
+                    &mut arena.pick_buf,
+                );
+                if !arena.pick_buf.iter().any(|&si| live[si]) {
+                    fold.pruned += 1;
+                    continue;
+                }
+                arena.row_pi.push(my_pi);
+                arena.personas.push(self.pop.generate_persona(self.recruit_seed, i as u64));
+            }
+        }
+        let rows = arena.personas.len();
+        fold.admitted = rows as u64;
+        arena.size_cells(rows * k);
+
+        // Pass B: assignment + per-stimulus cell index. (Under a mask
+        // this re-derives the picks pass A already peeked at — the
+        // assignment stream is index-addressed, so the replay is free
+        // of side effects and far cheaper than threading the picks
+        // through.)
+        for row in 0..rows {
+            let my_pi = arena.row_pi[row];
+            assign_into(self.assign_seed, my_pi, self.stimuli.len(),
+                self.cfg.videos_per_participant, &mut arena.pick_buf);
+            for (slot, &si) in arena.pick_buf.iter().enumerate() {
+                let cell = row * k + slot;
+                arena.picks[cell] = si as u32;
+                arena.stim_rows[si].push(cell as u32);
+            }
+        }
+
+        // Pass C: serve stimulus-blocked — one plane's constants
+        // (profile, rewind table, labels) stay hot across all of
+        // its showings in the shard. Stopped stimuli are still served
+        // (their sessions feed the filters); only the digest push is
+        // masked, in pass E.
+        for (si, plane) in self.planes.iter().enumerate() {
+            for &cell in &arena.stim_rows[si] {
+                let cell = cell as usize;
+                let p = &arena.personas[cell / k];
+                let session =
+                    video_session_profiled(&plane.session, p, TestKind::Timeline, &plane.label);
+                if session.skipped {
+                    fold.skipped += 1;
+                } else {
+                    let resp = timeline_response_flat(&plane.profile, &plane.rewinds, p,
+                        &plane.label);
+                    fold.collected += 1;
+                    arena.votes[cell] = resp.submitted.as_secs_f64();
+                    arena.voted[cell] = true;
+                }
+                arena.sessions[cell] = Some(session);
+            }
+        }
+
+        // Passes D+E: controls, filters, and the order-pinned fold
+        // — rows ascending, slots in presentation order, exactly
+        // the streaming engine's push sequence.
+        for row in 0..rows {
+            let my_pi = arena.row_pi[row];
+            let base = row * k;
+            arena.row_buf.clear();
+            arena.row_buf.extend(
+                // lint:allow(D4): pass C fills every cell — each (row, slot) belongs to exactly one stim_rows bucket
+                arena.sessions[base..base + k].iter().map(|o| o.expect("cell served")),
+            );
+            let control = self.cfg.with_controls.then(|| {
+                let ctrl = arena.picks[base] as usize;
+                let passed = timeline_control_passes_flat(
+                    &arena.personas[row],
+                    &self.planes[ctrl].ctrl_label,
+                );
+                ControlRow { participant: my_pi as usize, passed }
+            });
+            if let Some(c) = &control {
+                fold.controls.record(c.passed);
+            }
+            let ctrl_arr;
+            let ctrl_refs: &[&ControlRow] = if let Some(c) = &control {
+                ctrl_arr = [c];
+                &ctrl_arr
+            } else {
+                &[]
+            };
+            let d = decide(self.filters, &arena.row_buf, ctrl_refs);
+            fold.filters.record(d);
+            if d == FilterDecision::Kept {
+                for slot in 0..k {
+                    let si = arena.picks[base + slot] as usize;
+                    if arena.voted[base + slot] && live[si] {
+                        fold.stimuli[si].push(arena.votes[base + slot]);
+                    }
+                }
+            }
+            fold.behavior.push(&behavior_point_persona(
+                my_pi as usize,
+                &arena.row_buf,
+                &arena.personas[row],
+            ));
+        }
+        fold
+    }
+}
+
+/// One adaptive epoch through the flat engine: shard `[lo, hi)`, fold
+/// each shard under `live` from per-worker arenas, and return the folds
+/// in shard order plus the range's gate-admission count. The flat twin
+/// of [`crate::stream::stream_tl_epoch`].
+pub(crate) fn flat_tl_epoch(
+    ctx: &FlatTlCtx<'_>,
+    lo: usize,
+    hi: usize,
+    threads: usize,
+    shard: usize,
+    base_admitted: u64,
+    live: &[bool],
+) -> (Vec<TlShard>, u64) {
+    let shards = (hi - lo).div_ceil(shard);
+    let (bases, range_admitted) = admitted_bases_range(
+        lo,
+        hi,
+        shard,
+        threads,
+        &ctx.pop,
+        ctx.recruit_seed,
+        base_admitted,
+    );
+    let folds: Vec<TlShard> = par_map_range_scratch(
+        shards,
+        threads,
+        || ctx.new_scratch(),
+        |arena, s| {
+            let slo = lo + s * shard;
+            let shi = (slo + shard).min(hi);
+            let fold = ctx.fold_range(arena, slo, shi, bases[s], live);
+            crate::stream::bump_shard_counters(&fold);
+            fold
+        },
+    );
+    (folds, range_admitted)
 }
 
 /// Run a timeline campaign through the flat data-plane engine.
@@ -159,119 +401,24 @@ pub fn flat_timeline_campaign(
     let threads = resolve_threads(cfg.threads);
     let shard = sc.shard_size.max(1);
     let shards = n_participants.div_ceil(shard);
-    let pop = service.population();
-    let recruit_seed = seed.derive("recruit");
-    let assign_seed = seed.derive("timeline");
-    let k = cfg.videos_per_participant.min(stimuli.len());
+
+    let ctx = FlatTlCtx::new(stimuli, service, cfg, filters, seed, sc.params, threads);
 
     // Pass 1 (same as the streaming engine): admitted-index bases.
-    let bases = admitted_bases(shards, shard, n_participants, threads, &pop, recruit_seed);
+    let bases = admitted_bases(shards, shard, n_participants, threads, &ctx.pop,
+        ctx.recruit_seed);
 
-    // Hoist all per-stimulus constants into planes, in parallel.
-    let planes: Vec<TlPlane> =
-        par_map_range(stimuli.len(), threads, |si| TlPlane::of(si, &stimuli[si]));
+    let live = vec![true; stimuli.len()];
 
     // Pass 2: stimulus-blocked shard folds out of per-worker arenas.
     let folds: Vec<TlShard> = par_map_range_scratch(
         shards,
         threads,
-        || TlScratch::new(stimuli.len()),
+        || ctx.new_scratch(),
         |arena, s| {
             let lo = s * shard;
             let hi = (lo + shard).min(n_participants);
-            let mut fold = TlShard::new(stimuli, &sc.params);
-            arena.reset();
-
-            // Pass A: personas + humanness gate.
-            for i in lo..hi {
-                let p = pop.generate_persona(recruit_seed, i as u64);
-                if captcha_admits_persona(&p) {
-                    arena.personas.push(p);
-                } else {
-                    fold.rejected += 1;
-                }
-            }
-            let rows = arena.personas.len();
-            fold.admitted = rows as u64;
-            arena.size_cells(rows * k);
-
-            // Pass B: assignment + per-stimulus cell index.
-            for row in 0..rows {
-                let my_pi = bases[s] + row as u64;
-                assign_into(assign_seed, my_pi, stimuli.len(), cfg.videos_per_participant,
-                    &mut arena.pick_buf);
-                for (slot, &si) in arena.pick_buf.iter().enumerate() {
-                    let cell = row * k + slot;
-                    arena.picks[cell] = si as u32;
-                    arena.stim_rows[si].push(cell as u32);
-                }
-            }
-
-            // Pass C: serve stimulus-blocked — one plane's constants
-            // (profile, rewind table, labels) stay hot across all of
-            // its showings in the shard.
-            for (si, plane) in planes.iter().enumerate() {
-                for &cell in &arena.stim_rows[si] {
-                    let cell = cell as usize;
-                    let p = &arena.personas[cell / k];
-                    let session =
-                        video_session_profiled(&plane.session, p, TestKind::Timeline, &plane.label);
-                    if session.skipped {
-                        fold.skipped += 1;
-                    } else {
-                        let resp = timeline_response_flat(&plane.profile, &plane.rewinds, p,
-                            &plane.label);
-                        fold.collected += 1;
-                        arena.votes[cell] = resp.submitted.as_secs_f64();
-                        arena.voted[cell] = true;
-                    }
-                    arena.sessions[cell] = Some(session);
-                }
-            }
-
-            // Passes D+E: controls, filters, and the order-pinned fold
-            // — rows ascending, slots in presentation order, exactly
-            // the streaming engine's push sequence.
-            for row in 0..rows {
-                let my_pi = bases[s] + row as u64;
-                let base = row * k;
-                arena.row_buf.clear();
-                arena.row_buf.extend(
-                    // lint:allow(D4): pass C fills every cell — each (row, slot) belongs to exactly one stim_rows bucket
-                    arena.sessions[base..base + k].iter().map(|o| o.expect("cell served")),
-                );
-                let control = cfg.with_controls.then(|| {
-                    let ctrl = arena.picks[base] as usize;
-                    let passed =
-                        timeline_control_passes_flat(&arena.personas[row], &planes[ctrl].ctrl_label);
-                    ControlRow { participant: my_pi as usize, passed }
-                });
-                if let Some(c) = &control {
-                    fold.controls.record(c.passed);
-                }
-                let ctrl_arr;
-                let ctrl_refs: &[&ControlRow] = if let Some(c) = &control {
-                    ctrl_arr = [c];
-                    &ctrl_arr
-                } else {
-                    &[]
-                };
-                let d = decide(filters, &arena.row_buf, ctrl_refs);
-                fold.filters.record(d);
-                if d == FilterDecision::Kept {
-                    for slot in 0..k {
-                        if arena.voted[base + slot] {
-                            fold.stimuli[arena.picks[base + slot] as usize]
-                                .push(arena.votes[base + slot]);
-                        }
-                    }
-                }
-                fold.behavior.push(&behavior_point_persona(
-                    my_pi as usize,
-                    &arena.row_buf,
-                    &arena.personas[row],
-                ));
-            }
+            let fold = ctx.fold_range(arena, lo, hi, bases[s], &live);
             crate::stream::bump_shard_counters(&fold);
             fold
         },

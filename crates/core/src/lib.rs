@@ -65,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod analysis;
 pub mod builders;
 pub mod campaign;
@@ -95,7 +96,13 @@ pub mod prelude {
     pub use crate::digest::{
         digest_ab, digest_timeline, AbDigest, DigestParams, TimelineDigest,
     };
-    pub use crate::experiment::{AbStimulus, ExperimentConfig, TimelineStimulus};
+    pub use crate::adaptive::{
+        adaptive_timeline_campaign, stop_half_width, AdaptiveBackend, AdaptiveOutcome, StopCause,
+        StopDecision, ADAPTIVE_Z,
+    };
+    pub use crate::experiment::{
+        AbStimulus, AdaptiveConfig, ExperimentConfig, TimelineStimulus,
+    };
     pub use crate::filtering::{
         filter_ab, filter_timeline, paper_pipeline, wisdom_band, FilterDecision, FilterPipeline,
         FilterReport, FilterTally, ParticipantFilter,

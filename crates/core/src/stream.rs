@@ -61,7 +61,8 @@ impl Default for StreamConfig {
 
 /// One shard's fold of a timeline campaign. Shared with the flat
 /// engine (`crate::flat`), which fills the same accumulators from its
-/// column passes.
+/// column passes, and with the adaptive driver (`crate::adaptive`),
+/// which additionally accumulates epochs of folds into one.
 pub(crate) struct TlShard {
     pub(crate) stimuli: Vec<StimulusDigest>,
     pub(crate) behavior: BehaviorDigest,
@@ -71,6 +72,11 @@ pub(crate) struct TlShard {
     pub(crate) rejected: u64,
     pub(crate) collected: u64,
     pub(crate) skipped: u64,
+    /// Gate-admitted participants never served because every stimulus
+    /// they were assigned had already stopped recruiting (adaptive runs
+    /// only; always 0 under an all-live mask). They still consume an
+    /// admitted index so later assignments match the full run.
+    pub(crate) pruned: u64,
 }
 
 impl TlShard {
@@ -88,8 +94,174 @@ impl TlShard {
             rejected: 0,
             collected: 0,
             skipped: 0,
+            pruned: 0,
         }
     }
+
+    /// Fold another shard's state into this one (order-pinned by the
+    /// caller; exact because every accumulator is multiset-determined).
+    pub(crate) fn merge_from(&mut self, other: &TlShard) {
+        for (acc, o) in self.stimuli.iter_mut().zip(&other.stimuli) {
+            acc.merge(o);
+        }
+        self.behavior.merge(&other.behavior);
+        self.filters.merge(&other.filters);
+        self.controls.merge(&other.controls);
+        self.admitted += other.admitted;
+        self.rejected += other.rejected;
+        self.collected += other.collected;
+        self.skipped += other.skipped;
+        self.pruned += other.pruned;
+    }
+}
+
+/// Everything a timeline shard fold reads: the shared read-only
+/// campaign state, bundled so the streaming engine and the adaptive
+/// epoch driver run the *same* inner loop.
+pub(crate) struct TlCtx<'a> {
+    pub(crate) stimuli: &'a [TimelineStimulus],
+    pub(crate) frames: &'a [FrameTimeline],
+    pub(crate) pop: &'a eyeorg_crowd::PopulationProfile,
+    pub(crate) cfg: &'a ExperimentConfig,
+    pub(crate) filters: &'a [Box<dyn ParticipantFilter + Send + Sync>],
+    pub(crate) recruit_seed: Seed,
+    pub(crate) assign_seed: Seed,
+    pub(crate) params: DigestParams,
+}
+
+/// The timeline engine's inner loop over participant indices
+/// `[lo, hi)` with admitted-index base `base`, folding into one
+/// [`TlShard`] under a per-stimulus `live` mask.
+///
+/// Mask semantics (the determinism backbone of `crate::adaptive`):
+///
+/// * **Serve all picks** — a served participant runs every assigned
+///   session, control, filter, and behaviour draw exactly as the full
+///   run would, even for stopped stimuli, so filter outcomes never
+///   depend on *other* stimuli's masks.
+/// * **Push only live** — kept responses are folded only into live
+///   stimuli, so a live stimulus's digest is the full run's digest
+///   truncated at its own stop point.
+/// * **Prune whole participants** — when *no* assigned stimulus is
+///   live, the participant is never trait-generated or served (that is
+///   the saving), but still consumes their admitted index.
+///
+/// Under an all-live mask this is byte-identical (draws, pushes, and
+/// counter totals) to the pre-adaptive streaming loop.
+pub(crate) fn tl_fold_range(
+    ctx: &TlCtx<'_>,
+    lo: usize,
+    hi: usize,
+    base: u64,
+    live: &[bool],
+) -> TlShard {
+    let all_live = live.iter().all(|&l| l);
+    let mut fold = TlShard::new(ctx.stimuli, &ctx.params);
+    let mut pi = base;
+    for i in lo..hi {
+        let my_pi;
+        let p;
+        let picks;
+        if all_live {
+            let cand = ctx.pop.generate_one(ctx.recruit_seed, i as u64);
+            if !crate::validation::captcha_admits(&cand) {
+                fold.rejected += 1;
+                continue;
+            }
+            my_pi = pi;
+            pi += 1;
+            picks =
+                assign(ctx.assign_seed, my_pi, ctx.stimuli.len(), ctx.cfg.videos_per_participant);
+            p = cand;
+        } else {
+            // Gate with the cheap two-draw pre-pass; defer full trait
+            // generation until the participant is known to be served.
+            let (pseed, class) = ctx.pop.generate_gate(ctx.recruit_seed, i as u64);
+            if !crate::validation::captcha_admits_gate(pseed, class) {
+                fold.rejected += 1;
+                continue;
+            }
+            my_pi = pi;
+            pi += 1;
+            picks =
+                assign(ctx.assign_seed, my_pi, ctx.stimuli.len(), ctx.cfg.videos_per_participant);
+            if !picks.iter().any(|&si| live[si]) {
+                fold.pruned += 1;
+                continue;
+            }
+            p = ctx.pop.generate_one(ctx.recruit_seed, i as u64);
+        }
+        fold.admitted += 1;
+        let mut sessions = Vec::with_capacity(picks.len());
+        let mut responses: Vec<(usize, f64)> = Vec::with_capacity(picks.len());
+        for &si in &picks {
+            let label = format!("tl-{si}");
+            let video = &ctx.stimuli[si].video;
+            let session = behavior::video_session(video, &p, TestKind::Timeline, &label);
+            if session.skipped {
+                fold.skipped += 1;
+            } else {
+                let resp = timeline_response_shared(video, &ctx.frames[si], &p, &label);
+                fold.collected += 1;
+                responses.push((si, resp.submitted.as_secs_f64()));
+            }
+            sessions.push(session);
+        }
+        let control = ctx.cfg.with_controls.then(|| {
+            let passed = timeline_control_passes(&p, &format!("tl-{}", picks[0]));
+            ControlRow { participant: my_pi as usize, passed }
+        });
+        if let Some(c) = &control {
+            fold.controls.record(c.passed);
+        }
+        let ctrl_refs: Vec<&ControlRow> = control.iter().collect();
+        let d = decide(ctx.filters, &sessions, &ctrl_refs);
+        fold.filters.record(d);
+        if d == FilterDecision::Kept {
+            for &(si, secs) in &responses {
+                if live[si] {
+                    fold.stimuli[si].push(secs);
+                }
+            }
+        }
+        fold.behavior.push(&behavior_point_of(my_pi as usize, &sessions, &p));
+    }
+    fold
+}
+
+/// Precompute the shared read-only frame timelines for a stimulus set.
+pub(crate) fn tl_frames(stimuli: &[TimelineStimulus], threads: usize) -> Vec<FrameTimeline> {
+    par_map_range(stimuli.len(), threads, |si| {
+        let mut tl = FrameTimeline::of(&stimuli[si].video);
+        tl.precompute_rewinds();
+        tl
+    })
+}
+
+/// One adaptive epoch through the streaming engine: shard the index
+/// range `[lo, hi)`, fold each shard under `live` (pass 1 computes the
+/// range's admitted bases, continuing from `base_admitted`), and return
+/// the folds in shard order plus the range's gate-admission count.
+pub(crate) fn stream_tl_epoch(
+    ctx: &TlCtx<'_>,
+    lo: usize,
+    hi: usize,
+    threads: usize,
+    shard: usize,
+    base_admitted: u64,
+    live: &[bool],
+) -> (Vec<TlShard>, u64) {
+    let shards = (hi - lo).div_ceil(shard);
+    let (bases, range_admitted) =
+        admitted_bases_range(lo, hi, shard, threads, ctx.pop, ctx.recruit_seed, base_admitted);
+    let folds: Vec<TlShard> = par_map_range(shards, threads, |s| {
+        let slo = lo + s * shard;
+        let shi = (slo + shard).min(hi);
+        let fold = tl_fold_range(ctx, slo, shi, bases[s], live);
+        bump_shard_counters(&fold);
+        fold
+    });
+    (folds, range_admitted)
 }
 
 /// Run a timeline campaign through the streaming engine: `n`
@@ -121,61 +293,25 @@ pub fn stream_timeline_campaign(
     let bases = admitted_bases(shards, shard, n_participants, threads, &pop, recruit_seed);
 
     // Shared read-only frame timelines, as in the parallel engine.
-    let frames: Vec<FrameTimeline> = par_map_range(stimuli.len(), threads, |si| {
-        let mut tl = FrameTimeline::of(&stimuli[si].video);
-        tl.precompute_rewinds();
-        tl
-    });
+    let frames = tl_frames(stimuli, threads);
+
+    let live = vec![true; stimuli.len()];
+    let ctx = TlCtx {
+        stimuli,
+        frames: &frames,
+        pop: &pop,
+        cfg,
+        filters,
+        recruit_seed,
+        assign_seed,
+        params: sc.params,
+    };
 
     // Pass 2: generate, serve, filter, fold.
     let folds: Vec<TlShard> = par_map_range(shards, threads, |s| {
         let lo = s * shard;
         let hi = (lo + shard).min(n_participants);
-        let mut fold = TlShard::new(stimuli, &sc.params);
-        let mut pi = bases[s];
-        for i in lo..hi {
-            let p = pop.generate_one(recruit_seed, i as u64);
-            if !crate::validation::captcha_admits(&p) {
-                fold.rejected += 1;
-                continue;
-            }
-            let my_pi = pi;
-            pi += 1;
-            fold.admitted += 1;
-            let picks =
-                assign(assign_seed, my_pi, stimuli.len(), cfg.videos_per_participant);
-            let mut sessions = Vec::with_capacity(picks.len());
-            let mut responses: Vec<(usize, f64)> = Vec::with_capacity(picks.len());
-            for &si in &picks {
-                let label = format!("tl-{si}");
-                let video = &stimuli[si].video;
-                let session = behavior::video_session(video, &p, TestKind::Timeline, &label);
-                if session.skipped {
-                    fold.skipped += 1;
-                } else {
-                    let resp = timeline_response_shared(video, &frames[si], &p, &label);
-                    fold.collected += 1;
-                    responses.push((si, resp.submitted.as_secs_f64()));
-                }
-                sessions.push(session);
-            }
-            let control = cfg.with_controls.then(|| {
-                let passed = timeline_control_passes(&p, &format!("tl-{}", picks[0]));
-                ControlRow { participant: my_pi as usize, passed }
-            });
-            if let Some(c) = &control {
-                fold.controls.record(c.passed);
-            }
-            let ctrl_refs: Vec<&ControlRow> = control.iter().collect();
-            let d = decide(filters, &sessions, &ctrl_refs);
-            fold.filters.record(d);
-            if d == FilterDecision::Kept {
-                for &(si, secs) in &responses {
-                    fold.stimuli[si].push(secs);
-                }
-            }
-            fold.behavior.push(&behavior_point_of(my_pi as usize, &sessions, &p));
-        }
+        let fold = tl_fold_range(&ctx, lo, hi, bases[s], &live);
         bump_shard_counters(&fold);
         fold
     });
@@ -234,6 +370,9 @@ pub(crate) fn bump_shard_counters(fold: &TlShard) {
     eyeorg_obs::metrics::CORE_GATE_REJECTED.add(fold.rejected);
     eyeorg_obs::metrics::CORE_RESPONSES_COLLECTED.add(fold.collected);
     eyeorg_obs::metrics::CORE_RESPONSES_SKIPPED.add(fold.skipped);
+    // Zero under an all-live mask, so non-adaptive runs (and ε = 0
+    // adaptive runs) leave the counter untouched.
+    eyeorg_obs::metrics::ADAPTIVE_PARTICIPANTS_SAVED.add(fold.pruned);
     if eyeorg_obs::enabled() {
         // Zero-adds materialise the per-site label, mirroring the
         // materializing path (`digest_timeline`).
@@ -427,10 +566,28 @@ pub(crate) fn admitted_bases(
     pop: &eyeorg_crowd::PopulationProfile,
     recruit_seed: Seed,
 ) -> Vec<u64> {
+    let _ = shards;
+    admitted_bases_range(0, n_participants, shard, threads, pop, recruit_seed, 0).0
+}
+
+/// [`admitted_bases`] over the index range `[lo, hi)`, continuing the
+/// admitted-index sequence from `base` (the admissions in `[0, lo)`).
+/// Returns the per-shard bases and the range's total admission count —
+/// what the adaptive driver carries from epoch to epoch.
+pub(crate) fn admitted_bases_range(
+    lo: usize,
+    hi: usize,
+    shard: usize,
+    threads: usize,
+    pop: &eyeorg_crowd::PopulationProfile,
+    recruit_seed: Seed,
+    base: u64,
+) -> (Vec<u64>, u64) {
+    let shards = (hi - lo).div_ceil(shard);
     let per_shard: Vec<u64> = par_map_range(shards, threads, |s| {
-        let lo = s * shard;
-        let hi = (lo + shard).min(n_participants);
-        (lo..hi)
+        let slo = lo + s * shard;
+        let shi = (slo + shard).min(hi);
+        (slo..shi)
             .filter(|&i| {
                 let (pseed, class) = pop.generate_gate(recruit_seed, i as u64);
                 crate::validation::captcha_admits_gate(pseed, class)
@@ -438,12 +595,12 @@ pub(crate) fn admitted_bases(
             .count() as u64
     });
     let mut bases = Vec::with_capacity(shards);
-    let mut acc = 0u64;
+    let mut acc = base;
     for &a in &per_shard {
         bases.push(acc);
         acc += a;
     }
-    bases
+    (bases, acc - base)
 }
 
 pub(crate) fn behavior_point_of(

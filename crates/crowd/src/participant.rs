@@ -151,17 +151,134 @@ pub struct Persona {
     pub seed: Seed,
 }
 
+/// A weighted mixture compiled into a cumulative-threshold prefix table.
+///
+/// [`pick_weighted_ref`] — the reference selection — re-sums the weights
+/// and walks them subtractively on *every* draw; with three mixture
+/// picks per participant that linear re-summation is pure per-draw
+/// overhead in `draw_traits`. `WeightTable` hoists the work to
+/// construction: one `total` (the same left-to-right weight sum, so the
+/// `random_range(0.0..total)` draw consumes identical RNG bits) and one
+/// cumulative threshold per item, after which a draw is a single scan
+/// against precomputed bounds.
+///
+/// Determinism is bit-exact, not approximate: naive prefix sums can
+/// disagree with the subtractive loop by an ulp at band boundaries
+/// (`x < cum[i]` vs `x ⊖ w₀ ⊖ … < wᵢ` round differently), so each
+/// threshold is *refined at construction* by a bit-level binary search
+/// over `f64::to_bits` against the reference classifier. Both selectors
+/// are monotone step functions of the draw, so threshold agreement makes
+/// them provably identical for every representable `x` — the
+/// draw-identity regression test probes the boundaries ulp by ulp.
+#[derive(Debug, Clone)]
+pub struct WeightTable<T> {
+    items: Vec<T>,
+    /// Exclusive upper threshold per item: item `i` is selected by the
+    /// first `i` with `x < cum[i]`. `cum[last]` is `total`.
+    cum: Vec<f64>,
+    total: f64,
+}
+
+impl<T: Copy> WeightTable<T> {
+    /// Compile a `(item, weight)` mixture. Weights need not sum to 1.
+    pub fn new(mix: &[(T, f64)]) -> WeightTable<T> {
+        assert!(!mix.is_empty(), "empty mixture");
+        let weights: Vec<f64> = mix.iter().map(|&(_, w)| w).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cum = Vec::with_capacity(mix.len());
+        for i in 1..mix.len() {
+            cum.push(boundary(&weights, i, total));
+        }
+        cum.push(total);
+        WeightTable { items: mix.iter().map(|&(v, _)| v).collect(), cum, total }
+    }
+
+    /// Draw one item: the same single `random_range(0.0..total)` draw as
+    /// the subtractive reference, the same selection for every
+    /// representable draw value.
+    pub fn pick(&self, rng: &mut Rng) -> T {
+        let x: f64 = rng.random_range(0.0..self.total);
+        for (i, &c) in self.cum.iter().enumerate() {
+            if x < c {
+                return self.items[i];
+            }
+        }
+        // lint:allow(D4): tables are built from non-empty mixtures; rounding can leave x past the last band
+        *self.items.last().expect("non-empty mixture")
+    }
+
+    /// The compiled thresholds (exposed for the identity regression
+    /// test).
+    pub fn thresholds(&self) -> &[f64] {
+        &self.cum
+    }
+
+    /// The weight total the draw is scaled by.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+}
+
+/// Which band the subtractive reference loop assigns `x` to.
+fn subtractive_band(weights: &[f64], x: f64) -> usize {
+    let mut x = x;
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// The smallest non-negative `x` (by bit-level binary search — `to_bits`
+/// is monotone on non-negative floats) that the subtractive reference
+/// classifies into band `>= i`. Draws land in `[0, total)`, so the
+/// search range `[0, total]` covers every reachable value.
+fn boundary(weights: &[f64], i: usize, total: f64) -> f64 {
+    if subtractive_band(weights, total) < i {
+        return total;
+    }
+    let (mut lo, mut hi) = (0u64, total.to_bits());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if subtractive_band(weights, f64::from_bits(mid)) >= i {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    f64::from_bits(lo)
+}
+
+/// The readiness mixture is pool-independent; compile it once.
+fn readiness_table() -> &'static WeightTable<ReadinessCriterion> {
+    static TABLE: std::sync::OnceLock<WeightTable<ReadinessCriterion>> =
+        std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        WeightTable::new(&[
+            // Participants see *unfamiliar* sites (§6: "when I don't
+            // know what is on the site ... I want to wait for
+            // everything"), so the wait-for-everything cohort is
+            // nearly as large as the main-content one.
+            (ReadinessCriterion::MainContent, 0.40),
+            (ReadinessCriterion::AllContent, 0.42),
+            (ReadinessCriterion::FirstImpression, 0.18),
+        ])
+    })
+}
+
 /// Mixing weights and trait ranges for a pool.
 #[derive(Debug, Clone)]
 pub struct PopulationProfile {
     /// Pool type to stamp on the generated participants.
     pub ptype: ParticipantType,
-    /// `(class, weight)` mixture; weights need not sum to 1.
-    pub class_mix: Vec<(ParticipantClass, f64)>,
+    /// Compiled `(class, weight)` mixture.
+    class_mix: WeightTable<ParticipantClass>,
     /// Fraction reporting male (paper: 0.75 validation, 0.70 final).
     pub male_fraction: f64,
-    /// `(country, weight)` mixture.
-    pub countries: Vec<(&'static str, f64)>,
+    /// Compiled `(country, weight)` mixture.
+    countries: WeightTable<&'static str>,
 }
 
 impl PopulationProfile {
@@ -171,16 +288,16 @@ impl PopulationProfile {
     pub fn paid() -> PopulationProfile {
         PopulationProfile {
             ptype: ParticipantType::Paid,
-            class_mix: vec![
+            class_mix: WeightTable::new(&[
                 (ParticipantClass::Diligent, 0.42),
                 (ParticipantClass::Average, 0.36),
                 (ParticipantClass::Sloppy, 0.13),
                 (ParticipantClass::RandomClicker, 0.07),
                 (ParticipantClass::Frenetic, 0.02),
                 (ParticipantClass::Bot, 0.03),
-            ],
+            ]),
             male_fraction: 0.72,
-            countries: vec![
+            countries: WeightTable::new(&[
                 ("VE", 0.22),
                 ("IN", 0.12),
                 ("ID", 0.08),
@@ -192,7 +309,7 @@ impl PopulationProfile {
                 ("PK", 0.04),
                 ("RO", 0.04),
                 ("other", 0.23),
-            ],
+            ]),
         }
     }
 
@@ -202,13 +319,13 @@ impl PopulationProfile {
     pub fn trusted() -> PopulationProfile {
         PopulationProfile {
             ptype: ParticipantType::Trusted,
-            class_mix: vec![
+            class_mix: WeightTable::new(&[
                 (ParticipantClass::Diligent, 0.78),
                 (ParticipantClass::Average, 0.19),
                 (ParticipantClass::Sloppy, 0.03),
-            ],
+            ]),
             male_fraction: 0.79,
-            countries: vec![
+            countries: WeightTable::new(&[
                 ("US", 0.38),
                 ("ES", 0.16),
                 ("UK", 0.12),
@@ -216,7 +333,7 @@ impl PopulationProfile {
                 ("GR", 0.07),
                 ("DE", 0.06),
                 ("other", 0.13),
-            ],
+            ]),
         }
     }
 
@@ -264,17 +381,17 @@ impl PopulationProfile {
     pub fn generate_gate(&self, seed: Seed, i: u64) -> (Seed, ParticipantClass) {
         let pseed = seed.derive_index("participant", i);
         let mut rng = Rng::seed_from_u64(pseed.derive("traits").value());
-        (pseed, pick_weighted(&mut rng, &self.class_mix))
+        (pseed, self.class_mix.pick(&mut rng))
     }
 
     /// The single draw sequence behind both generation paths.
     fn draw_traits(&self, seed: Seed, i: u64) -> (Persona, Gender, &'static str) {
         let pseed = seed.derive_index("participant", i);
         let mut rng = Rng::seed_from_u64(pseed.derive("traits").value());
-        let class = pick_weighted(&mut rng, &self.class_mix);
+        let class = self.class_mix.pick(&mut rng);
         let gender =
             if rng.random_bool(self.male_fraction) { Gender::Male } else { Gender::Female };
-        let country = pick_weighted(&mut rng, &self.countries);
+        let country = self.countries.pick(&mut rng);
         let tech_savvy = rng.random_range(1..=5u8);
         // Worker downlinks: log-uniform 0.5–30 Mbit/s — 2016 crowd
         // workers cluster in regions where sub-2 Mbit/s lines were
@@ -282,18 +399,7 @@ impl PopulationProfile {
         // of seconds Fig. 5 conditions on.
         let bw_exp: f64 = rng.random_range(5.7..7.5);
         let bandwidth_bps = 10f64.powf(bw_exp) as u64;
-        let readiness = pick_weighted(
-            &mut rng,
-            &[
-                // Participants see *unfamiliar* sites (§6: "when I don't
-                // know what is on the site ... I want to wait for
-                // everything"), so the wait-for-everything cohort is
-                // nearly as large as the main-content one.
-                (ReadinessCriterion::MainContent, 0.40),
-                (ReadinessCriterion::AllContent, 0.42),
-                (ReadinessCriterion::FirstImpression, 0.18),
-            ],
-        );
+        let readiness = readiness_table().pick(&mut rng);
         let (perception_noise, overshoot) = match class {
             ParticipantClass::Diligent => (rng.random_range(0.03..0.08), rng.random_range(0.02..0.08)),
             ParticipantClass::Average => (rng.random_range(0.06..0.14), rng.random_range(0.05..0.15)),
@@ -321,7 +427,11 @@ impl PopulationProfile {
     }
 }
 
-fn pick_weighted<T: Copy>(rng: &mut Rng, mix: &[(T, f64)]) -> T {
+/// The pre-table selection this module shipped with, kept as the
+/// reference classifier for [`WeightTable`]'s draw-identity regression
+/// test: per-draw weight re-summation plus a subtractive walk.
+#[cfg(test)]
+fn pick_weighted_ref<T: Copy>(rng: &mut Rng, mix: &[(T, f64)]) -> T {
     let total: f64 = mix.iter().map(|(_, w)| w).sum();
     let mut x: f64 = rng.random_range(0.0..total);
     for &(v, w) in mix {
@@ -330,13 +440,99 @@ fn pick_weighted<T: Copy>(rng: &mut Rng, mix: &[(T, f64)]) -> T {
         }
         x -= w;
     }
-    // lint:allow(D4): mixture tables are non-empty constants; rounding can leave x past the last band
     mix.last().expect("non-empty mixture").0
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Every mixture the population model draws from, as raw
+    /// `(item, weight)` lists — the input both selectors classify.
+    fn live_mixtures() -> Vec<(&'static str, Vec<(u8, f64)>)> {
+        // Items are reduced to indices: selection identity is about
+        // which *band* a draw lands in, not the payload type.
+        let idx = |ws: &[f64]| ws.iter().copied().enumerate().map(|(i, w)| (i as u8, w)).collect();
+        vec![
+            ("paid.class", idx(&[0.42, 0.36, 0.13, 0.07, 0.02, 0.03])),
+            ("trusted.class", idx(&[0.78, 0.19, 0.03])),
+            (
+                "paid.country",
+                idx(&[0.22, 0.12, 0.08, 0.07, 0.06, 0.05, 0.05, 0.04, 0.04, 0.04, 0.23]),
+            ),
+            ("trusted.country", idx(&[0.38, 0.16, 0.12, 0.08, 0.07, 0.06, 0.13])),
+            ("readiness", idx(&[0.40, 0.42, 0.18])),
+            // Adversarial shapes: ties, zero weights, tiny bands, and a
+            // sum (0.1+0.2) that famously does not round-trip in binary.
+            ("zeros", idx(&[0.0, 0.5, 0.0, 0.5])),
+            ("tiny", idx(&[1e-12, 1.0, 1e-12])),
+            ("binary-sour", idx(&[0.1, 0.2, 0.3, 0.4])),
+        ]
+    }
+
+    /// Which band the compiled table assigns `x` to (the scan inside
+    /// `pick`, exposed on the raw draw value for boundary probing).
+    fn table_band(table: &WeightTable<u8>, x: f64) -> u8 {
+        for (i, &c) in table.thresholds().iter().enumerate() {
+            if x < c {
+                return i as u8;
+            }
+        }
+        table.thresholds().len() as u8 - 1
+    }
+
+    #[test]
+    fn weight_table_draw_identity_with_subtractive_reference() {
+        // The satellite contract: same single draw, same selection. Two
+        // RNG clones must stay in bit-for-bit lockstep through many
+        // picks, for every live mixture.
+        for (name, mix) in live_mixtures() {
+            let table = WeightTable::new(&mix);
+            let mut a = Rng::seed_from_u64(0x5eed_0000 ^ mix.len() as u64);
+            let mut b = a.clone();
+            for round in 0..20_000 {
+                let want = pick_weighted_ref(&mut a, &mix);
+                let got = table.pick(&mut b);
+                assert_eq!(want, got, "{name} round {round}");
+            }
+            // Identical residual RNG state: both consumed exactly one
+            // random_range(0.0..total) per pick.
+            assert_eq!(a.next_u64(), b.next_u64(), "{name} rng state");
+        }
+    }
+
+    #[test]
+    fn weight_table_thresholds_are_exact_band_boundaries() {
+        // Probe each compiled threshold ulp-by-ulp: the band must flip
+        // at exactly the same representable value under both selectors.
+        for (name, mix) in live_mixtures() {
+            let table = WeightTable::new(&mix);
+            let weights: Vec<f64> = mix.iter().map(|&(_, w)| w).collect();
+            let probe = |x: f64| {
+                assert_eq!(
+                    subtractive_band(&weights, x) as u8,
+                    table_band(&table, x),
+                    "{name} x={x:e} (bits {:#x})",
+                    x.to_bits()
+                );
+            };
+            for &t in table.thresholds() {
+                let mut lo = t;
+                let mut hi = t;
+                for _ in 0..4 {
+                    probe(lo);
+                    probe(hi);
+                    lo = f64::from_bits(lo.to_bits().saturating_sub(1)).max(0.0);
+                    hi = f64::from_bits(hi.to_bits() + 1).min(table.total());
+                }
+            }
+            probe(0.0);
+            // A uniform sweep across the whole range for good measure.
+            for k in 0..=10_000 {
+                probe(table.total() * k as f64 / 10_000.0);
+            }
+        }
+    }
 
     #[test]
     fn persona_generation_matches_full_generation() {

@@ -99,7 +99,25 @@ pub static CORE_FILTER_DROPS: LabeledCounter = LabeledCounter::new("core.filter_
 pub static CORE_RETAINED_PER_SITE: LabeledCounter =
     LabeledCounter::new("core.retained_per_site");
 
-static COUNTERS: [&Counter; 28] = [
+// --- adaptive: the early-stopping campaign driver ---
+//
+// Determinism note: these are bumped only from the adaptive driver's
+// single-threaded epoch-barrier loop and from order-pinned shard folds,
+// and only when an adaptive rule (`epsilon > 0` or `max_n > 0`) is
+// actually in force — an `epsilon = 0` adaptive run leaves all three at
+// zero, which keeps its counter fingerprint byte-identical to the
+// plain streaming engine's (zero-valued counters are still reported).
+
+/// Epoch barriers evaluated by the adaptive driver.
+pub static ADAPTIVE_EPOCHS: Counter = Counter::new("adaptive.epochs");
+/// Stimuli whose recruitment the stopping rule closed.
+pub static ADAPTIVE_STIMULI_STOPPED: Counter = Counter::new("adaptive.stimuli_stopped");
+/// Participants never simulated thanks to early stopping: whole-crowd
+/// budget never recruited plus admitted participants pruned because all
+/// their assigned stimuli had already stopped.
+pub static ADAPTIVE_PARTICIPANTS_SAVED: Counter = Counter::new("adaptive.participants_saved");
+
+static COUNTERS: [&Counter; 31] = [
     &NET_EVENTS_PROCESSED,
         &NET_SEGMENTS_SENT,
         &NET_RETRANSMISSIONS,
@@ -128,6 +146,9 @@ static COUNTERS: [&Counter; 28] = [
         &CORE_AB_VOTES,
         &CORE_AB_SKIPS,
     &CORE_PARTICIPANTS_KEPT,
+        &ADAPTIVE_EPOCHS,
+        &ADAPTIVE_STIMULI_STOPPED,
+        &ADAPTIVE_PARTICIPANTS_SAVED,
 ];
 
 static LABELED: [&LabeledCounter; 2] = [&CORE_FILTER_DROPS, &CORE_RETAINED_PER_SITE];

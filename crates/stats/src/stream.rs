@@ -145,6 +145,19 @@ impl Moments {
     pub fn max(&self) -> Option<f64> {
         (self.n > 0).then_some(self.max)
     }
+
+    /// Normal-approximation confidence interval for the mean at critical
+    /// value `z` (e.g. 1.96 for ~95%): `mean ± z·s/√n`. `None` with
+    /// fewer than two observations (no variance estimate). Like every
+    /// read-out here it is a pure function of the integer state, so the
+    /// adaptive engine's stopping decisions inherit the multiset
+    /// determinism of the accumulator itself.
+    pub fn mean_ci(&self, z: f64) -> Option<(f64, f64)> {
+        let mean = self.mean()?;
+        let sd = self.stdev()?;
+        let half = z * sd / (self.n as f64).sqrt();
+        Some((mean - half, mean + half))
+    }
 }
 
 /// A bounded, deterministic quantile sketch.
@@ -353,6 +366,41 @@ impl QuantileSketch {
         Some(self.max)
     }
 
+    /// Sketch-resolution-aware confidence interval for the `p`-th
+    /// percentile at critical value `z`.
+    ///
+    /// The interval is the classic distribution-free order-statistic
+    /// band: the rank of the `p`-th percentile is binomially distributed
+    /// with standard deviation `√(n·q·(1−q))` (`q = p/100`), so the
+    /// bounds are the quantiles at ranks `rank ± z·√(n·q·(1−q))`,
+    /// clamped to the sample. Once the sketch has spilled, each bound is
+    /// additionally widened by [`QuantileSketch::max_error`] (one bin
+    /// width) so the interval stays conservative at sketch resolution;
+    /// both bounds are clamped to the exactly-tracked `[min, max]`.
+    /// `None` when empty. Deterministic: a pure function of the
+    /// multiset-determined sketch state.
+    pub fn quantile_ci(&self, p: f64, z: f64) -> Option<(f64, f64)> {
+        if self.n == 0 {
+            return None;
+        }
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
+        let q = p / 100.0;
+        let n = self.n as f64;
+        let spread = z.abs() * (n * q * (1.0 - q)).sqrt();
+        let rank = (n - 1.0) * q;
+        let lo_rank = (rank - spread).max(0.0);
+        let hi_rank = (rank + spread).min(n - 1.0);
+        let (lo_p, hi_p) = if self.n > 1 {
+            (100.0 * lo_rank / (n - 1.0), 100.0 * hi_rank / (n - 1.0))
+        } else {
+            (0.0, 100.0)
+        };
+        let err = self.max_error();
+        let lo = self.quantile(lo_p)? - err;
+        let hi = self.quantile(hi_p)? + err;
+        Some((lo.max(self.min), hi.min(self.max)))
+    }
+
     /// Bytes retained by this sketch (the peak-RSS proxy the scale
     /// bench reports): heap buffers plus the struct itself.
     pub fn retained_bytes(&self) -> usize {
@@ -434,6 +482,118 @@ mod tests {
         one.push(3.0);
         assert_eq!(one.mean(), Some(3.0));
         assert_eq!(one.variance(), None);
+    }
+
+    #[test]
+    fn moments_mean_ci_matches_summary_formula() {
+        let data = sample(400);
+        let mut m = Moments::new();
+        for &v in &data {
+            m.push(v);
+        }
+        let s = Summary::of(&data).unwrap();
+        let (lo, hi) = m.mean_ci(1.96).unwrap();
+        let half = 1.96 * s.stdev / (data.len() as f64).sqrt();
+        assert!((lo - (s.mean - half)).abs() < 1e-6);
+        assert!((hi - (s.mean + half)).abs() < 1e-6);
+        // Quadrupling n halves the half-width (same population).
+        let mut m4 = Moments::new();
+        for _ in 0..4 {
+            for &v in &data {
+                m4.push(v);
+            }
+        }
+        let (lo4, hi4) = m4.mean_ci(1.96).unwrap();
+        assert!((hi4 - lo4) < 0.6 * (hi - lo));
+        // Under two observations there is no variance estimate.
+        let mut one = Moments::new();
+        one.push(3.0);
+        assert_eq!(one.mean_ci(1.96), None);
+    }
+
+    #[test]
+    fn sketch_quantile_ci_exact_small_n_agreement() {
+        // In exact mode the CI endpoints must be the order-statistic
+        // band computed directly on the sorted sample: quantiles at
+        // ranks rank ± z·√(n·q·(1−q)), with zero sketch widening.
+        let data = sample(300);
+        let mut sk = QuantileSketch::new(0.0, 10.0, 64, 512).unwrap();
+        for &v in &data {
+            sk.push(v);
+        }
+        assert!(sk.is_exact());
+        for (p, z) in [(50.0, 1.96), (25.0, 1.96), (75.0, 1.0), (90.0, 2.58)] {
+            let (lo, hi) = sk.quantile_ci(p, z).unwrap();
+            let n = data.len() as f64;
+            let q = p / 100.0;
+            let spread = z * (n * q * (1.0 - q)).sqrt();
+            let rank = (n - 1.0) * q;
+            let lo_p = 100.0 * (rank - spread).max(0.0) / (n - 1.0);
+            let hi_p = 100.0 * (rank + spread).min(n - 1.0) / (n - 1.0);
+            assert_eq!(lo, crate::quantile::percentile(&data, lo_p).unwrap(), "p={p} z={z}");
+            assert_eq!(hi, crate::quantile::percentile(&data, hi_p).unwrap(), "p={p} z={z}");
+            // The point estimate sits inside its own interval.
+            let mid = sk.quantile(p).unwrap();
+            assert!(lo <= mid && mid <= hi, "p={p} z={z}");
+        }
+        // n = 1: the only honest interval is the whole (degenerate)
+        // sample; width zero, so an epsilon rule must be guarded by
+        // min_n, not by the interval alone.
+        let mut one = QuantileSketch::new(0.0, 10.0, 64, 512).unwrap();
+        one.push(4.0);
+        assert_eq!(one.quantile_ci(50.0, 1.96), Some((4.0, 4.0)));
+        let empty = QuantileSketch::new(0.0, 10.0, 64, 512).unwrap();
+        assert_eq!(empty.quantile_ci(50.0, 1.96), None);
+    }
+
+    #[test]
+    fn sketch_quantile_ci_shrinks_with_n_and_widens_when_spilled() {
+        let grow = |n: usize, cap: usize| {
+            let mut sk = QuantileSketch::new(0.0, 10.0, 128, cap).unwrap();
+            for &v in &sample(n) {
+                sk.push(v);
+            }
+            let (lo, hi) = sk.quantile_ci(50.0, 1.96).unwrap();
+            (sk, hi - lo)
+        };
+        let (_, w200) = grow(200, 100_000);
+        let (_, w5000) = grow(5000, 100_000);
+        assert!(w5000 < w200, "median CI must tighten with n: {w5000} vs {w200}");
+        // Spilling the same sample can only widen the interval, and
+        // boundedly so: each endpoint moves by at most one bin width of
+        // interpolation error plus the explicit max_error widening.
+        let (exact_sk, w_exact) = grow(5000, 100_000);
+        let (spilled_sk, w_spilled) = grow(5000, 256);
+        assert!(exact_sk.is_exact() && !spilled_sk.is_exact());
+        assert!(w_spilled + 1e-12 >= w_exact);
+        assert!(w_spilled <= w_exact + 4.0 * spilled_sk.max_error() + 1e-12);
+    }
+
+    #[test]
+    fn sketch_quantile_ci_is_merge_invariant() {
+        // Sharding must not move the interval by a single bit: the CI is
+        // a pure read-out of the multiset-determined state.
+        for (n, cap) in [(300usize, 512usize), (5000, 256)] {
+            let data = sample(n);
+            let mut whole = QuantileSketch::new(0.0, 10.0, 64, cap).unwrap();
+            for &v in &data {
+                whole.push(v);
+            }
+            let want = whole.quantile_ci(50.0, 1.96).unwrap();
+            for chunk in [1usize, 16, 64, n + 1] {
+                let mut merged = QuantileSketch::new(0.0, 10.0, 64, cap).unwrap();
+                for part in data.chunks(chunk) {
+                    let mut shard = QuantileSketch::new(0.0, 10.0, 64, cap).unwrap();
+                    for &v in part {
+                        shard.push(v);
+                    }
+                    assert!(merged.merge(&shard));
+                }
+                let got = merged.quantile_ci(50.0, 1.96).unwrap();
+                assert_eq!(want.0.to_bits(), got.0.to_bits(), "n={n} chunk={chunk}");
+                assert_eq!(want.1.to_bits(), got.1.to_bits(), "n={n} chunk={chunk}");
+            }
+        }
     }
 
     #[test]

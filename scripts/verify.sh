@@ -53,4 +53,24 @@ cargo run -q --release -p eyeorg-bench --bin perf_scale -- \
 cmp results/.SCALE_fp_1 results/.SCALE_fp_2
 cmp results/.SCALE_fp_1 results/.SCALE_fp_auto
 rm -f results/.SCALE_fp_1 results/.SCALE_fp_2 results/.SCALE_fp_auto
+# Adaptive early-stopping divergence gate (DESIGN.md §3h): the smoke run
+# exits non-zero when an inactive rule (epsilon = 0) differs from the
+# streaming engine in digest or counter fingerprint, or when an active
+# rule's decision sequence / digest / counters vary across backends,
+# shard sizes, thread knobs, or chaos seeds — and the written
+# fingerprints must be byte-identical at 1 thread, 2 threads, and the
+# hardware default. The full run then measures the 1M-participant
+# campaign and exits non-zero unless the adaptive run simulates >= 3x
+# fewer participants with every UPLT percentile inside the declared
+# tolerance (writes results/BENCH_adaptive.json).
+EYEORG_THREADS=1 cargo run -q --release -p eyeorg-bench --bin perf_adaptive -- \
+    --smoke --fingerprint-out results/.ADAPT_fp_1
+EYEORG_THREADS=2 cargo run -q --release -p eyeorg-bench --bin perf_adaptive -- \
+    --smoke --fingerprint-out results/.ADAPT_fp_2
+cargo run -q --release -p eyeorg-bench --bin perf_adaptive -- \
+    --smoke --fingerprint-out results/.ADAPT_fp_auto
+cmp results/.ADAPT_fp_1 results/.ADAPT_fp_2
+cmp results/.ADAPT_fp_1 results/.ADAPT_fp_auto
+rm -f results/.ADAPT_fp_1 results/.ADAPT_fp_2 results/.ADAPT_fp_auto
+cargo run -q --release -p eyeorg-bench --bin perf_adaptive
 echo "verify: OK"
