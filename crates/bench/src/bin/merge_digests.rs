@@ -1,0 +1,469 @@
+//! Multi-process checkpoint harness for the §3i serialization layer:
+//! proves that interrupt/resume and independently-written worker
+//! checkpoints compose — digest *and* observability-counter
+//! fingerprint — to the uninterrupted single-process run.
+//!
+//! Three modes over one fixed smoke campaign (4 stimuli × 400
+//! participants, shard 64, checkpoint every 2 shards):
+//!
+//! * `--smoke [--fingerprint-out PATH] [--live-out PATH]` — in-process
+//!   gates, exiting non-zero on any failure:
+//!   (a) the checkpointed driver with an inactive rule equals the
+//!   plain streaming engine (digest + counters) for both backends;
+//!   (b) interrupt at the first barrier → `save` → `load` in a
+//!   simulated fresh process (obs registry reset) → resume equals the
+//!   uninterrupted run, plain and adaptive (decision fingerprint
+//!   included), both backends — and the same for the A/B driver;
+//!   (c) `save` → `load` → `save` is a byte-level fixed point.
+//!   `--fingerprint-out` writes the run's fingerprints so
+//!   `scripts/verify.sh` can `cmp` runs at different `EYEORG_THREADS`
+//!   values; `--live-out` writes the live JSONL stream (one line per
+//!   barrier, final line checked against the end-of-run digest).
+//! * `--worker LO HI --out PATH [--flat]` — run the worker slice
+//!   `[LO, HI)` of the same campaign in *this* process and write its
+//!   checkpoint file. `verify.sh` launches several of these as real
+//!   child processes over disjoint ranges.
+//! * `--merge OUT_FP FILE...` — load the checkpoint files, merge them
+//!   in range order, finalize, and write `digest-fp\ncounter-fp\n` for
+//!   the caller to `cmp` against the single-process reference.
+
+use eyeorg_bench::campaigns::capture_browser;
+use eyeorg_core::prelude::*;
+use eyeorg_core::adaptive::AdaptiveBackend;
+use eyeorg_crowd::CrowdFlower;
+use eyeorg_stats::Seed;
+use eyeorg_video::CaptureConfig;
+use eyeorg_workload::alexa_like;
+
+const SITES: usize = 4;
+const PARTICIPANTS: usize = 400;
+const SHARD: usize = 64;
+const EVERY_SHARDS: usize = 2;
+
+/// Active stopping rule for the adaptive resume gate: fires on this
+/// workload well before the 400-participant budget.
+const SMOKE_EPSILON: f64 = 0.25;
+const SMOKE_MIN_N: u64 = 32;
+
+fn seed() -> Seed {
+    Seed(2016).derive("merge-digests")
+}
+
+fn smoke_stimuli() -> Vec<TimelineStimulus> {
+    let corpus = alexa_like(seed().derive("sites"), SITES);
+    let capture = CaptureConfig { repeats: 2, ..CaptureConfig::default() };
+    timeline_stimuli(&corpus, &capture_browser(), &capture, seed().derive("capture"))
+}
+
+fn smoke_ab_stimuli() -> Vec<AbStimulus> {
+    let corpus = alexa_like(seed().derive("sites"), SITES);
+    let capture = CaptureConfig { repeats: 2, ..CaptureConfig::default() };
+    protocol_ab_stimuli(&corpus, &capture_browser(), &capture, seed().derive("ab-capture"))
+}
+
+/// `threads: 0` so the `EYEORG_THREADS` knob applies — `verify.sh`
+/// compares fingerprint files across thread counts.
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig { threads: 0, ..ExperimentConfig::default() }
+}
+
+fn scfg() -> StreamConfig {
+    StreamConfig { shard_size: SHARD, ..StreamConfig::default() }
+}
+
+fn ck_cfg() -> CheckpointConfig {
+    CheckpointConfig { every_shards: EVERY_SHARDS }
+}
+
+fn inactive() -> AdaptiveConfig {
+    AdaptiveConfig { epoch: 64, epsilon: 0.0, min_n: 8, max_n: 0 }
+}
+
+fn active() -> AdaptiveConfig {
+    AdaptiveConfig { epoch: 64, epsilon: SMOKE_EPSILON, min_n: SMOKE_MIN_N, max_n: 0 }
+}
+
+fn counters() -> String {
+    eyeorg_obs::snapshot("merge-digests", 0).counter_fingerprint()
+}
+
+/// Drive the checkpointed timeline campaign, stopping at the
+/// `stop_after`-th barrier when given (None = run to completion).
+/// Returns the outcome plus the live JSONL lines seen.
+fn run_ck(
+    stimuli: &[TimelineStimulus],
+    ac: &AdaptiveConfig,
+    backend: AdaptiveBackend,
+    resume: Option<&TimelineCheckpoint>,
+    stop_after: Option<usize>,
+) -> (RunOutcome, Vec<String>) {
+    let mut live = Vec::new();
+    let mut seen = 0usize;
+    let out = checkpointed_timeline_campaign(
+        stimuli,
+        &CrowdFlower,
+        PARTICIPANTS,
+        &cfg(),
+        &paper_pipeline(),
+        seed().derive("run"),
+        &scfg(),
+        ac,
+        backend,
+        resume,
+        &ck_cfg(),
+        &mut |ev| match ev {
+            CheckpointEvent::Live(line) => {
+                live.push(line.to_string());
+                true
+            }
+            CheckpointEvent::Checkpoint(_) => {
+                seen += 1;
+                stop_after.is_none_or(|k| seen < k)
+            }
+        },
+    )
+    .expect("checkpointed campaign");
+    (out, live)
+}
+
+fn write_file(path: &str, contents: &str) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    std::fs::write(path, contents).expect("write output file");
+}
+
+fn smoke(fp_out: Option<String>, live_out: Option<String>) {
+    let stimuli = smoke_stimuli();
+    let mut identical = true;
+
+    // Reference: the plain streaming engine, digest and counters.
+    eyeorg_obs::reset();
+    let reference = stream_timeline_campaign(
+        &stimuli,
+        &CrowdFlower,
+        PARTICIPANTS,
+        &cfg(),
+        &paper_pipeline(),
+        seed().derive("run"),
+        &scfg(),
+    );
+    let reference_fp = reference.fingerprint();
+    let reference_counters = counters();
+
+    // Gate (a): the checkpointed driver with an inactive rule equals
+    // the plain engine — and gate (b): interrupt at the first barrier,
+    // reload the bytes with a reset obs registry, resume, and land on
+    // the same fingerprints. Both backends.
+    let mut live_lines = Vec::new();
+    for backend in [AdaptiveBackend::Streaming, AdaptiveBackend::Flat] {
+        eyeorg_obs::reset();
+        let (out, live) = run_ck(&stimuli, &inactive(), backend, None, None);
+        let RunOutcome::Complete(outcome) = out else {
+            eprintln!("DIVERGENCE: {backend:?} uninterrupted run did not complete");
+            std::process::exit(1);
+        };
+        if outcome.digest.fingerprint() != reference_fp {
+            identical = false;
+            eprintln!("DIVERGENCE: {backend:?} checkpointed digest != streaming engine");
+        }
+        if counters() != reference_counters {
+            identical = false;
+            eprintln!("DIVERGENCE: {backend:?} checkpointed counters != streaming engine");
+        }
+        let last = live.last().cloned().unwrap_or_default();
+        let expect_last = live_line_from_digest(&outcome.digest, PARTICIPANTS as u64, true);
+        if last != expect_last {
+            identical = false;
+            eprintln!("DIVERGENCE: {backend:?} final live line != end-of-run digest read-out");
+        }
+        println!("smoke {backend:?} uninterrupted: {} live lines", live.len());
+        live_lines = live;
+
+        // Interrupt → save → load → resume.
+        eyeorg_obs::reset();
+        let (out, _) = run_ck(&stimuli, &inactive(), backend, None, Some(1));
+        let RunOutcome::Interrupted(ck) = out else {
+            eprintln!("DIVERGENCE: {backend:?} run did not stop at the first barrier");
+            std::process::exit(1);
+        };
+        let bytes = ck.save();
+        let reloaded = TimelineCheckpoint::load(&bytes).expect("reload checkpoint");
+        if reloaded.save() != bytes {
+            identical = false;
+            eprintln!("DIVERGENCE: {backend:?} save/load is not a fixed point");
+        }
+        eyeorg_obs::reset(); // simulate the resuming process starting fresh
+        let (out, _) = run_ck(&stimuli, &inactive(), backend, Some(&reloaded), None);
+        let RunOutcome::Complete(outcome) = out else {
+            eprintln!("DIVERGENCE: {backend:?} resumed run did not complete");
+            std::process::exit(1);
+        };
+        if outcome.digest.fingerprint() != reference_fp {
+            identical = false;
+            eprintln!("DIVERGENCE: {backend:?} resumed digest != uninterrupted run");
+        }
+        if counters() != reference_counters {
+            identical = false;
+            eprintln!("DIVERGENCE: {backend:?} resumed counters != uninterrupted run");
+        }
+        println!("smoke {backend:?} interrupt/resume: ok={identical}");
+    }
+
+    // Gate (b), adaptive: the stopping rule's decision sequence must
+    // survive interruption too.
+    eyeorg_obs::reset();
+    let (out, _) = run_ck(&stimuli, &active(), AdaptiveBackend::Streaming, None, None);
+    let RunOutcome::Complete(act_ref) = out else {
+        eprintln!("DIVERGENCE: adaptive uninterrupted run did not complete");
+        std::process::exit(1);
+    };
+    let act_fp = act_ref.digest.fingerprint();
+    let act_decisions = act_ref.decision_fingerprint();
+    let act_counters = counters();
+    if act_ref.decisions.is_empty() {
+        identical = false;
+        eprintln!("DIVERGENCE: smoke epsilon never fired (calibration broken)");
+    }
+    for backend in [AdaptiveBackend::Streaming, AdaptiveBackend::Flat] {
+        eyeorg_obs::reset();
+        let (out, _) = run_ck(&stimuli, &active(), backend, None, Some(1));
+        let RunOutcome::Interrupted(ck) = out else {
+            eprintln!("DIVERGENCE: adaptive {backend:?} did not stop at the first barrier");
+            std::process::exit(1);
+        };
+        let reloaded = TimelineCheckpoint::load(&ck.save()).expect("reload adaptive checkpoint");
+        eyeorg_obs::reset();
+        let (out, _) = run_ck(&stimuli, &active(), backend, Some(&reloaded), None);
+        let RunOutcome::Complete(outcome) = out else {
+            eprintln!("DIVERGENCE: adaptive {backend:?} resumed run did not complete");
+            std::process::exit(1);
+        };
+        if outcome.digest.fingerprint() != act_fp
+            || outcome.decision_fingerprint() != act_decisions
+            || counters() != act_counters
+        {
+            identical = false;
+            eprintln!("DIVERGENCE: adaptive {backend:?} resume differs from uninterrupted run");
+        }
+        println!("smoke adaptive {backend:?} interrupt/resume: {} decisions", outcome.decisions.len());
+    }
+
+    // The A/B driver: same interrupt → save → load → resume contract.
+    let ab = smoke_ab_stimuli();
+    eyeorg_obs::reset();
+    let ab_ref = stream_ab_campaign(
+        &ab,
+        &CrowdFlower,
+        PARTICIPANTS,
+        &cfg(),
+        &paper_pipeline(),
+        seed().derive("ab-run"),
+        &scfg(),
+    );
+    let ab_fp = ab_ref.fingerprint();
+    let ab_counters = counters();
+    eyeorg_obs::reset();
+    let mut seen = 0usize;
+    let out = checkpointed_ab_campaign(
+        &ab,
+        &CrowdFlower,
+        PARTICIPANTS,
+        &cfg(),
+        &paper_pipeline(),
+        seed().derive("ab-run"),
+        &scfg(),
+        None,
+        &ck_cfg(),
+        &mut |_| {
+            seen += 1;
+            seen < 1
+        },
+    )
+    .expect("ab checkpointed campaign");
+    let AbRunOutcome::Interrupted(ck) = out else {
+        eprintln!("DIVERGENCE: A/B run did not stop at the first barrier");
+        std::process::exit(1);
+    };
+    let reloaded = AbCheckpoint::load(&ck.save()).expect("reload A/B checkpoint");
+    eyeorg_obs::reset();
+    let out = checkpointed_ab_campaign(
+        &ab,
+        &CrowdFlower,
+        PARTICIPANTS,
+        &cfg(),
+        &paper_pipeline(),
+        seed().derive("ab-run"),
+        &scfg(),
+        Some(&reloaded),
+        &ck_cfg(),
+        &mut |_| true,
+    )
+    .expect("ab resumed campaign");
+    let AbRunOutcome::Complete(digest) = out else {
+        eprintln!("DIVERGENCE: A/B resumed run did not complete");
+        std::process::exit(1);
+    };
+    if digest.fingerprint() != ab_fp || counters() != ab_counters {
+        identical = false;
+        eprintln!("DIVERGENCE: A/B resume differs from uninterrupted run");
+    }
+    println!("smoke A/B interrupt/resume: ok={identical}");
+
+    if let Some(path) = live_out {
+        write_file(&path, &(live_lines.join("\n") + "\n"));
+        println!("wrote {path}");
+    }
+    if let Some(path) = fp_out {
+        // Everything a cross-process / cross-thread-count `cmp` needs:
+        // plain digest + counters (== the streaming engine's, and ==
+        // what `--merge` emits), then the adaptive run's digest,
+        // decision, and counter fingerprints.
+        let contents = format!(
+            "{reference_fp}\n{reference_counters}\n{act_fp}\n{act_decisions}\n{act_counters}\n"
+        );
+        write_file(&path, &contents);
+        println!("wrote {path}");
+    }
+
+    if !identical {
+        eprintln!("FAIL: checkpoint layer diverged");
+        std::process::exit(1);
+    }
+    println!("smoke OK: checkpoint/resume and live analytics match the uninterrupted run");
+}
+
+fn worker(args: &[String]) {
+    let mut lo = None;
+    let mut hi = None;
+    let mut out = None;
+    let mut backend = AdaptiveBackend::Streaming;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = Some(it.next().expect("--out needs a path").clone()),
+            "--flat" => backend = AdaptiveBackend::Flat,
+            v => {
+                let n: usize = v.parse().unwrap_or_else(|_| {
+                    eprintln!("unknown --worker argument: {v}");
+                    std::process::exit(2);
+                });
+                if lo.is_none() {
+                    lo = Some(n);
+                } else {
+                    hi = Some(n);
+                }
+            }
+        }
+    }
+    let (Some(lo), Some(hi), Some(out)) = (lo, hi, out) else {
+        eprintln!("usage: merge_digests --worker LO HI --out PATH [--flat]");
+        std::process::exit(2);
+    };
+    // Build stimuli before the reset: the captured counter state must
+    // cover the campaign only, matching the single-process reference.
+    let stimuli = smoke_stimuli();
+    eyeorg_obs::reset();
+    let ck = timeline_worker_checkpoint(
+        &stimuli,
+        &CrowdFlower,
+        lo,
+        hi,
+        &cfg(),
+        &paper_pipeline(),
+        seed().derive("run"),
+        &scfg(),
+        backend,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("FAIL: worker [{lo}, {hi}) checkpoint: {e}");
+        std::process::exit(1);
+    });
+    write_file(&out, &ck.save());
+    println!("worker [{lo}, {hi}) ({backend:?}) wrote {out}");
+}
+
+fn merge(args: &[String]) {
+    let [out_fp, files @ ..] = args else {
+        eprintln!("usage: merge_digests --merge OUT_FP FILE...");
+        std::process::exit(2);
+    };
+    if files.is_empty() {
+        eprintln!("usage: merge_digests --merge OUT_FP FILE...");
+        std::process::exit(2);
+    }
+    let mut parts: Vec<TimelineCheckpoint> = files
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("FAIL: read {path}: {e}");
+                std::process::exit(1);
+            });
+            TimelineCheckpoint::load(&text).unwrap_or_else(|e| {
+                eprintln!("FAIL: load {path}: {e}");
+                std::process::exit(1);
+            })
+        })
+        .collect();
+    parts.sort_by_key(|c| c.range().0);
+    let mut merged = parts.remove(0);
+    for part in &parts {
+        merged.merge(part).unwrap_or_else(|e| {
+            eprintln!("FAIL: merge checkpoint covering {:?}: {e}", part.range());
+            std::process::exit(1);
+        });
+    }
+    let stimuli = smoke_stimuli();
+    let digest = merged.finalize(&stimuli, &CrowdFlower).unwrap_or_else(|e| {
+        eprintln!("FAIL: finalize merged checkpoint: {e}");
+        std::process::exit(1);
+    });
+    // The merged counter state is the sum of the workers' registries;
+    // restore it into a clean one to render the canonical fingerprint.
+    eyeorg_obs::reset();
+    merged.restore_counters();
+    let contents = format!("{}\n{}\n", digest.fingerprint(), counters());
+    write_file(out_fp, &contents);
+    println!(
+        "merged {} checkpoints covering [0, {}) -> {out_fp}",
+        files.len(),
+        merged.range().1
+    );
+}
+
+fn main() {
+    eyeorg_obs::enable();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--worker") => worker(&args[1..]),
+        Some("--merge") => merge(&args[1..]),
+        Some("--smoke") => {
+            let mut fp_out = None;
+            let mut live_out = None;
+            let mut it = args[1..].iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--fingerprint-out" => {
+                        fp_out = Some(it.next().expect("--fingerprint-out needs a path").clone());
+                    }
+                    "--live-out" => {
+                        live_out = Some(it.next().expect("--live-out needs a path").clone());
+                    }
+                    other => {
+                        eprintln!("unknown argument: {other}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            smoke(fp_out, live_out);
+        }
+        _ => {
+            eprintln!(
+                "usage: merge_digests --smoke [--fingerprint-out PATH] [--live-out PATH]\n\
+                 \x20      merge_digests --worker LO HI --out PATH [--flat]\n\
+                 \x20      merge_digests --merge OUT_FP FILE..."
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -62,7 +62,7 @@
 use eyeorg_crowd::RecruitmentService;
 use eyeorg_stats::{resolve_threads, Seed};
 
-use crate::digest::{StimulusDigest, TimelineDigest};
+use crate::digest::{DigestParams, StimulusDigest, TimelineDigest};
 use crate::experiment::{AdaptiveConfig, ExperimentConfig, TimelineStimulus};
 use crate::filtering::ParticipantFilter;
 use crate::flat::{flat_tl_epoch, FlatTlCtx};
@@ -227,6 +227,53 @@ pub fn adaptive_timeline_campaign(
     }
 }
 
+/// The full mutable state of the epoch loop between two barriers — a
+/// pure function of (seed, config, processed index range), which is
+/// what makes it checkpointable: `crate::checkpoint` serializes
+/// exactly this (plus the obs counter totals) and
+/// [`drive_resumable`] picks the loop back up from it.
+#[derive(Debug, Clone)]
+pub(crate) struct DriveState {
+    /// Per-stimulus recruitment mask.
+    pub(crate) live: Vec<bool>,
+    /// Cumulative fold over every processed epoch.
+    pub(crate) acc: TlShard,
+    /// Gate admissions over `[0, processed)`.
+    pub(crate) admitted: u64,
+    /// Participant indices processed so far.
+    pub(crate) processed: usize,
+    /// Epoch barriers evaluated so far.
+    pub(crate) epochs: u64,
+    /// Stopping decisions, in the order taken.
+    pub(crate) decisions: Vec<StopDecision>,
+    /// Per stimulus: the epoch barrier it stopped at.
+    pub(crate) stopped_at: Vec<Option<u64>>,
+}
+
+impl DriveState {
+    /// The loop's starting state for `stimuli`.
+    pub(crate) fn fresh(stimuli: &[TimelineStimulus], params: &DigestParams) -> DriveState {
+        DriveState {
+            live: vec![true; stimuli.len()],
+            acc: TlShard::new(stimuli, params),
+            admitted: 0,
+            processed: 0,
+            epochs: 0,
+            decisions: Vec::new(),
+            stopped_at: vec![None; stimuli.len()],
+        }
+    }
+}
+
+/// How an epoch loop ended.
+pub(crate) enum DriveEnd {
+    /// Ran to its natural end (budget exhausted or everything stopped).
+    Complete(Box<AdaptiveOutcome>),
+    /// The barrier callback requested an interruption; the state is
+    /// exactly what a later [`drive_resumable`] call needs to continue.
+    Interrupted(Box<DriveState>),
+}
+
 /// The backend-agnostic epoch loop: recruit an epoch, merge its folds
 /// in shard order, evaluate the stopping rule at the barrier, repeat.
 fn drive<F>(
@@ -235,67 +282,99 @@ fn drive<F>(
     budget: usize,
     sc: &StreamConfig,
     ac: &AdaptiveConfig,
-    mut run_epoch: F,
+    run_epoch: F,
 ) -> AdaptiveOutcome
+where
+    F: FnMut(usize, usize, u64, &[bool]) -> (Vec<TlShard>, u64),
+{
+    match drive_resumable(stimuli, service, budget, sc, ac, None, &mut |_| true, run_epoch) {
+        DriveEnd::Complete(outcome) => *outcome,
+        DriveEnd::Interrupted(_) => unreachable!("an always-continue barrier never interrupts"),
+    }
+}
+
+/// [`drive`] with two extra affordances for the checkpoint layer:
+/// start from a prior [`DriveState`] instead of scratch, and consult
+/// `barrier` after every epoch's stopping evaluation — a `false`
+/// return stops the loop and hands the state back as
+/// [`DriveEnd::Interrupted`].
+///
+/// The interrupted→resumed composition is byte-identical to the
+/// uninterrupted run because the loop's entire mutable state lives in
+/// [`DriveState`] and epochs are pure functions of it: the resumed
+/// loop re-enters at exactly the barrier the interrupted one left.
+/// The final `ADAPTIVE_PARTICIPANTS_SAVED` bump for the unrecruited
+/// budget tail fires only on natural completion, so an interrupted
+/// run's counter totals equal the uninterrupted run's totals *at that
+/// barrier* (which is what the checkpoint records).
+#[allow(clippy::too_many_arguments)] // `drive` plus the two resume affordances
+pub(crate) fn drive_resumable<F>(
+    stimuli: &[TimelineStimulus],
+    service: &dyn RecruitmentService,
+    budget: usize,
+    sc: &StreamConfig,
+    ac: &AdaptiveConfig,
+    resume: Option<DriveState>,
+    barrier: &mut dyn FnMut(&DriveState) -> bool,
+    mut run_epoch: F,
+) -> DriveEnd
 where
     F: FnMut(usize, usize, u64, &[bool]) -> (Vec<TlShard>, u64),
 {
     let epoch = ac.epoch.max(1);
     let active = ac.is_active();
     let n_stim = stimuli.len();
-    let mut live = vec![true; n_stim];
-    let mut acc = TlShard::new(stimuli, &sc.params);
-    let mut admitted_so_far = 0u64;
-    let mut processed = 0usize;
-    let mut epochs_run = 0u64;
-    let mut decisions: Vec<StopDecision> = Vec::new();
-    let mut stopped_at: Vec<Option<u64>> = vec![None; n_stim];
+    let mut st = resume.unwrap_or_else(|| DriveState::fresh(stimuli, &sc.params));
 
-    while processed < budget && live.iter().any(|&l| l) {
-        let lo = processed;
+    while st.processed < budget && st.live.iter().any(|&l| l) {
+        let lo = st.processed;
         let hi = (lo + epoch).min(budget);
-        let (folds, range_admitted) = run_epoch(lo, hi, admitted_so_far, &live);
+        let (folds, range_admitted) = run_epoch(lo, hi, st.admitted, &st.live);
         for fold in &folds {
-            acc.merge_from(fold);
+            st.acc.merge_from(fold);
         }
-        admitted_so_far += range_admitted;
-        processed = hi;
-        epochs_run += 1;
+        st.admitted += range_admitted;
+        st.processed = hi;
+        st.epochs += 1;
         if active {
             eyeorg_obs::metrics::ADAPTIVE_EPOCHS.incr();
             for si in 0..n_stim {
-                if !live[si] {
+                if !st.live[si] {
                     continue;
                 }
-                if let Some((cause, half_width)) = should_stop(&acc.stimuli[si], ac) {
-                    live[si] = false;
-                    stopped_at[si] = Some(epochs_run);
+                if let Some((cause, half_width)) = should_stop(&st.acc.stimuli[si], ac) {
+                    st.live[si] = false;
+                    st.stopped_at[si] = Some(st.epochs);
                     eyeorg_obs::metrics::ADAPTIVE_STIMULI_STOPPED.incr();
-                    decisions.push(StopDecision {
-                        epoch: epochs_run,
+                    st.decisions.push(StopDecision {
+                        epoch: st.epochs,
                         stimulus: si,
-                        name: acc.stimuli[si].name.clone(),
-                        retained: acc.stimuli[si].retained(),
+                        name: st.acc.stimuli[si].name.clone(),
+                        retained: st.acc.stimuli[si].retained(),
                         half_width,
                         cause,
                     });
                 }
             }
         }
+        if !barrier(&st) {
+            return DriveEnd::Interrupted(Box::new(st));
+        }
     }
     // The never-recruited budget tail is also a saving (mid-run pruning
     // was already counted shard by shard). Zero when inactive.
-    eyeorg_obs::metrics::ADAPTIVE_PARTICIPANTS_SAVED.add((budget - processed) as u64);
+    eyeorg_obs::metrics::ADAPTIVE_PARTICIPANTS_SAVED.add((budget - st.processed) as u64);
 
-    let pruned = acc.pruned;
-    let digest = merge_tl_shards(stimuli, service, processed, &sc.params, std::slice::from_ref(&acc));
-    AdaptiveOutcome {
+    let pruned = st.acc.pruned;
+    let digest =
+        merge_tl_shards(stimuli, service, st.processed, &sc.params, std::slice::from_ref(&st.acc));
+    DriveEnd::Complete(Box::new(AdaptiveOutcome {
         digest,
         budget: budget as u64,
-        recruited: processed as u64,
+        recruited: st.processed as u64,
         pruned,
-        epochs: epochs_run,
-        decisions,
-        stopped_at,
-    }
+        epochs: st.epochs,
+        decisions: st.decisions,
+        stopped_at: st.stopped_at,
+    }))
 }

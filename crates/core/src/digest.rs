@@ -19,6 +19,19 @@
 //! (the canonical `Debug` rendering of the full accumulator state), so
 //! "equal" means bit-equal accumulators, not approximately equal
 //! statistics.
+//!
+//! ## Merge errors
+//!
+//! Digest merges are only meaningful between accumulators built from
+//! the same stimulus under the same [`DigestParams`]; anything else is
+//! either a programming error (shard folds of one campaign always
+//! agree by construction) or **untrusted input** (a checkpoint file
+//! from disk, see `crate::checkpoint`). The fallible merges therefore
+//! return [`MergeError`] — carrying both sides' identity/configuration
+//! so a mismatch names exactly what disagreed — instead of panicking.
+//! Internal shard-merge callers, whose inputs share one construction
+//! site, discharge the `Result` with a documented `expect` waiver; the
+//! checkpoint loader propagates it as a typed error to its caller.
 
 use eyeorg_stats::{Histogram, Moments, QuantileSketch};
 
@@ -46,6 +59,104 @@ impl Default for DigestParams {
         DigestParams { hist_bins: 64, sketch_bins: 512, exact_cap: 2048 }
     }
 }
+
+/// One side's accumulator configuration, as reported in a
+/// [`MergeError`]: the value range, the bin count, and (for sketches)
+/// the exact-mode cap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinConfig {
+    /// Range start.
+    pub lo: f64,
+    /// Range end.
+    pub hi: f64,
+    /// Bin count.
+    pub bins: usize,
+    /// Exact-mode cap (`None` for histograms).
+    pub exact_cap: Option<usize>,
+}
+
+impl BinConfig {
+    fn of_hist(h: &Histogram) -> BinConfig {
+        BinConfig { lo: h.lo(), hi: h.hi(), bins: h.counts().len(), exact_cap: None }
+    }
+
+    fn of_sketch(s: &QuantileSketch) -> BinConfig {
+        let (lo, hi) = s.range();
+        BinConfig { lo, hi, bins: s.bins(), exact_cap: Some(s.exact_cap()) }
+    }
+
+    /// Bit-exact equality — the same comparison the accumulator merges
+    /// use internally (`to_bits`), so this pre-check accepts exactly
+    /// the pairs those merges will (value equality would wrongly admit
+    /// `-0.0` vs `0.0`).
+    fn bits_eq(&self, other: &BinConfig) -> bool {
+        self.lo.to_bits() == other.lo.to_bits()
+            && self.hi.to_bits() == other.hi.to_bits()
+            && self.bins == other.bins
+            && self.exact_cap == other.exact_cap
+    }
+}
+
+/// Why two digests refused to merge. Reachable from untrusted
+/// checkpoint bytes, so every variant names the offending
+/// configuration instead of panicking (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeError {
+    /// The two sides accumulate different stimuli.
+    StimulusName {
+        /// Receiving side's stimulus name.
+        left: String,
+        /// Incoming side's stimulus name.
+        right: String,
+    },
+    /// The two sides carry different numbers of stimuli.
+    StimulusCount {
+        /// Receiving side's stimulus count.
+        left: usize,
+        /// Incoming side's stimulus count.
+        right: usize,
+    },
+    /// The histograms were built with different binning configurations.
+    HistogramConfig {
+        /// Stimulus whose histograms disagreed.
+        stimulus: String,
+        /// Receiving side's configuration.
+        left: BinConfig,
+        /// Incoming side's configuration.
+        right: BinConfig,
+    },
+    /// The quantile sketches were built with different construction
+    /// parameters.
+    SketchConfig {
+        /// Stimulus whose sketches disagreed.
+        stimulus: String,
+        /// Receiving side's configuration.
+        left: BinConfig,
+        /// Incoming side's configuration.
+        right: BinConfig,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::StimulusName { left, right } => {
+                write!(f, "digest merge across stimuli: {left:?} vs {right:?}")
+            }
+            MergeError::StimulusCount { left, right } => {
+                write!(f, "digest merge across stimulus sets: {left} vs {right} stimuli")
+            }
+            MergeError::HistogramConfig { stimulus, left, right } => {
+                write!(f, "histogram config mismatch on {stimulus:?}: {left:?} vs {right:?}")
+            }
+            MergeError::SketchConfig { stimulus, left, right } => {
+                write!(f, "sketch config mismatch on {stimulus:?}: {left:?} vs {right:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
 
 /// Per-stimulus UPLT accumulators (kept participants only).
 #[derive(Debug, Clone, PartialEq)]
@@ -111,11 +222,41 @@ impl StimulusDigest {
     }
 
     /// Fold another shard's accumulators for the *same* stimulus in.
-    pub fn merge(&mut self, other: &StimulusDigest) {
-        assert_eq!(self.name, other.name, "digest merge across stimuli");
+    ///
+    /// Errors (leaving the moments untouched too — the checks run
+    /// before any state changes) when the stimulus names or the
+    /// histogram/sketch construction parameters disagree; see
+    /// [`MergeError`] and the module docs for who may `expect` this.
+    pub fn merge(&mut self, other: &StimulusDigest) -> Result<(), MergeError> {
+        if self.name != other.name {
+            return Err(MergeError::StimulusName {
+                left: self.name.clone(),
+                right: other.name.clone(),
+            });
+        }
+        // Validate both fallible merges up front so a failed merge
+        // never leaves a half-merged digest behind.
+        if !BinConfig::of_hist(&self.hist).bits_eq(&BinConfig::of_hist(&other.hist)) {
+            return Err(MergeError::HistogramConfig {
+                stimulus: self.name.clone(),
+                left: BinConfig::of_hist(&self.hist),
+                right: BinConfig::of_hist(&other.hist),
+            });
+        }
+        if !BinConfig::of_sketch(&self.sketch).bits_eq(&BinConfig::of_sketch(&other.sketch)) {
+            return Err(MergeError::SketchConfig {
+                stimulus: self.name.clone(),
+                left: BinConfig::of_sketch(&self.sketch),
+                right: BinConfig::of_sketch(&other.sketch),
+            });
+        }
         self.uplt.merge(&other.uplt);
-        assert!(self.hist.merge(&other.hist), "histogram config mismatch");
-        assert!(self.sketch.merge(&other.sketch), "sketch config mismatch");
+        // `bits_eq` above is the exact comparison these merges gate on,
+        // so a refusal here is impossible; the asserts are a belt over
+        // the `#[must_use]` bools, not a reachable panic path.
+        assert!(self.hist.merge(&other.hist), "histogram merge after equal-config check");
+        assert!(self.sketch.merge(&other.sketch), "sketch merge after equal-config check");
+        Ok(())
     }
 
     /// Bytes retained by this stimulus's accumulators (the scale
@@ -321,11 +462,20 @@ impl AbStimulusDigest {
     }
 
     /// Fold another shard's accumulators for the same stimulus in.
-    pub fn merge(&mut self, other: &AbStimulusDigest) {
-        assert_eq!(self.name, other.name, "digest merge across stimuli");
+    ///
+    /// Errors when the stimulus names disagree; see [`MergeError`] and
+    /// the module docs for who may `expect` this.
+    pub fn merge(&mut self, other: &AbStimulusDigest) -> Result<(), MergeError> {
+        if self.name != other.name {
+            return Err(MergeError::StimulusName {
+                left: self.name.clone(),
+                right: other.name.clone(),
+            });
+        }
         self.tally.merge(&other.tally);
         self.shows += other.shows;
         self.a_left_shows += other.a_left_shows;
+        Ok(())
     }
 }
 

@@ -22,6 +22,10 @@
 //!   allocation-free inner loop.
 //! * [`digest`] — mergeable campaign digests and the materializing
 //!   folds that pin the two engines to each other.
+//! * [`checkpoint`] — versioned JSONL serialization of the full
+//!   accumulator state: interrupt/resume, multi-process split/merge,
+//!   and live incremental analytics, all byte-identical to the
+//!   uninterrupted single-process run.
 //! * [`validation`] — §3.3's hard rules: the humanness (captcha) gate.
 //! * [`filtering`] — the §4.3 validation pipeline: engagement (actions &
 //!   focus), soft rules, control questions, wisdom-of-the-crowd bands.
@@ -69,6 +73,7 @@ pub mod adaptive;
 pub mod analysis;
 pub mod builders;
 pub mod campaign;
+pub mod checkpoint;
 pub mod dataset;
 pub mod digest;
 pub mod experiment;
@@ -99,6 +104,12 @@ pub mod prelude {
     pub use crate::adaptive::{
         adaptive_timeline_campaign, stop_half_width, AdaptiveBackend, AdaptiveOutcome, StopCause,
         StopDecision, ADAPTIVE_Z,
+    };
+    pub use crate::checkpoint::{
+        ab_worker_checkpoint, checkpointed_ab_campaign, checkpointed_timeline_campaign,
+        live_line_from_digest, timeline_worker_checkpoint, AbCheckpoint, AbRunOutcome,
+        CheckpointConfig, CheckpointError, CheckpointEvent, CounterState, RunOutcome,
+        TimelineCheckpoint,
     };
     pub use crate::experiment::{
         AbStimulus, AdaptiveConfig, ExperimentConfig, TimelineStimulus,

@@ -61,8 +61,11 @@ impl Default for StreamConfig {
 
 /// One shard's fold of a timeline campaign. Shared with the flat
 /// engine (`crate::flat`), which fills the same accumulators from its
-/// column passes, and with the adaptive driver (`crate::adaptive`),
-/// which additionally accumulates epochs of folds into one.
+/// column passes, with the adaptive driver (`crate::adaptive`), which
+/// additionally accumulates epochs of folds into one, and with the
+/// checkpoint layer (`crate::checkpoint`), which snapshots a clone of
+/// the running accumulator at shard barriers.
+#[derive(Debug, Clone)]
 pub(crate) struct TlShard {
     pub(crate) stimuli: Vec<StimulusDigest>,
     pub(crate) behavior: BehaviorDigest,
@@ -102,7 +105,8 @@ impl TlShard {
     /// caller; exact because every accumulator is multiset-determined).
     pub(crate) fn merge_from(&mut self, other: &TlShard) {
         for (acc, o) in self.stimuli.iter_mut().zip(&other.stimuli) {
-            acc.merge(o);
+            // lint:allow(D4): same-campaign shard folds share one construction site
+            acc.merge(o).expect("same-campaign shard folds agree by construction");
         }
         self.behavior.merge(&other.behavior);
         self.filters.merge(&other.filters);
@@ -352,7 +356,8 @@ pub(crate) fn merge_tl_shards(
     };
     for fold in folds {
         for (acc, shard_acc) in digest.stimuli.iter_mut().zip(&fold.stimuli) {
-            acc.merge(shard_acc);
+            // lint:allow(D4): same-campaign shard folds share one construction site
+            acc.merge(shard_acc).expect("same-campaign shard folds agree by construction");
         }
         digest.behavior.merge(&fold.behavior);
         digest.filters.merge(&fold.filters);
@@ -382,7 +387,9 @@ pub(crate) fn bump_shard_counters(fold: &TlShard) {
     }
 }
 
-/// One shard's fold of an A/B campaign. Shared with the flat engine.
+/// One shard's fold of an A/B campaign. Shared with the flat engine
+/// and the checkpoint layer.
+#[derive(Debug, Clone)]
 pub(crate) struct AbShard {
     pub(crate) stimuli: Vec<AbStimulusDigest>,
     pub(crate) behavior: BehaviorDigest,
@@ -416,6 +423,129 @@ impl AbShard {
         eyeorg_obs::metrics::CORE_AB_VOTES.add(self.cast);
         eyeorg_obs::metrics::CORE_AB_SKIPS.add(self.skipped);
     }
+
+    /// Fold another shard's state into this one (order-pinned by the
+    /// caller; exact because every accumulator is multiset-determined).
+    pub(crate) fn merge_from(&mut self, other: &AbShard) {
+        for (acc, o) in self.stimuli.iter_mut().zip(&other.stimuli) {
+            // lint:allow(D4): same-campaign shard folds share one construction site
+            acc.merge(o).expect("same-campaign shard folds agree by construction");
+        }
+        self.behavior.merge(&other.behavior);
+        self.filters.merge(&other.filters);
+        self.controls.merge(&other.controls);
+        self.admitted += other.admitted;
+        self.rejected += other.rejected;
+        self.cast += other.cast;
+        self.skipped += other.skipped;
+    }
+}
+
+/// Everything an A/B shard fold reads — the A/B counterpart of
+/// [`TlCtx`], shared by the streaming engine and the checkpoint
+/// workers so both run the *same* inner loop.
+pub(crate) struct AbCtx<'a> {
+    pub(crate) stimuli: &'a [AbStimulus],
+    pub(crate) pop: &'a eyeorg_crowd::PopulationProfile,
+    pub(crate) cfg: &'a ExperimentConfig,
+    pub(crate) filters: &'a [Box<dyn ParticipantFilter + Send + Sync>],
+    pub(crate) recruit_seed: Seed,
+    pub(crate) assign_seed: Seed,
+    pub(crate) side_seed: Seed,
+}
+
+/// The A/B engine's inner loop over participant indices `[lo, hi)`
+/// with admitted-index base `base`, folding into one [`AbShard`].
+pub(crate) fn ab_fold_range(ctx: &AbCtx<'_>, lo: usize, hi: usize, base: u64) -> AbShard {
+    let mut fold = AbShard::new(ctx.stimuli);
+    let mut pi = base;
+    for i in lo..hi {
+        let p = ctx.pop.generate_one(ctx.recruit_seed, i as u64);
+        if !crate::validation::captcha_admits(&p) {
+            fold.rejected += 1;
+            continue;
+        }
+        let my_pi = pi;
+        pi += 1;
+        fold.admitted += 1;
+        let picks =
+            assign(ctx.assign_seed, my_pi, ctx.stimuli.len(), ctx.cfg.videos_per_participant);
+        let mut sessions = Vec::with_capacity(picks.len());
+        let mut verdicts: Vec<(usize, AbVerdict)> = Vec::with_capacity(picks.len());
+        for &si in &picks {
+            let label = format!("ab-{si}");
+            let a_left = a_on_left(ctx.side_seed, my_pi, si);
+            let st = &ctx.stimuli[si];
+            let longer = if st.a.duration() >= st.b.duration() { &st.a } else { &st.b };
+            let session = behavior::video_session(longer, &p, TestKind::Ab, &label);
+            let acc = &mut fold.stimuli[si];
+            acc.shows += 1;
+            if a_left {
+                acc.a_left_shows += 1;
+            }
+            if session.skipped {
+                fold.skipped += 1;
+            } else {
+                let (left, right) = if a_left { (&st.a, &st.b) } else { (&st.b, &st.a) };
+                let answer = eyeorg_crowd::ab_response(left, right, &p, &label);
+                fold.cast += 1;
+                verdicts.push((
+                    si,
+                    match (answer, a_left) {
+                        (AbAnswer::NoDifference, _) => AbVerdict::NoDifference,
+                        (AbAnswer::Left, true) | (AbAnswer::Right, false) => AbVerdict::AFaster,
+                        (AbAnswer::Left, false) | (AbAnswer::Right, true) => AbVerdict::BFaster,
+                    },
+                ));
+            }
+            sessions.push(session);
+        }
+        let control = ctx.cfg.with_controls.then(|| {
+            let ctrl = picks[0];
+            let (_, passed) =
+                eyeorg_crowd::ab_control(&ctx.stimuli[ctrl].a, &p, &format!("ab-{ctrl}"));
+            ControlRow { participant: my_pi as usize, passed }
+        });
+        if let Some(c) = &control {
+            fold.controls.record(c.passed);
+        }
+        let ctrl_refs: Vec<&ControlRow> = control.iter().collect();
+        let d = decide(ctx.filters, &sessions, &ctrl_refs);
+        fold.filters.record(d);
+        if d == FilterDecision::Kept {
+            for &(si, v) in &verdicts {
+                fold.stimuli[si].tally.record(v);
+            }
+        }
+        fold.behavior.push(&behavior_point_of(my_pi as usize, &sessions, &p));
+    }
+    fold
+}
+
+/// One epoch through the A/B streaming engine: shard the index range
+/// `[lo, hi)`, fold each shard (pass 1 computes the range's admitted
+/// bases, continuing from `base_admitted`), and return the folds in
+/// shard order plus the range's gate-admission count — the A/B
+/// counterpart of [`stream_tl_epoch`].
+pub(crate) fn stream_ab_epoch(
+    ctx: &AbCtx<'_>,
+    lo: usize,
+    hi: usize,
+    threads: usize,
+    shard: usize,
+    base_admitted: u64,
+) -> (Vec<AbShard>, u64) {
+    let shards = (hi - lo).div_ceil(shard);
+    let (bases, range_admitted) =
+        admitted_bases_range(lo, hi, shard, threads, ctx.pop, ctx.recruit_seed, base_admitted);
+    let folds: Vec<AbShard> = par_map_range(shards, threads, |s| {
+        let slo = lo + s * shard;
+        let shi = (slo + shard).min(hi);
+        let fold = ab_fold_range(ctx, slo, shi, bases[s]);
+        fold.bump_counters();
+        fold
+    });
+    (folds, range_admitted)
 }
 
 /// Run an A/B campaign through the streaming engine. Byte-identical to
@@ -433,85 +563,13 @@ pub fn stream_ab_campaign(
     let _t = eyeorg_obs::phase_timer("core.stream_ab");
     let threads = resolve_threads(cfg.threads);
     let shard = sc.shard_size.max(1);
-    let shards = n_participants.div_ceil(shard);
     let pop = service.population();
     let recruit_seed = seed.derive("recruit");
     let assign_seed = seed.derive("ab-assign");
     let side_seed = seed.derive("ab-side");
 
-    let bases = admitted_bases(shards, shard, n_participants, threads, &pop, recruit_seed);
-
-    let folds: Vec<AbShard> = par_map_range(shards, threads, |s| {
-        let lo = s * shard;
-        let hi = (lo + shard).min(n_participants);
-        let mut fold = AbShard::new(stimuli);
-        let mut pi = bases[s];
-        for i in lo..hi {
-            let p = pop.generate_one(recruit_seed, i as u64);
-            if !crate::validation::captcha_admits(&p) {
-                fold.rejected += 1;
-                continue;
-            }
-            let my_pi = pi;
-            pi += 1;
-            fold.admitted += 1;
-            let picks = assign(assign_seed, my_pi, stimuli.len(), cfg.videos_per_participant);
-            let mut sessions = Vec::with_capacity(picks.len());
-            let mut verdicts: Vec<(usize, AbVerdict)> = Vec::with_capacity(picks.len());
-            for &si in &picks {
-                let label = format!("ab-{si}");
-                let a_left = a_on_left(side_seed, my_pi, si);
-                let st = &stimuli[si];
-                let longer = if st.a.duration() >= st.b.duration() { &st.a } else { &st.b };
-                let session = behavior::video_session(longer, &p, TestKind::Ab, &label);
-                let acc = &mut fold.stimuli[si];
-                acc.shows += 1;
-                if a_left {
-                    acc.a_left_shows += 1;
-                }
-                if session.skipped {
-                    fold.skipped += 1;
-                } else {
-                    let (left, right) = if a_left { (&st.a, &st.b) } else { (&st.b, &st.a) };
-                    let answer = eyeorg_crowd::ab_response(left, right, &p, &label);
-                    fold.cast += 1;
-                    verdicts.push((
-                        si,
-                        match (answer, a_left) {
-                            (AbAnswer::NoDifference, _) => AbVerdict::NoDifference,
-                            (AbAnswer::Left, true) | (AbAnswer::Right, false) => {
-                                AbVerdict::AFaster
-                            }
-                            (AbAnswer::Left, false) | (AbAnswer::Right, true) => {
-                                AbVerdict::BFaster
-                            }
-                        },
-                    ));
-                }
-                sessions.push(session);
-            }
-            let control = cfg.with_controls.then(|| {
-                let ctrl = picks[0];
-                let (_, passed) =
-                    eyeorg_crowd::ab_control(&stimuli[ctrl].a, &p, &format!("ab-{ctrl}"));
-                ControlRow { participant: my_pi as usize, passed }
-            });
-            if let Some(c) = &control {
-                fold.controls.record(c.passed);
-            }
-            let ctrl_refs: Vec<&ControlRow> = control.iter().collect();
-            let d = decide(filters, &sessions, &ctrl_refs);
-            fold.filters.record(d);
-            if d == FilterDecision::Kept {
-                for &(si, v) in &verdicts {
-                    fold.stimuli[si].tally.record(v);
-                }
-            }
-            fold.behavior.push(&behavior_point_of(my_pi as usize, &sessions, &p));
-        }
-        fold.bump_counters();
-        fold
-    });
+    let ctx = AbCtx { stimuli, pop: &pop, cfg, filters, recruit_seed, assign_seed, side_seed };
+    let (folds, _) = stream_ab_epoch(&ctx, 0, n_participants, threads, shard, 0);
 
     merge_ab_shards(stimuli, service, n_participants, &folds)
 }
@@ -543,7 +601,8 @@ pub(crate) fn merge_ab_shards(
     };
     for fold in folds {
         for (acc, shard_acc) in digest.stimuli.iter_mut().zip(&fold.stimuli) {
-            acc.merge(shard_acc);
+            // lint:allow(D4): same-campaign shard folds share one construction site
+            acc.merge(shard_acc).expect("same-campaign shard folds agree by construction");
         }
         digest.behavior.merge(&fold.behavior);
         digest.filters.merge(&fold.filters);

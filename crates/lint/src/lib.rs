@@ -775,6 +775,16 @@ mod tests {
     }
 
     #[test]
+    fn d1_covers_the_checkpoint_module() {
+        // The checkpoint serializer feeds the digest and counter
+        // fingerprints directly: iteration-order nondeterminism there
+        // would silently break the byte-identity gates, so its file
+        // must stay under D1.
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(codes(&meta("crates/core/src/checkpoint.rs"), src), vec!["D1"]);
+    }
+
+    #[test]
     fn d2_exempts_obs_and_bench() {
         let src = "let t = Instant::now();\n";
         assert_eq!(codes(&meta("crates/video/src/frame.rs"), src), vec!["D2"]);

@@ -190,6 +190,18 @@ impl Histogram {
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
     }
+
+    fn restore(&self, snap: &HistogramSnapshot) {
+        for &(k, n) in &snap.buckets {
+            // Out-of-range indices (a snapshot from a build with more
+            // buckets) are dropped rather than panicking.
+            if k < HISTOGRAM_BUCKETS {
+                self.buckets[k].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+    }
 }
 
 /// A counter keyed by a dynamic label (per-filter drop counts, retained
@@ -363,6 +375,44 @@ pub fn snapshot(label: &str, threads: usize) -> RunReport {
     }
 }
 
+/// Re-apply previously captured totals onto the live registry — the
+/// checkpoint layer's resume path: [`reset`], then `restore` the
+/// totals recorded at the checkpoint barrier, then continue the run,
+/// and the final [`snapshot`] equals the uninterrupted run's.
+///
+/// Additive (totals are added onto whatever the registry currently
+/// holds) and gated on [`enabled`] like every record path. Names
+/// absent from the static registry are ignored — totals from a build
+/// with extra metrics must degrade, never panic. A zero labeled total
+/// still materialises its label, exactly as [`LabeledCounter::add`]
+/// does, so restored reports keep fully-filtered sites visible.
+pub fn restore(
+    counters: &BTreeMap<String, u64>,
+    labeled: &BTreeMap<String, BTreeMap<String, u64>>,
+    histograms: &BTreeMap<String, HistogramSnapshot>,
+) {
+    if !enabled() {
+        return;
+    }
+    for c in metrics::counters() {
+        if let Some(&v) = counters.get(c.name()) {
+            c.add(v);
+        }
+    }
+    for l in metrics::labeled() {
+        if let Some(cells) = labeled.get(l.name()) {
+            for (label, &v) in cells {
+                l.add(label, v);
+            }
+        }
+    }
+    for h in metrics::histograms() {
+        if let Some(snap) = histograms.get(h.name()) {
+            h.restore(snap);
+        }
+    }
+}
+
 /// Zero every registered metric and clear the phase timings (benchmarks
 /// isolating per-round totals call this between rounds).
 pub fn reset() {
@@ -486,6 +536,46 @@ mod tests {
         assert!(sequential.to_json_pretty().contains("only.in.timings"));
         reset();
         disable();
+    }
+
+    #[test]
+    fn restore_round_trips_snapshot_fingerprint() {
+        let _g = serial();
+        enable();
+        reset();
+        metrics::NET_EVENTS_PROCESSED.add(7);
+        metrics::CORE_FILTER_DROPS.add("soft", 3);
+        metrics::CORE_RETAINED_PER_SITE.add("site-0", 0);
+        metrics::BROWSER_LOAD_CPU_MS.record(1000);
+        let before = snapshot("test", 1);
+        // reset → restore reproduces the exact fingerprint, including
+        // the zero-valued label and histogram buckets.
+        reset();
+        restore(&before.counters, &before.labeled, &before.histograms);
+        let after = snapshot("test", 1);
+        assert_eq!(after.counter_fingerprint(), before.counter_fingerprint());
+        // Restore is additive: applying on top of live totals sums.
+        metrics::NET_EVENTS_PROCESSED.add(1);
+        restore(&before.counters, &before.labeled, &before.histograms);
+        assert_eq!(metrics::NET_EVENTS_PROCESSED.get(), 15);
+        assert_eq!(metrics::CORE_FILTER_DROPS.get("soft"), 6);
+        // Unknown names and out-of-range buckets are ignored, never a
+        // panic.
+        let mut counters = BTreeMap::new();
+        counters.insert("no.such.counter".to_owned(), 5u64);
+        let mut labeled = BTreeMap::new();
+        labeled.insert("no.such.labeled".to_owned(), BTreeMap::new());
+        let mut histograms = BTreeMap::new();
+        histograms.insert(
+            "browser.load_cpu_ms".to_owned(),
+            HistogramSnapshot { count: 1, sum: 2, buckets: vec![(HISTOGRAM_BUCKETS + 4, 1)] },
+        );
+        restore(&counters, &labeled, &histograms);
+        reset();
+        disable();
+        // Disabled restore is a no-op like every record path.
+        restore(&before.counters, &before.labeled, &before.histograms);
+        assert_eq!(metrics::NET_EVENTS_PROCESSED.get(), 0);
     }
 
     #[test]

@@ -147,6 +147,31 @@ impl Histogram {
         self.counts.iter().sum()
     }
 
+    /// The raw histogram state, bit-exact — the checkpoint layer's
+    /// serialization substrate (bounds as `to_bits()`).
+    pub fn state(&self) -> HistogramState {
+        HistogramState {
+            lo_bits: self.lo.to_bits(),
+            hi_bits: self.hi.to_bits(),
+            counts: self.counts.clone(),
+            outside: self.outside,
+        }
+    }
+
+    /// Rebuild a histogram from raw state; `from_state(state())` is
+    /// bit-identical to the original. Untrusted states are validated
+    /// against the [`Histogram::with_bins`] constructor rule (at least
+    /// one bin, `hi > lo` under `partial_cmp`) and come back as a typed
+    /// error, never a panic.
+    pub fn from_state(s: &HistogramState) -> Result<Histogram, crate::stream::StateError> {
+        let lo = f64::from_bits(s.lo_bits);
+        let hi = f64::from_bits(s.hi_bits);
+        if s.counts.is_empty() || hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
+            return Err(crate::stream::StateError("histogram range/bins invalid"));
+        }
+        Ok(Histogram { lo, hi, counts: s.counts.clone(), outside: s.outside })
+    }
+
     /// Bin counts smoothed with a centred moving average of half-width `w`
     /// (window `2w+1`, truncated at the edges). Smoothing before peak
     /// detection suppresses single-response jitter in sparse per-video
@@ -164,9 +189,42 @@ impl Histogram {
     }
 }
 
+/// Raw [`Histogram`] state — every private field, bounds as
+/// `to_bits()`. Produced by [`Histogram::state`], consumed by
+/// [`Histogram::from_state`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramState {
+    /// `lo.to_bits()`.
+    pub lo_bits: u64,
+    /// `hi.to_bits()`.
+    pub hi_bits: u64,
+    /// Per-bin counts (length = bin count).
+    pub counts: Vec<u32>,
+    /// Out-of-range / non-finite observations.
+    pub outside: u32,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn state_round_trip_is_bit_exact() {
+        let h = Histogram::with_bins(&[0.1, 0.5, 1.0, f64::NAN, 3.0], 0.0, 2.0, 4).unwrap();
+        let back = Histogram::from_state(&h.state()).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(format!("{back:?}"), format!("{h:?}"));
+        // Corrupt states surface as typed errors, never panics.
+        let mut s = h.state();
+        s.counts.clear();
+        assert!(Histogram::from_state(&s).is_err());
+        let mut s = h.state();
+        s.hi_bits = f64::NAN.to_bits();
+        assert!(Histogram::from_state(&s).is_err());
+        let mut s = h.state();
+        s.hi_bits = s.lo_bits;
+        assert!(Histogram::from_state(&s).is_err());
+    }
 
     #[test]
     fn rejects_bad_configs() {

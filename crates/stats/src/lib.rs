@@ -54,7 +54,7 @@ pub mod summary;
 pub use bootstrap::{bootstrap_ci, bootstrap_pearson_ci, ConfidenceInterval};
 pub use corr::{pearson, spearman};
 pub use ecdf::Ecdf;
-pub use hist::Histogram;
+pub use hist::{Histogram, HistogramState};
 pub use modes::{classify_shape, find_peaks, DistributionShape, ShapeParams};
 pub use par::{
     default_threads, effective_pool, par_map_indexed, par_map_range, par_map_range_scratch,
@@ -63,5 +63,5 @@ pub use par::{
 pub use quantile::{percentile, percentile_band};
 pub use rng::Rng;
 pub use seed::Seed;
-pub use stream::{Moments, QuantileSketch};
+pub use stream::{Moments, MomentsState, QuantileSketch, QuantileSketchState, StateError};
 pub use summary::Summary;

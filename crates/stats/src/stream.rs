@@ -147,17 +147,114 @@ impl Moments {
     }
 
     /// Normal-approximation confidence interval for the mean at critical
-    /// value `z` (e.g. 1.96 for ~95%): `mean ± z·s/√n`. `None` with
-    /// fewer than two observations (no variance estimate). Like every
-    /// read-out here it is a pure function of the integer state, so the
-    /// adaptive engine's stopping decisions inherit the multiset
+    /// value `z` (e.g. 1.96 for ~95%): `mean ± |z|·s/√n`. The sign of
+    /// `z` is ignored — [`QuantileSketch::quantile_ci`] normalizes the
+    /// same way, so a negative critical value can never produce an
+    /// inverted (`lo > hi`) interval from either accumulator. `None`
+    /// with fewer than two observations (no variance estimate). Like
+    /// every read-out here it is a pure function of the integer state,
+    /// so the adaptive engine's stopping decisions inherit the multiset
     /// determinism of the accumulator itself.
     pub fn mean_ci(&self, z: f64) -> Option<(f64, f64)> {
         let mean = self.mean()?;
         let sd = self.stdev()?;
-        let half = z * sd / (self.n as f64).sqrt();
+        let half = z.abs() * sd / (self.n as f64).sqrt();
         Some((mean - half, mean + half))
     }
+
+    /// The raw accumulator state, bit-exact: the checkpoint layer's
+    /// serialization substrate. `min`/`max` are carried as `to_bits()`
+    /// so the empty accumulator's `±inf` sentinels (and every other
+    /// float) round-trip without touching a decimal formatter.
+    pub fn state(&self) -> MomentsState {
+        MomentsState {
+            n: self.n,
+            qsum: self.qsum,
+            qsumsq: self.qsumsq,
+            min_bits: self.min.to_bits(),
+            max_bits: self.max.to_bits(),
+            rejected: self.rejected,
+        }
+    }
+
+    /// Rebuild an accumulator from raw state. Total: every state is
+    /// representable, and `from_state(state())` is bit-identical to the
+    /// original (`Debug`-equal, hence fingerprint-equal). Cross-field
+    /// consistency (e.g. a `min` with `n = 0`) is the serializer's
+    /// responsibility; an inconsistent state can skew read-outs but can
+    /// never panic.
+    pub fn from_state(s: &MomentsState) -> Moments {
+        Moments {
+            n: s.n,
+            qsum: s.qsum,
+            qsumsq: s.qsumsq,
+            min: f64::from_bits(s.min_bits),
+            max: f64::from_bits(s.max_bits),
+            rejected: s.rejected,
+        }
+    }
+}
+
+/// Raw [`Moments`] state — every private field, floats as `to_bits()`.
+/// Produced by [`Moments::state`], consumed by [`Moments::from_state`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MomentsState {
+    /// Accepted observations.
+    pub n: u64,
+    /// `Σ round(v·2³²)` over accepted observations.
+    pub qsum: i128,
+    /// `Σ round(v²·2³²)` over accepted observations.
+    pub qsumsq: i128,
+    /// `min.to_bits()` (`+inf` when empty).
+    pub min_bits: u64,
+    /// `max.to_bits()` (`-inf` when empty).
+    pub max_bits: u64,
+    /// Rejected (non-finite / out-of-magnitude) observations.
+    pub rejected: u64,
+}
+
+/// Why a raw accumulator state was rejected by a `from_state`
+/// constructor. Untrusted bytes (checkpoint files) must surface as
+/// typed errors, never as panics, so the validations behind this type
+/// are the accumulators' whole defensive surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateError(pub &'static str);
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid accumulator state: {}", self.0)
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// Raw [`QuantileSketch`] state — every private field, floats as
+/// `to_bits()`. Produced by [`QuantileSketch::state`], consumed by
+/// [`QuantileSketch::from_state`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantileSketchState {
+    /// `lo.to_bits()` (construction-time range start).
+    pub lo_bits: u64,
+    /// `hi.to_bits()` (construction-time range end).
+    pub hi_bits: u64,
+    /// Bin count once spilled.
+    pub bins: usize,
+    /// Exact-mode capacity.
+    pub exact_cap: usize,
+    /// Sorted exact sample as `to_bits()` values (exact mode only).
+    pub exact_bits: Vec<u64>,
+    /// Bin counts (spilled mode only; empty in exact mode).
+    pub counts: Vec<u64>,
+    /// Whether the sketch has spilled to bins.
+    pub spilled: bool,
+    /// `min.to_bits()` (`+inf` when empty).
+    pub min_bits: u64,
+    /// `max.to_bits()` (`-inf` when empty).
+    pub max_bits: u64,
+    /// Folded observations.
+    pub n: u64,
+    /// Rejected (non-finite) observations.
+    pub rejected: u64,
 }
 
 /// A bounded, deterministic quantile sketch.
@@ -401,6 +498,96 @@ impl QuantileSketch {
         Some((lo.max(self.min), hi.min(self.max)))
     }
 
+    /// Construction-time value range `(lo, hi)`.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Construction-time bin count.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Construction-time exact-mode capacity.
+    pub fn exact_cap(&self) -> usize {
+        self.exact_cap
+    }
+
+    /// The raw sketch state, bit-exact (see [`Moments::state`]).
+    pub fn state(&self) -> QuantileSketchState {
+        QuantileSketchState {
+            lo_bits: self.lo.to_bits(),
+            hi_bits: self.hi.to_bits(),
+            bins: self.bins,
+            exact_cap: self.exact_cap,
+            exact_bits: self.exact.iter().map(|v| v.to_bits()).collect(),
+            counts: self.counts.clone(),
+            spilled: self.spilled,
+            min_bits: self.min.to_bits(),
+            max_bits: self.max.to_bits(),
+            n: self.n,
+            rejected: self.rejected,
+        }
+    }
+
+    /// Rebuild a sketch from raw state, validating every invariant a
+    /// `push`/`merge` history would have maintained; `from_state(state())`
+    /// of any live sketch is bit-identical to the original. Untrusted
+    /// (checkpoint-file) states that violate an invariant come back as
+    /// a typed [`StateError`], never a panic — the spilled/exact regime
+    /// split, bin-count arity, sample ordering, and the `n` bookkeeping
+    /// are all checked because later `push`/`merge`/`quantile` calls
+    /// index into the state they establish.
+    pub fn from_state(s: &QuantileSketchState) -> Result<QuantileSketch, StateError> {
+        let lo = f64::from_bits(s.lo_bits);
+        let hi = f64::from_bits(s.hi_bits);
+        if s.bins == 0 || !lo.is_finite() || !hi.is_finite() || hi <= lo {
+            return Err(StateError("sketch construction range/bins invalid"));
+        }
+        let exact: Vec<f64> = s.exact_bits.iter().map(|&b| f64::from_bits(b)).collect();
+        if exact.iter().any(|v| !v.is_finite()) {
+            return Err(StateError("non-finite value in exact sample"));
+        }
+        if exact.windows(2).any(|w| w[0].total_cmp(&w[1]).is_gt()) {
+            return Err(StateError("exact sample not sorted"));
+        }
+        if s.spilled {
+            if !exact.is_empty() {
+                return Err(StateError("spilled sketch carries an exact sample"));
+            }
+            if s.counts.len() != s.bins {
+                return Err(StateError("spilled bin-count arity mismatch"));
+            }
+            let binned: u64 = s.counts.iter().fold(0u64, |a, &c| a.saturating_add(c));
+            if binned != s.n {
+                return Err(StateError("spilled bin counts disagree with n"));
+            }
+        } else {
+            if !s.counts.is_empty() {
+                return Err(StateError("exact-mode sketch carries bin counts"));
+            }
+            if exact.len() > s.exact_cap {
+                return Err(StateError("exact sample exceeds its cap"));
+            }
+            if exact.len() as u64 != s.n {
+                return Err(StateError("exact sample length disagrees with n"));
+            }
+        }
+        Ok(QuantileSketch {
+            lo,
+            hi,
+            bins: s.bins,
+            exact_cap: s.exact_cap,
+            exact,
+            counts: s.counts.clone(),
+            spilled: s.spilled,
+            min: f64::from_bits(s.min_bits),
+            max: f64::from_bits(s.max_bits),
+            n: s.n,
+            rejected: s.rejected,
+        })
+    }
+
     /// Bytes retained by this sketch (the peak-RSS proxy the scale
     /// bench reports): heap buffers plus the struct itself.
     pub fn retained_bytes(&self) -> usize {
@@ -509,6 +696,112 @@ mod tests {
         let mut one = Moments::new();
         one.push(3.0);
         assert_eq!(one.mean_ci(1.96), None);
+    }
+
+    #[test]
+    fn mean_ci_and_quantile_ci_agree_on_negative_z() {
+        // Regression: mean_ci used the signed z, so a negative critical
+        // value produced an inverted (lo > hi) interval while
+        // quantile_ci — which normalizes with z.abs() — did not. Both
+        // must treat ±z identically.
+        let data = sample(400);
+        let mut m = Moments::new();
+        let mut sk = QuantileSketch::new(0.0, 10.0, 64, 512).unwrap();
+        for &v in &data {
+            m.push(v);
+            sk.push(v);
+        }
+        for z in [1.96, 1.0, 2.58] {
+            let pos = m.mean_ci(z).unwrap();
+            let neg = m.mean_ci(-z).unwrap();
+            assert_eq!(pos, neg, "mean_ci must ignore the sign of z={z}");
+            assert!(pos.0 <= pos.1, "z={z}");
+            let qpos = sk.quantile_ci(50.0, z).unwrap();
+            let qneg = sk.quantile_ci(50.0, -z).unwrap();
+            assert_eq!(qpos, qneg, "quantile_ci must ignore the sign of z={z}");
+            assert!(qneg.0 <= qneg.1, "z={z}");
+        }
+        // z = 0 degenerates both to a point interval around the estimate.
+        let (lo, hi) = m.mean_ci(0.0).unwrap();
+        assert_eq!(lo, hi);
+    }
+
+    #[test]
+    fn moments_state_round_trip_is_bit_exact() {
+        // Live accumulator with rejected counts.
+        let mut m = Moments::new();
+        for &v in &sample(333) {
+            m.push(v);
+        }
+        m.push(f64::NAN);
+        m.push(-MOMENTS_MAX_ABS * 4.0);
+        let back = Moments::from_state(&m.state());
+        assert_eq!(format!("{back:?}"), format!("{m:?}"));
+        // Empty accumulator: the ±inf min/max sentinels must survive.
+        let empty = Moments::new();
+        let s = empty.state();
+        assert_eq!(f64::from_bits(s.min_bits), f64::INFINITY);
+        assert_eq!(f64::from_bits(s.max_bits), f64::NEG_INFINITY);
+        let back = Moments::from_state(&s);
+        assert_eq!(format!("{back:?}"), format!("{empty:?}"));
+        // Negative sums round-trip through the signed i128 carriers.
+        let mut neg = Moments::new();
+        neg.push(-3.25);
+        neg.push(-0.5);
+        let back = Moments::from_state(&neg.state());
+        assert_eq!(format!("{back:?}"), format!("{neg:?}"));
+    }
+
+    #[test]
+    fn sketch_state_round_trip_both_regimes() {
+        for (n, cap) in [(0usize, 512usize), (300, 512), (5000, 256)] {
+            let mut sk = QuantileSketch::new(0.0, 10.0, 64, cap).unwrap();
+            for &v in &sample(n) {
+                sk.push(v);
+            }
+            sk.push(f64::INFINITY); // rejected, counted
+            let back = QuantileSketch::from_state(&sk.state()).unwrap();
+            assert_eq!(format!("{back:?}"), format!("{sk:?}"), "n={n} cap={cap}");
+        }
+    }
+
+    #[test]
+    fn sketch_from_state_rejects_corrupt_states() {
+        let mut sk = QuantileSketch::new(0.0, 10.0, 8, 4).unwrap();
+        for v in [3.0, 1.0, 2.0] {
+            sk.push(v);
+        }
+        let good = sk.state();
+        assert!(QuantileSketch::from_state(&good).is_ok());
+        let corrupt = |f: &dyn Fn(&mut QuantileSketchState)| {
+            let mut s = good.clone();
+            f(&mut s);
+            QuantileSketch::from_state(&s)
+        };
+        assert!(corrupt(&|s| s.bins = 0).is_err());
+        assert!(corrupt(&|s| s.hi_bits = s.lo_bits).is_err());
+        assert!(corrupt(&|s| s.hi_bits = f64::NAN.to_bits()).is_err());
+        assert!(corrupt(&|s| s.exact_bits[0] = f64::NAN.to_bits()).is_err());
+        assert!(corrupt(&|s| s.exact_bits.swap(0, 2)).is_err()); // unsorted
+        assert!(corrupt(&|s| s.counts = vec![1, 2]).is_err()); // counts in exact mode
+        assert!(corrupt(&|s| s.n = 99).is_err()); // n disagrees with sample
+        assert!(corrupt(&|s| s.exact_bits.push(20.0f64.to_bits())).is_err()); // beyond cap (4)
+        // Spilled-regime corruption.
+        let mut big = QuantileSketch::new(0.0, 10.0, 8, 4).unwrap();
+        for &v in &sample(50) {
+            big.push(v);
+        }
+        assert!(!big.is_exact());
+        let good = big.state();
+        assert!(QuantileSketch::from_state(&good).is_ok());
+        let corrupt = |f: &dyn Fn(&mut QuantileSketchState)| {
+            let mut s = good.clone();
+            f(&mut s);
+            QuantileSketch::from_state(&s)
+        };
+        assert!(corrupt(&|s| s.counts.pop().map(|_| ()).unwrap_or(())).is_err()); // arity
+        assert!(corrupt(&|s| s.n += 1).is_err()); // bin sum disagrees
+        assert!(corrupt(&|s| s.exact_bits = vec![1.0f64.to_bits()]).is_err()); // sample while spilled
     }
 
     #[test]

@@ -4,6 +4,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# All scratch fingerprint/checkpoint files are cleaned by one EXIT trap
+# (they used to leak whenever a `cmp` gate tripped before the per-block
+# `rm`). results/RUN_report.json, results/LIVE_smoke.jsonl, and the
+# BENCH_*.json measurements are artifacts and stay.
+trap 'rm -f results/.RUN_fp_* results/.SCALE_fp_* results/.ADAPT_fp_* \
+    results/.CKPT_fp_* results/.ckpt_w*.jsonl' EXIT
+
 cargo build --release
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
@@ -35,7 +42,6 @@ cargo run -q --release -p eyeorg-bench --bin run_report -- \
     --out results/RUN_report.json --fingerprint-out results/.RUN_fp_auto
 cmp results/.RUN_fp_1 results/.RUN_fp_2
 cmp results/.RUN_fp_1 results/.RUN_fp_auto
-rm -f results/.RUN_fp_1 results/.RUN_fp_2 results/.RUN_fp_auto
 # Campaign-engine divergence gate: the smoke run exits non-zero when the
 # streaming engine (any shard size) or the flat data-plane engine (any
 # shard size x thread knob) produces a digest or counter fingerprint
@@ -52,7 +58,6 @@ cargo run -q --release -p eyeorg-bench --bin perf_scale -- \
     --smoke --fingerprint-out results/.SCALE_fp_auto
 cmp results/.SCALE_fp_1 results/.SCALE_fp_2
 cmp results/.SCALE_fp_1 results/.SCALE_fp_auto
-rm -f results/.SCALE_fp_1 results/.SCALE_fp_2 results/.SCALE_fp_auto
 # Adaptive early-stopping divergence gate (DESIGN.md §3h): the smoke run
 # exits non-zero when an inactive rule (epsilon = 0) differs from the
 # streaming engine in digest or counter fingerprint, or when an active
@@ -71,6 +76,37 @@ cargo run -q --release -p eyeorg-bench --bin perf_adaptive -- \
     --smoke --fingerprint-out results/.ADAPT_fp_auto
 cmp results/.ADAPT_fp_1 results/.ADAPT_fp_2
 cmp results/.ADAPT_fp_1 results/.ADAPT_fp_auto
-rm -f results/.ADAPT_fp_1 results/.ADAPT_fp_2 results/.ADAPT_fp_auto
 cargo run -q --release -p eyeorg-bench --bin perf_adaptive
+# Checkpoint/resume gate (DESIGN.md §3i): the smoke run exits non-zero
+# when an interrupt → save → load → resume run (plain or adaptive, both
+# backends, A/B included) differs from the uninterrupted run in digest,
+# decision, or counter fingerprint, or when the live JSONL stream's
+# final line differs from the end-of-run digest read-out. Fingerprints
+# must be byte-identical at 1 thread, 2 threads, and the hardware
+# default; results/LIVE_smoke.jsonl is the live-analytics artifact.
+EYEORG_THREADS=1 cargo run -q --release -p eyeorg-bench --bin merge_digests -- \
+    --smoke --fingerprint-out results/.CKPT_fp_1
+EYEORG_THREADS=2 cargo run -q --release -p eyeorg-bench --bin merge_digests -- \
+    --smoke --fingerprint-out results/.CKPT_fp_2
+cargo run -q --release -p eyeorg-bench --bin merge_digests -- \
+    --smoke --fingerprint-out results/.CKPT_fp_auto --live-out results/LIVE_smoke.jsonl
+cmp results/.CKPT_fp_1 results/.CKPT_fp_2
+cmp results/.CKPT_fp_1 results/.CKPT_fp_auto
+# Multi-process split/merge gate: three real child processes each run a
+# disjoint slice of the same campaign — at different thread counts and
+# through different backends — and write checkpoint files; merging them
+# must reproduce the single-process digest AND counter fingerprints
+# byte for byte.
+cargo run -q --release -p eyeorg-bench --bin merge_digests -- \
+    --worker 0 150 --out results/.ckpt_w1.jsonl &
+EYEORG_THREADS=1 cargo run -q --release -p eyeorg-bench --bin merge_digests -- \
+    --worker 150 300 --out results/.ckpt_w2.jsonl --flat &
+EYEORG_THREADS=2 cargo run -q --release -p eyeorg-bench --bin merge_digests -- \
+    --worker 300 400 --out results/.ckpt_w3.jsonl &
+wait
+cargo run -q --release -p eyeorg-bench --bin merge_digests -- \
+    --merge results/.CKPT_fp_merged \
+    results/.ckpt_w1.jsonl results/.ckpt_w2.jsonl results/.ckpt_w3.jsonl
+head -2 results/.CKPT_fp_auto > results/.CKPT_fp_single
+cmp results/.CKPT_fp_merged results/.CKPT_fp_single
 echo "verify: OK"
