@@ -175,6 +175,7 @@ fn main() {
     }
     let cache_speedup = if warm_secs > 0.0 { cold_secs / warm_secs } else { f64::MAX };
 
+    // lint:allow(D8): cpus only annotates BENCH_pipeline.json metadata, never digest bytes
     let cpus = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
 
     let mut rows = String::new();

@@ -668,6 +668,7 @@ fn split_and_header<'a>(
     if lines.is_empty() {
         return Err(CheckpointError::Truncated { expected: 1, found: 0 });
     }
+    // lint:allow(D7): the is_empty check above guarantees lines[0] exists
     let h: HeaderLine = parse_line(lines[0], 1)?;
     if h.format != FORMAT_TAG {
         return Err(CheckpointError::Format {
@@ -817,6 +818,7 @@ impl TimelineCheckpoint {
     /// Parse and validate a serialized timeline checkpoint.
     /// `load(save(state))` is bit-identical to `state`; any malformed
     /// input comes back as a typed [`CheckpointError`], never a panic.
+    // lint:entrypoint(untrusted)
     pub fn load(text: &str) -> Result<TimelineCheckpoint, CheckpointError> {
         let (lines, h) = split_and_header(text, "timeline", 6)?;
         let params = DigestParams {
@@ -824,11 +826,14 @@ impl TimelineCheckpoint {
             sketch_bins: h.sketch_bins,
             exact_cap: h.exact_cap,
         };
+        // lint:allow(D7): split_and_header pinned lines.len() to stimuli + 6
         let totals: TotalsLine = parse_line(lines[1], 2)?;
+        // lint:allow(D7): split_and_header pinned lines.len() to stimuli + 6
         let behavior = behavior_of(&parse_line::<BehaviorLine>(lines[2], 3)?, 3)?;
         let mut stimuli = Vec::with_capacity(h.stimuli);
         for i in 0..h.stimuli {
             let ln = 4 + i;
+            // lint:allow(D7): i < h.stimuli and lines.len() == stimuli + 6 (split_and_header)
             let sl: StimulusLine = parse_line(lines[3 + i], ln)?;
             let hist = hist_of(&sl.hist, ln)?;
             if hist.counts().len() != params.hist_bins {
@@ -862,6 +867,7 @@ impl TimelineCheckpoint {
             });
         }
         let drive_ln = 4 + h.stimuli;
+        // lint:allow(D7): split_and_header pinned lines.len() to stimuli + 6
         let dl: DriveLine = parse_line(lines[3 + h.stimuli], drive_ln)?;
         let drive = match dl.adaptive {
             None => None,
@@ -905,7 +911,9 @@ impl TimelineCheckpoint {
             }
         };
         let counters_ln = 5 + h.stimuli;
+        // lint:allow(D7): split_and_header pinned lines.len() to stimuli + 6
         let cl: CountersLine = parse_line(lines[4 + h.stimuli], counters_ln)?;
+        // lint:allow(D7): split_and_header pinned lines.len() to stimuli + 6
         check_end(lines[5 + h.stimuli], 6 + h.stimuli)?;
         Ok(TimelineCheckpoint {
             params,
@@ -933,6 +941,7 @@ impl TimelineCheckpoint {
     /// per-stimulus identity/config before mutating, so a failed merge
     /// leaves `self` unchanged. Driver checkpoints refuse to merge
     /// (their drive state is not rangewise-composable).
+    // lint:entrypoint(untrusted)
     pub fn merge(&mut self, other: &TimelineCheckpoint) -> Result<(), CheckpointError> {
         if self.drive.is_some() || other.drive.is_some() {
             return Err(CheckpointError::Config {
@@ -1521,12 +1530,16 @@ impl AbCheckpoint {
 
     /// Parse and validate a serialized A/B checkpoint. Same contract as
     /// [`TimelineCheckpoint::load`].
+    // lint:entrypoint(untrusted)
     pub fn load(text: &str) -> Result<AbCheckpoint, CheckpointError> {
         let (lines, h) = split_and_header(text, "ab", 5)?;
+        // lint:allow(D7): split_and_header pinned lines.len() to stimuli + 5
         let totals: AbTotalsLine = parse_line(lines[1], 2)?;
+        // lint:allow(D7): split_and_header pinned lines.len() to stimuli + 5
         let behavior = behavior_of(&parse_line::<BehaviorLine>(lines[2], 3)?, 3)?;
         let mut stimuli = Vec::with_capacity(h.stimuli);
         for i in 0..h.stimuli {
+            // lint:allow(D7): i < h.stimuli and lines.len() == stimuli + 5 (split_and_header)
             let sl: AbStimulusLine = parse_line(lines[3 + i], 4 + i)?;
             stimuli.push(AbStimulusDigest {
                 name: sl.name,
@@ -1535,7 +1548,9 @@ impl AbCheckpoint {
                 a_left_shows: sl.a_left_shows,
             });
         }
+        // lint:allow(D7): split_and_header pinned lines.len() to stimuli + 5
         let cl: CountersLine = parse_line(lines[3 + h.stimuli], 4 + h.stimuli)?;
+        // lint:allow(D7): split_and_header pinned lines.len() to stimuli + 5
         check_end(lines[4 + h.stimuli], 5 + h.stimuli)?;
         Ok(AbCheckpoint {
             range_lo: h.range_lo,
@@ -1558,6 +1573,7 @@ impl AbCheckpoint {
     /// Append an adjacent checkpoint's range; same contract as
     /// [`TimelineCheckpoint::merge`] (A/B folds never prune, so the
     /// admitted-continuity check uses admissions alone).
+    // lint:entrypoint(untrusted)
     pub fn merge(&mut self, other: &AbCheckpoint) -> Result<(), CheckpointError> {
         if other.range_lo != self.range_hi {
             return Err(CheckpointError::RangeGap {

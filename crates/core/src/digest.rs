@@ -254,7 +254,9 @@ impl StimulusDigest {
         // `bits_eq` above is the exact comparison these merges gate on,
         // so a refusal here is impossible; the asserts are a belt over
         // the `#[must_use]` bools, not a reachable panic path.
+        // lint:allow(D7): bits_eq above makes a merge refusal unreachable
         assert!(self.hist.merge(&other.hist), "histogram merge after equal-config check");
+        // lint:allow(D7): see above - merge cannot refuse after bits_eq
         assert!(self.sketch.merge(&other.sketch), "sketch merge after equal-config check");
         Ok(())
     }

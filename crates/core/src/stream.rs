@@ -105,7 +105,7 @@ impl TlShard {
     /// caller; exact because every accumulator is multiset-determined).
     pub(crate) fn merge_from(&mut self, other: &TlShard) {
         for (acc, o) in self.stimuli.iter_mut().zip(&other.stimuli) {
-            // lint:allow(D4): same-campaign shard folds share one construction site
+            // lint:allow(D4): same-campaign shard folds share one construction site lint:allow(D7): checkpoint merge validates equal configs before folding
             acc.merge(o).expect("same-campaign shard folds agree by construction");
         }
         self.behavior.merge(&other.behavior);
@@ -428,7 +428,7 @@ impl AbShard {
     /// caller; exact because every accumulator is multiset-determined).
     pub(crate) fn merge_from(&mut self, other: &AbShard) {
         for (acc, o) in self.stimuli.iter_mut().zip(&other.stimuli) {
-            // lint:allow(D4): same-campaign shard folds share one construction site
+            // lint:allow(D4): same-campaign shard folds share one construction site lint:allow(D7): checkpoint merge validates equal configs before folding
             acc.merge(o).expect("same-campaign shard folds agree by construction");
         }
         self.behavior.merge(&other.behavior);

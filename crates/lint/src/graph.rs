@@ -1,0 +1,911 @@
+//! Workspace item graph and the taint rules built on it (D7, D8).
+//!
+//! A light structural pass over the token stream recovers, per file,
+//! the `fn` items (qualified by crate, module nesting, and impl/trait
+//! type), the call references each body makes (bare calls, qualified
+//! paths, method calls), the *panic sites* it contains (`.unwrap()`,
+//! `.expect(`, panicking macros, expression-position indexing, and
+//! division/remainder by a non-literal divisor), and the
+//! *nondeterminism sources* it touches (hash-ordered collections,
+//! `available_parallelism`, env reads outside the `EYEORG_*` allowlist,
+//! thread identity).
+//!
+//! Calls are resolved by **path-suffix matching** against the item
+//! table, constrained by the workspace's crate dependency graph (a
+//! caller can only bind to items in crates its crate actually depends
+//! on); an unqualified or method call falls back to every item with
+//! that name. This over-approximates the true call graph — which is
+//! the correct direction for the two rules that consume it:
+//!
+//! * **D7** — no panic site may be *reachable* from a function marked
+//!   `// lint:entrypoint(untrusted)` (the checkpoint load/merge surface
+//!   and the vendored-serde decode path: code that runs on bytes from
+//!   disk).
+//! * **D8** — no function containing a nondeterminism source may
+//!   *reach* a digest/fingerprint sink (anything in
+//!   `crates/core/src/digest.rs`, any fn whose name contains
+//!   `fingerprint`, or a fn marked `// lint:sink(digest)`).
+//!
+//! Both emit ordinary rule findings carrying a witness call path, so
+//! the existing waiver machinery (`// lint:allow(D7, n=2): proof`)
+//! applies at the flagged line.
+
+use crate::token::{Token, TokenKind};
+
+/// Direct dependencies between workspace crates (short names), mirrored
+/// from the crate manifests. Call resolution refuses to bind a call in
+/// crate A to an item in crate B unless B is in A's dependency closure
+/// — this is what keeps name-suffix matching from inventing edges such
+/// as `obs` code calling `core::checkpoint` methods.
+const CRATE_DEPS: &[(&str, &[&str])] = &[
+    ("stats", &["serde"]),
+    ("obs", &["serde", "serde_json"]),
+    ("net", &["obs", "stats", "serde", "serde_json"]),
+    ("http", &["obs", "net", "stats"]),
+    ("browser", &["obs", "stats", "net", "http", "workload", "serde", "serde_json"]),
+    ("video", &["obs", "net", "stats", "browser", "workload"]),
+    ("metrics", &["net", "browser", "video", "workload", "stats"]),
+    ("crowd", &["net", "video", "metrics", "browser", "workload", "stats", "serde"]),
+    ("workload", &["serde", "stats", "serde_json"]),
+    (
+        "core",
+        &[
+            "obs", "stats", "net", "http", "workload", "browser", "video", "metrics",
+            "crowd", "serde", "serde_json",
+        ],
+    ),
+    (
+        "bench",
+        &[
+            "obs", "net", "http", "core", "stats", "workload", "browser", "video",
+            "metrics", "crowd", "serde_json",
+        ],
+    ),
+    ("lint", &["core", "crowd", "stats", "video", "workload", "browser", "obs"]),
+    ("serde", &[]),
+    ("serde_json", &["serde"]),
+];
+
+/// Transitive dependency closure of `krate` (short name), including
+/// itself. Unknown crates get `None`: resolution then allows any target
+/// (conservative for ad-hoc fixtures and the root package).
+fn dep_closure(krate: &str) -> Option<Vec<&'static str>> {
+    let direct: std::collections::BTreeMap<&str, &[&str]> =
+        CRATE_DEPS.iter().copied().collect();
+    let (root_key, _) = CRATE_DEPS.iter().find(|(k, _)| *k == krate)?;
+    let mut seen: Vec<&'static str> = Vec::new();
+    let mut stack = vec![*root_key];
+    while let Some(k) = stack.pop() {
+        if seen.contains(&k) {
+            continue;
+        }
+        seen.push(k);
+        for d in direct.get(k).copied().unwrap_or(&[]) {
+            stack.push(d);
+        }
+    }
+    seen.sort_unstable();
+    Some(seen)
+}
+
+/// One file handed to the graph pass.
+pub struct FileInput<'a> {
+    /// Workspace-relative display path.
+    pub path: &'a str,
+    /// Crate short name from [`crate::FileMeta`].
+    pub crate_name: &'a str,
+    /// Source text.
+    pub src: &'a str,
+    /// Token stream of `src`.
+    pub tokens: &'a [Token],
+    /// Per-line `#[cfg(test)]`-region flags (1-based line - 1).
+    pub test_lines: &'a [bool],
+    /// Whether the file lives under `tests/`.
+    pub in_tests_dir: bool,
+    /// Whether the file is a bin/example entry point.
+    pub is_entry_file: bool,
+}
+
+/// A D7/D8 finding produced by the graph pass, routed through the
+/// normal waiver/baseline machinery by the caller.
+#[derive(Debug)]
+pub struct TaintFinding {
+    /// Index into the `files` slice given to [`analyze`].
+    pub file: usize,
+    /// 1-based line of the flagged site.
+    pub line: usize,
+    /// `"D7"` or `"D8"`.
+    pub code: &'static str,
+    /// Message with a witness call path.
+    pub message: String,
+}
+
+/// A call reference inside a fn body.
+#[derive(Debug)]
+struct CallRef {
+    /// Path segments as written (`Self` already substituted).
+    segs: Vec<String>,
+}
+
+/// A potential panic site inside a fn body.
+#[derive(Debug)]
+struct PanicSite {
+    line: usize,
+    what: &'static str,
+}
+
+/// A nondeterminism source inside a fn body.
+#[derive(Debug)]
+struct NdSource {
+    line: usize,
+    what: String,
+}
+
+/// One `fn` item recovered from the token stream.
+#[derive(Debug)]
+struct FnItem {
+    /// Qualified path: crate, modules, impl/trait type, name.
+    path: Vec<String>,
+    name: String,
+    file: usize,
+    is_test: bool,
+    in_entry_file: bool,
+    entrypoint: bool,
+    sink: bool,
+    calls: Vec<CallRef>,
+    panic_sites: Vec<PanicSite>,
+    nd_sources: Vec<NdSource>,
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "async"
+            | "await"
+            | "box"
+            | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "false"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "self"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "true"
+            | "type"
+            | "union"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+            | "yield"
+    )
+}
+
+/// Macros whose expansion can panic.
+fn is_panic_macro(name: &str) -> bool {
+    matches!(
+        name,
+        "panic" | "unreachable" | "todo" | "unimplemented" | "assert" | "assert_eq"
+            | "assert_ne"
+    )
+}
+
+/// Qualified path prefix derived from a file's workspace location:
+/// `crates/net/src/event.rs` → `[net, event]`, `src/bin/x.rs` under
+/// bench → `[bench, x]`, `vendor/serde_json/src/lib.rs` →
+/// `[serde_json]`. Inline `mod` nesting extends this during parsing.
+fn base_path(path: &str, crate_name: &str) -> Vec<String> {
+    let mut out = vec![crate_name.strip_prefix("eyeorg_").unwrap_or(crate_name).to_owned()];
+    let comps: Vec<&str> = path.split('/').collect();
+    let start = comps
+        .iter()
+        .position(|c| *c == "src" || *c == "tests" || *c == "examples")
+        .map(|p| p + 1)
+        .unwrap_or(comps.len().saturating_sub(1));
+    for c in &comps[start..] {
+        let seg = c.strip_suffix(".rs").unwrap_or(c);
+        if matches!(seg, "lib" | "mod" | "main" | "bin") || seg.is_empty() {
+            continue;
+        }
+        out.push(seg.to_owned());
+    }
+    out
+}
+
+/// The structural parser: one pass over a file's tokens.
+struct Parser<'a> {
+    file: usize,
+    input: &'a FileInput<'a>,
+    i: usize,
+    ctx: Vec<String>,
+    impl_type: Option<String>,
+    fn_stack: Vec<usize>,
+    pending_entry: bool,
+    pending_sink: bool,
+    prev_sig: Option<(TokenKind, &'a str)>,
+    fns: Vec<FnItem>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(file: usize, input: &'a FileInput<'a>) -> Parser<'a> {
+        Parser {
+            file,
+            input,
+            i: 0,
+            ctx: base_path(input.path, input.crate_name),
+            impl_type: None,
+            fn_stack: Vec::new(),
+            pending_entry: false,
+            pending_sink: false,
+            prev_sig: None,
+            fns: Vec::new(),
+        }
+    }
+
+    fn toks(&self) -> &'a [Token] {
+        self.input.tokens
+    }
+
+    fn text(&self, t: &Token) -> &'a str {
+        t.text(self.input.src)
+    }
+
+    /// Index of the next significant token at or after `from`.
+    fn sig_at(&self, mut from: usize) -> Option<usize> {
+        while let Some(t) = self.toks().get(from) {
+            match t.kind {
+                TokenKind::White | TokenKind::LineComment | TokenKind::BlockComment => {
+                    from += 1
+                }
+                _ => return Some(from),
+            }
+        }
+        None
+    }
+
+    /// Peek the `n`th significant token after the cursor (0 = next).
+    fn peek_sig(&self, n: usize) -> Option<&'a Token> {
+        let mut at = self.i;
+        for k in 0..=n {
+            at = self.sig_at(at)?;
+            if k == n {
+                return Some(&self.toks()[at]);
+            }
+            at += 1;
+        }
+        None
+    }
+
+    /// Advance the cursor to the next significant token and return it,
+    /// processing marker comments and updating `prev_sig`.
+    fn bump(&mut self) -> Option<&'a Token> {
+        while let Some(t) = self.toks().get(self.i) {
+            self.i += 1;
+            match t.kind {
+                TokenKind::White | TokenKind::BlockComment => continue,
+                TokenKind::LineComment => {
+                    self.note_markers(self.text(t));
+                    continue;
+                }
+                _ => {
+                    self.prev_sig = Some((t.kind, self.text(t)));
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+
+    /// Record `lint:entrypoint(untrusted)` / `lint:sink(digest)` markers
+    /// from a `//` comment. Doc comments are documentation: inert.
+    fn note_markers(&mut self, comment: &str) {
+        let body = &comment[2..];
+        if body.starts_with('/') || body.starts_with('!') {
+            return;
+        }
+        if body.contains("lint:entrypoint(untrusted)") {
+            self.pending_entry = true;
+        }
+        if body.contains("lint:sink(digest)") {
+            self.pending_sink = true;
+        }
+    }
+
+    fn clear_markers(&mut self) {
+        self.pending_entry = false;
+        self.pending_sink = false;
+    }
+
+    /// Parse a `{`-delimited region (cursor just past the `{`). Returns
+    /// after consuming the matching `}`.
+    fn parse_region(&mut self) {
+        loop {
+            let prev = self.prev_sig;
+            let Some(tok) = self.bump() else { return };
+            match tok.kind {
+                TokenKind::Punct => match self.text(tok) {
+                    "{" => {
+                        self.clear_markers();
+                        self.parse_region();
+                    }
+                    "}" => {
+                        self.clear_markers();
+                        return;
+                    }
+                    ";" => self.clear_markers(),
+                    "[" => self.note_indexing(prev, tok.line),
+                    "/" | "%" => self.note_division(tok.line),
+                    _ => {}
+                },
+                TokenKind::Ident => self.handle_ident(tok, prev),
+                _ => {}
+            }
+        }
+    }
+
+    /// Dispatch on an identifier: item keywords open scopes, everything
+    /// else is expression context (calls, macros, sources).
+    fn handle_ident(&mut self, tok: &'a Token, prev: Option<(TokenKind, &'a str)>) {
+        match self.text(tok) {
+            "mod" => self.parse_mod(),
+            "impl" => self.parse_impl(),
+            "trait" => self.parse_trait(),
+            "fn" => self.parse_fn(),
+            "macro_rules" => {
+                // `macro_rules! name { … }`: the body is a balanced
+                // token tree; descend so fn items defined by expansion
+                // templates (vendored serde) are still recorded.
+                let _ = self.bump(); // `!`
+                let _ = self.bump(); // name
+                if self.peek_sig(0).map(|t| self.text(t)) == Some("{") {
+                    let _ = self.bump();
+                    self.clear_markers();
+                    self.parse_region();
+                }
+            }
+            name if !is_keyword(name) => self.expr_ident(tok, prev, name),
+            _ => {}
+        }
+    }
+
+    /// `mod name { … }` extends the qualification path; `mod name;` is
+    /// just a declaration.
+    fn parse_mod(&mut self) {
+        let Some(name_tok) = self.bump() else { return };
+        if name_tok.kind != TokenKind::Ident {
+            return;
+        }
+        let name = self.text(name_tok).to_owned();
+        if self.peek_sig(0).map(|t| self.text(t)) == Some("{") {
+            let _ = self.bump();
+            self.clear_markers();
+            self.ctx.push(name);
+            let saved = self.impl_type.take();
+            self.parse_region();
+            self.impl_type = saved;
+            self.ctx.pop();
+        }
+    }
+
+    /// `impl … { … }`: the implemented type (last angle-depth-0
+    /// identifier before `where`/`{`) joins the qualification path and
+    /// becomes the substitution for `Self`.
+    fn parse_impl(&mut self) {
+        let mut angle = 0i32;
+        let mut last_dash = false;
+        let mut ty: Option<String> = None;
+        loop {
+            let Some(t) = self.bump() else { return };
+            match t.kind {
+                TokenKind::Punct => match self.text(t) {
+                    "<" => angle += 1,
+                    ">" if !last_dash => angle -= 1,
+                    "{" => break,
+                    ";" => return, // e.g. inside macro patterns
+                    _ => {}
+                },
+                TokenKind::Ident => {
+                    let s = self.text(t);
+                    if s == "where" {
+                        // Scan on to the `{` without collecting idents.
+                        loop {
+                            let Some(t) = self.bump() else { return };
+                            if t.kind == TokenKind::Punct && self.text(t) == "{" {
+                                break;
+                            }
+                            if t.kind == TokenKind::Punct && self.text(t) == ";" {
+                                return;
+                            }
+                        }
+                        break;
+                    }
+                    if angle == 0 && !is_keyword(s) {
+                        ty = Some(s.to_owned());
+                    }
+                }
+                _ => {}
+            }
+            last_dash = t.kind == TokenKind::Punct && self.text(t) == "-";
+        }
+        self.clear_markers();
+        let saved_impl = self.impl_type.take();
+        let pushed = ty.is_some();
+        if let Some(ty) = ty {
+            self.impl_type = Some(ty.clone());
+            self.ctx.push(ty);
+        }
+        self.parse_region();
+        if pushed {
+            self.ctx.pop();
+        }
+        self.impl_type = saved_impl;
+    }
+
+    /// `trait Name { … }`: default method bodies are real code; the
+    /// trait name qualifies them like an impl type.
+    fn parse_trait(&mut self) {
+        let Some(name_tok) = self.bump() else { return };
+        if name_tok.kind != TokenKind::Ident {
+            return;
+        }
+        let name = self.text(name_tok).to_owned();
+        loop {
+            let Some(t) = self.bump() else { return };
+            if t.kind == TokenKind::Punct {
+                match self.text(t) {
+                    "{" => break,
+                    ";" => return,
+                    _ => {}
+                }
+            }
+        }
+        self.clear_markers();
+        let saved = self.impl_type.take();
+        self.impl_type = Some(name.clone());
+        self.ctx.push(name);
+        self.parse_region();
+        self.ctx.pop();
+        self.impl_type = saved;
+    }
+
+    /// `fn name…` — record the item, then scan the signature to the
+    /// body `{` (or `;` for a bodiless trait method) and parse the body
+    /// attributing calls/sites to this fn.
+    fn parse_fn(&mut self) {
+        // `fn(u8) -> u8` as a type: not an item.
+        if !self.peek_sig(0).is_some_and(|t| t.kind == TokenKind::Ident) {
+            return;
+        }
+        let Some(name_tok) = self.bump() else { return };
+        let name = self.text(name_tok).to_owned();
+        let line = name_tok.line;
+        let is_test = self.input.in_tests_dir
+            || self.input.test_lines.get(line - 1).copied().unwrap_or(false);
+        let mut path = self.ctx.clone();
+        path.push(name.clone());
+        let sink = self.pending_sink
+            || self.input.path == "crates/core/src/digest.rs"
+            || name.contains("fingerprint");
+        let item = FnItem {
+            path,
+            name,
+            file: self.file,
+            is_test,
+            in_entry_file: self.input.is_entry_file,
+            entrypoint: self.pending_entry,
+            sink,
+            calls: Vec::new(),
+            panic_sites: Vec::new(),
+            nd_sources: Vec::new(),
+        };
+        self.clear_markers();
+        let idx = self.fns.len();
+        self.fns.push(item);
+        // Signature: first `{` at paren/bracket depth 0 opens the body;
+        // a `;` there means no body.
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        loop {
+            let Some(t) = self.bump() else { return };
+            if t.kind == TokenKind::Punct {
+                match self.text(t) {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "[" => bracket += 1,
+                    "]" => bracket -= 1,
+                    "{" if paren == 0 && bracket == 0 => break,
+                    ";" if paren == 0 && bracket == 0 => return,
+                    _ => {}
+                }
+            }
+        }
+        self.fn_stack.push(idx);
+        self.parse_region();
+        self.fn_stack.pop();
+    }
+
+    /// Expression-position identifier: detect calls, panic macros, and
+    /// nondeterminism sources.
+    fn expr_ident(&mut self, tok: &'a Token, prev: Option<(TokenKind, &'a str)>, name: &str) {
+        let line = tok.line;
+        // Hash-ordered collections / hasher state as a D8 source.
+        if matches!(name, "HashMap" | "HashSet" | "RandomState" | "DefaultHasher") {
+            self.note_source(line, format!("hash-ordered `{name}`"));
+        }
+        if name == "available_parallelism" {
+            self.note_source(line, "`available_parallelism` (machine-dependent)".to_owned());
+        }
+        if name == "ThreadId" {
+            self.note_source(line, "thread identity".to_owned());
+        }
+        // Macro invocation?
+        if self.peek_sig(0).is_some_and(|t| t.kind == TokenKind::Punct && self.text(t) == "!")
+        {
+            if is_panic_macro(name) {
+                self.note_panic(line, "panicking macro");
+            }
+            let _ = self.bump(); // consume `!` so `![` is not indexing
+            return;
+        }
+        // Path / call detection: collect `a::b::c` and look for `(`.
+        let mut segs = vec![self.seg_of(name)];
+        while let (Some(a), Some(b)) = (self.peek_sig(0), self.peek_sig(1)) {
+            if a.kind == TokenKind::Punct && self.text(a) == ":"
+                && b.kind == TokenKind::Punct && self.text(b) == ":"
+            {
+                let _ = self.bump();
+                let _ = self.bump();
+                match self.peek_sig(0) {
+                    Some(t) if t.kind == TokenKind::Ident => {
+                        let s = self.text(t);
+                        let _ = self.bump();
+                        if is_keyword(s) && s != "crate" && s != "self" && s != "super" {
+                            return;
+                        }
+                        segs.push(self.seg_of(s));
+                    }
+                    Some(t) if t.kind == TokenKind::Punct && self.text(t) == "<" => {
+                        // Turbofish `::<T>`: skip to the matching `>`.
+                        let _ = self.bump();
+                        let mut depth = 1i32;
+                        let mut last_dash = false;
+                        while depth > 0 {
+                            let Some(t) = self.bump() else { return };
+                            if t.kind == TokenKind::Punct {
+                                match self.text(t) {
+                                    "<" => depth += 1,
+                                    ">" if !last_dash => depth -= 1,
+                                    _ => {}
+                                }
+                                last_dash = self.text(t) == "-";
+                            } else {
+                                last_dash = false;
+                            }
+                        }
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        // Sources named through a path (`std::thread::available_parallelism`,
+        // `collections::HashMap::new`): the bare-name checks above only saw
+        // the first segment, so re-check the rest.
+        for s in segs.iter().skip(1) {
+            if matches!(s.as_str(), "HashMap" | "HashSet" | "RandomState" | "DefaultHasher") {
+                self.note_source(line, format!("hash-ordered `{s}`"));
+            }
+            if s == "available_parallelism" {
+                self.note_source(line, "`available_parallelism` (machine-dependent)".to_owned());
+            }
+            if s == "ThreadId" {
+                self.note_source(line, "thread identity".to_owned());
+            }
+        }
+        let is_call = self
+            .peek_sig(0)
+            .is_some_and(|t| t.kind == TokenKind::Punct && self.text(t) == "(");
+        if !is_call {
+            return;
+        }
+        segs.retain(|s| s != "crate" && s != "self" && s != "super");
+        if segs.is_empty() {
+            return;
+        }
+        let method = matches!(prev, Some((TokenKind::Punct, ".")));
+        let Some(callee) = segs.last().cloned() else { return };
+        if method && matches!(callee.as_str(), "unwrap" | "expect") {
+            self.note_panic(line, if callee == "unwrap" { ".unwrap()" } else { ".expect(…)" });
+        }
+        // Env reads: `env::var("NAME")` outside the EYEORG_* allowlist.
+        if segs.len() >= 2
+            && segs[segs.len() - 2] == "env"
+            && matches!(callee.as_str(), "var" | "var_os" | "vars" | "vars_os")
+        {
+            let arg_allowed = matches!(callee.as_str(), "var" | "var_os")
+                && self.peek_sig(1).is_some_and(|t| {
+                    t.kind == TokenKind::Str
+                        && self.text(t).trim_matches(|c| c == 'b' || c == '"').starts_with("EYEORG_")
+                });
+            if !arg_allowed {
+                self.note_source(line, format!("env read `env::{callee}`"));
+            }
+        }
+        if segs.len() >= 2 && segs[segs.len() - 2] == "thread" && callee == "current" {
+            self.note_source(line, "thread identity (`thread::current`)".to_owned());
+        }
+        if let Some(f) = self.fn_stack.last().copied() {
+            self.fns[f].calls.push(CallRef { segs });
+        }
+    }
+
+    /// Substitute `Self` with the surrounding impl/trait type.
+    fn seg_of(&self, s: &str) -> String {
+        if s == "Self" {
+            if let Some(ty) = &self.impl_type {
+                return ty.clone();
+            }
+        }
+        s.to_owned()
+    }
+
+    /// A `[` in expression position (previous significant token is a
+    /// value-producing ident, `)`, `]` or `?`) is slice/array indexing,
+    /// which panics when out of bounds.
+    fn note_indexing(&mut self, prev: Option<(TokenKind, &'a str)>, line: usize) {
+        let indexing = match prev {
+            Some((TokenKind::Ident, s)) => !is_keyword(s),
+            Some((TokenKind::Punct, ")" | "]" | "?")) => true,
+            _ => false,
+        };
+        if indexing {
+            self.note_panic(line, "slice/array indexing `[…]`");
+        }
+    }
+
+    /// `/` or `%` with a non-literal divisor can panic (integer divide
+    /// by zero / MIN-by-minus-one overflow). A nonzero numeric literal
+    /// divisor is statically safe.
+    fn note_division(&mut self, line: usize) {
+        let mut n = 0usize;
+        // `/=` and `%=` compound-assign forms.
+        if self.peek_sig(0).is_some_and(|t| t.kind == TokenKind::Punct && self.text(t) == "=")
+        {
+            n = 1;
+        }
+        let safe = self.peek_sig(n).is_some_and(|t| {
+            // Any literal containing a nonzero digit (`2`, `0x1f`,
+            // `100.0`) cannot be a zero divisor; `0`, `0x0`, `0.0`
+            // stay flagged.
+            t.kind == TokenKind::Number
+                && self.text(t).chars().any(|c| ('1'..='9').contains(&c))
+        });
+        if !safe {
+            self.note_panic(line, "`/` or `%` with non-literal divisor");
+        }
+    }
+
+    fn note_panic(&mut self, line: usize, what: &'static str) {
+        if let Some(f) = self.fn_stack.last().copied() {
+            self.fns[f].panic_sites.push(PanicSite { line, what });
+        }
+    }
+
+    fn note_source(&mut self, line: usize, what: String) {
+        if let Some(f) = self.fn_stack.last().copied() {
+            self.fns[f].nd_sources.push(NdSource { line, what });
+        }
+    }
+
+    fn run(mut self) -> Vec<FnItem> {
+        // Top level is an implicit region that ends at EOF, not `}`;
+        // parse_region returning on a stray `}` is fine (fixtures).
+        loop {
+            let before = self.i;
+            self.parse_region();
+            if self.i >= self.toks().len() || self.i == before {
+                break;
+            }
+        }
+        self.fns
+    }
+}
+
+/// Run the structural pass + taint rules over a file set. Returns
+/// findings sorted by (file, line, code).
+pub fn analyze(files: &[FileInput<'_>]) -> Vec<TaintFinding> {
+    let mut fns: Vec<FnItem> = Vec::new();
+    for (idx, input) in files.iter().enumerate() {
+        fns.extend(Parser::new(idx, input).run());
+    }
+    // Name index: last path segment → item indices (insertion order is
+    // file order, which is sorted by the caller — deterministic).
+    let mut by_name: std::collections::BTreeMap<&str, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        by_name.entry(&f.name).or_default().push(i);
+    }
+    let closures: Vec<Option<Vec<&'static str>>> =
+        files.iter().map(|f| dep_closure(f.crate_name)).collect();
+
+    // Resolve every call to candidate items, build the edge list.
+    let resolve = |caller: &FnItem, call: &CallRef| -> Vec<usize> {
+        let Some(last_seg) = call.segs.last() else { return Vec::new() };
+        let Some(cands) = by_name.get(last_seg.as_str()) else {
+            return Vec::new();
+        };
+        let allowed: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&t| {
+                let tf = &fns[t];
+                if tf.file != caller.file {
+                    if tf.is_test || tf.in_entry_file {
+                        return false;
+                    }
+                    if let Some(cl) = &closures[caller.file] {
+                        let tc = files[tf.file].crate_name;
+                        let tc = tc.strip_prefix("eyeorg_").unwrap_or(tc);
+                        if !cl.contains(&tc) && files[tf.file].crate_name != files[caller.file].crate_name {
+                            return false;
+                        }
+                    }
+                }
+                true
+            })
+            .collect();
+        if call.segs.len() > 1 {
+            let norm = |s: &str| s.strip_prefix("eyeorg_").unwrap_or(s).to_owned();
+            let want: Vec<String> = call.segs.iter().map(|s| norm(s)).collect();
+            let refined: Vec<usize> = allowed
+                .iter()
+                .copied()
+                .filter(|&t| {
+                    let p = &fns[t].path;
+                    p.len() >= want.len()
+                        && p[p.len() - want.len()..]
+                            .iter()
+                            .zip(&want)
+                            .all(|(a, b)| norm(a) == *b)
+                })
+                .collect();
+            if !refined.is_empty() {
+                return refined;
+            }
+        }
+        allowed
+    };
+    let mut edges: Vec<Vec<usize>> = Vec::with_capacity(fns.len());
+    for f in &fns {
+        let mut out: Vec<usize> = f.calls.iter().flat_map(|c| resolve(f, c)).collect();
+        out.sort_unstable();
+        out.dedup();
+        edges.push(out);
+    }
+
+    let qual = |i: usize| fns[i].path.join("::");
+    // Witness path from a BFS parent chain, entry first.
+    let chain = |parent: &[Option<usize>], mut at: usize| -> String {
+        let mut segs = vec![qual(at)];
+        while let Some(p) = parent[at] {
+            segs.push(qual(p));
+            at = p;
+            if segs.len() > 8 {
+                segs.push("…".to_owned());
+                break;
+            }
+        }
+        segs.reverse();
+        segs.join(" → ")
+    };
+
+    let mut findings = Vec::new();
+
+    // D7: BFS the call graph from every `lint:entrypoint(untrusted)` fn;
+    // each panic site in the reachable set is a finding.
+    let entries: Vec<usize> = (0..fns.len()).filter(|&i| fns[i].entrypoint).collect();
+    let mut parent: Vec<Option<usize>> = vec![None; fns.len()];
+    let mut reached: Vec<bool> = vec![false; fns.len()];
+    let mut queue: std::collections::VecDeque<usize> = entries.iter().copied().collect();
+    for &e in &entries {
+        reached[e] = true;
+    }
+    while let Some(f) = queue.pop_front() {
+        for &t in &edges[f] {
+            if !reached[t] {
+                reached[t] = true;
+                parent[t] = Some(f);
+                queue.push_back(t);
+            }
+        }
+    }
+    for i in 0..fns.len() {
+        if !reached[i] {
+            continue;
+        }
+        for site in &fns[i].panic_sites {
+            findings.push(TaintFinding {
+                file: fns[i].file,
+                line: site.line,
+                code: "D7",
+                message: format!(
+                    "{} in `{}` is reachable from untrusted entry point ({}): \
+                     code on the checkpoint/decode path must return typed errors, \
+                     or waive with the invariant that rules the panic out",
+                    site.what,
+                    qual(i),
+                    chain(&parent, i),
+                ),
+            });
+        }
+    }
+
+    // D8: from every fn containing a nondeterminism source, BFS forward;
+    // reaching any digest/fingerprint sink flags the source line.
+    for i in 0..fns.len() {
+        if fns[i].nd_sources.is_empty() || fns[i].is_test {
+            continue;
+        }
+        let mut parent: Vec<Option<usize>> = vec![None; fns.len()];
+        let mut seen: Vec<bool> = vec![false; fns.len()];
+        let mut queue = std::collections::VecDeque::from([i]);
+        seen[i] = true;
+        let mut hit: Option<usize> = if fns[i].sink { Some(i) } else { None };
+        'bfs: while let Some(f) = queue.pop_front() {
+            for &t in &edges[f] {
+                if !seen[t] {
+                    seen[t] = true;
+                    parent[t] = Some(f);
+                    if fns[t].sink {
+                        hit = Some(t);
+                        break 'bfs;
+                    }
+                    queue.push_back(t);
+                }
+            }
+        }
+        if let Some(s) = hit {
+            for src in &fns[i].nd_sources {
+                findings.push(TaintFinding {
+                    file: fns[i].file,
+                    line: src.line,
+                    code: "D8",
+                    message: format!(
+                        "nondeterminism source ({}) in `{}` can reach digest/fingerprint \
+                         sink `{}` ({}): quarantine the source or waive with proof the \
+                         value never feeds fingerprint bytes",
+                        src.what,
+                        qual(i),
+                        qual(s),
+                        chain(&parent, s),
+                    ),
+                });
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| (a.file, a.line, a.code).cmp(&(b.file, b.line, b.code)));
+    findings
+}

@@ -1,28 +1,86 @@
-//! `lint` — run the determinism & concurrency rules over the workspace.
+//! `lint` — run the determinism & panic-surface rules over the workspace.
 //!
-//! Usage: `cargo run -p eyeorg-lint [-- --root PATH]`
+//! Usage: `cargo run -p eyeorg-lint [-- FLAGS]` (see `--help`).
 //!
-//! Exits 0 on a clean tree, 1 with `file:line: [rule] message`
-//! diagnostics when anything trips, 2 on usage or I/O errors.
+//! Exits 0 on a clean tree, 1 with diagnostics when anything trips,
+//! 2 on usage or I/O errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const HELP: &str = "\
+lint — determinism, panic-surface, and taint analysis for the eyeorg workspace
+
+USAGE:
+    lint [FLAGS]
+
+FLAGS:
+    --root PATH         workspace root to scan (default: auto-detected)
+    --format text|json  diagnostic output format on stdout (default: text)
+    --json-out PATH     additionally write the JSON report to PATH
+    --baseline PATH     baseline file to apply (default: crates/lint/lint-baseline.txt)
+    --no-baseline       report raw findings, ignoring any baseline file
+    --write-baseline    regenerate the baseline from current findings and exit
+    --list-rules        print every rule code with a one-line summary and exit
+    --help              print this help and exit
+
+EXIT CODES:
+    0   the tree is clean (after waivers and baseline)
+    1   findings were reported
+    2   usage error or I/O failure
+
+Waive a finding inline with `// lint:allow(RULE): reason`, covering the
+next line (standalone comment) or its own line (trailing comment); add
+`n=K` — `lint:allow(D1, n=2): reason` — when one line carries several
+findings of the same rule. Unused or over-counted waivers are errors.
+";
+
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
+    let mut format = String::from("text");
+    let mut json_out: Option<PathBuf> = None;
+    let mut baseline_override: Option<PathBuf> = None;
+    let mut no_baseline = false;
+    let mut write_baseline = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => match args.next() {
                 Some(p) => root = PathBuf::from(p),
-                None => {
-                    eprintln!("lint: --root needs a path");
-                    return ExitCode::from(2);
-                }
+                None => return usage_err("--root needs a path"),
             },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = "text".to_owned(),
+                Some("json") => format = "json".to_owned(),
+                _ => return usage_err("--format needs `text` or `json`"),
+            },
+            "--json-out" => match args.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => return usage_err("--json-out needs a path"),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_override = Some(PathBuf::from(p)),
+                None => return usage_err("--baseline needs a path"),
+            },
+            "--no-baseline" => no_baseline = true,
+            "--write-baseline" => write_baseline = true,
+            "--list-rules" => {
+                for rule in eyeorg_lint::ALL_RULES {
+                    println!("{}  {}", rule.code(), rule.summary());
+                }
+                println!();
+                println!(
+                    "waiver syntax: `// lint:allow(RULE): reason` or \
+                     `// lint:allow(RULE, n=K): reason`"
+                );
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{HELP}");
+                return ExitCode::SUCCESS;
+            }
             other => {
-                eprintln!("lint: unknown flag {other} (usage: lint [--root PATH])");
-                return ExitCode::from(2);
+                return usage_err(&format!("unknown flag {other} (see --help)"));
             }
         }
     }
@@ -38,29 +96,94 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = match eyeorg_lint::scan_workspace(&root) {
+    let mut report = match eyeorg_lint::scan_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("lint: failed to scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
-    for d in &report.diagnostics {
-        println!("{d}");
+
+    let baseline_path = baseline_override
+        .clone()
+        .unwrap_or_else(|| root.join(eyeorg_lint::BASELINE_PATH));
+
+    if write_baseline {
+        let text = eyeorg_lint::format_baseline(&report);
+        if let Err(e) = std::fs::write(&baseline_path, &text) {
+            eprintln!("lint: failed to write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        let entries = text.lines().filter(|l| !l.trim_start().starts_with('#')).count();
+        println!("lint: wrote {} baseline entr(ies) to {}", entries, baseline_path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    if !no_baseline && baseline_path.is_file() {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => match eyeorg_lint::parse_baseline(&text) {
+                Ok(entries) => eyeorg_lint::apply_baseline(&mut report, &entries),
+                Err(msg) => report.diagnostics.push(eyeorg_lint::Diagnostic {
+                    path: eyeorg_lint::BASELINE_PATH.to_owned(),
+                    line: 0,
+                    code: "stale-baseline".to_owned(),
+                    message: msg,
+                }),
+            },
+            Err(e) => {
+                eprintln!("lint: failed to read {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let json = eyeorg_lint::report_to_json(&report);
+    if let Some(path) = &json_out {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("lint: failed to create {}: {e}", parent.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+            eprintln!("lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if format == "json" {
+        println!("{json}");
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        if report.is_clean() {
+            println!(
+                "lint: clean — {} files scanned, {} waiver(s) honoured, {} \
+                 baselined finding(s)",
+                report.files, report.waivers_used, report.baseline_suppressed
+            );
+        } else {
+            eprintln!(
+                "lint: {} finding(s) in {} files scanned ({} waiver(s) honoured, \
+                 {} baselined)",
+                report.diagnostics.len(),
+                report.files,
+                report.waivers_used,
+                report.baseline_suppressed
+            );
+        }
     }
     if report.is_clean() {
-        println!(
-            "lint: clean — {} files scanned, {} waiver(s) honoured",
-            report.files, report.waivers_used
-        );
         ExitCode::SUCCESS
     } else {
-        eprintln!(
-            "lint: {} finding(s) in {} files scanned ({} waiver(s) honoured)",
-            report.diagnostics.len(),
-            report.files,
-            report.waivers_used
-        );
         ExitCode::FAILURE
     }
+}
+
+fn usage_err(msg: &str) -> ExitCode {
+    eprintln!("lint: {msg}");
+    ExitCode::from(2)
 }

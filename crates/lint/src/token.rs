@@ -1,0 +1,514 @@
+//! Whole-file Rust tokenizer for the analyzer's multi-pass engine.
+//!
+//! PR 4's line lexer scrubbed one line at a time; the item graph and the
+//! taint passes (D7/D8) need a real token stream with byte spans. This
+//! module produces one, covering every literal form the workspace uses:
+//! plain/byte/raw/raw-byte strings with any `#` count, char and byte-char
+//! literals (disambiguated from lifetimes), nested block comments, line
+//! and doc comments, all numeric literal shapes (ints, floats, suffixes,
+//! underscores, hex/oct/bin), identifiers including raw identifiers
+//! (`r#type`), and punctuation.
+//!
+//! The line-rule pass does not consume tokens directly: `line_views`
+//! projects the stream back into per-line scrubbed strings that are
+//! behaviourally identical to the old `Scrubber` output (the self-test
+//! in `tests/engine.rs` pins that equivalence on every fixture and on
+//! the whole workspace), so rules D1–D6 and the `#[cfg(test)]` region
+//! tracker run on exactly the views PR 4 validated.
+
+/// Lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (incl. raw identifiers, spelled `r#name`).
+    Ident,
+    /// Lifetime or loop label: `'a`, `'static`, `'_`.
+    Lifetime,
+    /// Numeric literal (int or float, any base/suffix).
+    Number,
+    /// String literal: `"…"`, `b"…"`, `r"…"`, `r#"…"#`, `br##"…"##`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `'\n'`, `b'\0'`.
+    Char,
+    /// `//` comment (incl. `///` and `//!` doc comments) to end of line.
+    LineComment,
+    /// `/* … */` comment, nesting respected, may span lines.
+    BlockComment,
+    /// Any single punctuation character not covered above.
+    Punct,
+    /// Whitespace run (spaces, tabs, newlines).
+    White,
+}
+
+/// One token: kind plus byte span into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line on which the token starts.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize a whole source file. Never fails: unterminated literals or
+/// comments simply extend to end of input (matching how the old line
+/// lexer carried `LexState` forever), so the analyzer degrades the same
+/// way on malformed input instead of erroring.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::with_capacity(src.len() / 4);
+    let mut pos = 0usize;
+    let mut line = 1usize;
+    while pos < bytes.len() {
+        let start = pos;
+        let start_line = line;
+        let Some(c) = src[pos..].chars().next() else { break };
+        let kind = if c.is_whitespace() {
+            while let Some(w) = src[pos..].chars().next() {
+                if !w.is_whitespace() {
+                    break;
+                }
+                if w == '\n' {
+                    line += 1;
+                }
+                pos += w.len_utf8();
+            }
+            TokenKind::White
+        } else if c == '/' && bytes.get(pos + 1) == Some(&b'/') {
+            while pos < bytes.len() && bytes[pos] != b'\n' {
+                pos += 1;
+            }
+            TokenKind::LineComment
+        } else if c == '/' && bytes.get(pos + 1) == Some(&b'*') {
+            pos += 2;
+            let mut depth = 1u32;
+            while pos < bytes.len() && depth > 0 {
+                if bytes[pos] == b'*' && bytes.get(pos + 1) == Some(&b'/') {
+                    depth -= 1;
+                    pos += 2;
+                } else if bytes[pos] == b'/' && bytes.get(pos + 1) == Some(&b'*') {
+                    depth += 1;
+                    pos += 2;
+                } else {
+                    if bytes[pos] == b'\n' {
+                        line += 1;
+                    }
+                    pos += 1;
+                }
+            }
+            TokenKind::BlockComment
+        } else if let Some((len, newlines)) = str_literal_len(src, pos) {
+            pos += len;
+            line += newlines;
+            TokenKind::Str
+        } else if c == '\'' || (c == 'b' && bytes.get(pos + 1) == Some(&b'\'')) {
+            // Char literal vs lifetime. `b'` is always a byte-char.
+            let quote = if c == 'b' { pos + 1 } else { pos };
+            match char_literal_len(src, quote) {
+                Some(len) => {
+                    pos = quote + len;
+                    TokenKind::Char
+                }
+                None if c == '\'' => {
+                    // Lifetime tick: consume `'` + identifier chars.
+                    pos += 1;
+                    while let Some(l) = src[pos..].chars().next() {
+                        if !is_ident_continue(l) {
+                            break;
+                        }
+                        pos += l.len_utf8();
+                    }
+                    TokenKind::Lifetime
+                }
+                None => {
+                    // `b` not followed by a valid char literal: identifier.
+                    pos += 1;
+                    while let Some(l) = src[pos..].chars().next() {
+                        if !is_ident_continue(l) {
+                            break;
+                        }
+                        pos += l.len_utf8();
+                    }
+                    TokenKind::Ident
+                }
+            }
+        } else if c == 'r' && bytes.get(pos + 1) == Some(&b'#') && {
+            // Raw identifier `r#name` (raw strings were caught above).
+            src[pos + 2..].chars().next().is_some_and(is_ident_start)
+        } {
+            pos += 2;
+            while let Some(l) = src[pos..].chars().next() {
+                if !is_ident_continue(l) {
+                    break;
+                }
+                pos += l.len_utf8();
+            }
+            TokenKind::Ident
+        } else if is_ident_start(c) {
+            while let Some(l) = src[pos..].chars().next() {
+                if !is_ident_continue(l) {
+                    break;
+                }
+                pos += l.len_utf8();
+            }
+            TokenKind::Ident
+        } else if c.is_ascii_digit() {
+            // Numbers: 0x/0o/0b prefixes, digits, underscores, a possible
+            // fraction + exponent, and an alphanumeric suffix (u64, f32).
+            // `1.method()` must not eat the dot; only `digit.digit` or a
+            // trailing `1.` followed by non-ident, non-dot continues.
+            pos += 1;
+            while pos < bytes.len()
+                && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+            {
+                pos += 1;
+            }
+            if pos < bytes.len() && bytes[pos] == b'.' {
+                let after = bytes.get(pos + 1);
+                let looks_float = match after {
+                    Some(a) => a.is_ascii_digit(),
+                    None => true,
+                };
+                let is_range_or_method = matches!(after, Some(b'.'))
+                    || after.is_some_and(|&a| is_ident_start(a as char));
+                if looks_float && !is_range_or_method {
+                    pos += 1;
+                    while pos < bytes.len()
+                        && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+                    {
+                        pos += 1;
+                    }
+                } else if after.is_none() || (!is_range_or_method && !looks_float) {
+                    // `1.` at end or before punctuation: trailing-dot float.
+                    pos += 1;
+                }
+            }
+            // Exponent sign: `1e-9` stops the alnum scan at `-`.
+            if pos < bytes.len()
+                && (bytes[pos] == b'-' || bytes[pos] == b'+')
+                && pos >= 1
+                && (bytes[pos - 1] == b'e' || bytes[pos - 1] == b'E')
+                && bytes.get(pos + 1).is_some_and(u8::is_ascii_digit)
+            {
+                pos += 1;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+                {
+                    pos += 1;
+                }
+            }
+            TokenKind::Number
+        } else {
+            pos += c.len_utf8();
+            TokenKind::Punct
+        };
+        tokens.push(Token { kind, start, end: pos, line: start_line });
+    }
+    tokens
+}
+
+/// If a string literal (plain, byte, raw, raw-byte) starts at `pos`,
+/// return `(byte_len, newline_count)`. Unterminated literals run to EOF.
+fn str_literal_len(src: &str, pos: usize) -> Option<(usize, usize)> {
+    let bytes = src.as_bytes();
+    let mut j = pos;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    let raw = bytes.get(j) == Some(&b'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    if raw {
+        while bytes.get(j + hashes) == Some(&b'#') {
+            hashes += 1;
+        }
+        j += hashes;
+    }
+    if bytes.get(j) != Some(&b'"') {
+        return None;
+    }
+    j += 1;
+    let mut newlines = 0usize;
+    if raw {
+        loop {
+            match bytes.get(j) {
+                None => break,
+                Some(&b'"') if hashes_follow(bytes, j + 1, hashes) => {
+                    j += 1 + hashes;
+                    break;
+                }
+                Some(&b'\n') => {
+                    newlines += 1;
+                    j += 1;
+                }
+                Some(_) => j += 1,
+            }
+        }
+    } else {
+        loop {
+            match bytes.get(j) {
+                None => break,
+                Some(&b'\\') => {
+                    // A `\` + newline continuation still advances the
+                    // line counter.
+                    if bytes.get(j + 1) == Some(&b'\n') {
+                        newlines += 1;
+                    }
+                    j += 2;
+                }
+                Some(&b'"') => {
+                    j += 1;
+                    break;
+                }
+                Some(&b'\n') => {
+                    newlines += 1;
+                    j += 1;
+                }
+                Some(_) => j += 1,
+            }
+        }
+    }
+    Some((j.min(src.len()) - pos, newlines))
+}
+
+fn hashes_follow(bytes: &[u8], from: usize, count: usize) -> bool {
+    (0..count).all(|k| bytes.get(from + k) == Some(&b'#'))
+}
+
+/// If a char literal starts at the `'` at `quote`, return its byte
+/// length (from the quote); `None` means the `'` is a lifetime tick.
+fn char_literal_len(src: &str, quote: usize) -> Option<usize> {
+    let bytes = src.as_bytes();
+    if bytes.get(quote) != Some(&b'\'') {
+        return None;
+    }
+    if bytes.get(quote + 1) == Some(&b'\\') {
+        // Escaped char: scan to the closing quote, starting ON the
+        // backslash so `'\\'` consumes both backslashes as one escape.
+        let mut j = quote + 1;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'\\' => j += 2,
+                b'\'' => return Some(j + 1 - quote),
+                _ => j += 1,
+            }
+        }
+        return Some(bytes.len() - quote);
+    }
+    // Unescaped: `'x'` for any single char x (other than `'`).
+    let c = src[quote + 1..].chars().next()?;
+    if c == '\'' {
+        return None;
+    }
+    let close = quote + 1 + c.len_utf8();
+    if bytes.get(close) == Some(&b'\'') {
+        Some(close + 1 - quote)
+    } else {
+        None
+    }
+}
+
+/// A source line projected out of the token stream: code with literal
+/// and comment bytes blanked to spaces, plus the text of a `//` comment
+/// that starts on this line (everything after the `//`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineView {
+    /// Code with string/char/comment contents replaced by spaces and
+    /// the line truncated at a `//` comment, exactly as the PR 4 line
+    /// lexer produced (modulo trailing whitespace).
+    pub code: String,
+    /// Text after `//` when a line comment starts on this line.
+    pub comment: Option<String>,
+}
+
+/// Project the token stream back into per-line scrubbed views. `src`
+/// must be the text `tokens` was produced from.
+pub fn line_views(src: &str, tokens: &[Token]) -> Vec<LineView> {
+    let line_count = src.lines().count();
+    let mut views = vec![LineView { code: String::new(), comment: None }; line_count];
+    if line_count == 0 {
+        return views;
+    }
+    // Byte ranges of each line (excluding the newline).
+    let mut line_spans = Vec::with_capacity(line_count);
+    let mut start = 0usize;
+    for (i, b) in src.bytes().enumerate() {
+        if b == b'\n' {
+            line_spans.push((start, i));
+            start = i + 1;
+        }
+    }
+    if start <= src.len() && line_spans.len() < line_count {
+        line_spans.push((start, src.len()));
+    }
+    // Blank mask: true for every byte inside a literal or comment, and
+    // the cut point of each line comment.
+    let mut blank = vec![false; src.len()];
+    // Per line: byte offset (within the line) where a `//` comment cuts
+    // the code short.
+    let mut cut: Vec<Option<usize>> = vec![None; line_count];
+    for tok in tokens {
+        match tok.kind {
+            TokenKind::Str | TokenKind::Char | TokenKind::BlockComment => {
+                for m in &mut blank[tok.start..tok.end] {
+                    *m = true;
+                }
+            }
+            TokenKind::LineComment => {
+                let li = tok.line - 1;
+                let (ls, _) = line_spans[li];
+                cut[li] = Some(tok.start - ls);
+                views[li].comment = Some(src[tok.start + 2..tok.end].to_owned());
+            }
+            _ => {}
+        }
+    }
+    for (li, &(ls, le)) in line_spans.iter().enumerate() {
+        let end = match cut[li] {
+            Some(c) => ls + c,
+            None => le,
+        };
+        let text = &src[ls..end];
+        let mut code = String::with_capacity(text.len());
+        for (off, ch) in text.char_indices() {
+            if blank[ls + off] {
+                code.push(' ');
+            } else {
+                code.push(ch);
+            }
+        }
+        views[li].code = code;
+    }
+    views
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::White)
+            .map(|t| (t.kind, t.text(src).to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn covers_every_byte_in_order() {
+        let src = r##"fn f<'a>(x: &'a str) -> u64 { let c = 'x'; b"by"; r#"raw"#; 0x1f_u64 }"##;
+        let toks = tokenize(src);
+        let mut pos = 0;
+        for t in &toks {
+            assert_eq!(t.start, pos, "gap before {t:?}");
+            assert!(t.end > t.start);
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len());
+    }
+
+    #[test]
+    fn classifies_literals() {
+        let got = kinds(r##"let s = "a\"b"; let r = r#"x"#; let c = '\n'; let b = b'0';"##);
+        let lits: Vec<_> = got
+            .iter()
+            .filter(|(k, _)| matches!(k, TokenKind::Str | TokenKind::Char))
+            .collect();
+        assert_eq!(lits.len(), 4, "{got:?}");
+        assert_eq!(lits[0].0, TokenKind::Str);
+        assert_eq!(lits[1].0, TokenKind::Str);
+        assert_eq!(lits[2].0, TokenKind::Char);
+        assert_eq!(lits[3].0, TokenKind::Char);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let got = kinds("fn f<'a>(x: &'a str) -> &'static str { x }");
+        let lifetimes: Vec<_> =
+            got.iter().filter(|(k, _)| *k == TokenKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 3, "{got:?}");
+        assert_eq!(lifetimes[2].1, "'static");
+    }
+
+    #[test]
+    fn nested_block_comments_and_doc_comments() {
+        let got = kinds("a /* x /* y */ z */ b // tail");
+        assert_eq!(got.len(), 4, "{got:?}");
+        assert_eq!(got[1].0, TokenKind::BlockComment);
+        assert_eq!(got[3].0, TokenKind::LineComment);
+        assert_eq!(got[3].1, "// tail");
+    }
+
+    #[test]
+    fn numbers_do_not_eat_methods_or_ranges() {
+        let got = kinds("1.max(2); 0..10; 3.5e-2_f64; 0xffu8");
+        let nums: Vec<_> = got
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1", "2", "0", "10", "3.5e-2_f64", "0xffu8"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let got = kinds("let r#type = 1;");
+        assert_eq!(got[1].0, TokenKind::Ident);
+        assert_eq!(got[1].1, "r#type");
+    }
+
+    #[test]
+    fn multiline_tokens_carry_start_line() {
+        let src = "let a = \"one\ntwo\";\nlet b = 1; /* c1\nc2 */ let d = 2;\n";
+        let toks = tokenize(src);
+        let s = toks.iter().find(|t| t.kind == TokenKind::Str).unwrap();
+        assert_eq!(s.line, 1);
+        let c = toks.iter().find(|t| t.kind == TokenKind::BlockComment).unwrap();
+        assert_eq!(c.line, 3);
+        let d = toks.iter().filter(|t| t.kind == TokenKind::Ident).find(|t| t.text(src) == "d");
+        assert_eq!(d.unwrap().line, 4);
+    }
+
+    #[test]
+    fn line_views_blank_literals_and_cut_comments() {
+        let src = "let x = \"HashMap\"; // HashMap in comment\nlet y = 1; /* HashMap */ let z = 2;\n";
+        let toks = tokenize(src);
+        let views = line_views(src, &toks);
+        assert_eq!(views.len(), 2);
+        assert!(!views[0].code.contains("HashMap"));
+        assert_eq!(views[0].comment.as_deref(), Some(" HashMap in comment"));
+        assert!(!views[1].code.contains("HashMap"));
+        assert!(views[1].code.contains("let z = 2;"));
+        assert!(views[1].comment.is_none());
+    }
+
+    #[test]
+    fn line_views_handle_multiline_strings_and_comments() {
+        let src = "let a = \"one\nHashMap two\" ; code();\n/* c1\nHashMap c2 */ after();\n";
+        let views = line_views(src, &tokenize(src));
+        assert_eq!(views.len(), 4);
+        assert!(!views[1].code.contains("HashMap"));
+        assert!(views[1].code.contains("code();"));
+        assert!(!views[3].code.contains("HashMap"));
+        assert!(views[3].code.contains("after();"));
+    }
+}

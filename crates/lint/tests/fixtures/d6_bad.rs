@@ -1,0 +1,7 @@
+//! D6 trip: raw float ordering and accumulation in a fingerprinted crate.
+
+pub fn spread(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    v.iter().sum::<f64>()
+}

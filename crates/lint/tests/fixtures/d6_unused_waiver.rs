@@ -1,0 +1,7 @@
+//! D6 unused waiver: the accumulation below is integer math.
+
+// lint:allow(D6): stale excuse left over from the fixed-point refactor
+pub fn mean_milli(xs: &[i64]) -> i64 {
+    let total: i64 = xs.iter().sum();
+    total / xs.len().max(1) as i64
+}

@@ -1,0 +1,7 @@
+//! D6 waived: a display-only mean that never reaches a fingerprint.
+
+pub fn mean(xs: &[f64]) -> f64 {
+    // lint:allow(D6): display-only mean; the digest path uses stats::stream fixed-point
+    let total = xs.iter().sum::<f64>();
+    total / xs.len().max(1) as f64
+}

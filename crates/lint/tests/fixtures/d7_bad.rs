@@ -1,0 +1,10 @@
+//! D7 trip: a panic site reachable from an untrusted entry point.
+
+// lint:entrypoint(untrusted)
+pub fn load(bytes: &[u8]) -> u32 {
+    decode(bytes)
+}
+
+fn decode(bytes: &[u8]) -> u32 {
+    u32::from(bytes[0])
+}

@@ -1,0 +1,7 @@
+//! D7 unused waiver: the indexing was replaced by a checked access.
+
+// lint:entrypoint(untrusted)
+pub fn load(bytes: &[u8]) -> u32 {
+    // lint:allow(D7): stale - the indexing below became a checked .get()
+    bytes.first().copied().map(u32::from).unwrap_or(0)
+}

@@ -1,0 +1,10 @@
+//! D7 waived: the guard above the indexing rules the panic out.
+
+// lint:entrypoint(untrusted)
+pub fn load(bytes: &[u8]) -> u32 {
+    if bytes.is_empty() {
+        return 0;
+    }
+    // lint:allow(D7): the is_empty guard above ensures bytes[0] exists
+    u32::from(bytes[0])
+}

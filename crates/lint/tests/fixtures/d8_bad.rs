@@ -1,0 +1,10 @@
+//! D8 trip: a machine-dependent source flows into a fingerprint sink.
+
+pub fn shard_seed() -> u64 {
+    let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    fingerprint(n as u64)
+}
+
+fn fingerprint(x: u64) -> u64 {
+    x.wrapping_mul(2654435761)
+}

@@ -1,0 +1,7 @@
+//! D8 unused waiver: the env read below is on the EYEORG_* allowlist.
+
+pub fn fingerprint_env() -> u64 {
+    // lint:allow(D8): stale - the variable moved onto the EYEORG_* allowlist
+    let v = std::env::var("EYEORG_THREADS").ok();
+    v.map(|s| s.len() as u64).unwrap_or(0)
+}

@@ -1,0 +1,8 @@
+//! D8 waived: the thread count sizes a buffer, never digest bytes.
+
+pub fn pool_fingerprint(items: &[u64]) -> u64 {
+    // lint:allow(D8): n sizes the scratch pool; digest bytes come from items alone
+    let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let _scratch = Vec::<u64>::with_capacity(n);
+    items.iter().fold(7u64, |acc, v| acc.rotate_left(9) ^ v)
+}

@@ -152,6 +152,7 @@ impl Histogram {
         if !enabled() {
             return;
         }
+        // lint:allow(D7): bucket_of clamps its result to HISTOGRAM_BUCKETS - 1
         self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);

@@ -95,12 +95,13 @@ impl Ecdf {
 
     /// Minimum observation.
     pub fn min(&self) -> f64 {
+        // lint:allow(D7): Ecdf::new rejects empty samples, so sorted[0] exists
         self.sorted[0]
     }
 
     /// Maximum observation.
     pub fn max(&self) -> f64 {
-        // lint:allow(D4): Ecdf::new rejects empty samples, so `sorted` is never empty
+        // lint:allow(D4): Ecdf::new rejects empty samples, so `sorted` is never empty lint:allow(D7): same non-empty invariant
         *self.sorted.last().expect("non-empty")
     }
 

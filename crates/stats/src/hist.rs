@@ -101,8 +101,11 @@ impl Histogram {
             return;
         }
         let bins = self.counts.len();
+        // lint:allow(D7): float division never panics (bins >= 1 by construction)
         let width = (self.hi - self.lo) / bins as f64;
+        // lint:allow(D7): float division never panics; width is finite for a valid config
         let idx = (((v - self.lo) / width) as usize).min(bins - 1);
+        // lint:allow(D7): idx is clamped by .min(bins - 1)
         self.counts[idx] += 1;
     }
 

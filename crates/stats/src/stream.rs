@@ -343,9 +343,12 @@ impl QuantileSketch {
     }
 
     fn bin_record(&mut self, v: f64) {
+        // lint:allow(D7): float division never panics (bins >= 1 by construction)
         let width = (self.hi - self.lo) / self.bins as f64;
         let clamped = v.clamp(self.lo, self.hi);
+        // lint:allow(D7): float division never panics; width is finite for a valid config
         let idx = (((clamped - self.lo) / width) as usize).min(self.bins - 1);
+        // lint:allow(D7): idx is clamped by .min(self.bins - 1)
         self.counts[idx] += 1;
     }
 
@@ -548,6 +551,7 @@ impl QuantileSketch {
         if exact.iter().any(|v| !v.is_finite()) {
             return Err(StateError("non-finite value in exact sample"));
         }
+        // lint:allow(D7, n=2): windows(2) yields exactly 2-element slices
         if exact.windows(2).any(|w| w[0].total_cmp(&w[1]).is_gt()) {
             return Err(StateError("exact sample not sorted"));
         }

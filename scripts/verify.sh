@@ -14,9 +14,12 @@ trap 'rm -f results/.RUN_fp_* results/.SCALE_fp_* results/.ADAPT_fp_* \
 cargo build --release
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
-# Determinism/concurrency static analysis (rules D1-D5, DESIGN.md §3e):
-# exits non-zero with path:line diagnostics on any unwaived finding.
-cargo run -q --release -p eyeorg-lint --bin lint
+# Determinism/panic-surface/taint static analysis (rules D1-D8,
+# DESIGN.md §3e/§3j): exits non-zero with path:line diagnostics on any
+# finding not covered by an inline waiver or the checked-in D6 baseline
+# (crates/lint/lint-baseline.txt). The machine-readable report lands in
+# results/ so CI uploads it next to the bench artifacts.
+cargo run -q --release -p eyeorg-lint --bin lint -- --json-out results/LINT_report.json
 # Seeded-interleaving race exerciser: the campaign pipeline and the
 # capture cache's per-key OnceLock cells must produce identical digests
 # and counters at 1/2/4 threads under adversarial yield schedules. The

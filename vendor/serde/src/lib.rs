@@ -260,6 +260,7 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
         if items.len() != 2 {
             return Err(DeError(format!("expected 2 elements, got {}", items.len())));
         }
+        // lint:allow(D7, n=2): items.len() == 2 checked above
         Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
     }
 }
@@ -270,6 +271,7 @@ impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
         if items.len() != 3 {
             return Err(DeError(format!("expected 3 elements, got {}", items.len())));
         }
+        // lint:allow(D7, n=3): items.len() == 3 checked above
         Ok((A::from_value(&items[0])?, B::from_value(&items[1])?, C::from_value(&items[2])?))
     }
 }

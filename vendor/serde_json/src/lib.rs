@@ -40,6 +40,7 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
 }
 
 /// Parse a JSON document into `T`.
+// lint:entrypoint(untrusted)
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let value = parse_value(s)?;
     T::from_value(&value).map_err(|e| Error(e.0))
@@ -203,6 +204,7 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        // lint:allow(D7): pos <= bytes.len() is the parser cursor invariant
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(v)
@@ -287,6 +289,7 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
             out.push_str(
+                // lint:allow(D7): start <= pos <= bytes.len() by the scan loop above
                 std::str::from_utf8(&self.bytes[start..self.pos])
                     .map_err(|_| Error("invalid UTF-8 in string".into()))?,
             );
@@ -354,6 +357,7 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
+        // lint:allow(D7): start <= pos <= bytes.len() by the scan loop above
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| Error("invalid number".into()))?;
         if !is_float {
