@@ -19,9 +19,12 @@
 //!   stay bounded, (c) the flat engine clears the single-thread
 //!   regression floor over the streaming engine (see
 //!   [`FLAT_SPEEDUP_FLOOR`] for why the floor sits below the original
-//!   roadmap target), and (d) the streaming engine keeps its ≥10x
-//!   advantage over the materializing engine. Writes
-//!   `results/BENCH_scale.json`.
+//!   roadmap target), (d) the streaming engine keeps its ≥10x
+//!   advantage over the materializing engine, and (e) on boxes with
+//!   more than one hardware thread, the flat auto-thread sweep clears
+//!   [`PARALLEL_EFFICIENCY_FLOOR`] (on a 1-core box the measurement is
+//!   recorded but the gate is disarmed — pool = 1 reads ~1.0 by
+//!   definition). Writes `results/BENCH_scale.json`.
 //!
 //! Memory is reported two ways: the digest's own retained-bytes
 //! accounting (exact, hardware-independent) and the process peak-RSS
@@ -44,24 +47,46 @@ const MATERIALIZING_CAP: usize = 20_000;
 /// thread sweep (big enough to dominate fixed costs, small enough that
 /// the 1-thread streaming run stays cheap).
 const SWEEP_PARTICIPANTS: usize = 200_000;
-const FULL_SHARD: usize = 8192;
-const ALT_SHARD: usize = 4096;
+/// Shard size of the headline runs. The fast-path arena (DESIGN.md
+/// §3k) keeps per-cell sessions, leaf seeds and expanded RNG blocks
+/// resident for a whole shard, so the sweet spot moved down from the
+/// pre-fast-path 8192: 512 rows × 6 cells keeps the arena inside
+/// cache and measures ~20% faster on the reference box. Digest
+/// identity across shard sizes is gated below (and in the smoke
+/// matrix), so the knob is pure tuning.
+const FULL_SHARD: usize = 512;
+/// Contrast shard for the full-scale identity gate (the pre-fast-path
+/// headline size).
+const ALT_SHARD: usize = 8192;
 
 const SMOKE_SITES: usize = 4;
 const SMOKE_PARTICIPANTS: usize = 400;
 
 /// Single-thread flat-vs-streaming hard regression floor. The roadmap
 /// aimed for 3x (band 5–10x), but that target predates the measured
-/// cost split: ~70% of the streaming engine's single-thread time is the
-/// *seeded behavioural model* (persona + session + response draws),
-/// which byte-identity forbids touching, so removing all data-plane
-/// overhead caps the ratio near 1.5x on this workload (Amdahl). The
-/// floor protects the realised win from regressing; the measured ratio
-/// and the roadmap target are both recorded in `BENCH_scale.json`.
-const FLAT_SPEEDUP_FLOOR: f64 = 1.3;
+/// cost split: ~70% of the streaming engine's single-thread time was
+/// the *seeded behavioural model* (persona + session + response
+/// draws), which capped the ratio near 1.5x (Amdahl). The §3k fast
+/// path shrank that model term for **both** engines — draw-exact, so
+/// byte-identity holds — which lowers the ceiling on the *ratio* even
+/// as both absolute times improve; `perf_model` now gates the model
+/// term itself (1.8x gate), and this floor protects the flat engine's
+/// remaining structural win (arena batching + bulk seeding) from
+/// regressing: post-fast-path the ratio measures ~1.3x on the
+/// reference box, and the floor sits a noise margin below it. The
+/// measured ratio and the roadmap target are both recorded in
+/// `BENCH_scale.json`.
+const FLAT_SPEEDUP_FLOOR: f64 = 1.2;
 /// Roadmap item 4's original single-thread target, recorded for
 /// comparison against the measured ratio.
 const FLAT_SPEEDUP_TARGET: f64 = 3.0;
+/// Parallel-efficiency floor for the flat auto-thread sweep
+/// (auto-thread speedup over 1 thread, divided by the worker pool
+/// used). Gated only when the box actually has more than one hardware
+/// thread: on a 1-core box the sweep degenerates to pool = 1 and the
+/// ratio reads ~1.0 *by definition*, so gating (or advertising) it
+/// there would be vacuous — the residual of ROADMAP item 4.
+const PARALLEL_EFFICIENCY_FLOOR: f64 = 0.6;
 
 /// Peak resident set size in bytes (`VmHWM`), or 0 where unavailable.
 fn peak_rss_bytes() -> u64 {
@@ -293,12 +318,18 @@ fn full() {
     let flat_speedup_1t = flat_1t_pps / stream_1t_pps;
     let auto_threads = eyeorg_stats::effective_pool(eyeorg_stats::resolve_threads(0));
     // Parallel efficiency: auto-thread speedup over 1 thread, divided by
-    // the pool actually used (1.0 = perfect scaling; on a 1-core box the
-    // sweep degrades to pool=1 and efficiency reads ~1.0 by definition).
+    // the pool actually used (1.0 = perfect scaling). Only a real
+    // measurement when the hardware offers >1 thread; a 1-core box
+    // degrades the sweep to pool=1 and the ratio reads ~1.0 by
+    // definition, so the floor below is disarmed there.
     let parallel_efficiency = (flat_auto_pps / flat_1t_pps) / auto_threads.max(1) as f64;
+    // lint:allow(D8): hw_parallelism only arms the efficiency gate and annotates JSON metadata, never digest bytes
+    let hw_parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let par_eff_gated = hw_parallelism > 1;
     println!(
         "flat vs streaming, 1 thread: {flat_speedup_1t:.1}x \
-         (parallel efficiency at {auto_threads} threads: {parallel_efficiency:.2})"
+         (parallel efficiency at {auto_threads} threads: {parallel_efficiency:.2}{})",
+        if par_eff_gated { "" } else { ", ungated: 1 hardware thread" }
     );
 
     // Boundedness gate: once every sketch has spilled, the digest's
@@ -347,6 +378,14 @@ fn full() {
              {FLAT_SPEEDUP_FLOOR}x regression floor"
         );
     }
+    let par_eff_ok = !par_eff_gated || parallel_efficiency >= PARALLEL_EFFICIENCY_FLOOR;
+    if !par_eff_ok {
+        eprintln!(
+            "FAIL: parallel efficiency {parallel_efficiency:.2} at {auto_threads} threads \
+             is below the {PARALLEL_EFFICIENCY_FLOOR} floor ({hw_parallelism} hardware \
+             threads available)"
+        );
+    }
 
     let env = eyeorg_bench::env_metadata_json();
     let json = format!(
@@ -367,6 +406,10 @@ fn full() {
          \"flat_speedup_floor\": {FLAT_SPEEDUP_FLOOR},\n  \
          \"flat_speedup_roadmap_target\": {FLAT_SPEEDUP_TARGET},\n  \
          \"parallel_efficiency\": {parallel_efficiency:.3},\n  \
+         \"parallel_efficiency_floor\": {PARALLEL_EFFICIENCY_FLOOR},\n  \
+         \"hw_parallelism\": {hw_parallelism},\n  \
+         \"parallel_efficiency_gated\": {par_eff_gated},\n  \
+         \"parallel_efficiency_ok\": {par_eff_ok},\n  \
          \"materializing_participants\": {MATERIALIZING_CAP},\n  \
          \"materializing_secs\": {mat_secs:.6},\n  \
          \"materializing_participants_per_sec\": {materializing_pps:.1},\n  \
@@ -383,7 +426,7 @@ fn full() {
     std::fs::write("results/BENCH_scale.json", &json).expect("write BENCH_scale.json");
     println!("wrote results/BENCH_scale.json");
 
-    if !identical || !bounded || !speedup_ok || !flat_speedup_ok {
+    if !identical || !bounded || !speedup_ok || !flat_speedup_ok || !par_eff_ok {
         eprintln!("FAIL: scale gates not met");
         std::process::exit(1);
     }

@@ -204,16 +204,16 @@ pub fn adaptive_timeline_campaign(
         AdaptiveBackend::Streaming => {
             let pop = service.population();
             let frames = tl_frames(stimuli, threads);
-            let ctx = TlCtx {
+            let ctx = TlCtx::new(
                 stimuli,
-                frames: &frames,
-                pop: &pop,
+                &frames,
+                &pop,
                 cfg,
                 filters,
-                recruit_seed: seed.derive("recruit"),
-                assign_seed: seed.derive("timeline"),
-                params: sc.params,
-            };
+                seed.derive("recruit"),
+                seed.derive("timeline"),
+                sc.params,
+            );
             drive(stimuli, service, budget, sc, ac, |lo, hi, base, live| {
                 stream_tl_epoch(&ctx, lo, hi, threads, shard, base, live)
             })

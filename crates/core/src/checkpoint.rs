@@ -1297,16 +1297,16 @@ pub fn checkpointed_timeline_campaign(
             AdaptiveBackend::Streaming => {
                 let pop = service.population();
                 let frames = tl_frames(stimuli, threads);
-                let ctx = TlCtx {
+                let ctx = TlCtx::new(
                     stimuli,
-                    frames: &frames,
-                    pop: &pop,
+                    &frames,
+                    &pop,
                     cfg,
                     filters,
-                    recruit_seed: seed.derive("recruit"),
-                    assign_seed: seed.derive("timeline"),
-                    params: sc.params,
-                };
+                    seed.derive("recruit"),
+                    seed.derive("timeline"),
+                    sc.params,
+                );
                 drive_resumable(
                     stimuli,
                     service,
@@ -1414,16 +1414,16 @@ pub fn timeline_worker_checkpoint(
     let (folds, _) = match backend {
         AdaptiveBackend::Streaming => {
             let frames = tl_frames(stimuli, threads);
-            let ctx = TlCtx {
+            let ctx = TlCtx::new(
                 stimuli,
-                frames: &frames,
-                pop: &pop,
+                &frames,
+                &pop,
                 cfg,
                 filters,
                 recruit_seed,
-                assign_seed: seed.derive("timeline"),
-                params: sc.params,
-            };
+                seed.derive("timeline"),
+                sc.params,
+            );
             stream_tl_epoch(&ctx, lo, hi, threads, shard, admitted_before, &live)
         }
         AdaptiveBackend::Flat => {
@@ -1698,15 +1698,15 @@ pub fn ab_worker_checkpoint(
     } else {
         admitted_bases_range(0, lo, shard, threads, &pop, recruit_seed, 0).1
     };
-    let ctx = AbCtx {
+    let ctx = AbCtx::new(
         stimuli,
-        pop: &pop,
+        &pop,
         cfg,
         filters,
         recruit_seed,
-        assign_seed: seed.derive("ab-assign"),
-        side_seed: seed.derive("ab-side"),
-    };
+        seed.derive("ab-assign"),
+        seed.derive("ab-side"),
+    );
     let (folds, _) = stream_ab_epoch(&ctx, lo, hi, threads, shard, admitted_before);
     let mut acc = AbShard::new(stimuli);
     for fold in &folds {
@@ -1779,15 +1779,15 @@ pub fn checkpointed_ab_campaign(
     let shard = sc.shard_size.max(1);
     let chunk = ck.every_shards.max(1).saturating_mul(shard);
     let pop = service.population();
-    let ctx = AbCtx {
+    let ctx = AbCtx::new(
         stimuli,
-        pop: &pop,
+        &pop,
         cfg,
         filters,
-        recruit_seed: seed.derive("recruit"),
-        assign_seed: seed.derive("ab-assign"),
-        side_seed: seed.derive("ab-side"),
-    };
+        seed.derive("recruit"),
+        seed.derive("ab-assign"),
+        seed.derive("ab-side"),
+    );
     let (mut acc, mut processed) = match resume {
         None => (AbShard::new(stimuli), 0usize),
         Some(c) => {

@@ -15,49 +15,60 @@
 //! 2. Each shard works out of a reusable **arena** ([`TlScratch`]/
 //!    [`AbScratch`]) owned by its worker thread (via
 //!    [`par_map_range_scratch`]): flat per-cell arrays for personas,
-//!    picks, sessions, votes, and the per-stimulus row index. After
-//!    the first shard warms the capacities up, the inner loop
-//!    allocates nothing.
+//!    picks, sessions, and the per-stimulus row index, plus the
+//!    per-stimulus **seed plane** (`seed_buf`) and its bulk-expanded
+//!    generator block (`rngs`). After the first shard warms the
+//!    capacities up, the inner loop allocates nothing.
 //! 3. Within a shard the work runs **stimulus-blocked**: pass A draws
-//!    personas and gates them, pass B assigns stimuli and builds the
-//!    per-stimulus cell index, pass C serves all showings of stimulus
-//!    0, then all of stimulus 1, … (one plane's constants stay hot),
-//!    pass D answers the control questions, and pass E walks rows in
+//!    trait cursors and gates them (finishing traits only for served
+//!    rows), pass B assigns stimuli and builds the per-stimulus cell
+//!    index, pass C serves all showings of stimulus 0, then all of
+//!    stimulus 1, … — deriving each stimulus's behaviour leaf seeds
+//!    into a flat plane and expanding them into xoshiro256++ states in
+//!    one block — and pass D/E answers controls and walks rows in
 //!    ascending order folding filters, votes, and behaviour into the
-//!    same shard accumulators the streaming engine uses.
+//!    same shard accumulators the streaming engine uses. Slider
+//!    responses and A/B judgments are **demand-driven**: they are drawn
+//!    at push time, only for cells whose value actually reaches a live
+//!    digest (kept row, non-skipped session, live stimulus).
 //!
 //! ## Why the digest stays byte-identical
 //!
 //! Every random draw in the pipeline comes from an RNG seeded by
-//! `persona.seed` ⊕ a per-stimulus label — never from a shared stream —
-//! so *call order across (participant, stimulus) cells is immaterial*:
-//! reordering pass C by stimulus instead of by participant reads the
-//! exact same bits. What does carry order is the push sequence into
-//! each accumulator, and pass E replays it exactly as the streaming
-//! engine does: rows ascending, slots in presentation order. Counters
-//! (gate, responses, filters, controls) are pure totals. The
-//! `streaming_equivalence` and `streaming_counters` tests pin both
-//! engines to each other across shard sizes and thread counts.
+//! `persona.seed ⊕ activity label ⊕ per-stimulus label` — never from a
+//! shared stream — so *call order across (participant, stimulus) cells
+//! is immaterial*: reordering pass C by stimulus instead of by
+//! participant, bulk-seeding a whole stimulus block, or not drawing a
+//! response whose value no accumulator consumes reads the exact same
+//! bits everywhere else. What does carry order is the push sequence
+//! into each accumulator, and pass E replays it exactly as the
+//! streaming engine does: rows ascending, slots in presentation order.
+//! Counters (gate, responses, filters, controls) are pure totals and
+//! are bumped in pass C regardless of whether the value is later
+//! consumed. The `streaming_equivalence` and `streaming_counters` tests
+//! pin both engines to each other across shard sizes and thread counts.
 
-use eyeorg_crowd::{
-    ab_control_flat, judge_pair_flat, timeline_control_passes_flat, timeline_response_flat,
-    total_time_on_site_persona, video_session_profiled, AbAnswer, Persona, RecruitmentService,
-    SessionProfile, TestKind, TimelineStimulusProfile, VideoSession,
+use eyeorg_crowd::fastpath::{
+    self, judge_pair_seeded, session_seed, timeline_control_seeded, timeline_response_seeded,
+    video_session_from_rng,
 };
+use eyeorg_crowd::{
+    ModelSeeds, Persona, RecruitmentService, SessionProfile, TestKind, TimelineStimulusProfile,
+    VideoSession,
+};
+use eyeorg_stats::rng::Rng;
 use eyeorg_stats::{par_map_range, par_map_range_scratch, resolve_threads, Seed};
 use eyeorg_video::FrameTimeline;
 
-use crate::analysis::BehaviorPoint;
 use crate::campaign::{AbVerdict, ControlRow};
+use crate::digest::DigestParams;
 use crate::digest::{AbDigest, TimelineDigest};
 use crate::experiment::{a_on_left, assign_into, AbStimulus, ExperimentConfig, TimelineStimulus};
 use crate::filtering::{decide, FilterDecision, ParticipantFilter};
-use crate::digest::DigestParams;
 use crate::stream::{
-    admitted_bases, admitted_bases_range, merge_ab_shards, merge_tl_shards, AbShard, StreamConfig,
-    TlShard,
+    admitted_bases, admitted_bases_range, behavior_point_persona, merge_ab_shards,
+    merge_tl_shards, AbShard, StreamConfig, TlShard,
 };
-use crate::validation::captcha_admits_persona;
 
 /// Per-stimulus constants of a timeline campaign, hoisted out of the
 /// inner loop: the response model's profile, the behaviour model's
@@ -91,6 +102,9 @@ impl TlPlane {
 struct TlScratch {
     /// Served personas, one per row.
     personas: Vec<Persona>,
+    /// Hoisted per-activity parent seeds, one per row — derived once
+    /// instead of once per (cell, draw site).
+    seeds: Vec<ModelSeeds>,
     /// Admitted index per row. Equal to `shard base + row` under an
     /// all-live mask; under an adaptive mask, pruned participants still
     /// consume admitted indices, so rows are a *subset* of the admitted
@@ -102,12 +116,15 @@ struct TlScratch {
     pick_buf: Vec<usize>,
     /// Session per cell (filled out of row order by pass C).
     sessions: Vec<Option<VideoSession>>,
-    /// Submitted response per cell (valid where `voted`).
-    votes: Vec<f64>,
     /// Whether the cell produced a response (not skipped).
     voted: Vec<bool>,
     /// Per-stimulus list of cells, the pass-C iteration order.
     stim_rows: Vec<Vec<u32>>,
+    /// The per-stimulus seed plane: one behaviour leaf seed per showing
+    /// of the current stimulus, derived in a flat pass.
+    seed_buf: Vec<u64>,
+    /// The seed plane bulk-expanded into generator states.
+    rngs: Vec<Rng>,
     /// Contiguous per-row session slice handed to the filters.
     row_buf: Vec<VideoSession>,
 }
@@ -116,13 +133,15 @@ impl TlScratch {
     fn new(n_stimuli: usize) -> TlScratch {
         TlScratch {
             personas: Vec::new(),
+            seeds: Vec::new(),
             row_pi: Vec::new(),
             picks: Vec::new(),
             pick_buf: Vec::new(),
             sessions: Vec::new(),
-            votes: Vec::new(),
             voted: Vec::new(),
             stim_rows: (0..n_stimuli).map(|_| Vec::new()).collect(),
+            seed_buf: Vec::new(),
+            rngs: Vec::new(),
             row_buf: Vec::new(),
         }
     }
@@ -130,10 +149,10 @@ impl TlScratch {
     /// Reset row state for a new shard, keeping every capacity.
     fn reset(&mut self) {
         self.personas.clear();
+        self.seeds.clear();
         self.row_pi.clear();
         self.picks.clear();
         self.sessions.clear();
-        self.votes.clear();
         self.voted.clear();
         for rows in &mut self.stim_rows {
             rows.clear();
@@ -144,7 +163,6 @@ impl TlScratch {
     fn size_cells(&mut self, cells: usize) {
         self.picks.resize(cells, 0);
         self.sessions.resize(cells, None);
-        self.votes.resize(cells, 0.0);
         self.voted.resize(cells, false);
     }
 }
@@ -212,30 +230,21 @@ impl<'a> FlatTlCtx<'a> {
         arena.reset();
 
         // Pass A: humanness gate (and, under an adaptive mask, whole-
-        // participant pruning); one persona per *served* row. Pruned
-        // participants still consume their admitted index — that keeps
+        // participant pruning); one persona per *served* row. The trait
+        // stream is paused at the class draw, so gate-rejected and
+        // pruned participants never pay for the rest of their trait
+        // draws — they still consume their admitted index, keeping
         // every later participant's assignment equal to the full run's.
         let mut admitted_in_shard = 0u64;
         for i in lo..hi {
-            if all_live {
-                let p = self.pop.generate_persona(self.recruit_seed, i as u64);
-                if captcha_admits_persona(&p) {
-                    arena.row_pi.push(base + admitted_in_shard);
-                    admitted_in_shard += 1;
-                    arena.personas.push(p);
-                } else {
-                    fold.rejected += 1;
-                }
-            } else {
-                // Gate with the cheap two-draw pre-pass; trait-generate
-                // only participants that will actually be served.
-                let (pseed, class) = self.pop.generate_gate(self.recruit_seed, i as u64);
-                if !crate::validation::captcha_admits_gate(pseed, class) {
-                    fold.rejected += 1;
-                    continue;
-                }
-                let my_pi = base + admitted_in_shard;
-                admitted_in_shard += 1;
+            let cur = self.pop.start_traits(self.recruit_seed, i as u64);
+            if !crate::validation::captcha_admits_gate(cur.seed(), cur.class()) {
+                fold.rejected += 1;
+                continue;
+            }
+            let my_pi = base + admitted_in_shard;
+            admitted_in_shard += 1;
+            if !all_live {
                 assign_into(
                     self.assign_seed,
                     my_pi,
@@ -247,9 +256,11 @@ impl<'a> FlatTlCtx<'a> {
                     fold.pruned += 1;
                     continue;
                 }
-                arena.row_pi.push(my_pi);
-                arena.personas.push(self.pop.generate_persona(self.recruit_seed, i as u64));
             }
+            arena.row_pi.push(my_pi);
+            let p = cur.finish(&self.pop);
+            arena.seeds.push(ModelSeeds::of(p.seed));
+            arena.personas.push(p);
         }
         let rows = arena.personas.len();
         fold.admitted = rows as u64;
@@ -272,23 +283,32 @@ impl<'a> FlatTlCtx<'a> {
         }
 
         // Pass C: serve stimulus-blocked — one plane's constants
-        // (profile, rewind table, labels) stay hot across all of
-        // its showings in the shard. Stopped stimuli are still served
-        // (their sessions feed the filters); only the digest push is
-        // masked, in pass E.
+        // (profile, labels) stay hot across all of its showings in the
+        // shard. The stimulus's behaviour leaf seeds are derived into a
+        // flat plane and expanded into generator states in one block.
+        // Stopped stimuli are still served (their sessions feed the
+        // filters); only the digest push is masked, in pass E.
         for (si, plane) in self.planes.iter().enumerate() {
-            for &cell in &arena.stim_rows[si] {
+            arena.seed_buf.clear();
+            arena.seed_buf.extend(
+                arena.stim_rows[si]
+                    .iter()
+                    .map(|&cell| session_seed(&arena.seeds[cell as usize / k], &plane.label)),
+            );
+            Rng::seed_block(&arena.seed_buf, &mut arena.rngs);
+            for (j, &cell) in arena.stim_rows[si].iter().enumerate() {
                 let cell = cell as usize;
                 let p = &arena.personas[cell / k];
-                let session =
-                    video_session_profiled(&plane.session, p, TestKind::Timeline, &plane.label);
+                let session = video_session_from_rng(
+                    &plane.session,
+                    p,
+                    TestKind::Timeline,
+                    arena.rngs[j].clone(),
+                );
                 if session.skipped {
                     fold.skipped += 1;
                 } else {
-                    let resp = timeline_response_flat(&plane.profile, &plane.rewinds, p,
-                        &plane.label);
                     fold.collected += 1;
-                    arena.votes[cell] = resp.submitted.as_secs_f64();
                     arena.voted[cell] = true;
                 }
                 arena.sessions[cell] = Some(session);
@@ -297,21 +317,23 @@ impl<'a> FlatTlCtx<'a> {
 
         // Passes D+E: controls, filters, and the order-pinned fold
         // — rows ascending, slots in presentation order, exactly
-        // the streaming engine's push sequence.
+        // the streaming engine's push sequence. Slider responses are
+        // drawn here, on demand: only cells whose value reaches a live
+        // digest pay for the response model (the response stream is
+        // per-cell independent, so eliding the rest perturbs nothing).
         for row in 0..rows {
             let my_pi = arena.row_pi[row];
-            let base = row * k;
+            let cbase = row * k;
             arena.row_buf.clear();
             arena.row_buf.extend(
                 // lint:allow(D4): pass C fills every cell — each (row, slot) belongs to exactly one stim_rows bucket
-                arena.sessions[base..base + k].iter().map(|o| o.expect("cell served")),
+                arena.sessions[cbase..cbase + k].iter().map(|o| o.expect("cell served")),
             );
+            let p = &arena.personas[row];
+            let mseeds = &arena.seeds[row];
             let control = self.cfg.with_controls.then(|| {
-                let ctrl = arena.picks[base] as usize;
-                let passed = timeline_control_passes_flat(
-                    &arena.personas[row],
-                    &self.planes[ctrl].ctrl_label,
-                );
+                let ctrl = arena.picks[cbase] as usize;
+                let passed = timeline_control_seeded(p, mseeds, &self.planes[ctrl].ctrl_label);
                 ControlRow { participant: my_pi as usize, passed }
             });
             if let Some(c) = &control {
@@ -328,16 +350,25 @@ impl<'a> FlatTlCtx<'a> {
             fold.filters.record(d);
             if d == FilterDecision::Kept {
                 for slot in 0..k {
-                    let si = arena.picks[base + slot] as usize;
-                    if arena.voted[base + slot] && live[si] {
-                        fold.stimuli[si].push(arena.votes[base + slot]);
+                    let si = arena.picks[cbase + slot] as usize;
+                    if arena.voted[cbase + slot] && live[si] {
+                        let plane = &self.planes[si];
+                        let resp = timeline_response_seeded(
+                            &plane.profile,
+                            &plane.rewinds,
+                            p,
+                            mseeds,
+                            &plane.label,
+                        );
+                        fold.stimuli[si].push(resp.submitted.as_secs_f64());
                     }
                 }
             }
             fold.behavior.push(&behavior_point_persona(
                 my_pi as usize,
                 &arena.row_buf,
-                &arena.personas[row],
+                p,
+                mseeds,
             ));
         }
         fold
@@ -450,15 +481,18 @@ impl AbPlane {
     }
 }
 
-/// [`TlScratch`]'s A/B twin: verdicts instead of slider votes.
+/// [`TlScratch`]'s A/B twin. Verdicts are not stored: judgments are
+/// demand-driven, drawn in the fold pass only for kept rows.
 struct AbScratch {
     personas: Vec<Persona>,
+    seeds: Vec<ModelSeeds>,
     picks: Vec<u32>,
     pick_buf: Vec<usize>,
     sessions: Vec<Option<VideoSession>>,
-    verdicts: Vec<AbVerdict>,
     voted: Vec<bool>,
     stim_rows: Vec<Vec<u32>>,
+    seed_buf: Vec<u64>,
+    rngs: Vec<Rng>,
     row_buf: Vec<VideoSession>,
 }
 
@@ -466,21 +500,23 @@ impl AbScratch {
     fn new(n_stimuli: usize) -> AbScratch {
         AbScratch {
             personas: Vec::new(),
+            seeds: Vec::new(),
             picks: Vec::new(),
             pick_buf: Vec::new(),
             sessions: Vec::new(),
-            verdicts: Vec::new(),
             voted: Vec::new(),
             stim_rows: (0..n_stimuli).map(|_| Vec::new()).collect(),
+            seed_buf: Vec::new(),
+            rngs: Vec::new(),
             row_buf: Vec::new(),
         }
     }
 
     fn reset(&mut self) {
         self.personas.clear();
+        self.seeds.clear();
         self.picks.clear();
         self.sessions.clear();
-        self.verdicts.clear();
         self.voted.clear();
         for rows in &mut self.stim_rows {
             rows.clear();
@@ -490,7 +526,6 @@ impl AbScratch {
     fn size_cells(&mut self, cells: usize) {
         self.picks.resize(cells, 0);
         self.sessions.resize(cells, None);
-        self.verdicts.resize(cells, AbVerdict::NoDifference);
         self.voted.resize(cells, false);
     }
 }
@@ -533,9 +568,13 @@ pub fn flat_ab_campaign(
             let mut fold = AbShard::new(stimuli);
             arena.reset();
 
+            // Pass A: gate on the class-only trait prefix; rejected
+            // participants never pay for the rest of their trait draws.
             for i in lo..hi {
-                let p = pop.generate_persona(recruit_seed, i as u64);
-                if captcha_admits_persona(&p) {
+                let cur = pop.start_traits(recruit_seed, i as u64);
+                if crate::validation::captcha_admits_gate(cur.seed(), cur.class()) {
+                    let p = cur.finish(&pop);
+                    arena.seeds.push(ModelSeeds::of(p.seed));
                     arena.personas.push(p);
                 } else {
                     fold.rejected += 1;
@@ -556,16 +595,32 @@ pub fn flat_ab_campaign(
                 }
             }
 
+            // Pass C: sessions only, bulk-seeded per stimulus. The
+            // judgment draw is deferred to the fold pass — its value is
+            // consumed only when the row survives the filters, but the
+            // cast/skip counters and show tallies are totals over every
+            // showing and are bumped here.
             for (si, plane) in planes.iter().enumerate() {
+                arena.seed_buf.clear();
+                arena.seed_buf.extend(
+                    arena.stim_rows[si]
+                        .iter()
+                        .map(|&cell| session_seed(&arena.seeds[cell as usize / k], &plane.label)),
+                );
+                Rng::seed_block(&arena.seed_buf, &mut arena.rngs);
                 let acc = &mut fold.stimuli[si];
-                for &cell in &arena.stim_rows[si] {
+                for (j, &cell) in arena.stim_rows[si].iter().enumerate() {
                     let cell = cell as usize;
                     let row = cell / k;
                     let my_pi = bases[s] + row as u64;
                     let p = &arena.personas[row];
                     let a_left = a_on_left(side_seed, my_pi, si);
-                    let session =
-                        video_session_profiled(&plane.session, p, TestKind::Ab, &plane.label);
+                    let session = video_session_from_rng(
+                        &plane.session,
+                        p,
+                        TestKind::Ab,
+                        arena.rngs[j].clone(),
+                    );
                     acc.shows += 1;
                     if a_left {
                         acc.a_left_shows += 1;
@@ -573,18 +628,7 @@ pub fn flat_ab_campaign(
                     if session.skipped {
                         fold.skipped += 1;
                     } else {
-                        let (l, r) = if a_left {
-                            (plane.ready_a.get(p.readiness), plane.ready_b.get(p.readiness))
-                        } else {
-                            (plane.ready_b.get(p.readiness), plane.ready_a.get(p.readiness))
-                        };
-                        let answer = judge_pair_flat(l, r, p, &plane.label);
                         fold.cast += 1;
-                        arena.verdicts[cell] = match (answer, a_left) {
-                            (AbAnswer::NoDifference, _) => AbVerdict::NoDifference,
-                            (AbAnswer::Left, true) | (AbAnswer::Right, false) => AbVerdict::AFaster,
-                            (AbAnswer::Left, false) | (AbAnswer::Right, true) => AbVerdict::BFaster,
-                        };
                         arena.voted[cell] = true;
                     }
                     arena.sessions[cell] = Some(session);
@@ -593,18 +637,20 @@ pub fn flat_ab_campaign(
 
             for row in 0..rows {
                 let my_pi = bases[s] + row as u64;
-                let base = row * k;
+                let cbase = row * k;
                 arena.row_buf.clear();
                 arena.row_buf.extend(
                     // lint:allow(D4): pass C fills every cell — each (row, slot) belongs to exactly one stim_rows bucket
-                    arena.sessions[base..base + k].iter().map(|o| o.expect("cell served")),
+                    arena.sessions[cbase..cbase + k].iter().map(|o| o.expect("cell served")),
                 );
+                let p = &arena.personas[row];
+                let mseeds = &arena.seeds[row];
                 let control = cfg.with_controls.then(|| {
-                    let ctrl = arena.picks[base] as usize;
-                    let p = &arena.personas[row];
-                    let (_, passed) = ab_control_flat(
+                    let ctrl = arena.picks[cbase] as usize;
+                    let (_, passed) = fastpath::ab_control_seeded(
                         planes[ctrl].ready_a.get(p.readiness),
                         p,
+                        mseeds,
                         &planes[ctrl].label,
                     );
                     ControlRow { participant: my_pi as usize, passed }
@@ -623,17 +669,32 @@ pub fn flat_ab_campaign(
                 fold.filters.record(d);
                 if d == FilterDecision::Kept {
                     for slot in 0..k {
-                        if arena.voted[base + slot] {
-                            fold.stimuli[arena.picks[base + slot] as usize]
-                                .tally
-                                .record(arena.verdicts[base + slot]);
+                        let cell = cbase + slot;
+                        if arena.voted[cell] {
+                            let si = arena.picks[cell] as usize;
+                            let plane = &planes[si];
+                            let a_left = a_on_left(side_seed, my_pi, si);
+                            let (l, r) = if a_left {
+                                (plane.ready_a.get(p.readiness), plane.ready_b.get(p.readiness))
+                            } else {
+                                (plane.ready_b.get(p.readiness), plane.ready_a.get(p.readiness))
+                            };
+                            let answer = judge_pair_seeded(l, r, p, mseeds, &plane.label);
+                            fold.stimuli[si].tally.record(match (answer, a_left) {
+                                (eyeorg_crowd::AbAnswer::NoDifference, _) => AbVerdict::NoDifference,
+                                (eyeorg_crowd::AbAnswer::Left, true)
+                                | (eyeorg_crowd::AbAnswer::Right, false) => AbVerdict::AFaster,
+                                (eyeorg_crowd::AbAnswer::Left, false)
+                                | (eyeorg_crowd::AbAnswer::Right, true) => AbVerdict::BFaster,
+                            });
                         }
                     }
                 }
                 fold.behavior.push(&behavior_point_persona(
                     my_pi as usize,
                     &arena.row_buf,
-                    &arena.personas[row],
+                    p,
+                    mseeds,
                 ));
             }
             fold.bump_counters();
@@ -642,23 +703,4 @@ pub fn flat_ab_campaign(
     );
 
     merge_ab_shards(stimuli, service, n_participants, &folds)
-}
-
-/// [`crate::stream`]'s behaviour point, from a trait-core persona.
-fn behavior_point_persona(
-    participant: usize,
-    sessions: &[VideoSession],
-    p: &Persona,
-) -> BehaviorPoint {
-    let total = total_time_on_site_persona(sessions, p);
-    BehaviorPoint {
-        participant,
-        minutes_on_site: total.as_secs_f64() / 60.0,
-        actions: sessions.iter().map(|s| s.actions()).sum(),
-        out_of_focus_secs: sessions.iter().map(|s| s.out_of_focus.as_secs_f64()).sum(),
-        max_video_load_secs: sessions
-            .iter()
-            .map(|s| s.video_load.as_secs_f64())
-            .fold(0.0, f64::max),
-    }
 }

@@ -29,8 +29,10 @@
 //! regeneration cost is two cheap participant draws per index — far
 //! below one video session.
 
-use eyeorg_crowd::{behavior, timeline_control_passes, timeline_response_shared, AbAnswer,
-    RecruitmentService, TestKind};
+use eyeorg_crowd::fastpath::{
+    self, timeline_control_seeded, timeline_response_shared_seeded, video_session_seeded,
+};
+use eyeorg_crowd::{AbAnswer, ModelSeeds, Persona, RecruitmentService, SessionProfile, TestKind};
 use eyeorg_stats::{par_map_range, resolve_threads, Seed};
 use eyeorg_video::FrameTimeline;
 
@@ -131,6 +133,48 @@ pub(crate) struct TlCtx<'a> {
     pub(crate) recruit_seed: Seed,
     pub(crate) assign_seed: Seed,
     pub(crate) params: DigestParams,
+    /// Per-stimulus `"tl-{si}"` labels, formatted once per campaign
+    /// instead of once per (participant, stimulus) cell.
+    pub(crate) labels: Vec<String>,
+    /// Per-stimulus `"ctrl-tl-{si}"` control labels.
+    pub(crate) ctrl_labels: Vec<String>,
+    /// Per-stimulus behaviour-model constants.
+    pub(crate) profiles: Vec<SessionProfile>,
+}
+
+impl<'a> TlCtx<'a> {
+    /// Bundle the shared read-only campaign state, precomputing the
+    /// per-stimulus label and session-profile caches the inner loops
+    /// used to rebuild per cell.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        stimuli: &'a [TimelineStimulus],
+        frames: &'a [FrameTimeline],
+        pop: &'a eyeorg_crowd::PopulationProfile,
+        cfg: &'a ExperimentConfig,
+        filters: &'a [Box<dyn ParticipantFilter + Send + Sync>],
+        recruit_seed: Seed,
+        assign_seed: Seed,
+        params: DigestParams,
+    ) -> TlCtx<'a> {
+        let labels = (0..stimuli.len()).map(|si| format!("tl-{si}")).collect();
+        let ctrl_labels = (0..stimuli.len()).map(|si| format!("ctrl-tl-{si}")).collect();
+        let profiles =
+            stimuli.iter().map(|st| SessionProfile::of(&st.video, TestKind::Timeline)).collect();
+        TlCtx {
+            stimuli,
+            frames,
+            pop,
+            cfg,
+            filters,
+            recruit_seed,
+            assign_seed,
+            params,
+            labels,
+            ctrl_labels,
+            profiles,
+        }
+    }
 }
 
 /// The timeline engine's inner loop over participant indices
@@ -163,56 +207,50 @@ pub(crate) fn tl_fold_range(
     let mut fold = TlShard::new(ctx.stimuli, &ctx.params);
     let mut pi = base;
     for i in lo..hi {
-        let my_pi;
-        let p;
-        let picks;
-        if all_live {
-            let cand = ctx.pop.generate_one(ctx.recruit_seed, i as u64);
-            if !crate::validation::captcha_admits(&cand) {
-                fold.rejected += 1;
-                continue;
-            }
-            my_pi = pi;
-            pi += 1;
-            picks =
-                assign(ctx.assign_seed, my_pi, ctx.stimuli.len(), ctx.cfg.videos_per_participant);
-            p = cand;
-        } else {
-            // Gate with the cheap two-draw pre-pass; defer full trait
-            // generation until the participant is known to be served.
-            let (pseed, class) = ctx.pop.generate_gate(ctx.recruit_seed, i as u64);
-            if !crate::validation::captcha_admits_gate(pseed, class) {
-                fold.rejected += 1;
-                continue;
-            }
-            my_pi = pi;
-            pi += 1;
-            picks =
-                assign(ctx.assign_seed, my_pi, ctx.stimuli.len(), ctx.cfg.videos_per_participant);
-            if !picks.iter().any(|&si| live[si]) {
-                fold.pruned += 1;
-                continue;
-            }
-            p = ctx.pop.generate_one(ctx.recruit_seed, i as u64);
+        // Demand-driven generation: pause the trait stream at the class
+        // draw, gate on the (independent) captcha stream, and pay for
+        // the remaining trait draws only when the participant is
+        // actually served. Gate-rejected and adaptive-pruned
+        // participants skip the model work their outputs never reach.
+        let cur = ctx.pop.start_traits(ctx.recruit_seed, i as u64);
+        if !crate::validation::captcha_admits_gate(cur.seed(), cur.class()) {
+            fold.rejected += 1;
+            continue;
         }
+        let my_pi = pi;
+        pi += 1;
+        let picks =
+            assign(ctx.assign_seed, my_pi, ctx.stimuli.len(), ctx.cfg.videos_per_participant);
+        if !all_live && !picks.iter().any(|&si| live[si]) {
+            fold.pruned += 1;
+            continue;
+        }
+        let p = cur.finish(ctx.pop);
+        let mseeds = ModelSeeds::of(p.seed);
         fold.admitted += 1;
         let mut sessions = Vec::with_capacity(picks.len());
         let mut responses: Vec<(usize, f64)> = Vec::with_capacity(picks.len());
         for &si in &picks {
-            let label = format!("tl-{si}");
-            let video = &ctx.stimuli[si].video;
-            let session = behavior::video_session(video, &p, TestKind::Timeline, &label);
+            let label = &ctx.labels[si];
+            let session =
+                video_session_seeded(&ctx.profiles[si], &p, TestKind::Timeline, &mseeds, label);
             if session.skipped {
                 fold.skipped += 1;
             } else {
-                let resp = timeline_response_shared(video, &ctx.frames[si], &p, &label);
+                let resp = timeline_response_shared_seeded(
+                    &ctx.stimuli[si].video,
+                    &ctx.frames[si],
+                    &p,
+                    &mseeds,
+                    label,
+                );
                 fold.collected += 1;
                 responses.push((si, resp.submitted.as_secs_f64()));
             }
             sessions.push(session);
         }
         let control = ctx.cfg.with_controls.then(|| {
-            let passed = timeline_control_passes(&p, &format!("tl-{}", picks[0]));
+            let passed = timeline_control_seeded(&p, &mseeds, &ctx.ctrl_labels[picks[0]]);
             ControlRow { participant: my_pi as usize, passed }
         });
         if let Some(c) = &control {
@@ -228,7 +266,7 @@ pub(crate) fn tl_fold_range(
                 }
             }
         }
-        fold.behavior.push(&behavior_point_of(my_pi as usize, &sessions, &p));
+        fold.behavior.push(&behavior_point_persona(my_pi as usize, &sessions, &p, &mseeds));
     }
     fold
 }
@@ -300,16 +338,8 @@ pub fn stream_timeline_campaign(
     let frames = tl_frames(stimuli, threads);
 
     let live = vec![true; stimuli.len()];
-    let ctx = TlCtx {
-        stimuli,
-        frames: &frames,
-        pop: &pop,
-        cfg,
-        filters,
-        recruit_seed,
-        assign_seed,
-        params: sc.params,
-    };
+    let ctx =
+        TlCtx::new(stimuli, &frames, &pop, cfg, filters, recruit_seed, assign_seed, sc.params);
 
     // Pass 2: generate, serve, filter, fold.
     let folds: Vec<TlShard> = par_map_range(shards, threads, |s| {
@@ -452,6 +482,36 @@ pub(crate) struct AbCtx<'a> {
     pub(crate) recruit_seed: Seed,
     pub(crate) assign_seed: Seed,
     pub(crate) side_seed: Seed,
+    /// Per-stimulus `"ab-{si}"` labels, formatted once per campaign.
+    pub(crate) labels: Vec<String>,
+    /// Per-stimulus behaviour profile of the longer capture (what the
+    /// participant must sit through).
+    pub(crate) profiles: Vec<SessionProfile>,
+}
+
+impl<'a> AbCtx<'a> {
+    /// Bundle the shared read-only campaign state, precomputing the
+    /// per-stimulus label and session-profile caches.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        stimuli: &'a [AbStimulus],
+        pop: &'a eyeorg_crowd::PopulationProfile,
+        cfg: &'a ExperimentConfig,
+        filters: &'a [Box<dyn ParticipantFilter + Send + Sync>],
+        recruit_seed: Seed,
+        assign_seed: Seed,
+        side_seed: Seed,
+    ) -> AbCtx<'a> {
+        let labels = (0..stimuli.len()).map(|si| format!("ab-{si}")).collect();
+        let profiles = stimuli
+            .iter()
+            .map(|st| {
+                let longer = if st.a.duration() >= st.b.duration() { &st.a } else { &st.b };
+                SessionProfile::of(longer, TestKind::Ab)
+            })
+            .collect();
+        AbCtx { stimuli, pop, cfg, filters, recruit_seed, assign_seed, side_seed, labels, profiles }
+    }
 }
 
 /// The A/B engine's inner loop over participant indices `[lo, hi)`
@@ -460,24 +520,29 @@ pub(crate) fn ab_fold_range(ctx: &AbCtx<'_>, lo: usize, hi: usize, base: u64) ->
     let mut fold = AbShard::new(ctx.stimuli);
     let mut pi = base;
     for i in lo..hi {
-        let p = ctx.pop.generate_one(ctx.recruit_seed, i as u64);
-        if !crate::validation::captcha_admits(&p) {
+        // Demand-driven generation, as in the timeline loop: gate on
+        // the class-only trait prefix; rejected participants never pay
+        // for the rest of their trait draws.
+        let cur = ctx.pop.start_traits(ctx.recruit_seed, i as u64);
+        if !crate::validation::captcha_admits_gate(cur.seed(), cur.class()) {
             fold.rejected += 1;
             continue;
         }
         let my_pi = pi;
         pi += 1;
         fold.admitted += 1;
+        let p = cur.finish(ctx.pop);
+        let mseeds = ModelSeeds::of(p.seed);
         let picks =
             assign(ctx.assign_seed, my_pi, ctx.stimuli.len(), ctx.cfg.videos_per_participant);
         let mut sessions = Vec::with_capacity(picks.len());
         let mut verdicts: Vec<(usize, AbVerdict)> = Vec::with_capacity(picks.len());
         for &si in &picks {
-            let label = format!("ab-{si}");
+            let label = &ctx.labels[si];
             let a_left = a_on_left(ctx.side_seed, my_pi, si);
             let st = &ctx.stimuli[si];
-            let longer = if st.a.duration() >= st.b.duration() { &st.a } else { &st.b };
-            let session = behavior::video_session(longer, &p, TestKind::Ab, &label);
+            let session =
+                video_session_seeded(&ctx.profiles[si], &p, TestKind::Ab, &mseeds, label);
             let acc = &mut fold.stimuli[si];
             acc.shows += 1;
             if a_left {
@@ -487,7 +552,7 @@ pub(crate) fn ab_fold_range(ctx: &AbCtx<'_>, lo: usize, hi: usize, base: u64) ->
                 fold.skipped += 1;
             } else {
                 let (left, right) = if a_left { (&st.a, &st.b) } else { (&st.b, &st.a) };
-                let answer = eyeorg_crowd::ab_response(left, right, &p, &label);
+                let answer = fastpath::ab_response_seeded(left, right, &p, &mseeds, label);
                 fold.cast += 1;
                 verdicts.push((
                     si,
@@ -502,8 +567,8 @@ pub(crate) fn ab_fold_range(ctx: &AbCtx<'_>, lo: usize, hi: usize, base: u64) ->
         }
         let control = ctx.cfg.with_controls.then(|| {
             let ctrl = picks[0];
-            let (_, passed) =
-                eyeorg_crowd::ab_control(&ctx.stimuli[ctrl].a, &p, &format!("ab-{ctrl}"));
+            let ready = eyeorg_crowd::true_ready_time(&ctx.stimuli[ctrl].a, p.readiness);
+            let (_, passed) = fastpath::ab_control_seeded(ready, &p, &mseeds, &ctx.labels[ctrl]);
             ControlRow { participant: my_pi as usize, passed }
         });
         if let Some(c) = &control {
@@ -517,7 +582,7 @@ pub(crate) fn ab_fold_range(ctx: &AbCtx<'_>, lo: usize, hi: usize, base: u64) ->
                 fold.stimuli[si].tally.record(v);
             }
         }
-        fold.behavior.push(&behavior_point_of(my_pi as usize, &sessions, &p));
+        fold.behavior.push(&behavior_point_persona(my_pi as usize, &sessions, &p, &mseeds));
     }
     fold
 }
@@ -568,7 +633,7 @@ pub fn stream_ab_campaign(
     let assign_seed = seed.derive("ab-assign");
     let side_seed = seed.derive("ab-side");
 
-    let ctx = AbCtx { stimuli, pop: &pop, cfg, filters, recruit_seed, assign_seed, side_seed };
+    let ctx = AbCtx::new(stimuli, &pop, cfg, filters, recruit_seed, assign_seed, side_seed);
     let (folds, _) = stream_ab_epoch(&ctx, 0, n_participants, threads, shard, 0);
 
     merge_ab_shards(stimuli, service, n_participants, &folds)
@@ -662,12 +727,16 @@ pub(crate) fn admitted_bases_range(
     (bases, acc - base)
 }
 
-pub(crate) fn behavior_point_of(
+/// The behaviour-scatter point for one served participant, with the
+/// instruction-time draw taken from the hoisted `"behavior"` parent.
+/// Shared by the streaming and flat engines.
+pub(crate) fn behavior_point_persona(
     participant: usize,
     sessions: &[eyeorg_crowd::VideoSession],
-    p: &eyeorg_crowd::Participant,
+    p: &Persona,
+    seeds: &ModelSeeds,
 ) -> BehaviorPoint {
-    let total = eyeorg_crowd::total_time_on_site(sessions, p);
+    let total = fastpath::total_time_on_site_seeded(sessions, p, seeds);
     BehaviorPoint {
         participant,
         minutes_on_site: total.as_secs_f64() / 60.0,

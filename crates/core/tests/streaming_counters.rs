@@ -64,6 +64,27 @@ fn counter_fingerprints_match_across_engines_shards_and_threads() {
         }
     }
 
+    // Chaos schedules must not leak into the counters either: the
+    // demand-driven fold bumps collected/skipped as pure per-shard
+    // totals, so permuted worker interleavings land on the same
+    // fingerprint.
+    for chaos in [7u64, 23] {
+        eyeorg_stats::set_chaos_seed(chaos);
+        eyeorg_obs::reset();
+        let _ = flat_timeline_campaign(
+            &tl,
+            &CrowdFlower,
+            n,
+            &cfg(0),
+            &paper_pipeline(),
+            Seed(820),
+            &StreamConfig { shard_size: 16, ..StreamConfig::default() },
+        );
+        eyeorg_stats::set_chaos_seed(0);
+        let got = eyeorg_obs::snapshot("tl-flat-chaos", 0).counter_fingerprint();
+        assert_eq!(got, reference, "flat timeline chaos={chaos}");
+    }
+
     // A/B: same drill.
     eyeorg_obs::reset();
     let campaign = run_ab_campaign(ab.clone(), &CrowdFlower, n, &cfg(0), Seed(830));

@@ -10,7 +10,7 @@ use std::sync::OnceLock;
 use eyeorg_browser::BrowserConfig;
 use eyeorg_core::prelude::*;
 use eyeorg_crowd::CrowdFlower;
-use eyeorg_stats::Seed;
+use eyeorg_stats::{set_chaos_seed, Seed};
 use eyeorg_video::CaptureConfig;
 use eyeorg_workload::alexa_like;
 
@@ -184,6 +184,64 @@ fn flat_ab_matches_streaming_across_n_shards_and_threads() {
                     reference,
                     "n={n} shard={shard} threads={threads}"
                 );
+            }
+        }
+    }
+}
+
+#[test]
+fn digests_identical_across_backends_shards_threads_and_chaos_seeds() {
+    // The full PR-10 identity matrix: every engine × shard size ×
+    // worker count × chaos schedule must land on the materializing
+    // reference digest, for more than one campaign seed. Chaos seeds
+    // permute which worker claims which shard and when (see
+    // `eyeorg_stats::set_chaos_seed`), so a pass here means the
+    // demand-driven fast path's outputs are pinned by index, not by
+    // scheduling luck.
+    let stimuli = tl_stimuli();
+    let n = 300usize;
+    for campaign_seed in [Seed(970), Seed(31_337)] {
+        let campaign =
+            run_timeline_campaign(stimuli.clone(), &CrowdFlower, n, &cfg(0), campaign_seed);
+        let report = filter_timeline(&campaign, &paper_pipeline());
+        let reference =
+            digest_timeline(&campaign, &report, n, &DigestParams::default()).fingerprint();
+        for shard in [1usize, 16, 64] {
+            for threads in [1usize, 2, 0] {
+                for chaos in [0u64, 7, 23] {
+                    set_chaos_seed(chaos);
+                    let streamed = stream_timeline_campaign(
+                        stimuli,
+                        &CrowdFlower,
+                        n,
+                        &cfg(threads),
+                        &paper_pipeline(),
+                        campaign_seed,
+                        &stream_cfg(shard),
+                    )
+                    .fingerprint();
+                    let flat = flat_timeline_campaign(
+                        stimuli,
+                        &CrowdFlower,
+                        n,
+                        &cfg(threads),
+                        &paper_pipeline(),
+                        campaign_seed,
+                        &stream_cfg(shard),
+                    )
+                    .fingerprint();
+                    set_chaos_seed(0);
+                    assert_eq!(
+                        streamed, reference,
+                        "stream seed={campaign_seed:?} shard={shard} threads={threads} \
+                         chaos={chaos}"
+                    );
+                    assert_eq!(
+                        flat, reference,
+                        "flat seed={campaign_seed:?} shard={shard} threads={threads} \
+                         chaos={chaos}"
+                    );
+                }
             }
         }
     }

@@ -71,7 +71,19 @@ pub fn judge_pair_flat(
     participant: &Persona,
     label: &str,
 ) -> AbAnswer {
-    let mut rng = judge_rng(participant.seed, label);
+    judge_pair_with_rng(left_ready, right_ready, participant, judge_rng(participant.seed, label))
+}
+
+/// [`judge_pair_flat`] with the judgment-stream RNG supplied by the
+/// caller — the fast-path entry (RNG built from a hoisted
+/// per-participant `"abjudge"` parent instead of a per-cell double
+/// derivation).
+pub(crate) fn judge_pair_with_rng(
+    left_ready: SimTime,
+    right_ready: SimTime,
+    participant: &Persona,
+    mut rng: Rng,
+) -> AbAnswer {
     if rng.random_bool(lapse_rate(participant.class)) {
         return match rng.random_range(0..3u8) {
             0 => AbAnswer::Left,

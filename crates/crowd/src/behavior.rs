@@ -105,7 +105,21 @@ pub fn video_session_profiled(
     kind: TestKind,
     video_label: &str,
 ) -> VideoSession {
-    let mut rng = behavior_rng(participant.seed, video_label);
+    video_session_with_rng(profile, participant, kind, behavior_rng(participant.seed, video_label))
+}
+
+/// The draw sequence behind [`video_session_profiled`], with the leaf
+/// RNG supplied by the caller. The fast path derives that RNG from a
+/// hoisted per-participant `"behavior"` parent (or a bulk-expanded
+/// per-stimulus seed plane) instead of re-deriving
+/// `seed → "behavior" → label` per cell; for an RNG seeded from the same
+/// `(participant, label)` pair the output is bit-identical.
+pub(crate) fn video_session_with_rng(
+    profile: &SessionProfile,
+    participant: &Persona,
+    kind: TestKind,
+    mut rng: Rng,
+) -> VideoSession {
     let video_load = preload_time(profile.bytes, participant.bandwidth_bps);
 
     // --- skipping (soft-rule violation) --------------------------------
@@ -238,7 +252,12 @@ pub fn instruction_time(participant: &Participant) -> SimDuration {
 
 /// [`instruction_time`] from a trait-core [`Persona`].
 pub fn instruction_time_persona(participant: &Persona) -> SimDuration {
-    let mut rng = behavior_rng(participant.seed, "instructions");
+    instruction_time_with_rng(participant, behavior_rng(participant.seed, "instructions"))
+}
+
+/// [`instruction_time_persona`] with the `"instructions"`-stream RNG
+/// supplied by the caller (fast-path entry).
+pub(crate) fn instruction_time_with_rng(participant: &Persona, mut rng: Rng) -> SimDuration {
     let secs = match participant.class {
         ParticipantClass::Diligent => rng.random_range(20.0..60.0),
         ParticipantClass::Average => rng.random_range(12.0..40.0),

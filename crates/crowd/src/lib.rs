@@ -27,18 +27,20 @@
 
 pub mod abjudge;
 pub mod behavior;
+pub mod fastpath;
 pub mod participant;
 pub mod perception;
 pub mod service;
 
 pub use abjudge::{ab_control, ab_control_flat, ab_response, judge_pair, judge_pair_flat, AbAnswer};
+pub use fastpath::ModelSeeds;
 pub use behavior::{
     total_time_on_site, total_time_on_site_persona, video_session, video_session_profiled,
     SessionProfile, TestKind, VideoSession,
 };
 pub use participant::{
     Gender, Participant, ParticipantClass, ParticipantType, Persona, PopulationProfile,
-    ReadinessCriterion,
+    ReadinessCriterion, TraitCursor,
 };
 pub use perception::{
     timeline_control_passes, timeline_control_passes_flat, timeline_response,

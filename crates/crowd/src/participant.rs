@@ -379,19 +379,73 @@ impl PopulationProfile {
     /// [`generate_persona`](Self::generate_persona) replays the
     /// identical sequence.
     pub fn generate_gate(&self, seed: Seed, i: u64) -> (Seed, ParticipantClass) {
+        let cur = self.start_traits(seed, i);
+        (cur.pseed, cur.class)
+    }
+
+    /// Begin drawing participant `i` and pause right after the class
+    /// pick — the demand-driven generalisation of
+    /// [`generate_gate`](Self::generate_gate). The returned cursor
+    /// exposes everything the admission gate needs ([`TraitCursor::seed`]
+    /// and [`TraitCursor::class`]; the captcha check draws from its own
+    /// `"captcha"` stream, so it can run while the cursor is paused), and
+    /// only participants that survive pay for the remaining trait draws
+    /// via [`TraitCursor::finish`]. A rejected participant's cursor is
+    /// simply dropped: every unfinished draw lives on the participant's
+    /// isolated `"traits"` stream, which nothing downstream reads.
+    pub fn start_traits(&self, seed: Seed, i: u64) -> TraitCursor {
         let pseed = seed.derive_index("participant", i);
         let mut rng = Rng::seed_from_u64(pseed.derive("traits").value());
-        (pseed, self.class_mix.pick(&mut rng))
+        let class = self.class_mix.pick(&mut rng);
+        TraitCursor { id: i, pseed, class, rng }
     }
 
     /// The single draw sequence behind both generation paths.
     fn draw_traits(&self, seed: Seed, i: u64) -> (Persona, Gender, &'static str) {
-        let pseed = seed.derive_index("participant", i);
-        let mut rng = Rng::seed_from_u64(pseed.derive("traits").value());
-        let class = self.class_mix.pick(&mut rng);
+        let mut cur = self.start_traits(seed, i);
         let gender =
-            if rng.random_bool(self.male_fraction) { Gender::Male } else { Gender::Female };
-        let country = self.countries.pick(&mut rng);
+            if cur.rng.random_bool(self.male_fraction) { Gender::Male } else { Gender::Female };
+        let country = self.countries.pick(&mut cur.rng);
+        (cur.finish_tail(self), gender, country)
+    }
+}
+
+/// A participant paused mid-generation: class drawn, everything else
+/// pending. See [`PopulationProfile::start_traits`].
+#[derive(Debug, Clone)]
+pub struct TraitCursor {
+    id: u64,
+    pseed: Seed,
+    class: ParticipantClass,
+    rng: Rng,
+}
+
+impl TraitCursor {
+    /// The participant's derived private seed.
+    pub fn seed(&self) -> Seed {
+        self.pseed
+    }
+
+    /// The class drawn so far (all the admission gate consumes).
+    pub fn class(&self) -> ParticipantClass {
+        self.class
+    }
+
+    /// Complete the trait draws and yield the persona — identical, field
+    /// for field, to [`PopulationProfile::generate_persona`] on the same
+    /// pool/seed/index. The reporting-only gender and country draws
+    /// (one raw output each: a Bernoulli and a compiled-table pick) are
+    /// elided value-free — the stream is advanced by exactly two outputs
+    /// so every consumed draw after them is untouched.
+    pub fn finish(mut self, profile: &PopulationProfile) -> Persona {
+        self.rng.skip_u64(2);
+        self.finish_tail(profile)
+    }
+
+    /// The draws both full and demand-driven generation share, starting
+    /// after gender/country.
+    fn finish_tail(mut self, profile: &PopulationProfile) -> Persona {
+        let rng = &mut self.rng;
         let tech_savvy = rng.random_range(1..=5u8);
         // Worker downlinks: log-uniform 0.5–30 Mbit/s — 2016 crowd
         // workers cluster in regions where sub-2 Mbit/s lines were
@@ -399,8 +453,8 @@ impl PopulationProfile {
         // of seconds Fig. 5 conditions on.
         let bw_exp: f64 = rng.random_range(5.7..7.5);
         let bandwidth_bps = 10f64.powf(bw_exp) as u64;
-        let readiness = readiness_table().pick(&mut rng);
-        let (perception_noise, overshoot) = match class {
+        let readiness = readiness_table().pick(rng);
+        let (perception_noise, overshoot) = match self.class {
             ParticipantClass::Diligent => (rng.random_range(0.03..0.08), rng.random_range(0.02..0.08)),
             ParticipantClass::Average => (rng.random_range(0.06..0.14), rng.random_range(0.05..0.15)),
             ParticipantClass::Sloppy => (rng.random_range(0.12..0.25), rng.random_range(0.15..0.40)),
@@ -409,21 +463,17 @@ impl PopulationProfile {
             }
             ParticipantClass::Frenetic => (rng.random_range(0.10..0.2), rng.random_range(0.05..0.2)),
         };
-        (
-            Persona {
-                id: i,
-                ptype: self.ptype,
-                class,
-                tech_savvy,
-                bandwidth_bps,
-                readiness,
-                perception_noise,
-                overshoot,
-                seed: pseed,
-            },
-            gender,
-            country,
-        )
+        Persona {
+            id: self.id,
+            ptype: profile.ptype,
+            class: self.class,
+            tech_savvy,
+            bandwidth_bps,
+            readiness,
+            perception_noise,
+            overshoot,
+            seed: self.pseed,
+        }
     }
 }
 
@@ -541,6 +591,28 @@ mod tests {
                 let full = pool.generate_one(Seed(77), i);
                 let persona = pool.generate_persona(Seed(77), i);
                 assert_eq!(full.persona(), persona, "pool {:?} index {i}", pool.ptype);
+            }
+        }
+    }
+
+    #[test]
+    fn trait_cursor_finish_matches_full_generation() {
+        // Draw-elision identity: pausing at the gate and finishing with
+        // the gender/country values elided must reproduce the full
+        // path's persona exactly — fields, seed, and (via the noise and
+        // overshoot draws that come *after* the elided ones) the whole
+        // downstream draw alignment.
+        for pool in [PopulationProfile::paid(), PopulationProfile::trusted()] {
+            for seed in [Seed(77), Seed(0), Seed(u64::MAX)] {
+                for i in 0..300 {
+                    let cur = pool.start_traits(seed, i);
+                    let (gate_seed, gate_class) = pool.generate_gate(seed, i);
+                    assert_eq!(cur.seed(), gate_seed, "index {i}");
+                    assert_eq!(cur.class(), gate_class, "index {i}");
+                    let fast = cur.finish(&pool);
+                    let full = pool.generate_persona(seed, i);
+                    assert_eq!(fast, full, "pool {:?} seed {seed:?} index {i}", pool.ptype);
+                }
             }
         }
     }

@@ -132,10 +132,6 @@ impl FrameClock {
     fn frame_time(&self, i: usize) -> SimTime {
         SimTime::from_micros(i.min(self.frame_count - 1) as u64 * self.step_us)
     }
-
-    fn quantize(&self, t: SimTime) -> SimTime {
-        self.frame_time(self.frame_index_at(t))
-    }
 }
 
 /// Per-stimulus constants of the timeline response model — the ready
@@ -236,6 +232,23 @@ fn timeline_response_with(
     participant: &Participant,
     video_label: &str,
 ) -> TimelineResponse {
+    timeline_response_shared_with_rng(
+        video,
+        rewind,
+        &participant.persona(),
+        response_rng(participant.seed, video_label),
+    )
+}
+
+/// The shared-timeline path with the leaf RNG supplied by the caller —
+/// the streaming engine's fast-path entry (it hoists the per-participant
+/// `"perception"` parent derivation out of its stimulus loop).
+pub(crate) fn timeline_response_shared_with_rng(
+    video: &Video,
+    rewind: &mut dyn FnMut(usize) -> usize,
+    participant: &Persona,
+    rng: Rng,
+) -> TimelineResponse {
     let clock = FrameClock::of(video);
     // Ready moment and first-visible floor are looked up lazily: the
     // clicker/bot branch never consults them, and eagerly extracting all
@@ -244,8 +257,8 @@ fn timeline_response_with(
         &clock,
         &mut |criterion| (true_ready_time(video, criterion), first_visible_us(video)),
         rewind,
-        &participant.persona(),
-        video_label,
+        participant,
+        rng,
     )
 }
 
@@ -263,27 +276,45 @@ pub fn timeline_response_flat(
     participant: &Persona,
     video_label: &str,
 ) -> TimelineResponse {
+    timeline_response_flat_with_rng(
+        profile,
+        rewinds,
+        participant,
+        response_rng(participant.seed, video_label),
+    )
+}
+
+/// [`timeline_response_flat`] with the leaf RNG supplied by the caller —
+/// the flat engine's fast-path entry (RNG built from a hoisted
+/// per-participant `"perception"` parent instead of a per-cell
+/// double derivation).
+pub(crate) fn timeline_response_flat_with_rng(
+    profile: &TimelineStimulusProfile,
+    rewinds: &[usize],
+    participant: &Persona,
+    rng: Rng,
+) -> TimelineResponse {
     timeline_response_core(
         &profile.clock,
         &mut |criterion| (profile.ready.get(criterion), profile.first_visible_us),
         &mut |i| rewinds[i],
         participant,
-        video_label,
+        rng,
     )
 }
 
 /// The single implementation behind every timeline-response entry point.
 /// `ready_of(criterion)` returns the true ready moment under `criterion`
 /// plus the first-visible floor in µs; it is only consulted on the
-/// coherent-participant branch.
+/// coherent-participant branch. `rng` must be seeded from the
+/// participant's `"perception"` stream for the video's label.
 fn timeline_response_core(
     clock: &FrameClock,
     ready_of: &mut dyn FnMut(ReadinessCriterion) -> (SimTime, f64),
     rewind: &mut dyn FnMut(usize) -> usize,
     participant: &Persona,
-    video_label: &str,
+    mut rng: Rng,
 ) -> TimelineResponse {
-    let mut rng = response_rng(participant.seed, video_label);
     let dur_us = clock.dur_us;
 
     if matches!(participant.class, ParticipantClass::RandomClicker | ParticipantClass::Bot)
@@ -297,9 +328,12 @@ fn timeline_response_core(
         } else {
             SimTime::from_micros(rng.random_range(0..dur_us))
         };
-        let slider = clock.quantize(t);
+        // Quantising returns the frame's own time, so the slider's frame
+        // index is the one just computed — no second division.
+        let slider_frame = clock.frame_index_at(t);
+        let slider = clock.frame_time(slider_frame);
         // Blindly accepts whatever the helper proposes.
-        let helper_frame = rewind(clock.frame_index_at(slider));
+        let helper_frame = rewind(slider_frame);
         let helper = clock.frame_time(helper_frame);
         return TimelineResponse {
             perceived: t,
@@ -325,9 +359,12 @@ fn timeline_response_core(
     // the helper pull them back.
     let overshoot_frac = participant.overshoot * rng.random_range(0.3..1.0);
     let slider_us = (perceived_us * (1.0 + overshoot_frac)).min(dur_us as f64);
-    let slider = clock.quantize(SimTime::from_micros(slider_us as u64));
+    // As above: the quantised slider time maps back to the same frame
+    // index, so compute it once and reuse it for the helper lookup.
+    let slider_frame = clock.frame_index_at(SimTime::from_micros(slider_us as u64));
+    let slider = clock.frame_time(slider_frame);
 
-    let helper_frame = rewind(clock.frame_index_at(slider));
+    let helper_frame = rewind(slider_frame);
     let helper = clock.frame_time(helper_frame);
 
     // Acceptance: participants accept the rewind when it does not
@@ -362,7 +399,12 @@ pub fn timeline_control_passes(participant: &Participant, video_label: &str) -> 
 /// `"ctrl-"`-prefixed video label) already built — the batch engine
 /// precomputes the string once per stimulus instead of once per row.
 pub fn timeline_control_passes_flat(participant: &Persona, ctrl_label: &str) -> bool {
-    let mut rng = response_rng(participant.seed, ctrl_label);
+    timeline_control_with_rng(participant, response_rng(participant.seed, ctrl_label))
+}
+
+/// [`timeline_control_passes_flat`] with the control-stream RNG supplied
+/// by the caller (fast-path entry).
+pub(crate) fn timeline_control_with_rng(participant: &Persona, mut rng: Rng) -> bool {
     let reject_p = match participant.class {
         ParticipantClass::Diligent => 0.995,
         ParticipantClass::Average => 0.98,

@@ -125,6 +125,11 @@ fn streaming_accumulator_modules_are_d1_covered() {
         // nondeterministic container there skews the decision sequence.
         "crates/core/src/adaptive.rs",
         "crates/video/src/bitplane.rs",
+        // The behavioural-model fast path (PR 10) derives every session,
+        // response and control draw the engines fingerprint; an
+        // order-seeded container there would poison all three engines
+        // at once.
+        "crates/crowd/src/fastpath.rs",
     ] {
         let meta = FileMeta::classify(path);
         let report = lint_source(&meta, bad);
@@ -134,6 +139,41 @@ fn streaming_accumulator_modules_are_d1_covered() {
             report.diagnostics
         );
     }
+}
+
+/// The fast-path module hands out raw seeds and folds float draws, so
+/// beyond D1 it must also sit under D6 (float ordering/accumulation)
+/// and D8 (machine-dependent taint reaching a seed/fingerprint sink).
+/// Snippets are shaped on `tests/fixtures/d6_bad.rs` / `d8_bad.rs`.
+#[test]
+fn fastpath_module_is_d6_and_d8_covered() {
+    let meta = FileMeta::classify("crates/crowd/src/fastpath.rs");
+
+    let d6_bad = "pub fn spread(xs: &[f64]) -> f64 {\n\
+                      let mut v = xs.to_vec();\n\
+                      v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));\n\
+                      v.iter().sum::<f64>()\n\
+                  }\n";
+    let report = lint_source(&meta, d6_bad);
+    assert!(
+        codes(&report).contains(&"D6"),
+        "fastpath.rs must be under D6 coverage, got {:?}",
+        report.diagnostics
+    );
+
+    let d8_bad = "pub fn shard_seed() -> u64 {\n\
+                      let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);\n\
+                      fingerprint(n as u64)\n\
+                  }\n\
+                  fn fingerprint(x: u64) -> u64 {\n\
+                      x.wrapping_mul(2654435761)\n\
+                  }\n";
+    let report = lint_source(&meta, d8_bad);
+    assert!(
+        codes(&report).contains(&"D8"),
+        "fastpath.rs must be under D8 coverage, got {:?}",
+        report.diagnostics
+    );
 }
 
 /// The gate the CI pass enforces: the real tree is clean once the

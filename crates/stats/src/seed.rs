@@ -24,6 +24,7 @@ impl Seed {
     /// Derivation is pure: the same `(seed, label)` pair always yields the
     /// same child, and distinct labels yield (with overwhelming
     /// probability) unrelated streams.
+    #[inline]
     pub fn derive(self, label: &str) -> Seed {
         // FNV-1a over the label, offset by the parent seed.
         let mut h = 0xcbf2_9ce4_8422_2325_u64 ^ self.0;
@@ -36,18 +37,21 @@ impl Seed {
 
     /// Derive a child seed for the `index`-th element of a family (e.g.
     /// per-site or per-participant streams).
+    #[inline]
     pub fn derive_index(self, label: &str, index: u64) -> Seed {
         Seed(splitmix64(self.derive(label).0 ^ splitmix64(index.wrapping_add(0x9e37_79b9))))
     }
 
     /// The raw value, for constructing an RNG
     /// (`StdRng::seed_from_u64(seed.value())`).
+    #[inline]
     pub fn value(self) -> u64 {
         self.0
     }
 }
 
 /// SplitMix64 finaliser: a fast, well-dispersed 64-bit mixing function.
+#[inline]
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);

@@ -61,6 +61,14 @@ cargo run -q --release -p eyeorg-bench --bin perf_scale -- \
     --smoke --fingerprint-out results/.SCALE_fp_auto
 cmp results/.SCALE_fp_1 results/.SCALE_fp_2
 cmp results/.SCALE_fp_1 results/.SCALE_fp_auto
+# Behavioural-model fast-path gate (DESIGN.md §3k): the smoke run exits
+# non-zero when the demand-driven model path (trait cursors, hoisted
+# seed parents, bulk-seeded sessions, draw-elided responses) diverges
+# from the pre-fast-path reference on any scenario checksum, or when
+# the measured model-path speedup falls below the smoke regression
+# floor. Writes results/BENCH_model.json (uploaded by CI; the full-size
+# run is `perf_model` with no flags and gates the 1.8x target).
+cargo run -q --release -p eyeorg-bench --bin perf_model -- --smoke
 # Adaptive early-stopping divergence gate (DESIGN.md §3h): the smoke run
 # exits non-zero when an inactive rule (epsilon = 0) differs from the
 # streaming engine in digest or counter fingerprint, or when an active
